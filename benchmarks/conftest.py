@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark reproduces one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The synthetic log is generated once
+per session; its size scales with the ``REPRO_BENCH_SCALE`` environment
+variable (default 0.3 ≈ 5–6k queries — large enough for stable shapes,
+small enough to run in seconds; the paper's absolute numbers came from a
+42M-query log and are quoted for shape comparison only).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.workload import (
+    WorkloadConfig,
+    build_database,
+    generate,
+    skyserver_catalog,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2018"))
+
+
+@pytest.fixture(scope="session")
+def bench_database():
+    return build_database(object_count=1500, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_database):
+    return generate(
+        WorkloadConfig(seed=BENCH_SEED, scale=BENCH_SCALE),
+        database=bench_database,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        ),
+        sws=SwsConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_workload, bench_config):
+    """One shared pipeline run over the benchmark log."""
+    return CleaningPipeline(bench_config).run(bench_workload.log)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Uniform table printer for all harness outputs."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

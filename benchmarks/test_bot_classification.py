@@ -1,0 +1,72 @@
+"""E18 — Section 6.5's extension: distinguishing humans and bots.
+
+The paper: the traffic-report recommendations "only consider the duration
+of user sessions, not the shape of queries.  An extension taking SWS
+patterns into account could distinguish humans and 'bots' with more
+accuracy."
+
+This bench classifies every user of the benchmark workload twice —
+duration/volume features only (the baseline) vs. additionally using the
+antipattern/SWS shape features — and scores both against the generator's
+planted user kinds.  Expected shape: the shape-aware classifier is at
+least as accurate, with strictly better bot recall.
+"""
+
+from conftest import print_table
+
+from repro.analysis.behavior import (
+    BehaviorConfig,
+    classify_users,
+    score_classification,
+)
+
+
+def test_bot_classification(benchmark, bench_result, bench_workload):
+    truth = {}
+    for user in bench_workload.truth.user_profiles:
+        verdict = bench_workload.truth.is_bot(user)
+        if verdict is not None:
+            truth[user] = verdict
+
+    def run_both():
+        baseline = classify_users(
+            bench_result, BehaviorConfig(use_shape_features=False)
+        )
+        shape_aware = classify_users(
+            bench_result, BehaviorConfig(use_shape_features=True)
+        )
+        return (
+            score_classification(baseline, truth),
+            score_classification(shape_aware, truth),
+        )
+
+    baseline, shape_aware = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print_table(
+        "Section 6.5 extension — human/bot classification",
+        ["classifier", "accuracy", "bot recall", "human recall", "users"],
+        [
+            (
+                "duration/volume only (baseline)",
+                f"{baseline.accuracy:.3f}",
+                f"{baseline.bot_recall:.3f}",
+                f"{baseline.human_recall:.3f}",
+                baseline.total,
+            ),
+            (
+                "+ antipattern/SWS shape features",
+                f"{shape_aware.accuracy:.3f}",
+                f"{shape_aware.bot_recall:.3f}",
+                f"{shape_aware.human_recall:.3f}",
+                shape_aware.total,
+            ),
+        ],
+    )
+
+    assert shape_aware.total > 30
+    # both are usable classifiers …
+    assert baseline.accuracy > 0.7
+    # … but shape features never hurt and improve bot recall
+    assert shape_aware.accuracy >= baseline.accuracy
+    assert shape_aware.bot_recall >= baseline.bot_recall
+    assert shape_aware.human_recall >= 0.9

@@ -1,0 +1,101 @@
+"""E17 — Extension catalog census (the Section 5.4 recipe at scale).
+
+The paper argues the framework accommodates further antipatterns via
+definition → detection rule → optional solving rule.  This bench runs the
+seven extended detectors of :mod:`repro.antipatterns.extended` over a
+workload that includes a bad-practices application profile, scores
+detection against the planted truth, and solves the three solvable ones
+(Redundant-Distinct, Having-No-Aggregate and, with the catalog,
+Implicit-Columns star expansion).
+"""
+
+from conftest import print_table
+
+from repro.antipatterns import DetectionContext, default_detectors
+from repro.antipatterns.extended import EXTENDED_LABELS, extended_detectors
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.rewrite.extended_rewrites import install_extended_rules
+from repro.rewrite.solver import solve
+from repro.workload import WorkloadConfig, generate, score_detection, skyserver_catalog
+from repro.workload.profiles import BadPracticesApp, default_profiles
+
+
+def test_extension_catalog(benchmark):
+    workload = generate(
+        WorkloadConfig(
+            seed=314,
+            scale=0.15,
+            profiles=default_profiles() + [BadPracticesApp()],
+            bursts={"bad-practices": 25},
+        )
+    )
+    catalog = skyserver_catalog()
+    context = DetectionContext(key_columns=frozenset(catalog.key_column_names()))
+
+    def run():
+        stage = parse_log(workload.log)
+        blocks = build_blocks(stage.queries)
+        instances = []
+        for detector in extended_detectors():
+            instances.extend(detector.detect(blocks, context))
+        solved = solve(
+            stage.parsed_log, instances, install_extended_rules(catalog)
+        )
+        return stage, instances, solved
+
+    stage, instances, solved = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    scored_labels = (
+        "Poor-Mans-Search",
+        "Redundant-Distinct",
+        "Having-No-Aggregate",
+        "Cartesian-Product",
+        "Random-Selection",
+    )
+    for label in sorted(EXTENDED_LABELS):
+        detected = {
+            seq
+            for instance in instances
+            if instance.label == label
+            for seq in instance.record_seqs()
+        }
+        truth = workload.truth.seqs_with_label(label)
+        precision, recall = score_detection(detected, truth)
+        rows.append(
+            (
+                label,
+                len(detected),
+                len(truth),
+                f"{precision:.2f}" if label in scored_labels else "—",
+                f"{recall:.2f}" if label in scored_labels else "—",
+            )
+        )
+    print_table(
+        "Extension catalog — detection census",
+        ["antipattern", "detected queries", "planted", "precision", "recall"],
+        rows,
+    )
+    counts = solved.solved_counts()
+    print_table(
+        "Extension catalog — solved instances",
+        ["antipattern", "solved"],
+        sorted(counts.items()),
+    )
+
+    for label in scored_labels:
+        detected = {
+            seq
+            for instance in instances
+            if instance.label == label
+            for seq in instance.record_seqs()
+        }
+        truth = workload.truth.seqs_with_label(label)
+        assert truth, f"no planted {label}"
+        _, recall = score_detection(detected, truth)
+        assert recall == 1.0, f"{label} missed planted instances"
+
+    assert counts.get("Redundant-Distinct", 0) > 0
+    assert counts.get("Having-No-Aggregate", 0) > 0
+    assert counts.get("Implicit-Columns", 0) > 0  # star expansion via catalog

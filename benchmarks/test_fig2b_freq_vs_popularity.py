@@ -1,0 +1,40 @@
+"""E7 — Fig. 2(b): pattern frequency vs user popularity.
+
+Paper: a scatter with a striking population of *frequent patterns with
+low user popularity* (23 of the top-40 patterns come from a single user)
+— the machine-download signature motivating SWS handling.
+"""
+
+from conftest import print_table
+
+
+def test_fig2b_frequency_vs_popularity(benchmark, bench_result):
+    scatter = benchmark.pedantic(
+        lambda: [
+            (stats.frequency, stats.user_popularity)
+            for stats in bench_result.registry.ranked()
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    top40 = bench_result.registry.top(40)
+    print_table(
+        "Fig. 2(b) — top-40 patterns: frequency vs userPopularity",
+        ["rank", "frequency", "userPopularity"],
+        [
+            (rank, f"{stats.frequency:,}", stats.user_popularity)
+            for rank, stats in enumerate(top40, start=1)
+        ],
+    )
+
+    single_user_top40 = sum(1 for s in top40 if s.user_popularity == 1)
+    # paper: 23 of the top 40 come from one user — i.e. a large share
+    assert single_user_top40 >= len(top40) * 0.25
+    # both low- and higher-popularity patterns exist in the full scatter
+    popularities = {pop for _, pop in scatter}
+    assert 1 in popularities
+    assert any(pop >= 4 for pop in popularities)
+    # frequency spans orders of magnitude (log-scale axis in the paper)
+    frequencies = [freq for freq, _ in scatter]
+    assert max(frequencies) / max(min(frequencies), 1) > 50

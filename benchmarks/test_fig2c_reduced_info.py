@@ -1,0 +1,56 @@
+"""E8 — Fig. 2(c): pattern frequencies with vs without user/session info.
+
+Paper: the top patterns keep their frequencies when the log is reduced to
+statements + timestamps (instances arrive in tight bursts anyway), and
+the cleaned-log size differs by only 0.36 %.
+"""
+
+from conftest import print_table
+
+from repro.pipeline import CleaningPipeline
+
+
+def test_fig2c_with_and_without_user_information(
+    benchmark, bench_workload, bench_config, bench_result
+):
+    reduced_result = benchmark.pedantic(
+        lambda: CleaningPipeline(bench_config).run(
+            bench_workload.log.without_metadata()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    full_top = bench_result.registry.top(10)
+    reduced_by_skeleton = {
+        stats.skeletons: stats for stats in reduced_result.registry
+    }
+
+    rows = []
+    close = 0
+    compared = 0
+    for rank, stats in enumerate(full_top, start=1):
+        other = reduced_by_skeleton.get(stats.skeletons)
+        other_freq = other.frequency if other else 0
+        rows.append((rank, f"{stats.frequency:,}", f"{other_freq:,}"))
+        if other is not None:
+            compared += 1
+            if abs(other_freq - stats.frequency) <= 0.35 * stats.frequency:
+                close += 1
+    print_table(
+        "Fig. 2(c) — top patterns with full info (FI) vs without",
+        ["rank", "frequency with FI", "frequency without FI"],
+        rows,
+    )
+
+    assert compared >= 6, "top patterns must be re-found without user info"
+    assert close / compared >= 0.7, "frequencies should stay close"
+
+    size_full = len(bench_result.clean_log)
+    size_reduced = len(reduced_result.clean_log)
+    relative_difference = abs(size_full - size_reduced) / size_full
+    print(
+        f"\nclean-log size: full info {size_full:,}, reduced {size_reduced:,} "
+        f"({100 * relative_difference:.2f} % difference; paper: 0.36 %)"
+    )
+    assert relative_difference < 0.10

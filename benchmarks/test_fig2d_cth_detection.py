@@ -1,0 +1,61 @@
+"""E9 — Fig. 2(d): CTH candidates — frequency/popularity, true vs false.
+
+Paper: 50 candidates, 28 judged real by experts; the scatter of frequency
+and user popularity by rank separates them loosely (low popularity hints
+at real CTH, but widely-used software can produce real ones too).
+
+Our oracle mechanises the experts' published rule (zero think-time); the
+workload's ground truth scores it.
+"""
+
+from conftest import print_table
+
+from repro.antipatterns import cth_census
+
+
+def test_fig2d_cth_candidates(benchmark, bench_result, bench_workload):
+    census = benchmark.pedantic(
+        lambda: bench_result.cth_candidates(), rounds=1, iterations=1
+    )
+
+    print_table(
+        "Fig. 2(d) — CTH candidates by rank",
+        ["rank", "frequency", "userPopularity", "oracle verdict", "first skeleton"],
+        [
+            (
+                rank,
+                row.frequency,
+                row.user_popularity,
+                "REAL" if row.oracle_real else "false",
+                row.first_skeleton[:55],
+            )
+            for rank, row in enumerate(census, start=1)
+        ],
+    )
+
+    assert census, "no CTH candidates detected"
+    real = [row for row in census if row.oracle_real]
+    false = [row for row in census if not row.oracle_real]
+    # the paper found both kinds (28 real / 22 false of 50)
+    assert real and false
+
+    # score the oracle against the planted truth: instances that belong to
+    # planted hunts must be classified like the generator intended
+    truth = bench_workload.truth
+    seq_real = {}
+    for group in truth.groups_with_label("CTH-candidate"):
+        for seq in group.seqs:
+            seq_real[seq] = bool(group.cth_real)
+    agree, total = 0, 0
+    for instance in bench_result.antipatterns:
+        if instance.label != "CTH-candidate":
+            continue
+        planted = [s for s in instance.record_seqs() if s in seq_real]
+        if not planted:
+            continue
+        total += 1
+        if seq_real[planted[0]] == bool(instance.details["oracle_real"]):
+            agree += 1
+    print(f"\noracle agreement with planted truth: {agree}/{total}")
+    assert total > 0
+    assert agree / total > 0.8

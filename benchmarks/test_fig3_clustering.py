@@ -1,0 +1,62 @@
+"""E11 — Fig. 3: downstream clustering of raw / clean / removal logs.
+
+Paper (1.3M-query sample, thresholds 0.1–0.9): the raw log yields far
+more clusters (1 393 at 0.9) than the cleaned and removal variants
+(removal: 51 at 0.9), removal clusters are bigger on average, and the
+removal log clusters fastest.
+
+Shape to reproduce: cluster count raw > clean ≳ removal at every
+threshold; average size raw < removal; runtime raw > removal.
+"""
+
+from conftest import print_table
+
+from repro.analysis import run_downstream_experiment
+
+THRESHOLDS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig3_clustering_comparison(benchmark, bench_workload, bench_config):
+    report = benchmark.pedantic(
+        lambda: run_downstream_experiment(
+            bench_workload.log, thresholds=THRESHOLDS, config=bench_config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for metric, extract in (
+        ("clusters' count", lambda r: r.cluster_count),
+        ("average cluster size", lambda r: f"{r.average_size:.2f}"),
+        ("runtime (s)", lambda r: f"{r.runtime_seconds:.3f}"),
+    ):
+        print_table(
+            f"Fig. 3 — {metric}",
+            ["threshold", "raw", "clean", "removal"],
+            [
+                (
+                    threshold,
+                    extract(report.result("raw", threshold)),
+                    extract(report.result("clean", threshold)),
+                    extract(report.result("removal", threshold)),
+                )
+                for threshold in THRESHOLDS
+            ],
+        )
+
+    for threshold in THRESHOLDS:
+        raw = report.result("raw", threshold)
+        clean = report.result("clean", threshold)
+        removal = report.result("removal", threshold)
+        # raw clusters are the most numerous (paper: "too numerous")
+        assert raw.cluster_count > clean.cluster_count
+        assert raw.cluster_count > removal.cluster_count
+        # removal clusters are at least as big on average as raw's
+        assert removal.average_size >= raw.average_size * 0.9
+
+    # total clustering work: the smallest (removal) log is fastest overall
+    total_raw = sum(report.result("raw", t).runtime_seconds for t in THRESHOLDS)
+    total_removal = sum(
+        report.result("removal", t).runtime_seconds for t in THRESHOLDS
+    )
+    assert total_removal <= total_raw * 1.1

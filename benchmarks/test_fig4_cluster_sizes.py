@@ -1,0 +1,72 @@
+"""E12 — Fig. 4: cluster-size distributions at threshold 0.9.
+
+Paper: (a, b) size-vs-rank curves — raw has a long tail of small
+clusters absent from the removal log; every removal cluster also exists
+in the raw/cleaned logs.  (c) the top-20 DS-clusters of the cleaned log
+are roughly half the size of their raw counterparts (two statements
+merged into one).
+"""
+
+from conftest import print_table
+
+from repro.analysis import ds_cluster_sizes, run_downstream_experiment
+
+THRESHOLD = 0.9
+
+
+def test_fig4_cluster_size_distributions(benchmark, bench_workload, bench_config):
+    report = benchmark.pedantic(
+        lambda: run_downstream_experiment(
+            bench_workload.log, thresholds=(THRESHOLD,), config=bench_config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    sizes = {
+        variant: report.result(variant, THRESHOLD).sizes_ranked()
+        for variant in ("raw", "clean", "removal")
+    }
+    top = 15
+    print_table(
+        "Fig. 4(a, b) — cluster size vs rank (top 15)",
+        ["rank", "raw", "clean", "removal"],
+        [
+            (
+                rank + 1,
+                sizes["raw"][rank] if rank < len(sizes["raw"]) else "",
+                sizes["clean"][rank] if rank < len(sizes["clean"]) else "",
+                sizes["removal"][rank] if rank < len(sizes["removal"]) else "",
+            )
+            for rank in range(top)
+        ],
+    )
+    print(
+        "\ncluster counts: raw {}, clean {}, removal {}".format(
+            len(sizes["raw"]), len(sizes["clean"]), len(sizes["removal"])
+        )
+    )
+
+    # the raw curve has the longest tail (most clusters)
+    assert len(sizes["raw"]) > len(sizes["clean"]) >= 1
+    assert len(sizes["raw"]) > len(sizes["removal"]) >= 1
+    # ...dominated by small clusters (its median is small)
+    raw_median = sizes["raw"][len(sizes["raw"]) // 2]
+    assert raw_median <= 3
+
+    ds_pairs = ds_cluster_sizes(report, threshold=THRESHOLD, top=20)
+    print_table(
+        "Fig. 4(c) — DS-cluster sizes, cleaned vs raw (top 20)",
+        ["rank", "cleaned log", "raw log"],
+        [
+            (rank + 1, clean, raw if raw is not None else "")
+            for rank, (clean, raw) in enumerate(ds_pairs)
+        ],
+    )
+    clean_sizes = [c for c, _ in ds_pairs if c > 0]
+    raw_sizes = [r for _, r in ds_pairs if r is not None]
+    assert clean_sizes and raw_sizes
+    mean_clean = sum(clean_sizes) / len(clean_sizes)
+    mean_raw = sum(raw_sizes) / len(raw_sizes)
+    # paper: raw DS-clusters are about twice as big
+    assert mean_raw > mean_clean * 1.2

@@ -1,0 +1,84 @@
+"""E19 — closing the loop: user-interest hotspots from the cleaned log.
+
+The case study's second objective is to "give meaning to the most
+popular patterns": the experts confirmed post-clean clusters correspond
+to sky locations users care about.  Our synthetic sky plants its
+hotspots (``workload.schema.SKY_CLUSTERS``), so meaning-recovery can be
+*scored*: cluster each log variant, aggregate spatial clusters into
+hotspots, and check the planted sky regions are recovered.
+
+Expected shape: the true hotspots are recovered from every variant (the
+paper: removal-log clusters all reappear in the raw log — cleaning
+removes noise, not signal), while the raw log carries the most
+non-spatial noise clusters alongside them.
+"""
+
+from conftest import print_table
+
+from repro.analysis import run_downstream_experiment
+from repro.analysis.interests import extract_hotspots, match_hotspots
+from repro.workload.schema import SKY_CLUSTERS
+
+THRESHOLD = 0.5
+
+
+def test_hotspot_recovery(benchmark, bench_workload, bench_config):
+    planted = [(ra, dec) for ra, dec, _, _ in SKY_CLUSTERS]
+
+    def run():
+        report = run_downstream_experiment(
+            bench_workload.log, thresholds=(THRESHOLD,), config=bench_config
+        )
+        results = {}
+        for variant in ("raw", "clean", "removal"):
+            clustering = report.result(variant, THRESHOLD)
+            hotspots = extract_hotspots(clustering)
+            results[variant] = (
+                hotspots,
+                match_hotspots(hotspots, planted, tolerance_degrees=6.0),
+                clustering.cluster_count,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Hotspot recovery per log variant",
+        ["variant", "clusters", "hotspots", "planted recovered"],
+        [
+            (
+                variant,
+                cluster_count,
+                len(hotspots),
+                f"{match.recovered}/{match.total}",
+            )
+            for variant, (hotspots, match, cluster_count) in results.items()
+        ],
+    )
+    top = results["clean"][0][:8]
+    print_table(
+        "Top hotspots (clean log)",
+        ["rank", "ra", "dec", "queries", "clusters"],
+        [
+            (rank, f"{spot.ra:.1f}", f"{spot.dec:.1f}", spot.query_count,
+             spot.cluster_count)
+            for rank, spot in enumerate(top, start=1)
+        ],
+    )
+
+    for variant, (hotspots, match, _) in results.items():
+        assert hotspots, f"{variant}: no hotspots extracted"
+        # the planted sky interests survive cleaning (≥ 4 of 5 recovered)
+        assert match.recovered >= len(planted) - 1, variant
+
+    # cleaning removes noise, not signal: the clean/removal hotspot
+    # rankings keep the raw log's top interests
+    raw_top = {
+        (round(spot.ra / 6), round(spot.dec / 6))
+        for spot in results["raw"][0][:5]
+    }
+    clean_top = {
+        (round(spot.ra / 6), round(spot.dec / 6))
+        for spot in results["clean"][0][:5]
+    }
+    assert len(raw_top & clean_top) >= 3

@@ -1,0 +1,45 @@
+"""E2 — Table 5: results overview of the full cleaning run.
+
+Paper (42M-query SkyServer log): ≈95.9 % SELECTs, 91.7 % after dedup,
+72.5 % final size, 176k patterns, DW ≫ DS ≫ DF query coverage
+(6.3M / 1.3M / 0.2M), 50 CTH candidates of which 28 real.
+
+Shape to reproduce: high SELECT share, a significant final-size
+reduction, DW-Stifle dominating the solvable antipatterns, and a
+CTH-candidate set in which the oracle confirms a subset.
+"""
+
+from conftest import print_table
+
+from repro.pipeline import CleaningPipeline
+
+
+def test_table5_overview(benchmark, bench_workload, bench_config):
+    result = benchmark.pedantic(
+        lambda: CleaningPipeline(bench_config).run(bench_workload.log),
+        rounds=1,
+        iterations=1,
+    )
+    overview = result.overview()
+    print_table(
+        "Table 5 — results overview",
+        ["property", "value"],
+        overview.rows(),
+    )
+
+    assert overview.select_count / overview.original_size > 0.90
+    assert overview.after_dedup < overview.original_size
+    # significant cleaning effect (paper: 72.5 % of the original remains)
+    assert 0.4 < overview.final_size / overview.original_size < 0.95
+
+    census = overview.antipatterns
+    dw = census.get("DW-Stifle")
+    ds = census.get("DS-Stifle")
+    df = census.get("DF-Stifle")
+    assert dw and ds and df
+    # DW covers the most queries, DF the least — the paper's ordering
+    assert dw.queries > ds.queries > df.queries
+
+    cth = census.get("CTH-candidate")
+    assert cth is not None and cth.distinct > 0
+    assert 0 < overview.cth_candidates_real <= cth.distinct

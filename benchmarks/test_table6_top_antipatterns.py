@@ -1,0 +1,48 @@
+"""E3 — Table 6: the most popular antipatterns.
+
+Paper (top 5): three DW-Stifles fetching per-band pixel coordinates
+(``rowc_g/colc_g``, ``rowc_r/colc_r``, ``rowc_i/colc_i``) from
+``photoprimary`` by ``objid``, then two DS-Stifles alternating between the
+band column sets — each backed by only 1–3 distinct IPs.
+
+Shape to reproduce: DW-Stifles on photoprimary.objid lead the ranking,
+DS-Stifles follow, and every top antipattern has very few distinct IPs.
+"""
+
+from conftest import print_table
+
+
+def test_table6_top_antipatterns(benchmark, bench_result):
+    ranked = benchmark.pedantic(
+        lambda: bench_result.registry.ranked(antipatterns=True),
+        rounds=1,
+        iterations=1,
+    )
+    top = [s for s in ranked if s.antipattern_types - {"SWS"}][:5]
+
+    print_table(
+        "Table 6 — most popular antipatterns",
+        ["#", "frequency", "type", "first skeleton", "distinct IPs"],
+        [
+            (
+                rank,
+                f"{stats.frequency:,}",
+                "/".join(sorted(stats.antipattern_types)),
+                stats.skeletons[0][:70],
+                stats.distinct_ips,
+            )
+            for rank, stats in enumerate(top, start=1)
+        ],
+    )
+
+    assert len(top) >= 3
+    # DW-Stifle leads the antipattern ranking, as in the paper
+    assert "DW-Stifle" in top[0].antipattern_types
+    # the dominant antipatterns filter photoprimary by objid
+    assert "photoprimary" in top[0].skeletons[0]
+    assert "objid = <num>" in top[0].skeletons[0]
+    # few distinct IPs per antipattern (paper: 1–3)
+    assert all(stats.distinct_ips <= 5 for stats in top)
+    # both DW and DS classes appear among the top antipatterns
+    labels = set().union(*(stats.antipattern_types for stats in top))
+    assert {"DW-Stifle", "DS-Stifle"} <= labels

@@ -1,0 +1,55 @@
+"""E5 — Table 8: SWS coverage vs (frequency, userPopularity) thresholds.
+
+Paper grid (coverage of the log classified as SWS):
+
+    freq→        10 %   1 %    0.1 %  0.01 %
+    pop 1        8.7%   18.7%  31.2%  35.4%
+    pop 2        8.7%   18.7%  36.0%  40.9%
+    pop 4        8.7%   18.7%  40.3%  45.6%
+    pop 8        8.7%   18.7%  40.7%  46.1%
+    pop 16       8.7%   18.7%  41.0%  46.3%
+
+Shape to reproduce: coverage grows monotonically when the frequency
+threshold drops and when the popularity cap rises.
+"""
+
+from conftest import print_table
+
+from repro.patterns import coverage_grid
+
+FREQ_SHARES = (0.10, 0.01, 0.001, 0.0001)
+POPULARITIES = (1, 2, 4, 8, 16)
+
+
+def test_table8_sws_coverage_grid(benchmark, bench_result):
+    grid = benchmark.pedantic(
+        lambda: coverage_grid(
+            bench_result.registry,
+            bench_result.mining.instances,
+            frequency_shares=FREQ_SHARES,
+            popularities=POPULARITIES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        "Table 8 — SWS coverage vs thresholds",
+        ["popularity \\ freq"] + [f"{share:.2%}" for share in FREQ_SHARES],
+        [
+            (pop, *(f"{cell:.1%}" for cell in row))
+            for pop, row in zip(POPULARITIES, grid)
+        ],
+    )
+
+    # monotone along both axes
+    for row in grid:
+        assert all(row[i] <= row[i + 1] + 1e-12 for i in range(len(row) - 1))
+    for col in range(len(FREQ_SHARES)):
+        column = [row[col] for row in grid]
+        assert all(column[i] <= column[i + 1] + 1e-12 for i in range(len(column) - 1))
+
+    # the loosest corner classifies a nontrivial share of the log as SWS
+    assert grid[-1][-1] > 0.05
+    # the strictest corner is no larger than the loosest
+    assert grid[0][0] <= grid[-1][-1]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Extending the framework with a new antipattern (paper Section 5.4).
+
+The paper's recipe: (1) formalise the antipattern, (2) add a detection
+rule, (3) add a solving rule if one exists, (4) plug both into the
+pipeline.  This example adds **SELECT-star-with-TOP-less ORDER BY**
+("unbounded ordered star"): ``SELECT * FROM t ORDER BY c`` — a query that
+orders an entire table only to ship it, a classic accidental full-sort.
+The solving rule bounds it with ``TOP 1000``.
+
+(The SNC antipattern of the paper is already built in — see
+``repro.antipatterns.snc`` for the reference implementation.)
+
+Run:  python examples/extend_framework.py
+"""
+
+from typing import List, Sequence
+
+from repro import CleaningPipeline, PipelineConfig, QueryLog
+from repro.antipatterns import DetectionContext, default_detectors
+from repro.antipatterns.types import AntipatternInstance
+from repro.patterns.models import Block, ParsedQuery
+from repro.rewrite import REWRITE_RULES
+from repro.rewrite.solver import solve
+from repro.sqlparser import ast
+
+
+# -- step 1+2: the detection rule ---------------------------------------
+
+
+class UnboundedOrderedStarDetector:
+    """Flags ``SELECT * FROM t ORDER BY …`` without TOP."""
+
+    label = "UO-Star"
+
+    def detect(
+        self, blocks: Sequence[Block], context: DetectionContext
+    ) -> List[AntipatternInstance]:
+        instances = []
+        for block in blocks:
+            for query in block.queries:
+                select = query.select
+                is_star = any(
+                    isinstance(item.expr, ast.Star) for item in select.items
+                )
+                if is_star and select.order_by and select.top is None:
+                    instances.append(
+                        AntipatternInstance(
+                            label=self.label, queries=(query,), solvable=True
+                        )
+                    )
+        return instances
+
+
+# -- step 3: the solving rule -------------------------------------------
+
+
+def rewrite_unbounded_star(queries: Sequence[ParsedQuery]) -> ast.Statement:
+    select = queries[0].select
+    return ast.SelectStatement(
+        items=select.items,
+        from_sources=select.from_sources,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        distinct=select.distinct,
+        top=ast.TopClause(count=ast.Literal("1000", "number")),
+    )
+
+
+def main() -> None:
+    log = QueryLog.from_statements(
+        [
+            "SELECT * FROM photoprimary ORDER BY r",
+            "SELECT objid FROM photoprimary WHERE objid = 5",
+            "SELECT * FROM specobjall ORDER BY z DESC",
+        ]
+    )
+
+    # step 4: plug the detector into the pipeline's detector set …
+    config = PipelineConfig(
+        detectors=default_detectors() + [UnboundedOrderedStarDetector()]
+    )
+    result = CleaningPipeline(config).run(log)
+    print("detected:", sorted({a.label for a in result.antipatterns}))
+
+    # … and the rewrite into the solver's rule table.
+    rules = dict(REWRITE_RULES)
+    rules["UO-Star"] = rewrite_unbounded_star
+    solved = solve(result.parse_stage.parsed_log, result.antipatterns, rules)
+
+    print("\nclean log:")
+    for record in solved.log:
+        print(" ", record.sql)
+    print("\nsolved counts:", solved.solved_counts())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper's future work, executed: cleaning vs query recommendation.
+
+Section 7 of the paper proposes to (1) check whether sliding-window-search
+robots pollute recommender training sets and (2) compare the rate of
+recommended antipattern queries for recommenders trained on the original
+vs the cleaned log.  This example runs both studies with the
+template-transition recommender of ``repro.recommend``.
+
+Run:  python examples/recommendation_study.py [scale]
+"""
+
+import sys
+
+from repro.antipatterns import DetectionContext
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.recommend import compare_raw_vs_clean
+from repro.workload import WorkloadConfig, generate, skyserver_catalog
+
+
+def main(scale: float = 0.25) -> None:
+    workload = generate(WorkloadConfig(seed=77, scale=scale))
+    print(f"log: {len(workload.log):,} queries")
+
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        ),
+        sws=SwsConfig(),
+    )
+    raw_result = CleaningPipeline(config).run(workload.log)
+    clean_result = CleaningPipeline(config).run(raw_result.clean_log)
+
+    reports = compare_raw_vs_clean(raw_result, clean_result, k=3)
+
+    print(f"\n{'training log':<14} {'hit@3':>7} {'antipattern rate':>18} "
+          f"{'SWS rate':>10} {'pairs':>7}")
+    for name, report in reports.items():
+        print(
+            f"{name:<14} {report.hit_rate:>7.3f} "
+            f"{report.antipattern_rate:>18.3f} {report.sws_rate:>10.3f} "
+            f"{report.evaluated_pairs:>7}"
+        )
+
+    raw, clean = reports["raw"], reports["clean"]
+    factor = (
+        raw.antipattern_rate / clean.antipattern_rate
+        if clean.antipattern_rate
+        else float("inf")
+    )
+    print(
+        f"\ntraining on the cleaned log cuts the antipattern-recommendation "
+        f"rate by {factor:.0f}x — the paper's hypothesis holds on this log"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

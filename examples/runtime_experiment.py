@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Section 6.3 runtime experiment: stifles vs their rewrites.
+
+Builds a synthetic SkyServer database, generates a log whose constants
+come from the database (so every query is executable), cleans it, and
+executes both the original stifle statements and their rewrites on the
+in-memory engine — reporting the statement reduction and the modelled
+speedup (paper: 10 222 → 254 statements, 29.3× faster), plus an
+engine-backed equivalence check of each rewrite.
+
+Run:  python examples/runtime_experiment.py
+"""
+
+import time
+
+from repro.antipatterns import DetectionContext
+from repro.engine import CostModel, compare_workloads
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.rewrite.validation import validate_all
+from repro.workload import WorkloadConfig, build_database, generate, skyserver_catalog
+
+
+def main() -> None:
+    print("building synthetic SkyServer database …")
+    database = build_database(object_count=2000, seed=99)
+
+    print("generating executable workload …")
+    workload = generate(WorkloadConfig(seed=99, scale=0.15), database=database)
+    print(f"  {len(workload.log):,} queries")
+
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        )
+    )
+    result = CleaningPipeline(config).run(workload.log)
+
+    originals, rewrites = [], []
+    for solved in result.solve_result.solved:
+        if "Stifle" in solved.instance.label:
+            originals.extend(q.record.sql for q in solved.instance.queries)
+            rewrites.append(solved.replacement_sql)
+    print(f"\nstifle statements: {len(originals):,} → {len(rewrites):,} rewrites")
+
+    started = time.perf_counter()
+    _, original_stats = database.execute_many(originals)
+    original_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    _, rewritten_stats = database.execute_many(rewrites)
+    rewritten_wall = time.perf_counter() - started
+
+    comparison = compare_workloads(original_stats, rewritten_stats, CostModel())
+    print(
+        f"statement reduction: {comparison.statement_reduction:.1f}x "
+        "(paper: ~40x)"
+    )
+    print(f"modelled speedup:    {comparison.speedup:.1f}x (paper: 29.3x)")
+    print(
+        f"engine wall clock:   {original_wall:.3f}s -> {rewritten_wall:.3f}s "
+        "(no per-statement overhead — the modelled cost charges it)"
+    )
+
+    print("\nvalidating rewrites against the database …")
+    reports = validate_all(database, result.solve_result.solved[:100])
+    comparable = [r for r in reports if r.comparable]
+    equivalent = [r for r in comparable if r.equivalent]
+    print(
+        f"  {len(equivalent)}/{len(comparable)} comparable rewrites return "
+        "exactly the original information"
+    )
+
+
+if __name__ == "__main__":
+    main()

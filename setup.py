@@ -1,0 +1,6 @@
+"""Legacy shim so `setup.py develop` works in offline environments
+(the sandbox has no `wheel` package, which PEP 517 editable installs need).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

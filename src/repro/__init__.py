@@ -1,0 +1,43 @@
+"""repro — a reproduction of *Cleaning Antipatterns in an SQL Query Log*
+(Arzamasova, Schäler, Böhm; ICDE/TKDE 2018).
+
+The package implements the paper's full stack:
+
+* :mod:`repro.sqlparser` — SQL front end (lexer, parser, AST, formatter);
+* :mod:`repro.skeleton` — skeleton queries and templates (Section 4.1.2);
+* :mod:`repro.log` — query-log model, IO, duplicate removal (Section 5.2);
+* :mod:`repro.patterns` — pattern mining, frequency/userPopularity, SWS;
+* :mod:`repro.antipatterns` — Stifle / CTH / SNC detection (Section 4.2);
+* :mod:`repro.rewrite` — solving rules + engine-backed validation;
+* :mod:`repro.pipeline` — the Fig. 1 cleaning framework, end to end;
+* :mod:`repro.engine` — in-memory relational engine + cost model;
+* :mod:`repro.workload` — synthetic SkyServer log generator + ground truth;
+* :mod:`repro.analysis` — downstream overlap clustering (Section 6.9).
+
+Quick start::
+
+    from repro import CleaningPipeline, PipelineConfig, QueryLog
+
+    log = QueryLog.from_statements([
+        "SELECT name FROM Employee WHERE empId = 8",
+        "SELECT name FROM Employee WHERE empId = 1",
+    ])
+    result = CleaningPipeline().run(log)
+    print(result.clean_log.statements())
+"""
+
+from .log.models import LogRecord, QueryLog
+from .pipeline.config import PipelineConfig
+from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LogRecord",
+    "QueryLog",
+    "PipelineConfig",
+    "CleaningPipeline",
+    "PipelineResult",
+    "clean_log",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Downstream log analysis: data-space overlap clustering (Section 6.9)."""
+
+from .clustering import Cluster, ClusteringResult, cluster_queries
+from .behavior import (
+    BehaviorConfig,
+    ClassificationScore,
+    UserActivity,
+    UserVerdict,
+    classify_users,
+    extract_activity,
+    score_classification,
+)
+from .dataspace import Interval, Region, extract_region
+from .experiment import (
+    DownstreamReport,
+    VariantSeries,
+    ds_cluster_sizes,
+    run_downstream_experiment,
+    variant_queries,
+)
+from .interests import (
+    Hotspot,
+    HotspotMatch,
+    extract_hotspots,
+    match_hotspots,
+    spatial_center,
+)
+from .traffic import SessionStats, TrafficReport, traffic_report
+from .overlap import (
+    interval_overlap,
+    points_in_interval,
+    region_distance,
+    region_overlap,
+    set_overlap,
+)
+
+__all__ = [
+    "BehaviorConfig",
+    "ClassificationScore",
+    "UserActivity",
+    "UserVerdict",
+    "classify_users",
+    "extract_activity",
+    "score_classification",
+    "Cluster",
+    "ClusteringResult",
+    "cluster_queries",
+    "Interval",
+    "Region",
+    "extract_region",
+    "DownstreamReport",
+    "VariantSeries",
+    "ds_cluster_sizes",
+    "run_downstream_experiment",
+    "variant_queries",
+    "SessionStats",
+    "TrafficReport",
+    "traffic_report",
+    "Hotspot",
+    "HotspotMatch",
+    "extract_hotspots",
+    "match_hotspots",
+    "spatial_center",
+    "interval_overlap",
+    "points_in_interval",
+    "region_distance",
+    "region_overlap",
+    "set_overlap",
+]

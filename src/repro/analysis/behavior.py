@@ -1,0 +1,195 @@
+"""Human-vs-bot classification of log users (Section 6.5's extension).
+
+The paper: *"An extension taking SWS patterns into account could
+distinguish humans and 'bots' with more accuracy"* — contrasting with the
+SkyServer traffic reports [9], whose recommendations "only consider the
+duration of user sessions, not the shape of queries".
+
+This module implements both levels:
+
+* **behavioural features** per user, computable from timestamps alone —
+  median inter-query gap, query volume, template diversity (distinct
+  templates / queries; robots replay few shapes), burst regularity;
+* **shape features** from the cleaning run — the share of the user's
+  queries inside detected antipattern instances and inside SWS-flagged
+  patterns (machine downloads).
+
+:func:`classify_users` scores each user with a transparent linear
+point system; ``use_shape_features=False`` reproduces the duration-only
+baseline so the benchmark can quantify the accuracy the paper predicted
+the shape features add.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..pipeline.framework import PipelineResult
+
+
+@dataclass
+class UserActivity:
+    """Feature vector of one user's traffic."""
+
+    user: str
+    query_count: int
+    distinct_templates: int
+    median_gap: float
+    antipattern_share: float
+    sws_share: float
+
+    @property
+    def template_diversity(self) -> float:
+        """Distinct templates per query — low for replaying robots."""
+        if self.query_count == 0:
+            return 1.0
+        return self.distinct_templates / self.query_count
+
+
+@dataclass
+class UserVerdict:
+    """Classification outcome of one user."""
+
+    user: str
+    is_bot: bool
+    score: float
+    activity: UserActivity
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Thresholds of the point system; each satisfied criterion adds one
+    point, ``bot_points`` points make a bot.
+
+    :param fast_gap: median inter-query gap below this means machine-rate
+        submission (seconds).
+    :param min_volume: query volume above this is a heavy client.
+    :param low_diversity: template diversity below this means shape
+        replay.
+    :param flagged_share: share of queries inside antipattern or SWS
+        instances above this means machine behaviour.
+    :param bot_points: points needed for the bot verdict.
+    :param use_shape_features: include the antipattern/SWS criteria; off
+        = the duration-only baseline of the traffic reports.
+    """
+
+    fast_gap: float = 5.0
+    min_volume: int = 50
+    low_diversity: float = 0.12
+    flagged_share: float = 0.5
+    bot_points: int = 2
+    use_shape_features: bool = True
+
+
+def extract_activity(result: PipelineResult) -> Dict[str, UserActivity]:
+    """Compute per-user features from one pipeline run."""
+    queries_by_user: Dict[str, List] = {}
+    for query in result.parse_stage.queries:
+        queries_by_user.setdefault(query.user, []).append(query)
+
+    flagged_seqs: Set[int] = {
+        seq
+        for instance in result.antipatterns
+        for seq in instance.record_seqs()
+    }
+    sws_units = (
+        {template for stats in result.sws_report.patterns for template in stats.unit}
+        if result.sws_report is not None
+        else set()
+    )
+
+    activities: Dict[str, UserActivity] = {}
+    for user, queries in queries_by_user.items():
+        times = sorted(query.timestamp for query in queries)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        median_gap = statistics.median(gaps) if gaps else float("inf")
+        flagged = sum(1 for q in queries if q.record.seq in flagged_seqs)
+        sws = sum(1 for q in queries if q.template_id in sws_units)
+        activities[user] = UserActivity(
+            user=user,
+            query_count=len(queries),
+            distinct_templates=len({q.template_id for q in queries}),
+            median_gap=median_gap,
+            antipattern_share=flagged / len(queries),
+            sws_share=sws / len(queries),
+        )
+    return activities
+
+
+def score_user(activity: UserActivity, config: BehaviorConfig) -> float:
+    """Bot points of one user (see :class:`BehaviorConfig`)."""
+    points = 0.0
+    if activity.median_gap < config.fast_gap:
+        points += 1.0
+    if activity.query_count >= config.min_volume:
+        points += 1.0
+    if activity.template_diversity <= config.low_diversity:
+        points += 1.0
+    if config.use_shape_features:
+        if activity.antipattern_share >= config.flagged_share:
+            points += 1.0
+        if activity.sws_share >= config.flagged_share:
+            points += 1.0
+    return points
+
+
+def classify_users(
+    result: PipelineResult, config: BehaviorConfig = BehaviorConfig()
+) -> Dict[str, UserVerdict]:
+    """Classify every user of the run as bot or human."""
+    verdicts: Dict[str, UserVerdict] = {}
+    for user, activity in extract_activity(result).items():
+        score = score_user(activity, config)
+        verdicts[user] = UserVerdict(
+            user=user,
+            is_bot=score >= config.bot_points,
+            score=score,
+            activity=activity,
+        )
+    return verdicts
+
+
+@dataclass
+class ClassificationScore:
+    """Accuracy of a verdict set against known user kinds."""
+
+    correct: int
+    total: int
+    bot_recall: float
+    human_recall: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def score_classification(
+    verdicts: Dict[str, UserVerdict], truth: Dict[str, bool]
+) -> ClassificationScore:
+    """Compare verdicts with a user → is_bot truth map (users absent from
+    either side are ignored)."""
+    correct = 0
+    total = 0
+    bot_hits = bot_total = 0
+    human_hits = human_total = 0
+    for user, is_bot in truth.items():
+        verdict = verdicts.get(user)
+        if verdict is None:
+            continue
+        total += 1
+        if verdict.is_bot == is_bot:
+            correct += 1
+        if is_bot:
+            bot_total += 1
+            bot_hits += verdict.is_bot == is_bot
+        else:
+            human_total += 1
+            human_hits += verdict.is_bot == is_bot
+    return ClassificationScore(
+        correct=correct,
+        total=total,
+        bot_recall=bot_hits / bot_total if bot_total else 0.0,
+        human_recall=human_hits / human_total if human_total else 0.0,
+    )

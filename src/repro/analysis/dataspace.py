@@ -1,0 +1,258 @@
+"""Data-space regions: which part of the database a query touches.
+
+The downstream experiment the paper reproduces (Nguyen et al. [1],
+Section 6.9) clusters queries by the *overlap of the data space accessed*.
+We model a query's data space as a :class:`Region`:
+
+* the set of base tables (and table-valued functions) it reads,
+* per filtered column, a numeric *point set* (``=`` / ``IN`` with numeric
+  constants — the exact values accessed) or a numeric *interval*
+  (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``),
+* per filtered column, a categorical value set (string equality / IN).
+
+Point sets matter: ``objid = 5`` and ``objid IN (3, 9)`` access disjoint
+data even though an interval hull would overlap — the distinction keeps
+stifle lookups of different objects apart in the downstream clustering.
+
+Only conjunctive top-level constraints are harvested: predicates under an
+``OR`` or ``NOT`` widen the accessed space, so they are conservatively
+ignored (the region stays wider, never narrower).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..patterns.models import ParsedQuery
+from ..skeleton.features import referenced_tables
+from ..sqlparser import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed numeric interval; infinities mark unbounded sides."""
+
+    low: float = -math.inf
+    high: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    def length(self) -> float:
+        return self.high - self.low
+
+    def is_unbounded(self) -> bool:
+        return math.isinf(self.low) or math.isinf(self.high)
+
+
+@dataclass(frozen=True)
+class Region:
+    """The data space one query accesses."""
+
+    tables: FrozenSet[str]
+    numeric: Tuple[Tuple[str, Interval], ...]
+    points: Tuple[Tuple[str, FrozenSet[float]], ...] = ()
+    categorical: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+
+    def numeric_map(self) -> Dict[str, Interval]:
+        return dict(self.numeric)
+
+    def points_map(self) -> Dict[str, FrozenSet[float]]:
+        return dict(self.points)
+
+    def categorical_map(self) -> Dict[str, FrozenSet[str]]:
+        return dict(self.categorical)
+
+    def key(self) -> Tuple:
+        """Hashable identity used to merge identical regions before the
+        quadratic clustering pass."""
+        return (self.tables, self.numeric, self.points, self.categorical)
+
+
+def _numeric_value(expr: ast.Expression) -> Optional[float]:
+    if isinstance(expr, ast.Literal) and expr.kind == "number":
+        value = expr.python_value()
+        return float(value)
+    return None
+
+
+def _string_value(expr: ast.Expression) -> Optional[str]:
+    if isinstance(expr, ast.Literal) and expr.kind == "string":
+        return expr.value.lower()
+    return None
+
+
+class _RegionBuilder:
+    def __init__(self) -> None:
+        self.numeric: Dict[str, Interval] = {}
+        self.points: Dict[str, set] = {}
+        self.categorical: Dict[str, set] = {}
+
+    def constrain_numeric(self, column: str, low: float, high: float) -> None:
+        interval = Interval(low, high)
+        existing = self.numeric.get(column)
+        if existing is not None:
+            merged = existing.intersect(interval)
+            # Contradictory constraints: keep the empty-ish tightest point
+            # rather than failing; such queries return nothing anyway.
+            interval = merged if merged is not None else Interval(low, low)
+        self.numeric[column] = interval
+
+    def constrain_points(self, column: str, values: set) -> None:
+        existing = self.points.get(column)
+        if existing is not None:
+            intersection = existing & values
+            values = intersection if intersection else values
+        self.points[column] = set(values)
+
+    def constrain_categorical(self, column: str, values: set) -> None:
+        existing = self.categorical.get(column)
+        if existing is not None:
+            intersection = existing & values
+            values = intersection if intersection else values
+        self.categorical[column] = set(values)
+
+    def reconcile(self) -> None:
+        """A column with both a point set and an interval keeps the
+        points that satisfy the interval (an AND of both predicates)."""
+        for column in list(self.points):
+            interval = self.numeric.pop(column, None)
+            if interval is not None:
+                filtered = {
+                    value
+                    for value in self.points[column]
+                    if interval.low <= value <= interval.high
+                }
+                if filtered:
+                    self.points[column] = filtered
+
+    def visit(self, node: ast.Expression) -> None:
+        if isinstance(node, ast.And):
+            self.visit(node.left)
+            self.visit(node.right)
+            return
+        if isinstance(node, (ast.Or, ast.Not)):
+            return  # disjunctions widen the space; stay conservative
+        if isinstance(node, ast.Comparison):
+            self._visit_comparison(node)
+            return
+        if isinstance(node, ast.Between) and not node.negated:
+            if isinstance(node.expr, ast.ColumnRef):
+                low = _numeric_value(node.low)
+                high = _numeric_value(node.high)
+                if low is not None and high is not None and low <= high:
+                    self.constrain_numeric(node.expr.name.lower(), low, high)
+            return
+        if isinstance(node, ast.InList) and not node.negated:
+            if isinstance(node.expr, ast.ColumnRef):
+                column = node.expr.name.lower()
+                numbers = [_numeric_value(item) for item in node.items]
+                strings = [_string_value(item) for item in node.items]
+                if all(value is not None for value in numbers):
+                    self.constrain_points(
+                        column, {v for v in numbers if v is not None}
+                    )
+                elif all(value is not None for value in strings):
+                    self.constrain_categorical(
+                        column, {v for v in strings if v is not None}
+                    )
+            return
+
+    def _visit_comparison(self, node: ast.Comparison) -> None:
+        column: Optional[ast.ColumnRef] = None
+        constant: Optional[ast.Expression] = None
+        flipped = False
+        if isinstance(node.left, ast.ColumnRef) and isinstance(
+            node.right, ast.Literal
+        ):
+            column, constant = node.left, node.right
+        elif isinstance(node.right, ast.ColumnRef) and isinstance(
+            node.left, ast.Literal
+        ):
+            column, constant = node.right, node.left
+            flipped = True
+        if column is None or constant is None:
+            return
+        name = column.name.lower()
+        op = node.op
+        if flipped:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        number = _numeric_value(constant)
+        if number is not None:
+            if op == "=":
+                self.constrain_points(name, {number})
+            elif op in ("<", "<="):
+                self.constrain_numeric(name, -math.inf, number)
+            elif op in (">", ">="):
+                self.constrain_numeric(name, number, math.inf)
+            return
+        string = _string_value(constant)
+        if string is not None and op == "=":
+            self.constrain_categorical(name, {string})
+
+
+def extract_region(query: ParsedQuery) -> Region:
+    """Compute the :class:`Region` of one parsed query."""
+    builder = _RegionBuilder()
+    select = query.select
+    if select.where is not None:
+        builder.visit(select.where)
+    # Table-valued spatial functions constrain the sky region through their
+    # arguments; expose them as pseudo-columns so two searches of the same
+    # area overlap.
+    for source in select.from_sources:
+        _harvest_function_args(source, builder)
+    builder.reconcile()
+    return Region(
+        tables=frozenset(referenced_tables(select)),
+        numeric=tuple(sorted(builder.numeric.items())),
+        points=tuple(
+            sorted(
+                (column, frozenset(values))
+                for column, values in builder.points.items()
+            )
+        ),
+        categorical=tuple(
+            sorted(
+                (column, frozenset(values))
+                for column, values in builder.categorical.items()
+            )
+        ),
+    )
+
+
+_FUNCTION_ARG_COLUMNS = {
+    "fgetnearbyobjeq": ("_fn_ra", "_fn_dec"),
+    "fgetnearestobjeq": ("_fn_ra", "_fn_dec"),
+    "fgetobjfromrect": ("_fn_ra", "_fn_dec", "_fn_ra2", "_fn_dec2"),
+}
+
+
+def _harvest_function_args(
+    source: ast.TableSource, builder: _RegionBuilder
+) -> None:
+    if isinstance(source, ast.Join):
+        _harvest_function_args(source.left, builder)
+        _harvest_function_args(source.right, builder)
+        return
+    if not isinstance(source, ast.FunctionTable):
+        return
+    columns = _FUNCTION_ARG_COLUMNS.get(source.call.name.lower())
+    if columns is None:
+        return
+    for column, arg in zip(columns, source.call.args):
+        value = _numeric_value(arg)
+        if value is not None:
+            # Positions within ~1 degree count as "the same place": bucket
+            # the coordinate so nearby searches overlap.
+            builder.constrain_numeric(column, math.floor(value), math.floor(value) + 1)

@@ -1,0 +1,149 @@
+"""The Section 6.9 downstream experiment: raw vs clean vs removal.
+
+Reproduces the paper's combined study: take a query-log sample, produce
+the three variants —
+
+1. **raw** — the parsed log as is,
+2. **clean** — antipatterns rewritten (our solver),
+3. **removal** — antipattern queries dropped,
+
+cluster each by data-space overlap for a range of thresholds, and report
+cluster count, average size and runtime (Fig. 3), the size-vs-rank curves
+(Fig. 4 a/b) and the DS-cluster shrinkage (Fig. 4 c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..antipatterns.types import DS_STIFLE
+from ..log.models import QueryLog
+from ..patterns.models import ParsedQuery
+from ..pipeline.config import PipelineConfig
+from ..pipeline.framework import CleaningPipeline, PipelineResult, parse_log
+from .clustering import ClusteringResult, cluster_queries
+
+VARIANTS = ("raw", "clean", "removal")
+
+
+@dataclass
+class VariantSeries:
+    """Per-threshold clustering results of one log variant."""
+
+    variant: str
+    results: Dict[float, ClusteringResult] = field(default_factory=dict)
+
+    def cluster_counts(self) -> List[Tuple[float, int]]:
+        return [(t, r.cluster_count) for t, r in sorted(self.results.items())]
+
+    def average_sizes(self) -> List[Tuple[float, float]]:
+        return [(t, r.average_size) for t, r in sorted(self.results.items())]
+
+    def runtimes(self) -> List[Tuple[float, float]]:
+        return [(t, r.runtime_seconds) for t, r in sorted(self.results.items())]
+
+
+@dataclass
+class DownstreamReport:
+    """Everything the Fig. 3 / Fig. 4 benches print."""
+
+    series: Dict[str, VariantSeries]
+    pipeline_result: PipelineResult
+    variant_sizes: Dict[str, int]
+
+    def result(self, variant: str, threshold: float) -> ClusteringResult:
+        return self.series[variant].results[threshold]
+
+
+def variant_queries(
+    result: PipelineResult,
+) -> Dict[str, List[ParsedQuery]]:
+    """Parsed-query lists of the three variants of one pipeline run.
+
+    The clean and removal variants are re-parsed from their logs, exactly
+    as a downstream analyst would consume them.
+    """
+    config = result.config
+    variants: Dict[str, List[ParsedQuery]] = {
+        "raw": list(result.parse_stage.queries)
+    }
+    for name, log in (("clean", result.clean_log), ("removal", result.removal_log)):
+        stage = parse_log(
+            log,
+            fold_variables=config.fold_variables,
+            strict_triple=config.strict_triple,
+        )
+        variants[name] = stage.queries
+    return variants
+
+
+def run_downstream_experiment(
+    log: QueryLog,
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    config: Optional[PipelineConfig] = None,
+    variants: Sequence[str] = VARIANTS,
+) -> DownstreamReport:
+    """Run the full Section 6.9 experiment on ``log``."""
+    result = CleaningPipeline(config).run(log)
+    queries_by_variant = variant_queries(result)
+    series: Dict[str, VariantSeries] = {}
+    sizes: Dict[str, int] = {}
+    for variant in variants:
+        queries = queries_by_variant[variant]
+        sizes[variant] = len(queries)
+        variant_series = VariantSeries(variant=variant)
+        for threshold in thresholds:
+            variant_series.results[threshold] = cluster_queries(
+                queries, threshold
+            )
+        series[variant] = variant_series
+    return DownstreamReport(
+        series=series, pipeline_result=result, variant_sizes=sizes
+    )
+
+
+def ds_cluster_sizes(
+    report: DownstreamReport, threshold: float = 0.9, top: int = 20
+) -> List[Tuple[int, Optional[int]]]:
+    """Fig. 4(c): sizes of the biggest DS-clusters in clean vs raw.
+
+    A *DS-cluster* is a cluster containing at least one statement of a
+    detected DS-Stifle instance (in the raw log) or of its rewrite (in the
+    clean log).  Returns (clean_size, raw_size) pairs ranked by the clean
+    log's cluster size.
+    """
+    result = report.pipeline_result
+    ds_seqs = {
+        seq
+        for instance in result.antipatterns
+        if instance.label == DS_STIFLE
+        for seq in instance.record_seqs()
+    }
+    ds_rewrite_seqs = {
+        solved.replaced_seqs[0]
+        for solved in result.solve_result.solved
+        if solved.instance.label == DS_STIFLE
+    }
+
+    queries_by_variant = variant_queries(result)
+
+    def flagged_sizes(variant: str, flagged: set) -> List[int]:
+        queries = queries_by_variant[variant]
+        clustering = report.result(variant, threshold)
+        sizes = []
+        for cluster in clustering.clusters:
+            if any(queries[index].record.seq in flagged for index in cluster.members):
+                sizes.append(cluster.size)
+        return sorted(sizes, reverse=True)
+
+    clean_sizes = flagged_sizes("clean", ds_rewrite_seqs)[:top]
+    raw_sizes = flagged_sizes("raw", ds_seqs)[:top]
+    pairs: List[Tuple[int, Optional[int]]] = []
+    for rank in range(top):
+        clean = clean_sizes[rank] if rank < len(clean_sizes) else None
+        raw = raw_sizes[rank] if rank < len(raw_sizes) else None
+        if clean is None and raw is None:
+            break
+        pairs.append((clean if clean is not None else 0, raw))
+    return pairs

@@ -1,0 +1,116 @@
+"""Traffic-report statistics — the related-work substrate.
+
+The paper positions itself against the SkyServer traffic reports (Singh
+et al. [9]; Raddick et al. [10], [11]), which characterise usage through
+volume and session statistics.  This module computes that style of
+report from any :class:`~repro.log.models.QueryLog`, giving the
+reproduction the baseline the paper's Section 6.5 argues is insufficient
+("their recommendations only consider the duration of user sessions, not
+the shape of queries") and operators a familiar dashboard:
+
+* daily query volumes,
+* per-user volume distribution (with the usual heavy-tail summary),
+* session statistics (count, length in queries, duration),
+* top referenced tables.
+"""
+
+from __future__ import annotations
+
+import datetime
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..log.models import QueryLog
+from ..patterns.models import ParsedQuery
+from ..skeleton.features import referenced_tables
+
+
+def _day_of(timestamp: float) -> str:
+    return datetime.datetime.fromtimestamp(
+        timestamp, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d")
+
+
+@dataclass
+class SessionStats:
+    """Summary over the log's sessions (as labelled in the records)."""
+
+    count: int = 0
+    median_queries: float = 0.0
+    median_duration: float = 0.0
+    max_queries: int = 0
+
+
+@dataclass
+class TrafficReport:
+    """The computed report."""
+
+    total_queries: int
+    distinct_users: int
+    days: List[Tuple[str, int]] = field(default_factory=list)
+    top_users: List[Tuple[str, int]] = field(default_factory=list)
+    top_tables: List[Tuple[str, int]] = field(default_factory=list)
+    sessions: SessionStats = field(default_factory=SessionStats)
+
+    @property
+    def busiest_day(self) -> Optional[Tuple[str, int]]:
+        if not self.days:
+            return None
+        return max(self.days, key=lambda pair: pair[1])
+
+    def top_user_share(self, count: int = 10) -> float:
+        """Share of the traffic produced by the ``count`` heaviest users —
+        the heavy-tail headline every SkyServer report leads with."""
+        if not self.total_queries:
+            return 0.0
+        heaviest = sum(volume for _, volume in self.top_users[:count])
+        return heaviest / self.total_queries
+
+
+def traffic_report(
+    log: QueryLog,
+    parsed: Optional[Sequence[ParsedQuery]] = None,
+    *,
+    top: int = 20,
+) -> TrafficReport:
+    """Compute a traffic report.
+
+    :param parsed: parsed queries of the log (for the table census);
+        omit to skip table statistics.
+    """
+    by_day: Dict[str, int] = {}
+    by_user: Dict[str, int] = {}
+    by_session: Dict[str, List[float]] = {}
+    for record in log:
+        by_day[_day_of(record.timestamp)] = by_day.get(_day_of(record.timestamp), 0) + 1
+        user = record.user_key()
+        by_user[user] = by_user.get(user, 0) + 1
+        if record.session:
+            by_session.setdefault(record.session, []).append(record.timestamp)
+
+    table_counts: Dict[str, int] = {}
+    if parsed is not None:
+        for query in parsed:
+            for table in referenced_tables(query.select):
+                table_counts[table] = table_counts.get(table, 0) + 1
+
+    sessions = SessionStats()
+    if by_session:
+        lengths = [len(times) for times in by_session.values()]
+        durations = [max(times) - min(times) for times in by_session.values()]
+        sessions = SessionStats(
+            count=len(by_session),
+            median_queries=statistics.median(lengths),
+            median_duration=statistics.median(durations),
+            max_queries=max(lengths),
+        )
+
+    return TrafficReport(
+        total_queries=len(log),
+        distinct_users=len(by_user),
+        days=sorted(by_day.items()),
+        top_users=sorted(by_user.items(), key=lambda kv: -kv[1])[:top],
+        top_tables=sorted(table_counts.items(), key=lambda kv: -kv[1])[:top],
+        sessions=sessions,
+    )

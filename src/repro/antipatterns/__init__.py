@@ -1,0 +1,42 @@
+"""Antipattern definitions, detectors and the extension registry."""
+
+from .base import DetectionContext, Detector, default_detectors, run_detectors
+from .cth import CthCensusRow, CthDetector, classify_candidate, cth_census
+from .snc import SncDetector, has_snc_shape
+from .stifle import StifleDetector, classify_pair, has_stifle_shape
+from .types import (
+    CTH_CANDIDATE,
+    CTH_REAL,
+    DF_STIFLE,
+    DS_STIFLE,
+    DW_STIFLE,
+    SNC,
+    SOLVABLE_LABELS,
+    AntipatternInstance,
+    minimal_period,
+)
+
+__all__ = [
+    "DetectionContext",
+    "Detector",
+    "default_detectors",
+    "run_detectors",
+    "CthCensusRow",
+    "CthDetector",
+    "classify_candidate",
+    "cth_census",
+    "SncDetector",
+    "has_snc_shape",
+    "StifleDetector",
+    "classify_pair",
+    "has_stifle_shape",
+    "CTH_CANDIDATE",
+    "CTH_REAL",
+    "DF_STIFLE",
+    "DS_STIFLE",
+    "DW_STIFLE",
+    "SNC",
+    "SOLVABLE_LABELS",
+    "AntipatternInstance",
+    "minimal_period",
+]

@@ -1,0 +1,87 @@
+"""Detector protocol and registry — the extension point of Section 5.4.
+
+Adding a new antipattern to the framework is exactly the paper's recipe:
+
+1. write its formal definition,
+2. implement a :class:`Detector` whose :meth:`~Detector.detect` encodes
+   the detection rule,
+3. if a cleaning solution exists, register a rewrite in
+   :mod:`repro.rewrite.solver` under the same label,
+4. append the detector via :func:`default_detectors` or pass a custom
+   list to the pipeline.
+
+The SNC detector (:mod:`repro.antipatterns.snc`) is the worked example,
+matching Definition 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from ..patterns.models import Block
+from .types import AntipatternInstance
+
+
+@dataclass(frozen=True)
+class DetectionContext:
+    """Schema knowledge and tuning shared by all detectors.
+
+    :param key_columns: lower-cased names of key attributes (Definition
+        11's third axiom).  ``None`` waives the key check — the paper
+        notes this simplification admits false positives; benchmark E15
+        measures it.
+    :param min_run_length: minimal number of queries in a Stifle run.
+    :param cth_max_followups: cap on follow-up queries bound to one CTH
+        first query (guards against unbounded candidate growth).
+    """
+
+    key_columns: Optional[frozenset] = None
+    min_run_length: int = 2
+    cth_max_followups: int = 10_000
+
+    @classmethod
+    def from_catalog(cls, catalog, **kwargs) -> "DetectionContext":
+        """Build a context from an engine catalog (its key columns)."""
+        return cls(key_columns=frozenset(catalog.key_column_names()), **kwargs)
+
+
+class Detector(Protocol):
+    """One antipattern detection rule."""
+
+    #: label attached to instances (and to the pattern registry).
+    label: str
+
+    def detect(
+        self, blocks: Sequence[Block], context: DetectionContext
+    ) -> List[AntipatternInstance]:
+        """Scan the blocks and return all instances found."""
+        ...
+
+
+def default_detectors() -> List[Detector]:
+    """The paper's detector set: three Stifle classes, CTH, SNC."""
+    from .cth import CthDetector
+    from .snc import SncDetector
+    from .stifle import StifleDetector
+
+    return [StifleDetector(), CthDetector(), SncDetector()]
+
+
+def run_detectors(
+    blocks: Sequence[Block],
+    context: DetectionContext = DetectionContext(),
+    detectors: Optional[Sequence[Detector]] = None,
+) -> List[AntipatternInstance]:
+    """Run every detector and return all instances, log-ordered.
+
+    The ordering (by first query's log position) is what the solver
+    consumes — Section 5.5 solves the antipattern appearing first.
+    """
+    if detectors is None:
+        detectors = default_detectors()
+    instances: List[AntipatternInstance] = []
+    for detector in detectors:
+        instances.extend(detector.detect(blocks, context))
+    instances.sort(key=lambda inst: (inst.start_seq, inst.label))
+    return instances

@@ -1,0 +1,255 @@
+"""Extended antipattern catalog — the Section 5.4 recipe, applied.
+
+The paper demonstrates extensibility with one worked example (SNC,
+Definition 16).  This module applies the same recipe — formal definition,
+detection rule, solving rule where one exists — to further antipatterns
+from the SQL-antipattern literature the paper cites (Karwin, *SQL
+Antipatterns*, Pragmatic Bookshelf 2010; Brass & Goldberg's semantic-error
+catalog).  All of them are *single-query* antipatterns, like SNC; they
+plug into the pipeline via ``PipelineConfig(detectors=default_detectors()
++ extended_detectors())``.
+
+=====================  =============================================  ========
+Label                  Definition (informal)                          Solvable
+=====================  =============================================  ========
+Implicit-Columns       ``SELECT *`` in FROM over base tables          with a catalog
+Poor-Mans-Search       ``LIKE`` with a leading wildcard               no
+Random-Selection       ``ORDER BY rand()/newid()``                    no
+Ambiguous-GroupBy      non-aggregated SELECT column ∉ GROUP BY        no
+Cartesian-Product      FROM sources with no connecting predicate     no
+Redundant-Distinct     DISTINCT on a GROUP BY of the same columns     yes
+Having-No-Aggregate    HAVING without any aggregate                   yes
+=====================  =============================================  ========
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..patterns.models import Block, ParsedQuery
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser.dialect import contains_aggregate
+from .base import DetectionContext
+from .types import AntipatternInstance
+
+IMPLICIT_COLUMNS = "Implicit-Columns"
+POOR_MANS_SEARCH = "Poor-Mans-Search"
+RANDOM_SELECTION = "Random-Selection"
+AMBIGUOUS_GROUP_BY = "Ambiguous-GroupBy"
+CARTESIAN_PRODUCT = "Cartesian-Product"
+REDUNDANT_DISTINCT = "Redundant-Distinct"
+HAVING_NO_AGGREGATE = "Having-No-Aggregate"
+
+#: Non-deterministic ordering functions across common dialects.
+_RANDOM_FUNCTIONS = frozenset({"rand", "newid", "random", "checksum"})
+
+
+class _SingleQueryDetector:
+    """Base for detectors that classify queries one at a time."""
+
+    label: str = ""
+    solvable: bool = False
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        raise NotImplementedError
+
+    def detect(
+        self, blocks: Sequence[Block], context: DetectionContext
+    ) -> List[AntipatternInstance]:
+        instances: List[AntipatternInstance] = []
+        for block in blocks:
+            for query in block.queries:
+                if self.matches(query, context):
+                    instances.append(
+                        AntipatternInstance(
+                            label=self.label,
+                            queries=(query,),
+                            solvable=self.solvable,
+                        )
+                    )
+        return instances
+
+
+class ImplicitColumnsDetector(_SingleQueryDetector):
+    """``SELECT *`` over base tables (Karwin: *Implicit Columns*).
+
+    Star projections break when the schema evolves and ship unneeded
+    columns.  Flagged only when the FROM clause consists of base tables
+    (a star over an explicit derived table is a local idiom, and
+    ``count(*)`` never matches — stars inside function calls are fine).
+    """
+
+    label = IMPLICIT_COLUMNS
+    solvable = True  # with a catalog: see repro.rewrite.extended_rewrites
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        select = query.select
+        if not select.from_sources:
+            return False
+        has_star = any(isinstance(item.expr, ast.Star) for item in select.items)
+        if not has_star:
+            return False
+
+        def base_tables_only(source: ast.TableSource) -> bool:
+            if isinstance(source, ast.TableName):
+                return True
+            if isinstance(source, ast.Join):
+                return base_tables_only(source.left) and base_tables_only(
+                    source.right
+                )
+            return False
+
+        return all(base_tables_only(s) for s in select.from_sources)
+
+
+class PoorMansSearchDetector(_SingleQueryDetector):
+    """``LIKE '%…'`` — a leading wildcard defeats any index (Karwin:
+    *Poor Man's Search Engine*)."""
+
+    label = POOR_MANS_SEARCH
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        where = query.select.where
+        if where is None:
+            return False
+        for node in where.walk():
+            if isinstance(node, ast.Like) and isinstance(node.pattern, ast.Literal):
+                pattern = node.pattern.value
+                if pattern.startswith(("%", "_")):
+                    return True
+        return False
+
+
+class RandomSelectionDetector(_SingleQueryDetector):
+    """``ORDER BY rand()`` — sorts the whole table to pick random rows
+    (Karwin: *Random Selection*)."""
+
+    label = RANDOM_SELECTION
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        for item in query.select.order_by:
+            for node in item.expr.walk():
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and node.name.lower() in _RANDOM_FUNCTIONS
+                ):
+                    return True
+        return False
+
+
+class AmbiguousGroupByDetector(_SingleQueryDetector):
+    """A non-aggregated SELECT column that is not in GROUP BY — ambiguous
+    per the SQL standard (Brass & Goldberg's catalog; MySQL's infamous
+    permissiveness made it a classic log artifact)."""
+
+    label = AMBIGUOUS_GROUP_BY
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        select = query.select
+        if not select.group_by:
+            return False
+        grouped = {
+            expr.key()
+            for expr in select.group_by
+            if isinstance(expr, ast.ColumnRef)
+        }
+        grouped_names = {key[1] for key in grouped}
+        for item in select.items:
+            expr = item.expr
+            if contains_aggregate(expr):
+                continue
+            if isinstance(expr, ast.ColumnRef):
+                if expr.key() not in grouped and expr.name.lower() not in grouped_names:
+                    return True
+            elif isinstance(expr, ast.Star):
+                return True
+        return False
+
+
+class CartesianProductDetector(_SingleQueryDetector):
+    """Comma-joined FROM sources with no predicate connecting them — an
+    (almost always accidental) cartesian product.
+
+    Detection: ≥ 2 top-level FROM sources and the WHERE clause contains
+    no column-to-column equality referencing two different aliases.
+    """
+
+    label = CARTESIAN_PRODUCT
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        select = query.select
+        if len(select.from_sources) < 2:
+            return False
+        where = select.where
+        if where is None:
+            return True
+        for node in where.walk():
+            if (
+                isinstance(node, ast.Comparison)
+                and node.op == "="
+                and isinstance(node.left, ast.ColumnRef)
+                and isinstance(node.right, ast.ColumnRef)
+            ):
+                left_table = node.left.table
+                right_table = node.right.table
+                if left_table != right_table:
+                    return False  # a connecting predicate exists
+        return True
+
+
+class RedundantDistinctDetector(_SingleQueryDetector):
+    """``SELECT DISTINCT a, b … GROUP BY a, b`` — the grouping already
+    guarantees distinctness; DISTINCT only adds a sort."""
+
+    label = REDUNDANT_DISTINCT
+    solvable = True
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        select = query.select
+        if not (select.distinct and select.group_by):
+            return False
+        grouped = {
+            expr.name.lower()
+            for expr in select.group_by
+            if isinstance(expr, ast.ColumnRef)
+        }
+        for item in select.items:
+            expr = item.expr
+            if contains_aggregate(expr):
+                continue  # aggregates are per-group, hence distinct
+            if isinstance(expr, ast.ColumnRef) and expr.name.lower() in grouped:
+                continue
+            return False
+        return True
+
+
+class HavingNoAggregateDetector(_SingleQueryDetector):
+    """``HAVING`` with no aggregate — the filter belongs in WHERE, where
+    it prunes rows *before* grouping."""
+
+    label = HAVING_NO_AGGREGATE
+    solvable = True
+
+    def matches(self, query: ParsedQuery, context: DetectionContext) -> bool:
+        having = query.select.having
+        if having is None:
+            return False
+        return not contains_aggregate(having)
+
+
+def extended_detectors() -> List[_SingleQueryDetector]:
+    """All extended detectors, in a stable order."""
+    return [
+        ImplicitColumnsDetector(),
+        PoorMansSearchDetector(),
+        RandomSelectionDetector(),
+        AmbiguousGroupByDetector(),
+        CartesianProductDetector(),
+        RedundantDistinctDetector(),
+        HavingNoAggregateDetector(),
+    ]
+
+
+EXTENDED_LABELS = frozenset(
+    detector.label for detector in extended_detectors()
+)

@@ -1,0 +1,49 @@
+"""Searching-nullable-columns detection — Definition 16 (Section 5.4).
+
+SNC is the paper's worked example of extending the framework: a
+*single-query* antipattern whose WHERE clause compares a column to NULL
+with ``=`` or ``<>``.  Since neither returns true for NULL operands, the
+query cannot express the (obvious) intention; the solving solution
+rewrites to ``IS NULL`` / ``IS NOT NULL``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..patterns.models import Block, ParsedQuery
+from ..skeleton.features import null_comparison_predicates
+from .base import DetectionContext
+from .types import SNC, AntipatternInstance
+
+
+def has_snc_shape(query: ParsedQuery) -> bool:
+    """True when any predicate compares against NULL using = or <>."""
+    return bool(null_comparison_predicates(query.select))
+
+
+class SncDetector:
+    """Flags every query with an ``= NULL`` / ``<> NULL`` predicate."""
+
+    label = SNC
+
+    def detect(
+        self, blocks: Sequence[Block], context: DetectionContext
+    ) -> List[AntipatternInstance]:
+        instances: List[AntipatternInstance] = []
+        for block in blocks:
+            for query in block.queries:
+                if has_snc_shape(query):
+                    instances.append(
+                        AntipatternInstance(
+                            label=SNC,
+                            queries=(query,),
+                            solvable=True,
+                            details={
+                                "predicates": len(
+                                    null_comparison_predicates(query.select)
+                                )
+                            },
+                        )
+                    )
+        return instances

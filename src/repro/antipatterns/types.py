@@ -1,0 +1,79 @@
+"""Common types of the antipattern layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..patterns.models import ParsedQuery
+
+#: Canonical labels, as used in the paper's tables.
+DW_STIFLE = "DW-Stifle"
+DS_STIFLE = "DS-Stifle"
+DF_STIFLE = "DF-Stifle"
+CTH_CANDIDATE = "CTH-candidate"
+CTH_REAL = "CTH"
+SNC = "SNC"
+
+SOLVABLE_LABELS = frozenset({DW_STIFLE, DS_STIFLE, DF_STIFLE, SNC})
+
+
+def minimal_period(sequence: Sequence[str]) -> Tuple[str, ...]:
+    """The shortest unit whose repetition spells ``sequence``.
+
+    ``("a","b","a","b")`` → ``("a","b")``; non-periodic sequences return
+    themselves.  Used to map an antipattern instance back to the pattern
+    identity the miner registered.
+    """
+    length = len(sequence)
+    for period in range(1, length + 1):
+        if length % period:
+            continue
+        unit = tuple(sequence[:period])
+        if all(
+            tuple(sequence[i : i + period]) == unit
+            for i in range(period, length, period)
+        ):
+            return unit
+    return tuple(sequence)
+
+
+@dataclass(frozen=True)
+class AntipatternInstance:
+    """One detected occurrence of an antipattern in the log.
+
+    :param label: one of the label constants above.
+    :param queries: the instance's queries, in log order.
+    :param solvable: True when a rewrite rule exists (the three Stifle
+        classes and SNC; CTH is detected but needs domain knowledge).
+    :param details: detector-specific extras (e.g. the CTH oracle verdict
+        or the stifle's filter column).
+    """
+
+    label: str
+    queries: Tuple[ParsedQuery, ...]
+    solvable: bool
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError("an antipattern instance needs at least one query")
+
+    @property
+    def unit(self) -> Tuple[str, ...]:
+        """Pattern identity: minimal period of the template sequence."""
+        return minimal_period([query.template_id for query in self.queries])
+
+    @property
+    def user(self) -> str:
+        return self.queries[0].user
+
+    @property
+    def start_seq(self) -> int:
+        """Log position of the first query — the solve-order key of
+        Section 5.5 ("solving starts with the antipattern which appears
+        in the log first")."""
+        return self.queries[0].record.seq
+
+    def record_seqs(self) -> Tuple[int, ...]:
+        return tuple(query.record.seq for query in self.queries)

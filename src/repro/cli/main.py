@@ -1,0 +1,278 @@
+"""Command-line interface: ``sqlog-clean``.
+
+Subcommands:
+
+* ``generate`` — synthesise a SkyServer-shaped log to CSV/JSONL;
+* ``clean``    — run the cleaning pipeline on a log file, write the clean
+  log and print the Table 5-style overview;
+* ``patterns`` — print the top patterns/antipatterns of a log;
+* ``cluster``  — run the downstream clustering comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..analysis.experiment import run_downstream_experiment
+from ..antipatterns.base import DetectionContext
+from ..log.io import read_csv, read_jsonl, write_csv, write_jsonl
+from ..log.models import QueryLog
+from ..patterns.sws import SwsConfig
+from ..pipeline.config import PipelineConfig
+from ..pipeline.framework import CleaningPipeline
+from ..workload.generator import WorkloadConfig, generate
+from ..workload.schema import skyserver_catalog
+
+
+def _read_log(path: str) -> QueryLog:
+    if path.endswith(".jsonl"):
+        return read_jsonl(path)
+    return read_csv(path)
+
+
+def _write_log(log: QueryLog, path: str) -> None:
+    if path.endswith(".jsonl"):
+        write_jsonl(log, path)
+    else:
+        write_csv(log, path)
+
+
+def _default_config(dedup: float, use_schema: bool, sws: bool) -> PipelineConfig:
+    detection = DetectionContext(
+        key_columns=frozenset(skyserver_catalog().key_column_names())
+        if use_schema
+        else None
+    )
+    return PipelineConfig(
+        dedup_threshold=dedup,
+        detection=detection,
+        sws=SwsConfig() if sws else None,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    result = generate(WorkloadConfig(seed=args.seed, scale=args.scale))
+    _write_log(result.log, args.output)
+    counts = result.truth.count_by_label()
+    print(f"wrote {len(result.log):,} queries to {args.output}")
+    for label in sorted(counts):
+        print(f"  planted {label:<14} {counts[label]:,}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    log = _read_log(args.input)
+    config = _default_config(args.dedup_threshold, args.skyserver_schema, args.sws)
+    if args.streaming:
+        from ..pipeline.streaming import clean_log_streaming
+
+        clean, stats = clean_log_streaming(log, config)
+        if args.output:
+            _write_log(clean, args.output)
+            print(f"wrote clean log ({len(clean):,} queries) to {args.output}")
+        print(
+            f"streamed {stats.records_in:,} records -> {stats.records_out:,} "
+            f"(dup {stats.duplicates_removed:,}, syntax {stats.syntax_errors:,}, "
+            f"non-select {stats.non_select:,}, solved {stats.instances_solved:,}; "
+            f"peak open queries {stats.max_open_queries:,})"
+        )
+        return 0
+    result = CleaningPipeline(config).run(log)
+    if args.output:
+        _write_log(result.clean_log, args.output)
+        print(f"wrote clean log ({len(result.clean_log):,} queries) to {args.output}")
+    print(result.overview().format())
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    log = _read_log(args.input)
+    config = _default_config(args.dedup_threshold, args.skyserver_schema, True)
+    result = CleaningPipeline(config).run(log)
+    print(f"{'#':>3} {'freq':>8} {'pop':>5} {'ips':>4}  type            skeleton")
+    for rank, stats in enumerate(result.registry.top(args.top), start=1):
+        kinds = "/".join(sorted(stats.antipattern_types)) or "-"
+        print(
+            f"{rank:>3} {stats.frequency:>8} {stats.user_popularity:>5} "
+            f"{stats.distinct_ips:>4}  {kinds:<15} {stats.skeletons[0][:90]}"
+        )
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    log = _read_log(args.input)
+    config = _default_config(args.dedup_threshold, args.skyserver_schema, False)
+    report = run_downstream_experiment(
+        log, thresholds=tuple(args.thresholds), config=config
+    )
+    print(f"{'threshold':>9}  " + "  ".join(f"{v:>18}" for v in report.series))
+    for threshold in args.thresholds:
+        cells = []
+        for variant in report.series:
+            result = report.result(variant, threshold)
+            cells.append(
+                f"{result.cluster_count:>6} cl {result.average_size:>7.1f} avg"
+            )
+        print(f"{threshold:>9.1f}  " + "  ".join(f"{c:>18}" for c in cells))
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    from ..analysis.traffic import traffic_report
+    from ..pipeline.framework import parse_log
+
+    log = _read_log(args.input)
+    parsed = parse_log(log).queries
+    report = traffic_report(log, parsed, top=args.top)
+    print(f"queries: {report.total_queries:,}   users: {report.distinct_users:,}")
+    busiest = report.busiest_day
+    if busiest:
+        print(f"busiest day: {busiest[0]} ({busiest[1]:,} queries)")
+    print(
+        f"sessions: {report.sessions.count:,} "
+        f"(median {report.sessions.median_queries:g} queries, "
+        f"median duration {report.sessions.median_duration:.0f}s)"
+    )
+    print(
+        f"top-10 users issue {report.top_user_share(10):.1%} of the traffic"
+    )
+    print("\ntop users:")
+    for user, volume in report.top_users[: args.top]:
+        print(f"  {volume:>8,}  {user}")
+    print("\ntop tables:")
+    for table, volume in report.top_tables[: args.top]:
+        print(f"  {volume:>8,}  {table}")
+    return 0
+
+
+def cmd_bots(args: argparse.Namespace) -> int:
+    from ..analysis.behavior import BehaviorConfig, classify_users
+
+    log = _read_log(args.input)
+    config = _default_config(args.dedup_threshold, args.skyserver_schema, True)
+    result = CleaningPipeline(config).run(log)
+    verdicts = classify_users(
+        result, BehaviorConfig(use_shape_features=not args.no_shape_features)
+    )
+    ranked = sorted(
+        verdicts.values(), key=lambda v: (-v.score, -v.activity.query_count)
+    )
+    print(
+        f"{'user':<24} {'verdict':<7} {'score':>5} {'queries':>8} "
+        f"{'gap(s)':>8} {'diversity':>9} {'flagged':>8}"
+    )
+    for verdict in ranked[: args.top]:
+        activity = verdict.activity
+        gap = (
+            f"{activity.median_gap:8.1f}"
+            if activity.median_gap != float("inf")
+            else "     inf"
+        )
+        print(
+            f"{verdict.user:<24} {'BOT' if verdict.is_bot else 'human':<7} "
+            f"{verdict.score:>5.1f} {activity.query_count:>8} {gap} "
+            f"{activity.template_diversity:>9.2f} "
+            f"{activity.antipattern_share:>8.2f}"
+        )
+    bots = sum(1 for v in verdicts.values() if v.is_bot)
+    print(f"\n{bots} of {len(verdicts)} users classified as bots")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from ..pipeline.report import export_report
+
+    log = _read_log(args.input)
+    config = _default_config(args.dedup_threshold, args.skyserver_schema, True)
+    result = CleaningPipeline(config).run(log)
+    written = export_report(result, args.output_dir)
+    for name, path in sorted(written.items()):
+        print(f"wrote {name:<16} {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlog-clean",
+        description="Detect and clean antipatterns in an SQL query log.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a SkyServer-shaped log")
+    gen.add_argument("output", help="output file (.csv or .jsonl)")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.set_defaults(func=cmd_generate)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", help="log file (.csv or .jsonl)")
+        p.add_argument("--dedup-threshold", type=float, default=1.0)
+        p.add_argument(
+            "--skyserver-schema",
+            action="store_true",
+            help="use the synthetic SkyServer schema's key attributes "
+            "for the Stifle key check",
+        )
+
+    clean = sub.add_parser("clean", help="run the cleaning pipeline")
+    common(clean)
+    clean.add_argument("-o", "--output", help="write the clean log here")
+    clean.add_argument("--sws", action="store_true", help="also flag SWS patterns")
+    clean.add_argument(
+        "--streaming",
+        action="store_true",
+        help="use the bounded-memory streaming cleaner (no pattern "
+        "registry / SWS / overview statistics)",
+    )
+    clean.set_defaults(func=cmd_clean)
+
+    patterns = sub.add_parser("patterns", help="print the top patterns")
+    common(patterns)
+    patterns.add_argument("--top", type=int, default=30)
+    patterns.set_defaults(func=cmd_patterns)
+
+    traffic = sub.add_parser(
+        "traffic", help="traffic-report statistics (volumes, sessions, tables)"
+    )
+    traffic.add_argument("input", help="log file (.csv or .jsonl)")
+    traffic.add_argument("--top", type=int, default=10)
+    traffic.set_defaults(func=cmd_traffic)
+
+    bots = sub.add_parser("bots", help="classify users as humans or bots")
+    common(bots)
+    bots.add_argument("--top", type=int, default=25)
+    bots.add_argument(
+        "--no-shape-features",
+        action="store_true",
+        help="duration/volume features only (the traffic-report baseline)",
+    )
+    bots.set_defaults(func=cmd_bots)
+
+    report = sub.add_parser("report", help="export a full CSV report")
+    common(report)
+    report.add_argument("output_dir", help="directory for the CSV files")
+    report.set_defaults(func=cmd_report)
+
+    cluster = sub.add_parser("cluster", help="downstream clustering comparison")
+    common(cluster)
+    cluster.add_argument(
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.5, 0.9],
+    )
+    cluster.set_defaults(func=cmd_cluster)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``sqlog-clean`` command."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""In-memory relational engine: catalog, storage, executor, cost model."""
+
+from .catalog import Catalog, Column, TableSchema
+from .cost import CostModel, RuntimeComparison, compare_workloads
+from .executor import Database, EngineError, ExecStats, ResultSet
+from .functions import angular_distance_arcmin, register_sky_functions
+from .table import Row, Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "TableSchema",
+    "CostModel",
+    "RuntimeComparison",
+    "compare_workloads",
+    "Database",
+    "EngineError",
+    "ExecStats",
+    "ResultSet",
+    "angular_distance_arcmin",
+    "register_sky_functions",
+    "Row",
+    "Table",
+]

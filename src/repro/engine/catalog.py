@@ -1,0 +1,108 @@
+"""Schema catalog: tables, columns, key attributes.
+
+Definition 11's third axiom ("filCol is a key attribute") needs schema
+knowledge; the engine needs column lists to expand ``*`` and validate
+references.  The catalog is the single source for both — the pipeline's
+:class:`~repro.antipatterns.base.DetectionContext` is built from it via
+``DetectionContext.from_catalog``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table.
+
+    :param name: column name (stored as given; matching is
+        case-insensitive).
+    :param type_name: informational type label (``'bigint'``, ``'float'``,
+        ``'varchar'`` …) — the engine is dynamically typed, the label is
+        for documentation and error messages.
+    :param is_key: True for primary-key and foreign-key attributes — the
+        key attributes of Definition 11.
+    """
+
+    name: str
+    type_name: str = "varchar"
+    is_key: bool = False
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table."""
+
+    name: str
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        seen: Set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise ValueError(
+                    f"table {self.name}: duplicate column {column.name!r}"
+                )
+            seen.add(lowered)
+
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise KeyError(f"table {self.name} has no column {name!r}")
+
+    def key_columns(self) -> List[Column]:
+        return [column for column in self.columns if column.is_key]
+
+
+class Catalog:
+    """A set of table schemas, looked up case-insensitively."""
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: TableSchema) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise ValueError(f"duplicate table {table.name!r}")
+        self._tables[key] = table
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get(self, name: str) -> Optional[TableSchema]:
+        return self._tables.get(name.lower())
+
+    def require(self, name: str) -> TableSchema:
+        table = self.get(name)
+        if table is None:
+            raise KeyError(f"unknown table {name!r}")
+        return table
+
+    def key_column_names(self) -> Set[str]:
+        """All key-attribute names across the schema, lower-cased — the
+        input of the Stifle detector's key check."""
+        names: Set[str] = set()
+        for table in self._tables.values():
+            for column in table.key_columns():
+                names.add(column.name.lower())
+        return names

@@ -1,0 +1,1072 @@
+"""AST interpreter: executes SELECT statements over in-memory tables.
+
+The engine exists for two reasons:
+
+* the Section 6.3 runtime experiment (original stifle queries vs their
+  rewrites) needs *something* to run both workloads — the paper used the
+  live SkyServer database, we use this engine plus the cost model of
+  :mod:`repro.engine.cost`;
+* rewrite *validation*: :mod:`repro.rewrite.validation` executes an
+  antipattern run and its replacement and checks the result sets agree —
+  a guarantee the paper could only argue for.
+
+Supported: projections (incl. ``*``/``t.*``, expressions, aliases),
+FROM with base tables, table-valued functions, derived tables and
+INNER/LEFT/RIGHT/CROSS joins, WHERE with the full predicate grammar,
+GROUP BY / HAVING with the standard aggregates, DISTINCT, ORDER BY,
+TOP [PERCENT], scalar builtins, IN/EXISTS/scalar subqueries (correlated
+lookups resolve through the outer scopes), and UNION [ALL].
+
+NULL handling is pragmatic rather than full three-valued logic: any
+comparison involving NULL is false — which is exactly the semantics that
+makes the SNC antipattern (``assigned_to = NULL``) return nothing, so the
+engine can demonstrate *why* SNC is a bug and that its rewrite fixes it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser import parse
+from ..sqlparser.dialect import AGGREGATE_FUNCTIONS, contains_aggregate
+from .catalog import Catalog, TableSchema
+from .table import Row, Table
+
+
+class EngineError(Exception):
+    """Any semantic failure during execution (unknown table/column, …)."""
+
+
+@dataclass
+class ExecStats:
+    """Work accounting for the cost model."""
+
+    statements: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.statements += other.statements
+        self.rows_scanned += other.rows_scanned
+        self.rows_returned += other.rows_returned
+
+
+@dataclass
+class ResultSet:
+    """Result of one statement: column names and row tuples."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    stats: ExecStats = field(default_factory=ExecStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows under a canonical order — result-set comparison helper."""
+        return sorted(self.rows, key=lambda row: tuple(map(_sort_key, row)))
+
+
+def _sort_key(value: Any):
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, str(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, str(value))
+
+
+#: A table-valued function: (database, evaluated args) -> (columns, rows).
+TableFunction = Callable[["Database", Sequence[Any]], Tuple[List[str], List[Row]]]
+
+
+class Database:
+    """Catalog + storage + function registry + executor entry point."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog or Catalog()
+        self._tables: Dict[str, Table] = {}
+        self._table_functions: Dict[str, TableFunction] = {}
+
+    # ------------------------------------------------------------------
+    # Storage management
+
+    def create_table(
+        self, schema: TableSchema, rows: Iterable[Row] = ()
+    ) -> Table:
+        if schema.name.lower() not in {t.name.lower() for t in self.catalog}:
+            self.catalog.add(schema)
+        table = Table(schema, rows)
+        self._tables[schema.name.lower()] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise EngineError(f"unknown table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def register_table_function(self, name: str, fn: TableFunction) -> None:
+        self._table_functions[name.lower()] = fn
+
+    def table_function(self, name: str) -> Optional[TableFunction]:
+        return self._table_functions.get(name.lower())
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def execute(self, statement) -> ResultSet:
+        """Execute a statement (AST or SQL string)."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        stats = ExecStats(statements=1)
+        result = _Executor(self, stats).statement(statement, _Scope.root())
+        result.stats = stats
+        stats.rows_returned = len(result.rows)
+        return result
+
+    def execute_many(self, statements: Iterable) -> Tuple[List[ResultSet], ExecStats]:
+        """Execute a sequence of statements, aggregating work stats."""
+        total = ExecStats()
+        results = []
+        for statement in statements:
+            result = self.execute(statement)
+            total.merge(result.stats)
+            results.append(result)
+        return results, total
+
+
+# ----------------------------------------------------------------------
+# Scopes: name resolution environments
+
+
+class _Scope:
+    """A chain of name-resolution frames.
+
+    Each frame maps alias → row dict (lower-cased column keys).  Lookup
+    starts in the innermost frame and proceeds outward, which is what
+    makes correlated subqueries resolve their outer references.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Tuple[Dict[str, Row], ...]) -> None:
+        self.frames = frames
+
+    @classmethod
+    def root(cls) -> "_Scope":
+        return cls(())
+
+    def child(self, frame: Dict[str, Row]) -> "_Scope":
+        return _Scope((frame,) + self.frames)
+
+    def resolve(self, table: Optional[str], name: str) -> Any:
+        lowered = name.lower()
+        if table is not None:
+            alias = table.lower()
+            for frame in self.frames:
+                row = frame.get(alias)
+                if row is not None:
+                    if lowered in row:
+                        return row[lowered]
+                    raise EngineError(f"column {table}.{name} not found")
+            raise EngineError(f"unknown table or alias {table!r}")
+        for frame in self.frames:
+            matches = [row for row in frame.values() if lowered in row]
+            if len(matches) == 1:
+                return matches[0][lowered]
+            if len(matches) > 1:
+                raise EngineError(f"ambiguous column {name!r}")
+        raise EngineError(f"unknown column {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Relations produced by FROM resolution
+
+
+@dataclass
+class _Relation:
+    """An intermediate relation: env fragments plus projection order."""
+
+    #: ordered (alias, ordered column names) pairs for star expansion
+    shape: List[Tuple[str, List[str]]]
+    #: one dict alias → row per tuple
+    envs: List[Dict[str, Row]]
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _like_pattern(pattern: str) -> "re.Pattern[str]":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _numeric(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    raise EngineError(f"expected a number, got {value!r}")
+
+
+class _Executor:
+    """Evaluates one statement; holds the work counters."""
+
+    def __init__(self, database: Database, stats: ExecStats) -> None:
+        self.db = database
+        self.stats = stats
+        #: per-statement memo of constant IN-lists (id(node) → value set);
+        #: safe because the AST is immutable and outlives the execution.
+        self._in_list_sets: Dict[int, frozenset] = {}
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def statement(self, node: ast.Statement, scope: _Scope) -> ResultSet:
+        if isinstance(node, ast.SelectStatement):
+            return self.select(node, scope)
+        if isinstance(node, ast.Union):
+            left = self.statement(node.left, scope)
+            right = self.statement(node.right, scope)
+            if len(left.columns) != len(right.columns):
+                raise EngineError("UNION branches have different arities")
+            rows = left.rows + right.rows
+            if not node.all:
+                rows = list(dict.fromkeys(rows))
+            return ResultSet(columns=left.columns, rows=rows)
+        raise EngineError(f"cannot execute {type(node).__name__}")
+
+    def select(self, node: ast.SelectStatement, scope: _Scope) -> ResultSet:
+        relation = self._indexed_single_table(node, scope)
+        if relation is None:
+            relation = self._resolve_from(node.from_sources, scope)
+
+        envs = relation.envs
+        if node.where is not None:
+            envs = [
+                env
+                for env in envs
+                if self._truth(node.where, scope.child(env))
+            ]
+
+        aggregated = bool(node.group_by) or any(
+            contains_aggregate(item.expr) for item in node.items
+        )
+        if aggregated:
+            columns, rows, order_envs = self._aggregate(node, envs, scope)
+        else:
+            columns = self._output_columns(node.items, relation)
+            rows = [
+                self._project(node.items, relation, scope.child(env))
+                for env in envs
+            ]
+            order_envs = envs
+
+        if node.order_by:
+            rows = self._order(node, columns, rows, order_envs, scope, aggregated)
+
+        if node.distinct:
+            rows = list(dict.fromkeys(rows))
+
+        if node.top is not None:
+            limit_value = self.value(node.top.count, scope)
+            limit = int(_numeric(limit_value))
+            if node.top.percent:
+                limit = math.ceil(len(rows) * limit / 100.0)
+            rows = rows[: max(limit, 0)]
+
+        return ResultSet(columns=columns, rows=rows)
+
+    # ------------------------------------------------------------------
+    # Index fast path
+
+    @staticmethod
+    def _conjuncts(expr: ast.Expression) -> Iterable[ast.Expression]:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.And):
+                stack.append(node.left)
+                stack.append(node.right)
+            else:
+                yield node
+
+    def _indexed_single_table(
+        self, node: ast.SelectStatement, scope: _Scope
+    ) -> Optional[_Relation]:
+        """Serve a single-table query with an equality/IN conjunct on a
+        stored column from the table's hash index instead of a scan.
+
+        The full WHERE clause is still evaluated afterwards, so this is a
+        pure access-path optimisation; ``rows_scanned`` counts only the
+        rows the index produced — modelling what an indexed production
+        database (like the paper's SkyServer) does for stifle lookups.
+        """
+        if len(node.from_sources) != 1 or node.where is None:
+            return None
+        source = node.from_sources[0]
+        if not isinstance(source, ast.TableName):
+            return None
+        if not self.db.has_table(source.name):
+            return None  # let the scan path raise the uniform error
+        table = self.db.table(source.name)
+        alias = (source.alias or source.name).lower()
+
+        for conjunct in self._conjuncts(node.where):
+            column: Optional[ast.ColumnRef] = None
+            values: List[Any] = []
+            if isinstance(conjunct, ast.Comparison) and conjunct.op == "=":
+                if isinstance(conjunct.left, ast.ColumnRef) and isinstance(
+                    conjunct.right, ast.Literal
+                ):
+                    column, values = conjunct.left, [conjunct.right.python_value()]
+                elif isinstance(conjunct.right, ast.ColumnRef) and isinstance(
+                    conjunct.left, ast.Literal
+                ):
+                    column, values = conjunct.right, [conjunct.left.python_value()]
+            elif (
+                isinstance(conjunct, ast.InList)
+                and not conjunct.negated
+                and isinstance(conjunct.expr, ast.ColumnRef)
+                and all(isinstance(item, ast.Literal) for item in conjunct.items)
+            ):
+                column = conjunct.expr
+                values = [item.python_value() for item in conjunct.items]  # type: ignore[union-attr]
+            if column is None:
+                continue
+            if column.table is not None and column.table.lower() != alias:
+                continue
+            if not table.has_column(column.name):
+                continue
+            seen_keys = set()
+            rows: List[Row] = []
+            for value in values:
+                key = _Executor._normalize_value(value)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                rows.extend(table.lookup(column.name, value))
+            self.stats.rows_scanned += len(rows)
+            return _Relation(
+                shape=[(alias, table.column_names())],
+                envs=[{alias: row} for row in rows],
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # FROM resolution
+
+    def _resolve_from(
+        self, sources: Tuple[ast.TableSource, ...], scope: _Scope
+    ) -> _Relation:
+        if not sources:
+            return _Relation(shape=[], envs=[{}])
+        relation = self._source(sources[0], scope)
+        for source in sources[1:]:
+            right = self._source(source, scope)
+            relation = self._cross(relation, right)
+        return relation
+
+    def _cross(self, left: _Relation, right: _Relation) -> _Relation:
+        envs = [
+            {**left_env, **right_env}
+            for left_env in left.envs
+            for right_env in right.envs
+        ]
+        return _Relation(shape=left.shape + right.shape, envs=envs)
+
+    def _source(self, source: ast.TableSource, scope: _Scope) -> _Relation:
+        if isinstance(source, ast.TableName):
+            table = self.db.table(source.name)
+            alias = (source.alias or source.name).lower()
+            rows = table.rows()
+            self.stats.rows_scanned += len(rows)
+            return _Relation(
+                shape=[(alias, table.column_names())],
+                envs=[{alias: row} for row in rows],
+            )
+        if isinstance(source, ast.FunctionTable):
+            return self._function_table(source, scope)
+        if isinstance(source, ast.DerivedTable):
+            inner = self.select(source.select, scope)
+            alias = (source.alias or "subquery").lower()
+            columns = [column.lower() for column in inner.columns]
+            envs = [
+                {alias: dict(zip(columns, row))} for row in inner.rows
+            ]
+            return _Relation(shape=[(alias, columns)], envs=envs)
+        if isinstance(source, ast.Join):
+            return self._join(source, scope)
+        raise EngineError(f"cannot resolve {type(source).__name__} in FROM")
+
+    def _function_table(
+        self, source: ast.FunctionTable, scope: _Scope
+    ) -> _Relation:
+        call = source.call
+        fn = self.db.table_function(call.name)
+        if fn is None:
+            raise EngineError(f"unknown table-valued function {call.name!r}")
+        args = [self.value(arg, scope) for arg in call.args]
+        columns, rows = fn(self.db, args)
+        self.stats.rows_scanned += len(rows)
+        alias = (source.alias or call.name).lower()
+        columns = [column.lower() for column in columns]
+        envs = [
+            {alias: {column: row.get(column) for column in columns}}
+            for row in ({k.lower(): v for k, v in r.items()} for r in rows)
+        ]
+        return _Relation(shape=[(alias, columns)], envs=envs)
+
+    def _join(self, node: ast.Join, scope: _Scope) -> _Relation:
+        left = self._source(node.left, scope)
+        right = self._source(node.right, scope)
+        if node.kind in ("CROSS", "CROSS APPLY"):
+            return self._cross(left, right)
+
+        equi = self._equi_join_columns(node.condition, left, right)
+        if equi is not None:
+            return self._hash_join(node, left, right, *equi)
+
+        shape = left.shape + right.shape
+        null_right = {
+            alias: {column: None for column in columns}
+            for alias, columns in right.shape
+        }
+        null_left = {
+            alias: {column: None for column in columns}
+            for alias, columns in left.shape
+        }
+
+        envs: List[Dict[str, Row]] = []
+        matched_right = [False] * len(right.envs)
+        for left_env in left.envs:
+            matched = False
+            for index, right_env in enumerate(right.envs):
+                combined = {**left_env, **right_env}
+                if node.condition is None or self._truth(
+                    node.condition, scope.child(combined)
+                ):
+                    envs.append(combined)
+                    matched = True
+                    matched_right[index] = True
+            if not matched and node.kind in ("LEFT", "FULL"):
+                envs.append({**left_env, **null_right})
+        if node.kind in ("RIGHT", "FULL"):
+            for index, right_env in enumerate(right.envs):
+                if not matched_right[index]:
+                    envs.append({**null_left, **right_env})
+        return _Relation(shape=shape, envs=envs)
+
+    # ------------------------------------------------------------------
+    # Hash equi-join fast path
+
+    @staticmethod
+    def _locate_column(
+        relation: _Relation, column: ast.ColumnRef
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a join-condition column to (alias, column) within one
+        relation side, or None when it does not (uniquely) belong there."""
+        name = column.name.lower()
+        if column.table is not None:
+            alias = column.table.lower()
+            for shape_alias, columns in relation.shape:
+                if shape_alias == alias and name in columns:
+                    return (alias, name)
+            return None
+        matches = [
+            (shape_alias, name)
+            for shape_alias, columns in relation.shape
+            if name in columns
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def _equi_join_columns(
+        self,
+        condition: Optional[ast.Expression],
+        left: _Relation,
+        right: _Relation,
+    ) -> Optional[Tuple[Tuple[str, str], Tuple[str, str]]]:
+        """((left_alias, col), (right_alias, col)) for a plain equi-join
+        condition, else None (nested-loop fallback)."""
+        if not isinstance(condition, ast.Comparison) or condition.op != "=":
+            return None
+        if not (
+            isinstance(condition.left, ast.ColumnRef)
+            and isinstance(condition.right, ast.ColumnRef)
+        ):
+            return None
+        first, second = condition.left, condition.right
+        left_key = self._locate_column(left, first)
+        right_key = self._locate_column(right, second)
+        if left_key is not None and right_key is not None:
+            return (left_key, right_key)
+        left_key = self._locate_column(left, second)
+        right_key = self._locate_column(right, first)
+        if left_key is not None and right_key is not None:
+            return (left_key, right_key)
+        return None
+
+    @staticmethod
+    def _join_key(value):
+        if isinstance(value, str):
+            return value.lower()  # match _compare's case-insensitivity
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)  # 5 == 5.0 in SQL comparison
+        return value
+
+    def _hash_join(
+        self,
+        node: ast.Join,
+        left: _Relation,
+        right: _Relation,
+        left_key: Tuple[str, str],
+        right_key: Tuple[str, str],
+    ) -> _Relation:
+        shape = left.shape + right.shape
+        right_alias, right_column = right_key
+        index: Dict[Any, List[int]] = {}
+        for position, env in enumerate(right.envs):
+            value = env[right_alias][right_column]
+            if value is None:
+                continue  # NULL never joins
+            index.setdefault(self._join_key(value), []).append(position)
+
+        null_right = {
+            alias: {column: None for column in columns}
+            for alias, columns in right.shape
+        }
+        null_left = {
+            alias: {column: None for column in columns}
+            for alias, columns in left.shape
+        }
+        left_alias, left_column = left_key
+
+        envs: List[Dict[str, Row]] = []
+        matched_right = [False] * len(right.envs)
+        for left_env in left.envs:
+            value = left_env[left_alias][left_column]
+            positions = (
+                index.get(self._join_key(value), []) if value is not None else []
+            )
+            if positions:
+                for position in positions:
+                    envs.append({**left_env, **right.envs[position]})
+                    matched_right[position] = True
+            elif node.kind in ("LEFT", "FULL"):
+                envs.append({**left_env, **null_right})
+        if node.kind in ("RIGHT", "FULL"):
+            for position, right_env in enumerate(right.envs):
+                if not matched_right[position]:
+                    envs.append({**null_left, **right_env})
+        return _Relation(shape=shape, envs=envs)
+
+    # ------------------------------------------------------------------
+    # Projection
+
+    def _output_columns(
+        self, items: Tuple[ast.SelectItem, ...], relation: _Relation
+    ) -> List[str]:
+        columns: List[str] = []
+        for index, item in enumerate(items):
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                if expr.table is None:
+                    for _, table_columns in relation.shape:
+                        columns.extend(table_columns)
+                else:
+                    alias = expr.table.lower()
+                    for shape_alias, table_columns in relation.shape:
+                        if shape_alias == alias:
+                            columns.extend(table_columns)
+                            break
+                    else:
+                        raise EngineError(f"unknown alias {expr.table!r} in {expr.table}.*")
+                continue
+            name = item.output_name()
+            columns.append(name.lower() if name else f"col{index + 1}")
+        return columns
+
+    def _project(
+        self,
+        items: Tuple[ast.SelectItem, ...],
+        relation: _Relation,
+        scope: _Scope,
+    ) -> Tuple[Any, ...]:
+        values: List[Any] = []
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                frame = scope.frames[0]
+                targets = (
+                    relation.shape
+                    if expr.table is None
+                    else [
+                        entry
+                        for entry in relation.shape
+                        if entry[0] == expr.table.lower()
+                    ]
+                )
+                for alias, table_columns in targets:
+                    row = frame[alias]
+                    values.extend(row[column] for column in table_columns)
+                continue
+            values.append(self.value(expr, scope))
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+
+    def _aggregate(
+        self,
+        node: ast.SelectStatement,
+        envs: List[Dict[str, Row]],
+        scope: _Scope,
+    ) -> Tuple[List[str], List[Tuple[Any, ...]], List[Dict[str, Row]]]:
+        if node.group_by:
+            groups: Dict[Tuple[Any, ...], List[Dict[str, Row]]] = {}
+            for env in envs:
+                key = tuple(
+                    self.value(expr, scope.child(env)) for expr in node.group_by
+                )
+                groups.setdefault(key, []).append(env)
+            group_list = list(groups.values())
+        else:
+            group_list = [envs]  # one global group (may be empty)
+
+        columns = [
+            (item.output_name() or f"col{index + 1}").lower()
+            for index, item in enumerate(node.items)
+        ]
+        rows: List[Tuple[Any, ...]] = []
+        representative_envs: List[Dict[str, Row]] = []
+        for group in group_list:
+            if node.having is not None and not self._truth_aggregate(
+                node.having, group, scope
+            ):
+                continue
+            row = tuple(
+                self._aggregate_value(item.expr, group, scope)
+                for item in node.items
+            )
+            rows.append(row)
+            representative_envs.append(group[0] if group else {})
+        return columns, rows, representative_envs
+
+    def _aggregate_value(
+        self,
+        expr: ast.Expression,
+        group: List[Dict[str, Row]],
+        scope: _Scope,
+    ) -> Any:
+        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in AGGREGATE_FUNCTIONS:
+            return self._evaluate_aggregate(expr, group, scope)
+        if contains_aggregate(expr):
+            # expression over aggregates, e.g. max(a) - min(a)
+            return self._eval_with_aggregates(expr, group, scope)
+        if not group:
+            return None
+        return self.value(expr, scope.child(group[0]))
+
+    def _eval_with_aggregates(
+        self,
+        expr: ast.Expression,
+        group: List[Dict[str, Row]],
+        scope: _Scope,
+    ) -> Any:
+        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in AGGREGATE_FUNCTIONS:
+            return self._evaluate_aggregate(expr, group, scope)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval_with_aggregates(expr.left, group, scope)
+            right = self._eval_with_aggregates(expr.right, group, scope)
+            return self._binary(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval_with_aggregates(expr.operand, group, scope)
+            return None if operand is None else -_numeric(operand)
+        if isinstance(expr, ast.Literal):
+            return expr.python_value()
+        if group:
+            return self.value(expr, scope.child(group[0]))
+        return None
+
+    def _evaluate_aggregate(
+        self,
+        call: ast.FunctionCall,
+        group: List[Dict[str, Row]],
+        scope: _Scope,
+    ) -> Any:
+        name = call.name.lower()
+        if name == "count" and (
+            not call.args or isinstance(call.args[0], ast.Star)
+        ):
+            return len(group)
+        if not call.args:
+            raise EngineError(f"aggregate {name} needs an argument")
+        values = [
+            self.value(call.args[0], scope.child(env)) for env in group
+        ]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            values = list(dict.fromkeys(values))
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        if name in ("stdev", "var"):
+            mean = sum(values) / len(values)
+            if len(values) < 2:
+                return None
+            variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            return variance if name == "var" else math.sqrt(variance)
+        raise EngineError(f"unknown aggregate {name!r}")
+
+    def _truth_aggregate(
+        self,
+        expr: ast.Expression,
+        group: List[Dict[str, Row]],
+        scope: _Scope,
+    ) -> bool:
+        if isinstance(expr, ast.And):
+            return self._truth_aggregate(
+                expr.left, group, scope
+            ) and self._truth_aggregate(expr.right, group, scope)
+        if isinstance(expr, ast.Or):
+            return self._truth_aggregate(
+                expr.left, group, scope
+            ) or self._truth_aggregate(expr.right, group, scope)
+        if isinstance(expr, ast.Not):
+            return not self._truth_aggregate(expr.operand, group, scope)
+        if isinstance(expr, ast.Comparison):
+            left = self._eval_with_aggregates(expr.left, group, scope)
+            right = self._eval_with_aggregates(expr.right, group, scope)
+            return bool(self._compare(expr.op, left, right))
+        raise EngineError("unsupported HAVING predicate")
+
+    # ------------------------------------------------------------------
+    # ORDER BY
+
+    def _order(
+        self,
+        node: ast.SelectStatement,
+        columns: List[str],
+        rows: List[Tuple[Any, ...]],
+        envs: List[Dict[str, Row]],
+        scope: _Scope,
+        aggregated: bool,
+    ) -> List[Tuple[Any, ...]]:
+        column_index = {name: index for index, name in enumerate(columns)}
+
+        def key_for(pair):
+            row, env = pair
+            key = []
+            for item in node.order_by:
+                expr = item.expr
+                value: Any
+                if (
+                    isinstance(expr, ast.ColumnRef)
+                    and expr.table is None
+                    and expr.name.lower() in column_index
+                ):
+                    value = row[column_index[expr.name.lower()]]
+                elif aggregated:
+                    raise EngineError(
+                        "ORDER BY on grouped queries must reference output columns"
+                    )
+                else:
+                    value = self.value(expr, scope.child(env))
+                sort_value = _sort_key(value)
+                key.append(
+                    _Reversed(sort_value) if item.descending else sort_value
+                )
+            return key
+
+        if len(envs) != len(rows):
+            envs = [{} for _ in rows]
+        paired = sorted(zip(rows, envs), key=key_for)
+        return [row for row, _ in paired]
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+
+    def value(self, expr: ast.Expression, scope: _Scope) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.python_value()
+        if isinstance(expr, ast.ColumnRef):
+            return scope.resolve(expr.table, expr.name)
+        if isinstance(expr, ast.Variable):
+            raise EngineError(
+                f"unbound variable @{expr.name}: the engine executes "
+                "instantiated statements, not templates"
+            )
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.value(expr.operand, scope)
+            return None if operand is None else -_numeric(operand)
+        if isinstance(expr, ast.BinaryOp):
+            left = self.value(expr.left, scope)
+            right = self.value(expr.right, scope)
+            return self._binary(expr.op, left, right)
+        if isinstance(expr, ast.Comparison):
+            return self._compare(
+                expr.op, self.value(expr.left, scope), self.value(expr.right, scope)
+            )
+        if isinstance(expr, (ast.And, ast.Or, ast.Not)):
+            return self._truth(expr, scope)
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr, scope)
+        if isinstance(expr, ast.InSubquery):
+            return self._in_subquery(expr, scope)
+        if isinstance(expr, ast.Between):
+            target = self.value(expr.expr, scope)
+            low = self.value(expr.low, scope)
+            high = self.value(expr.high, scope)
+            if target is None or low is None or high is None:
+                return False
+            verdict = low <= target <= high
+            return not verdict if expr.negated else verdict
+        if isinstance(expr, ast.IsNull):
+            is_null = self.value(expr.expr, scope) is None
+            return not is_null if expr.negated else is_null
+        if isinstance(expr, ast.Like):
+            target = self.value(expr.expr, scope)
+            pattern = self.value(expr.pattern, scope)
+            if target is None or pattern is None:
+                return False
+            verdict = bool(_like_pattern(str(pattern)).match(str(target)))
+            return not verdict if expr.negated else verdict
+        if isinstance(expr, ast.Exists):
+            result = self.select(expr.subquery, scope)
+            verdict = bool(result.rows)
+            return not verdict if expr.negated else verdict
+        if isinstance(expr, ast.ScalarSubquery):
+            result = self.select(expr.select, scope)
+            if not result.rows:
+                return None
+            if len(result.rows) > 1 or len(result.rows[0]) != 1:
+                raise EngineError("scalar subquery returned more than one value")
+            return result.rows[0][0]
+        if isinstance(expr, ast.CaseExpression):
+            return self._case(expr, scope)
+        if isinstance(expr, ast.Cast):
+            return self._cast(expr, scope)
+        if isinstance(expr, ast.FunctionCall):
+            return self._scalar_function(expr, scope)
+        if isinstance(expr, ast.Star):
+            raise EngineError("* is only valid in SELECT lists and count(*)")
+        raise EngineError(f"cannot evaluate {type(expr).__name__}")
+
+    def _truth(self, expr: ast.Expression, scope: _Scope) -> bool:
+        if isinstance(expr, ast.And):
+            return self._truth(expr.left, scope) and self._truth(expr.right, scope)
+        if isinstance(expr, ast.Or):
+            return self._truth(expr.left, scope) or self._truth(expr.right, scope)
+        if isinstance(expr, ast.Not):
+            return not self._truth(expr.operand, scope)
+        return bool(self.value(expr, scope))
+
+    def _binary(self, op: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        if op == "||":
+            return str(left) + str(right)
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return str(left) + str(right)  # T-SQL string +
+            return left + right
+        if op == "-":
+            return _numeric(left) - _numeric(right)
+        if op == "*":
+            return _numeric(left) * _numeric(right)
+        if op == "/":
+            divisor = _numeric(right)
+            if divisor == 0:
+                raise EngineError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right  # SQL integer division
+            return _numeric(left) / divisor
+        if op == "%":
+            return _numeric(left) % _numeric(right)
+        raise EngineError(f"unknown operator {op!r}")
+
+    def _compare(self, op: str, left: Any, right: Any) -> bool:
+        if left is None or right is None:
+            return False  # SQL: comparisons with NULL are never true
+        if isinstance(left, str) and isinstance(right, str):
+            left, right = left.lower(), right.lower()
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError as error:
+            raise EngineError(f"type mismatch in comparison: {error}") from error
+        raise EngineError(f"unknown comparison {op!r}")
+
+    def _in_list(self, expr: ast.InList, scope: _Scope) -> bool:
+        target = self.value(expr.expr, scope)
+        if target is None:
+            return False
+        # Constant lists (the DW-Stifle rewrites emit big ones) are
+        # evaluated as a set once per statement instead of per row.
+        if all(isinstance(item, ast.Literal) for item in expr.items):
+            key = id(expr)
+            members = self._in_list_sets.get(key)
+            if members is None:
+                members = frozenset(
+                    _Executor._normalize_value(item.python_value())
+                    for item in expr.items  # type: ignore[union-attr]
+                )
+                self._in_list_sets[key] = members
+            hit = _Executor._normalize_value(target) in members
+            return not hit if expr.negated else hit
+        for item in expr.items:
+            if self._compare("=", target, self.value(item, scope)):
+                return not expr.negated
+        return expr.negated
+
+    @staticmethod
+    def _normalize_value(value):
+        """Hash key matching :meth:`_compare`'s equality semantics."""
+        if isinstance(value, str):
+            return value.lower()
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
+
+    def _in_subquery(self, expr: ast.InSubquery, scope: _Scope) -> bool:
+        target = self.value(expr.expr, scope)
+        if target is None:
+            return False
+        result = self.select(expr.subquery, scope)
+        if result.rows and len(result.rows[0]) != 1:
+            raise EngineError("IN subquery must return a single column")
+        for row in result.rows:
+            if self._compare("=", target, row[0]):
+                return not expr.negated
+        return expr.negated
+
+    def _case(self, expr: ast.CaseExpression, scope: _Scope) -> Any:
+        if expr.operand is not None:
+            operand = self.value(expr.operand, scope)
+            for when in expr.whens:
+                if self._compare("=", operand, self.value(when.condition, scope)):
+                    return self.value(when.result, scope)
+        else:
+            for when in expr.whens:
+                if self._truth(when.condition, scope):
+                    return self.value(when.result, scope)
+        if expr.else_result is not None:
+            return self.value(expr.else_result, scope)
+        return None
+
+    def _cast(self, expr: ast.Cast, scope: _Scope) -> Any:
+        value = self.value(expr.expr, scope)
+        if value is None:
+            return None
+        type_name = expr.type_name.lower()
+        if type_name.startswith(("int", "bigint", "smallint", "tinyint")):
+            return int(float(value))
+        if type_name.startswith(("float", "real", "decimal", "numeric")):
+            return float(value)
+        if type_name.startswith(("varchar", "nvarchar", "char", "text")):
+            return str(value)
+        raise EngineError(f"unsupported CAST target {expr.type_name!r}")
+
+    def _scalar_function(self, call: ast.FunctionCall, scope: _Scope) -> Any:
+        name = call.name.lower()
+        if name in AGGREGATE_FUNCTIONS:
+            raise EngineError(
+                f"aggregate {name} outside GROUP BY context"
+            )
+        args = [self.value(arg, scope) for arg in call.args]
+        if name in ("isnull", "coalesce"):
+            for arg in args:
+                if arg is not None:
+                    return arg
+            return None
+        if any(arg is None for arg in args):
+            return None
+        if name == "abs":
+            return abs(_numeric(args[0]))
+        if name == "round":
+            digits = int(_numeric(args[1])) if len(args) > 1 else 0
+            return round(_numeric(args[0]), digits)
+        if name == "floor":
+            return math.floor(_numeric(args[0]))
+        if name == "ceiling":
+            return math.ceil(_numeric(args[0]))
+        if name == "power":
+            return _numeric(args[0]) ** _numeric(args[1])
+        if name == "sqrt":
+            return math.sqrt(_numeric(args[0]))
+        if name == "exp":
+            return math.exp(_numeric(args[0]))
+        if name == "log":
+            return math.log(_numeric(args[0]))
+        if name == "log10":
+            return math.log10(_numeric(args[0]))
+        if name == "sign":
+            value = _numeric(args[0])
+            return (value > 0) - (value < 0)
+        if name == "upper":
+            return str(args[0]).upper()
+        if name == "lower":
+            return str(args[0]).lower()
+        if name == "len":
+            return len(str(args[0]))
+        if name == "ltrim":
+            return str(args[0]).lstrip()
+        if name == "rtrim":
+            return str(args[0]).rstrip()
+        if name == "str":
+            return str(args[0])
+        raise EngineError(f"unknown function {call.name!r}")
+
+
+class _Reversed:
+    """Inverts comparison order — DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value

@@ -1,0 +1,113 @@
+"""SkyServer table-valued functions over the synthetic sky.
+
+The SkyServer spatial-search templates dominating Table 7 call the
+server-side functions ``fGetNearbyObjEq``, ``fGetNearestObjEq`` and
+``fGetObjFromRect``.  We implement them against the synthetic
+``photoprimary`` table: positions are equatorial coordinates (``ra`` in
+degrees [0, 360), ``dec`` in degrees [-90, 90]); distances use the
+spherical law of cosines; radii are in *arc minutes*, as in SkyServer.
+
+Registered on a :class:`~repro.engine.executor.Database` via
+:func:`register_sky_functions`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence, Tuple
+
+from .executor import Database, EngineError
+from .table import Row
+
+#: Columns the spatial functions expose (a subset of the real SkyServer
+#: signatures, covering everything the workload templates touch).
+NEARBY_COLUMNS = ["objid", "run", "camcol", "field", "type", "htmid", "distance"]
+RECT_COLUMNS = ["objid", "run", "camcol", "field", "type", "htmid"]
+
+
+def angular_distance_arcmin(
+    ra1: float, dec1: float, ra2: float, dec2: float
+) -> float:
+    """Angular separation of two equatorial points, in arc minutes."""
+    phi1, phi2 = math.radians(dec1), math.radians(dec2)
+    delta_lambda = math.radians(ra1 - ra2)
+    cosine = math.sin(phi1) * math.sin(phi2) + math.cos(phi1) * math.cos(
+        phi2
+    ) * math.cos(delta_lambda)
+    cosine = min(1.0, max(-1.0, cosine))
+    return math.degrees(math.acos(cosine)) * 60.0
+
+
+def _object_rows(database: Database) -> List[Row]:
+    if not database.has_table("photoprimary"):
+        raise EngineError(
+            "spatial functions need a 'photoprimary' table in the database"
+        )
+    return database.table("photoprimary").rows()
+
+
+def _require_args(name: str, args: Sequence[Any], count: int) -> None:
+    if len(args) != count:
+        raise EngineError(f"{name} expects {count} arguments, got {len(args)}")
+    if any(arg is None for arg in args):
+        raise EngineError(f"{name}: NULL argument")
+
+
+def _projected(row: Row, distance: float = None) -> Row:
+    projected = {
+        "objid": row.get("objid"),
+        "run": row.get("run"),
+        "camcol": row.get("camcol"),
+        "field": row.get("field"),
+        "type": row.get("type"),
+        "htmid": row.get("htmid"),
+    }
+    if distance is not None:
+        projected["distance"] = distance
+    return projected
+
+
+def f_get_nearby_obj_eq(
+    database: Database, args: Sequence[Any]
+) -> Tuple[List[str], List[Row]]:
+    """All objects within ``r`` arcmin of (``ra``, ``dec``)."""
+    _require_args("fGetNearbyObjEq", args, 3)
+    ra, dec, radius = (float(a) for a in args)
+    rows = []
+    for row in _object_rows(database):
+        distance = angular_distance_arcmin(ra, dec, row["ra"], row["dec"])
+        if distance <= radius:
+            rows.append(_projected(row, distance))
+    rows.sort(key=lambda r: r["distance"])
+    return list(NEARBY_COLUMNS), rows
+
+
+def f_get_nearest_obj_eq(
+    database: Database, args: Sequence[Any]
+) -> Tuple[List[str], List[Row]]:
+    """The single nearest object within ``r`` arcmin, or no rows."""
+    columns, rows = f_get_nearby_obj_eq(database, args)
+    return columns, rows[:1]
+
+
+def f_get_obj_from_rect(
+    database: Database, args: Sequence[Any]
+) -> Tuple[List[str], List[Row]]:
+    """All objects inside the rectangle (ra1, dec1) – (ra2, dec2)."""
+    _require_args("fGetObjFromRect", args, 4)
+    ra1, dec1, ra2, dec2 = (float(a) for a in args)
+    ra_low, ra_high = min(ra1, ra2), max(ra1, ra2)
+    dec_low, dec_high = min(dec1, dec2), max(dec1, dec2)
+    rows = [
+        _projected(row)
+        for row in _object_rows(database)
+        if ra_low <= row["ra"] <= ra_high and dec_low <= row["dec"] <= dec_high
+    ]
+    return list(RECT_COLUMNS), rows
+
+
+def register_sky_functions(database: Database) -> None:
+    """Register all SkyServer table-valued functions on ``database``."""
+    database.register_table_function("fGetNearbyObjEq", f_get_nearby_obj_eq)
+    database.register_table_function("fGetNearestObjEq", f_get_nearest_obj_eq)
+    database.register_table_function("fGetObjFromRect", f_get_obj_from_rect)

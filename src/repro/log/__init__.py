@@ -1,0 +1,22 @@
+"""Query-log substrate: data model, IO, duplicate removal, sessions."""
+
+from .models import LogRecord, QueryLog
+from .dedup import DedupResult, delete_duplicates, threshold_sweep, normalize_statement_text
+from .io import read_csv, read_jsonl, write_csv, write_jsonl
+from .session import assume_single_user, derive_users_from_ip, sessionize_by_gap
+
+__all__ = [
+    "LogRecord",
+    "QueryLog",
+    "DedupResult",
+    "delete_duplicates",
+    "threshold_sweep",
+    "normalize_statement_text",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+    "assume_single_user",
+    "derive_users_from_ip",
+    "sessionize_by_gap",
+]

@@ -1,0 +1,113 @@
+"""Reading and writing query logs (CSV and JSON-lines).
+
+The CSV layout mirrors the SkyServer SQL-log export the paper points to
+(statement, timestamp, IP, session label, row count); JSONL is offered for
+lossless round-trips of synthetic logs with ground truth kept elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .models import LogRecord, QueryLog
+
+PathLike = Union[str, Path]
+
+CSV_FIELDS = ("seq", "timestamp", "user", "ip", "session", "rows", "sql")
+
+
+def write_csv(log: QueryLog, path: PathLike) -> None:
+    """Write ``log`` to ``path`` as a UTF-8 CSV with header."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in log:
+            writer.writerow(
+                [
+                    record.seq,
+                    repr(record.timestamp),
+                    record.user or "",
+                    record.ip or "",
+                    record.session or "",
+                    "" if record.rows is None else record.rows,
+                    record.sql,
+                ]
+            )
+
+
+def read_csv(path: PathLike) -> QueryLog:
+    """Read a CSV written by :func:`write_csv` (or hand-made with the same
+    header).  Empty metadata cells become ``None``."""
+    records = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                f"log CSV {path} is missing columns: {sorted(missing)}"
+            )
+        for row in reader:
+            records.append(
+                LogRecord(
+                    seq=int(row["seq"]),
+                    sql=row["sql"],
+                    timestamp=float(row["timestamp"]),
+                    user=row["user"] or None,
+                    ip=row["ip"] or None,
+                    session=row["session"] or None,
+                    rows=int(row["rows"]) if row["rows"] else None,
+                )
+            )
+    return QueryLog(records)
+
+
+def write_jsonl(log: QueryLog, path: PathLike) -> None:
+    """Write ``log`` as one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in log:
+            handle.write(
+                json.dumps(
+                    {
+                        "seq": record.seq,
+                        "timestamp": record.timestamp,
+                        "user": record.user,
+                        "ip": record.ip,
+                        "session": record.session,
+                        "rows": record.rows,
+                        "sql": record.sql,
+                    },
+                    ensure_ascii=False,
+                )
+            )
+            handle.write("\n")
+
+
+def read_jsonl(path: PathLike) -> QueryLog:
+    """Read a JSONL log written by :func:`write_jsonl`."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            records.append(
+                LogRecord(
+                    seq=int(data["seq"]),
+                    sql=data["sql"],
+                    timestamp=float(data["timestamp"]),
+                    user=data.get("user"),
+                    ip=data.get("ip"),
+                    session=data.get("session"),
+                    rows=data.get("rows"),
+                )
+            )
+    return QueryLog(records)

@@ -1,0 +1,64 @@
+"""User/session handling, including the reduced-information fallback.
+
+Section 4.1.1: *if the log does not contain information on the users, we
+assume that one user has issued all queries*.  Section 6.8 studies exactly
+that degraded input and finds pattern frequencies barely change, because
+queries of one pattern instance arrive within a very small time window
+anyway.
+
+This module provides
+
+* :func:`assume_single_user` — the paper's fallback, materialised;
+* :func:`sessionize_by_gap` — an optional heuristic that splits an
+  anonymous log into pseudo-sessions at large time gaps, useful when one
+  wants *some* grouping without user data;
+* :func:`derive_users_from_ip` — SkyServer-style identity (user ≈ IP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from .models import LogRecord, QueryLog
+
+
+def assume_single_user(log: QueryLog, label: str = "<anonymous>") -> QueryLog:
+    """Return a copy of ``log`` with every record's user set to ``label``."""
+    return QueryLog(replace(record, user=label) for record in log)
+
+
+def derive_users_from_ip(log: QueryLog) -> QueryLog:
+    """Set each record's user to its IP (the SkyServer log's notion of a
+    user when no login exists).  Records without an IP stay anonymous."""
+    return QueryLog(
+        replace(record, user=record.ip) if record.ip else record
+        for record in log
+    )
+
+
+def sessionize_by_gap(
+    log: QueryLog, gap_seconds: float = 1800.0, prefix: str = "s"
+) -> QueryLog:
+    """Split an (anonymous) log into pseudo-sessions at time gaps.
+
+    Consecutive records less than ``gap_seconds`` apart share a session
+    label; a larger gap starts a new one.  When records carry users, gaps
+    are tracked per user.
+
+    :raises ValueError: if ``gap_seconds`` is not positive.
+    """
+    if gap_seconds <= 0:
+        raise ValueError(f"gap_seconds must be > 0, got {gap_seconds}")
+    last_time: dict = {}
+    counters: dict = {}
+    records = []
+    for record in log:
+        key = record.user_key()
+        previous = last_time.get(key)
+        if previous is None or record.timestamp - previous >= gap_seconds:
+            counters[key] = counters.get(key, 0) + 1
+        last_time[key] = record.timestamp
+        label = f"{prefix}{counters[key]}:{key}"
+        records.append(replace(record, session=label))
+    return QueryLog(records)

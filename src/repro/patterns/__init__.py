@@ -1,0 +1,25 @@
+"""Pattern mining (Definitions 7–10) and SWS detection (Section 6.5)."""
+
+from .models import Block, ParsedQuery, PatternInstance, PeriodicRun
+from .miner import MinerConfig, MiningResult, build_blocks, mine, segment_block
+from .registry import PatternRegistry, PatternStats
+from .sws import SWS_LABEL, SwsConfig, SwsReport, coverage_grid, detect_sws
+
+__all__ = [
+    "Block",
+    "ParsedQuery",
+    "PatternInstance",
+    "PeriodicRun",
+    "MinerConfig",
+    "MiningResult",
+    "build_blocks",
+    "mine",
+    "segment_block",
+    "PatternRegistry",
+    "PatternStats",
+    "SWS_LABEL",
+    "SwsConfig",
+    "SwsReport",
+    "coverage_grid",
+    "detect_sws",
+]

@@ -1,0 +1,165 @@
+"""Data model of the mining stage: parsed queries, blocks, instances.
+
+The pipeline's *Parsed Query Log* (Fig. 1 / Table 2) is a list of
+:class:`ParsedQuery` — each log record joined with its syntax tree, its
+query template and the precomputed clause features the antipattern
+definitions quantify over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..log.models import LogRecord
+from ..skeleton import (
+    ClauseTexts,
+    QueryTemplate,
+    build_clause_texts,
+    build_template,
+    template_fingerprint,
+)
+from ..skeleton.features import (
+    Predicate,
+    count_predicates,
+    output_columns,
+    single_equality_filter,
+)
+from ..sqlparser import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """One successfully parsed SELECT statement of the log.
+
+    :param record: the underlying log record.
+    :param statement: full parsed statement (may be a Union).
+    :param select: the leading SELECT of the statement — the clause-level
+        definitions (Defs. 11–15) quantify over this.
+    :param template: the query template (Definition 4).
+    :param template_id: stable fingerprint of :attr:`template`.
+    :param clauses: canonical SC/FC/WC texts, constants preserved.
+    :param predicate_count: CP of Definition 11.
+    :param equality_filter: the single ``column = constant`` predicate,
+        when the WHERE clause consists of exactly that (else ``None``).
+    :param outputs: lower-cased output column names (``'*'`` for stars).
+    """
+
+    record: LogRecord
+    statement: ast.Statement
+    select: ast.SelectStatement
+    template: QueryTemplate
+    template_id: str
+    clauses: ClauseTexts
+    predicate_count: int
+    equality_filter: Optional[Predicate]
+    outputs: frozenset
+
+    @property
+    def timestamp(self) -> float:
+        return self.record.timestamp
+
+    @property
+    def user(self) -> str:
+        return self.record.user_key()
+
+    @classmethod
+    def from_statement(
+        cls,
+        record: LogRecord,
+        statement: ast.Statement,
+        *,
+        fold_variables: bool = False,
+        strict_triple: bool = False,
+    ) -> "ParsedQuery":
+        """Build a :class:`ParsedQuery`, computing template and features."""
+        select = statement
+        while isinstance(select, ast.Union):
+            select = select.left
+        assert isinstance(select, ast.SelectStatement)
+        template = build_template(
+            statement,
+            fold_variables=fold_variables,
+            strict_triple=strict_triple,
+        )
+        return cls(
+            record=record,
+            statement=statement,
+            select=select,
+            template=template,
+            template_id=template_fingerprint(template),
+            clauses=build_clause_texts(statement),
+            predicate_count=count_predicates(select),
+            equality_filter=single_equality_filter(select),
+            outputs=frozenset(output_columns(select)),
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A maximal same-user burst of queries.
+
+    Definition 8's axioms — same user, time-ordered, no intervening query
+    from that user — are satisfied by construction for any *consecutive*
+    slice of a block.  The additional "short time between them" property
+    (Section 4.1.1) is enforced by the miner's ``block_gap``: consecutive
+    queries more than that many seconds apart start a new block.
+    """
+
+    user: str
+    queries: Tuple[ParsedQuery, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def template_ids(self) -> Tuple[str, ...]:
+        return tuple(query.template_id for query in self.queries)
+
+    def slice(self, start: int, stop: int) -> Tuple[ParsedQuery, ...]:
+        return self.queries[start:stop]
+
+
+@dataclass(frozen=True)
+class PatternInstance:
+    """One instance (Definition 8) of a pattern: one cycle of its unit.
+
+    :param unit: the pattern identity — the sequence of template ids
+        (SQ1, …, SQn) of Definition 7.
+    :param queries: the instance's queries, one per unit position.
+    """
+
+    unit: Tuple[str, ...]
+    queries: Tuple[ParsedQuery, ...]
+
+    @property
+    def user(self) -> str:
+        return self.queries[0].user
+
+    @property
+    def start_time(self) -> float:
+        return self.queries[0].timestamp
+
+
+@dataclass(frozen=True)
+class PeriodicRun:
+    """A maximal periodic segment of a block: ``repeats`` back-to-back
+    cycles of ``unit``.  Stifle instances are exactly such runs (with
+    repeats ≥ 2 and the clause conditions of Defs. 12–14); the run object
+    keeps the underlying queries together so a solver can rewrite the
+    whole run into a single statement."""
+
+    unit: Tuple[str, ...]
+    queries: Tuple[ParsedQuery, ...]
+    repeats: int
+
+    @property
+    def user(self) -> str:
+        return self.queries[0].user
+
+    def cycles(self) -> List[Tuple[ParsedQuery, ...]]:
+        """The run's queries grouped per cycle."""
+        period = len(self.unit)
+        return [
+            self.queries[i : i + period]
+            for i in range(0, len(self.queries), period)
+        ]

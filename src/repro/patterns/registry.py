@@ -1,0 +1,145 @@
+"""Pattern registry: per-pattern statistics (Definitions 9 and 10).
+
+Aggregates the miner's instances into one row per pattern — frequency,
+userPopularity, distinct IPs, query coverage, representative skeletons —
+and carries the antipattern classification the detectors attach.  This is
+the "Patterns" result box of Fig. 1 and the source of Tables 6 and 7 and
+of Fig. 2(a, b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .models import ParsedQuery, PatternInstance
+
+
+@dataclass
+class PatternStats:
+    """Aggregate statistics of one pattern.
+
+    :param unit: the pattern identity (sequence of template ids).
+    :param skeletons: one representative skeleton SQL per unit position.
+    :param frequency: Definition 9 — number of instances in the log.
+    :param users: distinct user keys that produced instances.
+    :param ips: distinct client IPs (when the log has them).
+    :param query_count: total queries covered by all instances.
+    :param antipattern_types: detector labels attached later ("DW-Stifle",
+        "CTH-candidate", …); empty for plain patterns.
+    """
+
+    unit: Tuple[str, ...]
+    skeletons: Tuple[str, ...]
+    frequency: int = 0
+    users: Set[str] = field(default_factory=set)
+    ips: Set[str] = field(default_factory=set)
+    query_count: int = 0
+    antipattern_types: Set[str] = field(default_factory=set)
+
+    @property
+    def user_popularity(self) -> int:
+        """Definition 10 — number of users that submitted instances."""
+        return len(self.users)
+
+    @property
+    def distinct_ips(self) -> int:
+        return len(self.ips)
+
+    @property
+    def is_antipattern(self) -> bool:
+        return bool(self.antipattern_types)
+
+    def coverage(self, log_size: int) -> float:
+        """Fraction of the log covered by this pattern's instances."""
+        return self.query_count / log_size if log_size else 0.0
+
+
+class PatternRegistry:
+    """Mapping from pattern unit to its :class:`PatternStats`."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[Tuple[str, ...], PatternStats] = {}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self):
+        return iter(self._stats.values())
+
+    def __contains__(self, unit: Tuple[str, ...]) -> bool:
+        return unit in self._stats
+
+    def get(self, unit: Tuple[str, ...]) -> Optional[PatternStats]:
+        return self._stats.get(unit)
+
+    # ------------------------------------------------------------------
+    # Building
+
+    def add_instance(self, instance: PatternInstance) -> PatternStats:
+        """Count one pattern instance into the registry."""
+        stats = self._stats.get(instance.unit)
+        if stats is None:
+            stats = PatternStats(
+                unit=instance.unit,
+                skeletons=tuple(
+                    query.template.skeleton_sql for query in instance.queries
+                ),
+            )
+            self._stats[instance.unit] = stats
+        stats.frequency += 1
+        stats.query_count += len(instance.queries)
+        stats.users.add(instance.user)
+        for query in instance.queries:
+            if query.record.ip:
+                stats.ips.add(query.record.ip)
+        return stats
+
+    @classmethod
+    def from_instances(
+        cls, instances: Iterable[PatternInstance]
+    ) -> "PatternRegistry":
+        registry = cls()
+        for instance in instances:
+            registry.add_instance(instance)
+        return registry
+
+    def mark_antipattern(self, unit: Tuple[str, ...], label: str) -> None:
+        """Attach an antipattern label to a pattern (detector callback).
+
+        Unknown units are ignored: a detector may label a sub-sequence the
+        miner did not materialise as its own pattern.
+        """
+        stats = self._stats.get(unit)
+        if stats is not None:
+            stats.antipattern_types.add(label)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def ranked(self, *, antipatterns: Optional[bool] = None) -> List[PatternStats]:
+        """Patterns sorted by descending frequency (rank 1 first).
+
+        :param antipatterns: None = all patterns; True = antipatterns
+            only; False = plain patterns only.
+        """
+        rows = [
+            stats
+            for stats in self._stats.values()
+            if antipatterns is None or stats.is_antipattern == antipatterns
+        ]
+        rows.sort(key=lambda s: (-s.frequency, s.unit))
+        return rows
+
+    def top(self, count: int, **kwargs) -> List[PatternStats]:
+        """The ``count`` most frequent patterns (see :meth:`ranked`)."""
+        return self.ranked(**kwargs)[:count]
+
+    def total_instances(self) -> int:
+        return sum(stats.frequency for stats in self._stats.values())
+
+    def total_queries(self) -> int:
+        return sum(stats.query_count for stats in self._stats.values())
+
+    def max_frequency(self) -> int:
+        return max((stats.frequency for stats in self._stats.values()), default=0)

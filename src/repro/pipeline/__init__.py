@@ -1,0 +1,29 @@
+"""The cleaning pipeline (Fig. 1): configuration, framework, statistics."""
+
+from .config import PipelineConfig
+from .framework import (
+    CleaningPipeline,
+    ParseStageResult,
+    PipelineResult,
+    clean_log,
+    parse_log,
+)
+from .report import export_report
+from .statistics import AntipatternCensus, Overview, census_by_label
+from .streaming import StreamingCleaner, StreamingStats, clean_log_streaming
+
+__all__ = [
+    "export_report",
+    "StreamingCleaner",
+    "StreamingStats",
+    "clean_log_streaming",
+    "PipelineConfig",
+    "CleaningPipeline",
+    "ParseStageResult",
+    "PipelineResult",
+    "clean_log",
+    "parse_log",
+    "AntipatternCensus",
+    "Overview",
+    "census_by_label",
+]

@@ -1,0 +1,36 @@
+"""Configuration of the cleaning pipeline (the framework's parameters,
+Section 5: duplicate threshold, pattern-mining knobs, detector set)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..antipatterns.base import DetectionContext, Detector
+from ..patterns.miner import MinerConfig
+from ..patterns.sws import SwsConfig
+
+
+@dataclass
+class PipelineConfig:
+    """All knobs of one pipeline run.
+
+    :param dedup_threshold: seconds for duplicate deletion (Section 5.2);
+        Table 4 motivates the 1-second default.
+    :param miner: blocking / segmentation parameters.
+    :param detection: schema knowledge and detector tuning.
+    :param detectors: detector set; ``None`` selects the paper's default
+        (Stifle, CTH, SNC).
+    :param sws: SWS thresholds; ``None`` disables the SWS scan.
+    :param fold_variables: skeletonize ``@variables`` too.
+    :param strict_triple: use the paper-verbatim template identity
+        (SFC, SWC, SSC only — no GROUP/ORDER/TOP component).
+    """
+
+    dedup_threshold: float = 1.0
+    miner: MinerConfig = field(default_factory=MinerConfig)
+    detection: DetectionContext = field(default_factory=DetectionContext)
+    detectors: Optional[Sequence[Detector]] = None
+    sws: Optional[SwsConfig] = None
+    fold_variables: bool = False
+    strict_triple: bool = False

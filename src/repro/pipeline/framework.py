@@ -1,0 +1,207 @@
+"""The cleaning framework — Fig. 1's processing pipeline, end to end.
+
+Stages (each producing an inspectable artifact, like the figure's boxes):
+
+1. **Delete duplicates** (Section 5.2) → pre-clean query log.
+2. **Parse statements** (Section 5.3) → parsed query log; syntax errors
+   and non-SELECT statements are excluded and counted.
+3. **Mine patterns** (Section 4.1) → blocks, pattern instances, registry
+   with frequency / userPopularity.
+4. **Detect antipatterns** (Section 4.2) → labelled instances; the
+   registry rows are marked so Tables 6/7 can be ranked.
+5. **Optionally scan for SWS** (Section 6.5).
+6. **Solve antipatterns** (Section 5.5) → clean query log + statistics.
+
+:func:`CleaningPipeline.run` executes all of it; the intermediate results
+live on the returned :class:`PipelineResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..antipatterns.base import run_detectors
+from ..antipatterns.cth import CthCensusRow, cth_census
+from ..antipatterns.types import CTH_CANDIDATE, AntipatternInstance
+from ..log.dedup import DedupResult, delete_duplicates
+from ..log.models import LogRecord, QueryLog
+from ..patterns.miner import MiningResult, mine
+from ..patterns.models import ParsedQuery
+from ..patterns.registry import PatternRegistry
+from ..patterns.sws import SwsReport, detect_sws
+from ..rewrite.solver import SolveResult, remove, solve
+from ..sqlparser import SqlError, UnsupportedStatementError, parse
+from .config import PipelineConfig
+from .statistics import Overview, census_by_label
+
+
+@dataclass
+class ParseStageResult:
+    """Outcome of the parse stage (Section 5.3)."""
+
+    queries: List[ParsedQuery] = field(default_factory=list)
+    syntax_errors: List[Tuple[LogRecord, str]] = field(default_factory=list)
+    non_select: List[LogRecord] = field(default_factory=list)
+
+    @property
+    def parsed_log(self) -> QueryLog:
+        """The parsed query log as a plain log (SELECTs that parsed)."""
+        return QueryLog(query.record for query in self.queries)
+
+
+def parse_log(
+    log: QueryLog,
+    *,
+    fold_variables: bool = False,
+    strict_triple: bool = False,
+) -> ParseStageResult:
+    """Parse every statement; classify failures (Fig. 1's parse stage).
+
+    Real logs repeat statement texts heavily (the whole premise of the
+    paper), so parsing and feature extraction are cached per distinct
+    statement text: a repeated statement reuses the immutable AST,
+    template and clause features and only swaps in its own log record.
+    """
+    result = ParseStageResult()
+    #: sql text -> prototype ParsedQuery, or the SqlError to re-raise.
+    cache: dict = {}
+    for record in log:
+        cached = cache.get(record.sql)
+        if cached is None:
+            try:
+                statement = parse(record.sql)
+                cached = ParsedQuery.from_statement(
+                    record,
+                    statement,
+                    fold_variables=fold_variables,
+                    strict_triple=strict_triple,
+                )
+            except SqlError as error:
+                cached = error
+            except RecursionError:
+                # Pathologically deep expressions (hundreds of nested
+                # conjuncts) exceed the tree-walker capacity; classify
+                # them like any other unprocessable statement instead of
+                # crashing the run.
+                cached = SqlError("statement exceeds supported nesting depth")
+            cache[record.sql] = cached
+        if isinstance(cached, UnsupportedStatementError):
+            result.non_select.append(record)
+            continue
+        if isinstance(cached, SqlError):
+            result.syntax_errors.append((record, str(cached)))
+            continue
+        if cached.record is record:
+            result.queries.append(cached)
+        else:
+            result.queries.append(dataclasses.replace(cached, record=record))
+    return result
+
+
+@dataclass
+class PipelineResult:
+    """Every artifact of one pipeline run (the boxes of Fig. 1)."""
+
+    config: PipelineConfig
+    original: QueryLog
+    dedup: DedupResult
+    parse_stage: ParseStageResult
+    mining: MiningResult
+    registry: PatternRegistry
+    antipatterns: List[AntipatternInstance]
+    solve_result: SolveResult
+    sws_report: Optional[SwsReport] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+
+    @property
+    def clean_log(self) -> QueryLog:
+        return self.solve_result.log
+
+    @property
+    def removal_log(self) -> QueryLog:
+        """The *removal* variant: antipattern queries dropped, not
+        rewritten (the third input of the Section 6.9 experiment)."""
+        return remove(self.parse_stage.parsed_log, self.antipatterns)
+
+    def cth_candidates(self) -> List[CthCensusRow]:
+        """Ranked census of CTH candidate patterns (Fig. 2(d))."""
+        return cth_census(
+            [a for a in self.antipatterns if a.label == CTH_CANDIDATE]
+        )
+
+    def overview(self) -> Overview:
+        """Assemble the Table 5 statistics for this run."""
+        stats = Overview(
+            original_size=len(self.original),
+            select_count=len(self.original)
+            - len(self.parse_stage.non_select)
+            - len(self.parse_stage.syntax_errors),
+            syntax_errors=len(self.parse_stage.syntax_errors),
+            non_select=len(self.parse_stage.non_select),
+            after_dedup=len(self.dedup.log),
+            duplicates_removed=self.dedup.removed,
+            final_size=len(self.clean_log),
+            pattern_count=len(self.registry),
+            max_pattern_frequency=self.registry.max_frequency(),
+            antipatterns=census_by_label(self.antipatterns),
+            cth_candidates_real=sum(
+                1 for row in self.cth_candidates() if row.oracle_real
+            ),
+            solved_counts=self.solve_result.solved_counts(),
+            queries_removed_by_solving=self.solve_result.queries_removed,
+        )
+        return stats
+
+
+class CleaningPipeline:
+    """The framework object: configure once, run on any query log."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    def run(self, log: QueryLog) -> PipelineResult:
+        """Execute all stages of Fig. 1 on ``log``."""
+        config = self.config
+
+        dedup = delete_duplicates(log, config.dedup_threshold)
+        parse_stage = parse_log(
+            dedup.log,
+            fold_variables=config.fold_variables,
+            strict_triple=config.strict_triple,
+        )
+        mining = mine(parse_stage.queries, config.miner)
+        registry = PatternRegistry.from_instances(mining.instances)
+
+        antipatterns = run_detectors(
+            mining.blocks, config.detection, config.detectors
+        )
+        for instance in antipatterns:
+            registry.mark_antipattern(instance.unit, instance.label)
+
+        sws_report = None
+        if config.sws is not None:
+            sws_report = detect_sws(
+                registry, mining.instances, config.sws, mark=True
+            )
+
+        solve_result = solve(parse_stage.parsed_log, antipatterns)
+        return PipelineResult(
+            config=config,
+            original=log,
+            dedup=dedup,
+            parse_stage=parse_stage,
+            mining=mining,
+            registry=registry,
+            antipatterns=antipatterns,
+            solve_result=solve_result,
+            sws_report=sws_report,
+        )
+
+
+def clean_log(log: QueryLog, config: Optional[PipelineConfig] = None) -> QueryLog:
+    """One-call convenience: run the pipeline, return the clean log."""
+    return CleaningPipeline(config).run(log).clean_log

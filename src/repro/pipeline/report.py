@@ -1,0 +1,153 @@
+"""Report export: write a pipeline run's artifacts as CSV files.
+
+The paper's evaluation consists of tables and figure series; this module
+serialises the corresponding data of one :class:`PipelineResult` so that
+downstream tooling (spreadsheets, plotting scripts) can consume it:
+
+======================  =====================================================
+file                    contents
+======================  =====================================================
+overview.csv            the Table 5 statistics (property, value)
+patterns.csv            per-pattern census: rank, frequency, userPopularity,
+                        distinct IPs, query coverage, antipattern labels,
+                        first skeleton (Tables 6/7, Fig. 2(a,b))
+antipatterns.csv        per-label census: distinct, instances, queries
+cth_candidates.csv      ranked CTH candidates with the oracle verdict
+                        (Fig. 2(d))
+sws.csv                 SWS-flagged patterns, when the scan ran
+solved.csv              one row per solved instance: label, replaced seqs,
+                        replacement SQL
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .framework import PipelineResult
+
+PathLike = Union[str, Path]
+
+
+def _write_rows(path: Path, header: List[str], rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_report(result: PipelineResult, directory: PathLike) -> Dict[str, Path]:
+    """Write all report files into ``directory`` (created if missing).
+
+    Returns a name → path map of everything written.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    overview = result.overview()
+    path = base / "overview.csv"
+    _write_rows(path, ["property", "value"], overview.rows())
+    written["overview"] = path
+
+    log_size = len(result.parse_stage.parsed_log)
+    path = base / "patterns.csv"
+    _write_rows(
+        path,
+        [
+            "rank",
+            "frequency",
+            "user_popularity",
+            "distinct_ips",
+            "query_count",
+            "coverage",
+            "antipattern_labels",
+            "first_skeleton",
+        ],
+        [
+            (
+                rank,
+                stats.frequency,
+                stats.user_popularity,
+                stats.distinct_ips,
+                stats.query_count,
+                f"{stats.coverage(log_size):.6f}",
+                "/".join(sorted(stats.antipattern_types)),
+                stats.skeletons[0],
+            )
+            for rank, stats in enumerate(result.registry.ranked(), start=1)
+        ],
+    )
+    written["patterns"] = path
+
+    path = base / "antipatterns.csv"
+    census = result.overview().antipatterns
+    _write_rows(
+        path,
+        ["label", "distinct_patterns", "instances", "queries"],
+        [
+            (label, row.distinct, row.instances, row.queries)
+            for label, row in sorted(census.items())
+        ],
+    )
+    written["antipatterns"] = path
+
+    path = base / "cth_candidates.csv"
+    _write_rows(
+        path,
+        [
+            "rank",
+            "frequency",
+            "user_popularity",
+            "oracle_real",
+            "first_skeleton",
+            "followup_skeleton",
+        ],
+        [
+            (
+                rank,
+                row.frequency,
+                row.user_popularity,
+                int(row.oracle_real),
+                row.first_skeleton,
+                row.followup_skeleton,
+            )
+            for rank, row in enumerate(result.cth_candidates(), start=1)
+        ],
+    )
+    written["cth_candidates"] = path
+
+    if result.sws_report is not None:
+        path = base / "sws.csv"
+        _write_rows(
+            path,
+            ["frequency", "user_popularity", "query_count", "first_skeleton"],
+            [
+                (
+                    stats.frequency,
+                    stats.user_popularity,
+                    stats.query_count,
+                    stats.skeletons[0],
+                )
+                for stats in result.sws_report.patterns
+            ],
+        )
+        written["sws"] = path
+
+    path = base / "solved.csv"
+    _write_rows(
+        path,
+        ["label", "replaced_seqs", "replacement_sql"],
+        [
+            (
+                solved.instance.label,
+                " ".join(str(seq) for seq in solved.replaced_seqs),
+                solved.replacement_sql,
+            )
+            for solved in result.solve_result.solved
+        ],
+    )
+    written["solved"] = path
+    return written

@@ -1,0 +1,114 @@
+"""Run statistics — the "Statistics" result box of Fig. 1 and Table 5.
+
+The overview aggregates every stage's counters: original size, SELECT
+share, duplicates removed, final size, pattern census and the per-class
+antipattern counts (distinct patterns and covered queries), exactly the
+rows Table 5 reports for the SkyServer log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..antipatterns.types import (
+    CTH_CANDIDATE,
+    DF_STIFLE,
+    DS_STIFLE,
+    DW_STIFLE,
+    SNC,
+    AntipatternInstance,
+)
+
+
+@dataclass
+class AntipatternCensus:
+    """Distinct-pattern and query-coverage counts for one label."""
+
+    distinct: int = 0
+    instances: int = 0
+    queries: int = 0
+
+
+def census_by_label(
+    instances: Sequence[AntipatternInstance],
+) -> Dict[str, AntipatternCensus]:
+    """Aggregate instances per label.
+
+    ``distinct`` counts distinct pattern units (the paper's "1018 distinct
+    DW-Stifles"), ``queries`` the statements covered by all instances.
+    """
+    units: Dict[str, set] = {}
+    census: Dict[str, AntipatternCensus] = {}
+    for instance in instances:
+        row = census.setdefault(instance.label, AntipatternCensus())
+        row.instances += 1
+        row.queries += len(instance.queries)
+        units.setdefault(instance.label, set()).add(instance.unit)
+    for label, unit_set in units.items():
+        census[label].distinct = len(unit_set)
+    return census
+
+
+@dataclass
+class Overview:
+    """The Table 5 "Results overview" of one pipeline run."""
+
+    original_size: int = 0
+    select_count: int = 0
+    syntax_errors: int = 0
+    non_select: int = 0
+    after_dedup: int = 0
+    duplicates_removed: int = 0
+    final_size: int = 0
+    pattern_count: int = 0
+    max_pattern_frequency: int = 0
+    antipatterns: Dict[str, AntipatternCensus] = field(default_factory=dict)
+    cth_candidates_real: int = 0
+    solved_counts: Dict[str, int] = field(default_factory=dict)
+    queries_removed_by_solving: int = 0
+
+    def percent(self, value: int) -> float:
+        return 100.0 * value / self.original_size if self.original_size else 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """Render the overview as (property, value) rows like Table 5."""
+
+        def count_row(label: str) -> List[Tuple[str, str]]:
+            row = self.antipatterns.get(label, AntipatternCensus())
+            return [
+                (f"Count of distinct {label}", str(row.distinct)),
+                (f"Count of queries in all {label}", str(row.queries)),
+            ]
+
+        rows: List[Tuple[str, str]] = [
+            ("Size of original query log", f"{self.original_size:,}"),
+            (
+                "Count of Select queries",
+                f"{self.select_count:,} ({self.percent(self.select_count):.1f} %)",
+            ),
+            (
+                "Size of log after deleting duplicates",
+                f"{self.after_dedup:,} ({self.percent(self.after_dedup):.2f}%)",
+            ),
+            (
+                "Final log size",
+                f"{self.final_size:,} ({self.percent(self.final_size):.2f}%)",
+            ),
+            ("Count of patterns", f"{self.pattern_count:,}"),
+            ("Maximal pattern frequency", f"{self.max_pattern_frequency:,}"),
+        ]
+        for label in (DW_STIFLE, DS_STIFLE, DF_STIFLE, SNC):
+            if label in self.antipatterns:
+                rows.extend(count_row(label))
+        cth = self.antipatterns.get(CTH_CANDIDATE, AntipatternCensus())
+        rows.append(("Count of distinct candidate CTH", str(cth.distinct)))
+        rows.append(("Count of queries in all candidate CTH", str(cth.queries)))
+        rows.append(("Count of real CTH (oracle)", str(self.cth_candidates_real)))
+        return rows
+
+    def format(self) -> str:
+        """Plain-text rendering of :meth:`rows`."""
+        rendered = self.rows()
+        width = max(len(name) for name, _ in rendered)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rendered)

@@ -1,0 +1,181 @@
+"""Streaming variant of the cleaning pipeline.
+
+The paper's log has 42 million statements; holding the parsed log in
+memory (as :class:`~repro.pipeline.framework.CleaningPipeline` does) is
+fine for samples but not for full-scale runs.  The streaming cleaner
+processes records in time order with bounded state:
+
+* **dedup** — a last-seen map keyed by (user, normalised statement),
+  pruned of entries older than the threshold;
+* **blocking** — per-user open blocks; a block closes when its user goes
+  quiet for longer than the miner's ``block_gap`` (measured against the
+  stream clock), when it reaches ``max_block_queries``, or at end of
+  stream;
+* **detect + solve** — each closed block runs the detectors and the
+  solver locally and its clean records are emitted.
+
+The result is record-for-record identical to the batch pipeline's clean
+log whenever no block was force-closed by the size bound, because both
+detectors and solver only ever look *within* a block.  Global analyses
+that need the whole log (the pattern registry, SWS classification) are
+out of scope here by design — they are downstream consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..antipatterns.base import run_detectors
+from ..log.dedup import normalize_statement_text
+from ..log.models import LogRecord, QueryLog
+from ..patterns.models import Block, ParsedQuery
+from ..rewrite.solver import solve
+from ..sqlparser import SqlError, UnsupportedStatementError, parse
+from .config import PipelineConfig
+
+
+@dataclass
+class StreamingStats:
+    """Counters of one streaming run."""
+
+    records_in: int = 0
+    records_out: int = 0
+    duplicates_removed: int = 0
+    syntax_errors: int = 0
+    non_select: int = 0
+    blocks_closed: int = 0
+    blocks_force_closed: int = 0
+    instances_detected: int = 0
+    instances_solved: int = 0
+    max_open_queries: int = 0
+
+
+class StreamingCleaner:
+    """Process a record stream with bounded memory.
+
+    :param config: the same configuration the batch pipeline takes;
+        ``config.sws`` is ignored (needs global state).
+    :param max_block_queries: force-close bound per open block — the
+        memory ceiling is roughly ``open users × max_block_queries``.
+    """
+
+    def __init__(
+        self, config: Optional[PipelineConfig] = None, max_block_queries: int = 10_000
+    ) -> None:
+        if max_block_queries < 2:
+            raise ValueError(
+                f"max_block_queries must be >= 2, got {max_block_queries}"
+            )
+        self.config = config or PipelineConfig()
+        self.max_block_queries = max_block_queries
+        self.stats = StreamingStats()
+        self._open: Dict[str, List[ParsedQuery]] = {}
+        self._last_seen: Dict[Tuple[str, str], float] = {}
+        self._last_prune = 0.0
+
+    # ------------------------------------------------------------------
+    # Stages
+
+    def _is_duplicate(self, record: LogRecord) -> bool:
+        threshold = self.config.dedup_threshold
+        key = (record.user_key(), normalize_statement_text(record.sql))
+        previous = self._last_seen.get(key)
+        self._last_seen[key] = record.timestamp
+        if previous is not None and record.timestamp - previous <= threshold:
+            return True
+        # periodically prune entries that can never match again
+        if record.timestamp - self._last_prune > max(threshold, 1.0) * 64:
+            horizon = record.timestamp - threshold
+            self._last_seen = {
+                k: ts for k, ts in self._last_seen.items() if ts >= horizon
+            }
+            self._last_prune = record.timestamp
+        return False
+
+    def _parse(self, record: LogRecord) -> Optional[ParsedQuery]:
+        try:
+            statement = parse(record.sql)
+            return ParsedQuery.from_statement(
+                record,
+                statement,
+                fold_variables=self.config.fold_variables,
+                strict_triple=self.config.strict_triple,
+            )
+        except UnsupportedStatementError:
+            self.stats.non_select += 1
+            return None
+        except (SqlError, RecursionError):
+            self.stats.syntax_errors += 1
+            return None
+
+    def _close_block(self, user: str) -> List[LogRecord]:
+        queries = self._open.pop(user, [])
+        if not queries:
+            return []
+        self.stats.blocks_closed += 1
+        block = Block(user=user, queries=tuple(queries))
+        instances = run_detectors(
+            [block], self.config.detection, self.config.detectors
+        )
+        self.stats.instances_detected += len(instances)
+        block_log = QueryLog(query.record for query in queries)
+        result = solve(block_log, instances)
+        self.stats.instances_solved += len(result.solved)
+        return result.log.records()
+
+    def _flush_idle(self, now: float) -> Iterator[LogRecord]:
+        gap = self.config.miner.block_gap
+        for user in list(self._open):
+            queries = self._open[user]
+            if queries and now - queries[-1].timestamp > gap:
+                yield from self._close_block(user)
+
+    # ------------------------------------------------------------------
+    # Driver
+
+    def process(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        """Consume a time-ordered record stream, yield clean records.
+
+        Emission order is block-close order; feed the output into a
+        :class:`QueryLog` to restore global time order.
+        """
+        for record in records:
+            self.stats.records_in += 1
+            yield from self._flush_idle(record.timestamp)
+
+            if self._is_duplicate(record):
+                self.stats.duplicates_removed += 1
+                continue
+            parsed = self._parse(record)
+            if parsed is None:
+                continue
+            bucket = self._open.setdefault(record.user_key(), [])
+            bucket.append(parsed)
+            open_count = sum(len(q) for q in self._open.values())
+            self.stats.max_open_queries = max(
+                self.stats.max_open_queries, open_count
+            )
+            if len(bucket) >= self.max_block_queries:
+                self.stats.blocks_force_closed += 1
+                yield from self._close_block(record.user_key())
+
+        for user in list(self._open):
+            yield from self._close_block(user)
+
+    def run(self, log: QueryLog) -> QueryLog:
+        """Convenience: stream a whole log, return the clean log."""
+        cleaned = QueryLog(self.process(log))
+        self.stats.records_out = len(cleaned)
+        return cleaned
+
+
+def clean_log_streaming(
+    log: QueryLog,
+    config: Optional[PipelineConfig] = None,
+    max_block_queries: int = 10_000,
+) -> Tuple[QueryLog, StreamingStats]:
+    """One-call streaming clean: (clean log, streaming statistics)."""
+    cleaner = StreamingCleaner(config, max_block_queries)
+    cleaned = cleaner.run(log)
+    return cleaned, cleaner.stats

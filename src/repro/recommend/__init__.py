@@ -1,0 +1,22 @@
+"""Query recommendation — the paper's future work (Section 7), built."""
+
+from .evaluation import (
+    RecommenderReport,
+    antipattern_template_ids,
+    compare_raw_vs_clean,
+    evaluate,
+    split_blocks,
+    sws_template_ids,
+)
+from .model import Recommendation, TemplateTransitionModel
+
+__all__ = [
+    "RecommenderReport",
+    "antipattern_template_ids",
+    "compare_raw_vs_clean",
+    "evaluate",
+    "split_blocks",
+    "sws_template_ids",
+    "Recommendation",
+    "TemplateTransitionModel",
+]

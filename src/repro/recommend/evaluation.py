@@ -1,0 +1,151 @@
+"""Evaluating recommenders trained on raw vs cleaned logs.
+
+Implements the measurement the paper's future work calls for (Section 7):
+
+* **hit rate @ k** — how often the actually-issued next query is among
+  the top-k suggestions (standard next-item metric, evaluated on a
+  held-out fraction of the blocks);
+* **antipattern recommendation rate** — the fraction of suggestions whose
+  template belongs to a detected antipattern: *"queries suggested by a
+  recommender system must not contain antipatterns"*;
+* **SWS recommendation rate** — the fraction of suggestions whose
+  template is a flagged machine-download (sliding-window) pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..patterns.models import Block
+from ..pipeline.framework import PipelineResult
+from .model import TemplateTransitionModel
+
+
+@dataclass
+class RecommenderReport:
+    """Metrics of one trained recommender on one evaluation set."""
+
+    hit_rate: float
+    antipattern_rate: float
+    sws_rate: float
+    evaluated_pairs: int
+    recommendations: int
+
+
+def split_blocks(
+    blocks: Sequence[Block], train_share: float = 0.8
+) -> Tuple[List[Block], List[Block]]:
+    """Time-ordered train/test split: the recommender learns from the
+    past and is evaluated on the future, like a deployed system."""
+    if not 0.0 < train_share < 1.0:
+        raise ValueError(f"train_share must be in (0, 1), got {train_share}")
+    ordered = sorted(
+        blocks, key=lambda block: block.queries[0].timestamp if block.queries else 0.0
+    )
+    cut = max(1, int(len(ordered) * train_share))
+    return list(ordered[:cut]), list(ordered[cut:])
+
+
+def antipattern_template_ids(result: PipelineResult) -> Set[str]:
+    """Template ids of all queries in detected antipattern instances."""
+    return {
+        query.template_id
+        for instance in result.antipatterns
+        for query in instance.queries
+    }
+
+
+def sws_template_ids(result: PipelineResult) -> Set[str]:
+    """Template ids of patterns the SWS scan flagged."""
+    if result.sws_report is None:
+        return set()
+    return {
+        template_id
+        for stats in result.sws_report.patterns
+        for template_id in stats.unit
+    }
+
+
+def evaluate(
+    model: TemplateTransitionModel,
+    test_blocks: Sequence[Block],
+    *,
+    k: int = 3,
+    antipattern_templates: Optional[Set[str]] = None,
+    sws_templates: Optional[Set[str]] = None,
+) -> RecommenderReport:
+    """Replay the test blocks and score the model's suggestions."""
+    antipattern_templates = antipattern_templates or set()
+    sws_templates = sws_templates or set()
+    hits = 0
+    pairs = 0
+    flagged = 0
+    sws_flagged = 0
+    total_recommendations = 0
+    for block in test_blocks:
+        ids = block.template_ids()
+        for index in range(1, len(ids)):
+            previous, actual = ids[index - 1], ids[index]
+            suggestions = model.recommend(previous, k)
+            if not suggestions:
+                continue
+            pairs += 1
+            suggested_ids = [s.template_id for s in suggestions]
+            if actual in suggested_ids:
+                hits += 1
+            total_recommendations += len(suggested_ids)
+            flagged += sum(1 for t in suggested_ids if t in antipattern_templates)
+            sws_flagged += sum(1 for t in suggested_ids if t in sws_templates)
+    return RecommenderReport(
+        hit_rate=hits / pairs if pairs else 0.0,
+        antipattern_rate=(
+            flagged / total_recommendations if total_recommendations else 0.0
+        ),
+        sws_rate=(
+            sws_flagged / total_recommendations if total_recommendations else 0.0
+        ),
+        evaluated_pairs=pairs,
+        recommendations=total_recommendations,
+    )
+
+
+def compare_raw_vs_clean(
+    raw_result: PipelineResult,
+    clean_result: PipelineResult,
+    *,
+    k: int = 3,
+    train_share: float = 0.8,
+) -> Dict[str, RecommenderReport]:
+    """The future-work experiment in one call.
+
+    Trains one recommender on the raw log's blocks and one on the clean
+    log's, evaluates **both on the raw log's held-out future** (the
+    queries users actually issued), and tags suggestions using the raw
+    run's antipattern/SWS classification.
+    """
+    raw_train, raw_test = split_blocks(raw_result.mining.blocks, train_share)
+    clean_train, _ = split_blocks(clean_result.mining.blocks, train_share)
+
+    antipatterns = antipattern_template_ids(raw_result)
+    sws = sws_template_ids(raw_result)
+
+    raw_model = TemplateTransitionModel().train_on_blocks(raw_train)
+    clean_model = TemplateTransitionModel().train_on_blocks(clean_train)
+
+    return {
+        "raw": evaluate(
+            raw_model,
+            raw_test,
+            k=k,
+            antipattern_templates=antipatterns,
+            sws_templates=sws,
+        ),
+        "clean": evaluate(
+            clean_model,
+            raw_test,
+            k=k,
+            antipattern_templates=antipatterns,
+            sws_templates=sws,
+        ),
+    }

@@ -1,0 +1,126 @@
+"""Next-query recommendation over template sequences.
+
+The paper's future-work section (Section 7) hypothesises that (1) SWS
+queries in the training set make recommenders suggest robot-style
+machine-download queries, and (2) a recommender trained on the original
+log recommends queries containing antipatterns, while one trained on the
+cleaned log does not.  This module provides the recommender needed to
+test both claims — a first-order Markov model over *query templates*
+(the level at which SkyServer recommenders like QueRIE [6] operate).
+
+Training consumes block-local template sequences (same user, small gaps —
+the same notion of adjacency the pattern miner uses), so a recommendation
+"after template A, users issue template B" reflects actual session
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..patterns.models import Block
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked suggestion."""
+
+    template_id: str
+    score: float
+    skeleton_sql: str = ""
+
+
+class TemplateTransitionModel:
+    """First-order Markov model over template ids.
+
+    :param smoothing: Laplace pseudo-count added to every observed
+        successor (unseen successors are never invented; smoothing only
+        dampens rank gaps).
+    """
+
+    def __init__(self, smoothing: float = 0.0) -> None:
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        self.smoothing = smoothing
+        self._transitions: Dict[str, Dict[str, int]] = {}
+        self._unigrams: Dict[str, int] = {}
+        self._skeletons: Dict[str, str] = {}
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Training
+
+    def observe(self, previous: str, current: str) -> None:
+        """Count one adjacent pair."""
+        bucket = self._transitions.setdefault(previous, {})
+        bucket[current] = bucket.get(current, 0) + 1
+
+    def train_on_blocks(self, blocks: Iterable[Block]) -> "TemplateTransitionModel":
+        """Train from miner blocks (chainable)."""
+        for block in blocks:
+            previous: Optional[str] = None
+            for query in block.queries:
+                template_id = query.template_id
+                self._unigrams[template_id] = self._unigrams.get(template_id, 0) + 1
+                self._total += 1
+                self._skeletons.setdefault(
+                    template_id, query.template.skeleton_sql
+                )
+                if previous is not None:
+                    self.observe(previous, template_id)
+                previous = template_id
+        return self
+
+    # ------------------------------------------------------------------
+    # Inspection
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._unigrams)
+
+    @property
+    def transition_count(self) -> int:
+        return sum(
+            count
+            for bucket in self._transitions.values()
+            for count in bucket.values()
+        )
+
+    def skeleton_of(self, template_id: str) -> str:
+        return self._skeletons.get(template_id, "")
+
+    # ------------------------------------------------------------------
+    # Recommendation
+
+    def recommend(self, previous: str, k: int = 5) -> List[Recommendation]:
+        """Top-``k`` successors of ``previous``, most probable first.
+
+        Falls back to the global unigram ranking when the context was
+        never seen in training (cold start).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        bucket = self._transitions.get(previous)
+        if bucket:
+            total = sum(bucket.values()) + self.smoothing * len(bucket)
+            ranked = sorted(bucket.items(), key=lambda kv: (-kv[1], kv[0]))
+            return [
+                Recommendation(
+                    template_id=template_id,
+                    score=(count + self.smoothing) / total,
+                    skeleton_sql=self.skeleton_of(template_id),
+                )
+                for template_id, count in ranked[:k]
+            ]
+        if not self._unigrams:
+            return []
+        ranked = sorted(self._unigrams.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            Recommendation(
+                template_id=template_id,
+                score=count / self._total,
+                skeleton_sql=self.skeleton_of(template_id),
+            )
+            for template_id, count in ranked[:k]
+        ]

@@ -1,0 +1,32 @@
+"""Antipattern solving: rewrite rules and the solver (Sections 4.2, 5.5)."""
+
+from .snc_rewrite import rewrite_snc_expression, rewrite_snc_statement
+from .solver import (
+    REWRITE_RULES,
+    RewriteRule,
+    SolveResult,
+    SolvedInstance,
+    remove,
+    solve,
+)
+from .stifle_rewrites import (
+    RewriteNotApplicable,
+    rewrite_df_stifle,
+    rewrite_ds_stifle,
+    rewrite_dw_stifle,
+)
+
+__all__ = [
+    "rewrite_snc_expression",
+    "rewrite_snc_statement",
+    "REWRITE_RULES",
+    "RewriteRule",
+    "SolveResult",
+    "SolvedInstance",
+    "remove",
+    "solve",
+    "RewriteNotApplicable",
+    "rewrite_df_stifle",
+    "rewrite_ds_stifle",
+    "rewrite_dw_stifle",
+]

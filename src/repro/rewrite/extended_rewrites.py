@@ -1,0 +1,162 @@
+"""Solving rules for the extended antipattern catalog.
+
+Three of the extended antipatterns have mechanical solutions:
+
+* **Redundant-Distinct** — drop the DISTINCT (the GROUP BY already
+  guarantees it).
+* **Having-No-Aggregate** — move the aggregate-free HAVING predicate into
+  the WHERE clause (AND-ed with any existing one).
+* **Implicit-Columns** — expand ``*`` / ``t.*`` into the explicit column
+  list; this needs schema knowledge, so the rule is a *factory* taking a
+  catalog.
+
+``install_extended_rules`` merges them into a rule table for
+:func:`repro.rewrite.solver.solve`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..engine.catalog import Catalog
+from ..patterns.models import ParsedQuery
+from ..sqlparser import ast_nodes as ast
+from .solver import REWRITE_RULES, RewriteRule
+from .stifle_rewrites import RewriteNotApplicable
+from ..antipatterns.extended import (
+    HAVING_NO_AGGREGATE,
+    IMPLICIT_COLUMNS,
+    REDUNDANT_DISTINCT,
+)
+
+
+def _single_select(query: ParsedQuery) -> ast.SelectStatement:
+    if not isinstance(query.statement, ast.SelectStatement):
+        raise RewriteNotApplicable("UNION statements are not rewritten")
+    return query.statement
+
+
+def rewrite_redundant_distinct(
+    queries: Sequence[ParsedQuery],
+) -> ast.Statement:
+    """Drop DISTINCT from a grouped query."""
+    select = _single_select(queries[0])
+    if not (select.distinct and select.group_by):
+        raise RewriteNotApplicable("query lost its redundant-distinct shape")
+    return ast.SelectStatement(
+        items=select.items,
+        from_sources=select.from_sources,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        distinct=False,
+        top=select.top,
+    )
+
+
+def rewrite_having_no_aggregate(
+    queries: Sequence[ParsedQuery],
+) -> ast.Statement:
+    """Move an aggregate-free HAVING condition into the WHERE clause."""
+    select = _single_select(queries[0])
+    if select.having is None:
+        raise RewriteNotApplicable("query has no HAVING clause")
+    where = select.having
+    if select.where is not None:
+        where = ast.And(left=select.where, right=where)
+    return ast.SelectStatement(
+        items=select.items,
+        from_sources=select.from_sources,
+        where=where,
+        group_by=select.group_by,
+        having=None,
+        order_by=select.order_by,
+        distinct=select.distinct,
+        top=select.top,
+    )
+
+
+def make_implicit_columns_rule(catalog: Catalog) -> RewriteRule:
+    """Build the star-expansion rule for a concrete schema."""
+
+    def resolve_columns(source: ast.TableSource) -> List[ast.SelectItem]:
+        if isinstance(source, ast.TableName):
+            schema = catalog.get(source.name)
+            if schema is None:
+                raise RewriteNotApplicable(
+                    f"table {source.name!r} is not in the catalog"
+                )
+            qualifier = source.alias or source.name
+            return [
+                ast.SelectItem(
+                    expr=ast.ColumnRef(name=column.name, table=qualifier)
+                )
+                for column in schema.columns
+            ]
+        if isinstance(source, ast.Join):
+            return resolve_columns(source.left) + resolve_columns(source.right)
+        raise RewriteNotApplicable(
+            "star expansion handles base tables and joins only"
+        )
+
+    def alias_columns(
+        sources: Sequence[ast.TableSource], alias: str
+    ) -> List[ast.SelectItem]:
+        for source in sources:
+            if isinstance(source, ast.TableName) and (
+                (source.alias or source.name).lower() == alias.lower()
+            ):
+                return resolve_columns(source)
+            if isinstance(source, ast.Join):
+                try:
+                    return alias_columns([source.left, source.right], alias)
+                except RewriteNotApplicable:
+                    continue
+        raise RewriteNotApplicable(f"unknown alias {alias!r} for star expansion")
+
+    def rule(queries: Sequence[ParsedQuery]) -> ast.Statement:
+        select = _single_select(queries[0])
+        items: List[ast.SelectItem] = []
+        expanded = False
+        for item in select.items:
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                expanded = True
+                if expr.table is None:
+                    for source in select.from_sources:
+                        items.extend(resolve_columns(source))
+                else:
+                    items.extend(alias_columns(select.from_sources, expr.table))
+            else:
+                items.append(item)
+        if not expanded:
+            raise RewriteNotApplicable("no star projection found")
+        return ast.SelectStatement(
+            items=tuple(items),
+            from_sources=select.from_sources,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            distinct=select.distinct,
+            top=select.top,
+        )
+
+    return rule
+
+
+def install_extended_rules(
+    catalog: Optional[Catalog] = None,
+) -> Dict[str, RewriteRule]:
+    """Rule table with the base rules plus the extended ones.
+
+    :param catalog: when given, star expansion (Implicit-Columns) is
+        enabled; without a schema that antipattern stays detect-only.
+    """
+    rules: Dict[str, RewriteRule] = dict(REWRITE_RULES)
+    rules[REDUNDANT_DISTINCT] = rewrite_redundant_distinct
+    rules[HAVING_NO_AGGREGATE] = rewrite_having_no_aggregate
+    if catalog is not None:
+        rules[IMPLICIT_COLUMNS] = make_implicit_columns_rule(catalog)
+    return rules

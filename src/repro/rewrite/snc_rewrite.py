@@ -1,0 +1,64 @@
+"""SNC rewrite — Definition 16's solving solution (Section 5.4).
+
+``expr = NULL`` becomes ``expr IS NULL``; ``expr <> NULL`` (and the
+``!= NULL`` spelling, which the parser normalises to ``<>``) becomes
+``expr IS NOT NULL``.  The NULL literal may stand on either side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser.visitor import transform
+
+
+def _is_null_literal(node: ast.Expression) -> bool:
+    return isinstance(node, ast.Literal) and node.kind == "null"
+
+
+def rewrite_snc_expression(expr: ast.Expression) -> ast.Expression:
+    """Rewrite every NULL-comparison inside ``expr``."""
+
+    def rule(node: ast.Node) -> Optional[ast.Node]:
+        if not isinstance(node, ast.Comparison) or node.op not in ("=", "<>"):
+            return None
+        negated = node.op == "<>"
+        if _is_null_literal(node.right) and not _is_null_literal(node.left):
+            return ast.IsNull(expr=node.left, negated=negated)
+        if _is_null_literal(node.left) and not _is_null_literal(node.right):
+            return ast.IsNull(expr=node.right, negated=negated)
+        return None
+
+    return transform(expr, rule)
+
+
+def rewrite_snc_statement(statement: ast.Statement) -> ast.Statement:
+    """Rewrite NULL-comparisons in the statement's WHERE/HAVING clauses."""
+
+    def rule(node: ast.Node) -> Optional[ast.Node]:
+        if isinstance(node, ast.SelectStatement):
+            changed = False
+            where, having = node.where, node.having
+            if where is not None:
+                new_where = rewrite_snc_expression(where)
+                changed |= new_where is not where
+                where = new_where
+            if having is not None:
+                new_having = rewrite_snc_expression(having)
+                changed |= new_having is not having
+                having = new_having
+            if changed:
+                return ast.SelectStatement(
+                    items=node.items,
+                    from_sources=node.from_sources,
+                    where=where,
+                    group_by=node.group_by,
+                    having=having,
+                    order_by=node.order_by,
+                    distinct=node.distinct,
+                    top=node.top,
+                )
+        return None
+
+    return transform(statement, rule)

@@ -1,0 +1,260 @@
+"""Engine-backed validation of antipattern rewrites.
+
+The paper argues its rewrites preserve the queries' information need; with
+an executable engine we can *check* it: run the original run and its
+replacement against the same database and compare result sets.
+
+Semantics per class:
+
+* **DW-Stifle** — for every original query (filtering key = v), the
+  replacement's rows with key = v, projected onto the original's columns,
+  must equal the original's rows.  (The rewrite adds the key column
+  precisely so this attribution is possible.)
+* **DS-Stifle** — the replacement projected onto each original's columns
+  must equal that original's rows (same WHERE ⇒ same row set).
+* **DF-Stifle** — the replacement INNER-joins the run's tables; rows of an
+  original whose key has no counterpart in *every* other table are lost.
+  We therefore check the *subset* direction (every replacement row matches
+  the original) and report per-query coverage — mirroring the caveat the
+  paper's Example 14 carries implicitly.
+* **SNC** — the original (``= NULL``) provably returns nothing under SQL
+  comparison semantics; the rewrite returns the NULL rows.  Validation
+  asserts the original is empty and reports the recovered row count.
+
+Projections are matched *by output column name*; instances whose results
+have unnamed or duplicated columns are reported as ``comparable=False``
+rather than failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..antipatterns.types import (
+    DF_STIFLE,
+    DS_STIFLE,
+    DW_STIFLE,
+    SNC,
+    AntipatternInstance,
+)
+from ..engine.executor import Database, EngineError, ResultSet
+from .solver import SolvedInstance
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one solved instance."""
+
+    label: str
+    comparable: bool
+    equivalent: bool
+    reason: str = ""
+    per_query_coverage: List[float] = field(default_factory=list)
+
+
+def _project_by_names(
+    result: ResultSet, names: Sequence[str]
+) -> Optional[Set[Tuple]]:
+    """Rows of ``result`` projected onto ``names``; None if not possible."""
+    positions = []
+    lowered = [column.lower() for column in result.columns]
+    for name in names:
+        target = name.lower()
+        if lowered.count(target) != 1:
+            return None
+        positions.append(lowered.index(target))
+    return {tuple(row[i] for i in positions) for row in result.rows}
+
+
+def _named_columns(result: ResultSet) -> Optional[List[str]]:
+    lowered = [column.lower() for column in result.columns]
+    if any(column.startswith("col") and column[3:].isdigit() for column in lowered):
+        return None
+    if len(set(lowered)) != len(lowered):
+        return None
+    return lowered
+
+
+def validate_solved(
+    database: Database, solved: SolvedInstance
+) -> ValidationReport:
+    """Validate one solved instance against ``database``."""
+    instance = solved.instance
+    label = instance.label
+    try:
+        originals = [
+            database.execute(query.statement) for query in instance.queries
+        ]
+        replacement = database.execute(solved.replacement_sql)
+    except EngineError as error:
+        return ValidationReport(
+            label=label,
+            comparable=False,
+            equivalent=False,
+            reason=f"execution failed: {error}",
+        )
+
+    if label == SNC:
+        empty = all(not result.rows for result in originals)
+        return ValidationReport(
+            label=label,
+            comparable=True,
+            equivalent=empty,
+            reason=(
+                f"original returned {sum(len(r.rows) for r in originals)} rows "
+                f"(must be 0 under = NULL semantics); rewrite recovered "
+                f"{len(replacement.rows)} rows"
+            ),
+        )
+
+    if label == DW_STIFLE:
+        return _validate_dw(instance, originals, replacement)
+    if label in (DS_STIFLE, DF_STIFLE):
+        return _validate_projection(
+            label, instance, originals, replacement, subset_only=label == DF_STIFLE
+        )
+    return ValidationReport(
+        label=label,
+        comparable=False,
+        equivalent=False,
+        reason=f"no validation semantics for {label}",
+    )
+
+
+def _validate_dw(
+    instance: AntipatternInstance,
+    originals: List[ResultSet],
+    replacement: ResultSet,
+) -> ValidationReport:
+    key_name = str(instance.details.get("filter_column", "")).lower()
+    lowered = [column.lower() for column in replacement.columns]
+    if lowered.count(key_name) != 1:
+        return ValidationReport(
+            label=instance.label,
+            comparable=False,
+            equivalent=False,
+            reason=f"replacement does not expose key column {key_name!r} uniquely",
+        )
+    key_index = lowered.index(key_name)
+
+    coverage: List[float] = []
+    for query, original in zip(instance.queries, originals):
+        names = _named_columns(original)
+        if names is None:
+            return ValidationReport(
+                label=instance.label,
+                comparable=False,
+                equivalent=False,
+                reason="original result has unnamed or duplicate columns",
+            )
+        predicate = query.equality_filter
+        assert predicate is not None and predicate.value is not None
+        key_value = predicate.value.python_value()
+        subset = ResultSet(
+            columns=replacement.columns,
+            rows=[
+                row
+                for row in replacement.rows
+                if _loose_equal(row[key_index], key_value)
+            ],
+        )
+        projected = _project_by_names(subset, names)
+        if projected is None:
+            return ValidationReport(
+                label=instance.label,
+                comparable=False,
+                equivalent=False,
+                reason="replacement cannot be projected onto original columns",
+            )
+        original_rows = set(original.rows)
+        coverage.append(
+            len(projected & original_rows) / len(original_rows)
+            if original_rows
+            else 1.0
+        )
+        if projected != original_rows:
+            return ValidationReport(
+                label=instance.label,
+                comparable=True,
+                equivalent=False,
+                reason=f"rows for key={key_value!r} differ",
+                per_query_coverage=coverage,
+            )
+    return ValidationReport(
+        label=instance.label,
+        comparable=True,
+        equivalent=True,
+        per_query_coverage=coverage,
+    )
+
+
+def _loose_equal(left, right) -> bool:
+    if isinstance(left, str) and isinstance(right, str):
+        return left.lower() == right.lower()
+    return left == right
+
+
+def _validate_projection(
+    label: str,
+    instance: AntipatternInstance,
+    originals: List[ResultSet],
+    replacement: ResultSet,
+    *,
+    subset_only: bool,
+) -> ValidationReport:
+    coverage: List[float] = []
+    for original in originals:
+        names = _named_columns(original)
+        if names is None:
+            return ValidationReport(
+                label=label,
+                comparable=False,
+                equivalent=False,
+                reason="original result has unnamed or duplicate columns",
+            )
+        projected = _project_by_names(replacement, names)
+        if projected is None:
+            return ValidationReport(
+                label=label,
+                comparable=False,
+                equivalent=False,
+                reason="replacement cannot be projected onto original columns",
+            )
+        original_rows = set(original.rows)
+        covered = (
+            len(projected & original_rows) / len(original_rows)
+            if original_rows
+            else 1.0
+        )
+        coverage.append(covered)
+        if subset_only:
+            if not projected <= original_rows:
+                return ValidationReport(
+                    label=label,
+                    comparable=True,
+                    equivalent=False,
+                    reason="replacement produced rows outside the original result",
+                    per_query_coverage=coverage,
+                )
+        elif projected != original_rows:
+            return ValidationReport(
+                label=label,
+                comparable=True,
+                equivalent=False,
+                reason="projected replacement differs from original result",
+                per_query_coverage=coverage,
+            )
+    return ValidationReport(
+        label=label,
+        comparable=True,
+        equivalent=True,
+        per_query_coverage=coverage,
+    )
+
+
+def validate_all(
+    database: Database, solved_instances: Sequence[SolvedInstance]
+) -> List[ValidationReport]:
+    """Validate every solved instance; one report each, in order."""
+    return [validate_solved(database, solved) for solved in solved_instances]

@@ -1,0 +1,25 @@
+"""Skeletonization and query-template extraction (paper Section 4.1.2)."""
+
+from .normalizer import skeletonize, skeletonize_statement
+from .template import (
+    ClauseTexts,
+    QueryTemplate,
+    build_clause_texts,
+    build_template,
+    normalize_case,
+)
+from .fingerprint import pattern_fingerprint, template_fingerprint
+from . import features
+
+__all__ = [
+    "skeletonize",
+    "skeletonize_statement",
+    "ClauseTexts",
+    "QueryTemplate",
+    "build_clause_texts",
+    "build_template",
+    "normalize_case",
+    "pattern_fingerprint",
+    "template_fingerprint",
+    "features",
+]

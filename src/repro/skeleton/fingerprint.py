@@ -1,0 +1,28 @@
+"""Stable fingerprints for templates and patterns.
+
+The pattern registry keys millions of queries; hashing the canonical
+skeleton strings with a cryptographic digest gives short, stable,
+collision-safe identifiers that survive across runs and can be written to
+the statistics output (the paper's framework exposes template / pattern
+identifiers in its parsed-log table, cf. Table 2)."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from .template import QueryTemplate
+
+
+def template_fingerprint(template: QueryTemplate) -> str:
+    """Hex digest identifying one query template."""
+    payload = "\x1f".join(
+        (template.ssc, template.sfc, template.swc, template.rest)
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def pattern_fingerprint(templates: Iterable[QueryTemplate]) -> str:
+    """Hex digest identifying a pattern = a *sequence* of templates."""
+    payload = "\x1e".join(template_fingerprint(t) for t in templates)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]

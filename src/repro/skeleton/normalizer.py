@@ -1,0 +1,47 @@
+"""Skeletonization: replace constants with typed placeholders.
+
+Section 4.1.2 of the paper: the *skeleton query* (SQ) is obtained from a
+syntax tree by replacing all parameters in the leaf nodes with placeholders.
+Two queries are similar iff their skeletons are equal (Definition 6).
+
+We replace
+
+* numeric literals with ``<num>``,
+* string literals with ``<str>``,
+* ``NULL`` literals with ``<null>`` (so the SNC antipattern's defining
+  ``= NULL`` shape survives skeletonization and stays detectable),
+* optionally T-SQL ``@variables`` with ``<var>`` — SkyServer's own web
+  templates parametrise with variables, and whether two template
+  instantiations that differ only in variable *names* are "the same
+  skeleton" is a dial (default: variables are kept verbatim, matching the
+  paper's Table 7 which shows ``@ra``/``@dec`` in the skeletons).
+"""
+
+from __future__ import annotations
+
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser.visitor import transform
+
+
+def skeletonize(
+    node: ast.Node, *, fold_variables: bool = False
+) -> ast.Node:
+    """Return the skeleton tree of ``node`` (constants → placeholders)."""
+
+    def rewrite(current: ast.Node):
+        if isinstance(current, ast.Literal):
+            return ast.Placeholder(kind=current.kind)
+        if fold_variables and isinstance(current, ast.Variable):
+            return ast.Placeholder(kind="var")
+        return None
+
+    return transform(node, rewrite)
+
+
+def skeletonize_statement(
+    statement: ast.Statement, *, fold_variables: bool = False
+) -> ast.Statement:
+    """Typed convenience wrapper for whole statements."""
+    result = skeletonize(statement, fold_variables=fold_variables)
+    assert isinstance(result, ast.Statement)
+    return result

@@ -1,0 +1,28 @@
+"""SQL front end: lexer, parser, AST and canonical formatter.
+
+Typical use::
+
+    from repro.sqlparser import parse, format_sql
+
+    tree = parse("SELECT name FROM Employee WHERE empId = 8")
+    print(format_sql(tree))
+"""
+
+from .errors import LexerError, ParseError, SqlError, UnsupportedStatementError
+from .lexer import tokenize
+from .parser import parse, parse_select
+from .formatter import format_expression, format_sql
+from . import ast_nodes as ast
+
+__all__ = [
+    "LexerError",
+    "ParseError",
+    "SqlError",
+    "UnsupportedStatementError",
+    "tokenize",
+    "parse",
+    "parse_select",
+    "format_expression",
+    "format_sql",
+    "ast",
+]

@@ -1,0 +1,55 @@
+"""Dialect knowledge shared by the analyser and the execution engine.
+
+Keeping this in the parser package (rather than the engine) lets the purely
+static analyses — skeleton features, antipattern detection — reason about
+aggregates and table-valued functions without importing the engine.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+#: Aggregate function names (lower-cased).
+AGGREGATE_FUNCTIONS = frozenset(
+    {"count", "sum", "avg", "min", "max", "stdev", "var"}
+)
+
+#: SkyServer table-valued functions the workload generator emits and the
+#: engine implements.  Maps lower-cased name -> tuple of output columns.
+TABLE_VALUED_FUNCTIONS = {
+    "fgetnearbyobjeq": ("objid", "run", "camcol", "field", "rerun", "type",
+                        "cx", "cy", "cz", "htmid", "distance"),
+    "fgetnearestobjeq": ("objid", "run", "camcol", "field", "rerun", "type",
+                         "cx", "cy", "cz", "htmid", "distance"),
+    "fgetobjfromrect": ("objid", "run", "camcol", "field", "rerun", "type",
+                        "cx", "cy", "cz", "htmid"),
+}
+
+#: Scalar builtins the engine evaluates.
+SCALAR_FUNCTIONS = frozenset(
+    {"abs", "round", "floor", "ceiling", "power", "sqrt", "log", "log10",
+     "upper", "lower", "len", "ltrim", "rtrim", "str", "isnull", "coalesce",
+     "sign", "exp"}
+)
+
+
+def is_aggregate_call(node: ast.Expression) -> bool:
+    """True if ``node`` is a call to an aggregate function."""
+    return (
+        isinstance(node, ast.FunctionCall)
+        and node.name.lower() in AGGREGATE_FUNCTIONS
+    )
+
+
+def contains_aggregate(node: ast.Node) -> bool:
+    """True if any aggregate call appears in ``node``'s subtree, without
+    descending into subqueries (their aggregates are theirs).
+
+    Traverses every child node (including non-expression carriers like
+    CASE's WHEN arms) but stops at subquery boundaries.
+    """
+    if is_aggregate_call(node):
+        return True
+    if isinstance(node, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+        return False
+    return any(contains_aggregate(child) for child in node.children())

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SQL front end.
+
+Every failure while tokenizing or parsing a statement raises a subclass of
+:class:`SqlError`.  The pipeline treats these as "syntactically incorrect
+statement" (Section 5.3 of the paper): the statement is excluded from
+further processing and counted in the run statistics, never silently
+dropped.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL front-end failures.
+
+    :param message: human-readable description of the failure.
+    :param line: 1-based line of the offending character/token.
+    :param column: 1-based column of the offending character/token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexerError(SqlError):
+    """Raised when the input contains a character sequence that is not a
+    valid token (e.g. an unterminated string literal)."""
+
+
+class ParseError(SqlError):
+    """Raised when the token stream does not form a valid statement of the
+    supported dialect."""
+
+
+class UnsupportedStatementError(ParseError):
+    """Raised for statements that are recognizably SQL but outside the
+    SELECT-only dialect the cleaning framework analyses (DML/DDL).
+
+    The pipeline distinguishes these from genuine syntax errors so that the
+    "Count of Select queries" statistic of Table 5 can be reported.
+    """

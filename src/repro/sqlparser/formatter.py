@@ -1,0 +1,311 @@
+"""Render an AST back to SQL text.
+
+Rendering is *canonical*: keyword case, spacing and parenthesisation are
+normalised, so two structurally equal trees always render to the same
+string.  The cleaning pipeline relies on this in two places:
+
+* skeleton strings (Definition 5 skeleton equality reduces to string
+  equality of the rendered skeletons, which is both fast and auditable),
+* the rewriter (solved antipatterns are emitted back into the clean log as
+  SQL text, like Table 3 of the paper).
+
+``format_sql(parse(sql))`` round-trips: re-parsing the output yields a tree
+equal to the original — the property-based test suite asserts this.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+#: Precedence levels used to decide where parentheses are required when an
+#: expression is rendered inside another one.  Higher binds tighter.
+_PRECEDENCE = {
+    ast.Or: 1,
+    ast.And: 2,
+    ast.Not: 3,
+    ast.Comparison: 4,
+    ast.InList: 4,
+    ast.InSubquery: 4,
+    ast.Between: 4,
+    ast.IsNull: 4,
+    ast.Like: 4,
+    ast.BinaryOp: 5,  # refined per operator in _precedence()
+    ast.UnaryOp: 7,
+}
+
+_ADDITIVE_OPS = ("+", "-", "||")
+
+
+def _precedence(node: ast.Expression) -> int:
+    if isinstance(node, ast.BinaryOp):
+        return 5 if node.op in _ADDITIVE_OPS else 6
+    for node_type, level in _PRECEDENCE.items():
+        if isinstance(node, node_type):
+            return level
+    return 10  # primaries never need parentheses
+
+
+def _quote_identifier(name: str) -> str:
+    """Bracket-quote an identifier when it cannot be written bare."""
+    bare = name.replace("_", "").replace("#", "").replace("$", "")
+    if name and not name[0].isdigit() and bare.isalnum():
+        from .tokens import KEYWORDS
+
+        if name.upper() not in KEYWORDS:
+            return name
+    return f"[{name}]"
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def format_expression(node: ast.Expression) -> str:
+    """Render one expression subtree."""
+    return _Formatter().expression(node)
+
+
+def format_sql(statement: ast.Statement) -> str:
+    """Render a full statement."""
+    return _Formatter().statement(statement)
+
+
+class _Formatter:
+    """Stateless visitor turning AST nodes into canonical SQL text."""
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def statement(self, node: ast.Statement) -> str:
+        if isinstance(node, ast.SelectStatement):
+            return self.select(node)
+        if isinstance(node, ast.Union):
+            keyword = "UNION ALL" if node.all else "UNION"
+            return f"{self.statement(node.left)} {keyword} {self.statement(node.right)}"
+        raise TypeError(f"cannot format {type(node).__name__}")
+
+    def select(self, node: ast.SelectStatement) -> str:
+        parts = ["SELECT"]
+        if node.distinct:
+            parts.append("DISTINCT")
+        if node.top is not None:
+            top = f"TOP {self.expression(node.top.count)}"
+            if node.top.percent:
+                top += " PERCENT"
+            parts.append(top)
+        parts.append(", ".join(self.select_item(item) for item in node.items))
+        if node.from_sources:
+            parts.append("FROM")
+            parts.append(
+                ", ".join(self.source(source) for source in node.from_sources)
+            )
+        if node.where is not None:
+            parts.append("WHERE")
+            parts.append(self.expression(node.where))
+        if node.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(self.expression(e) for e in node.group_by))
+        if node.having is not None:
+            parts.append("HAVING")
+            parts.append(self.expression(node.having))
+        if node.order_by:
+            parts.append("ORDER BY")
+            parts.append(", ".join(self.order_item(item) for item in node.order_by))
+        return " ".join(parts)
+
+    def select_item(self, item: ast.SelectItem) -> str:
+        text = self.expression(item.expr)
+        if item.alias:
+            return f"{text} AS {_quote_identifier(item.alias)}"
+        return text
+
+    def order_item(self, item: ast.OrderItem) -> str:
+        text = self.expression(item.expr)
+        return f"{text} DESC" if item.descending else text
+
+    # ------------------------------------------------------------------
+    # FROM sources
+
+    def source(self, node: ast.TableSource) -> str:
+        if isinstance(node, ast.TableName):
+            name = _quote_identifier(node.name)
+            if node.schema:
+                name = f"{node.schema}.{name}"
+            if node.alias:
+                return f"{name} AS {_quote_identifier(node.alias)}"
+            return name
+        if isinstance(node, ast.FunctionTable):
+            text = self.expression(node.call)
+            if node.alias:
+                return f"{text} AS {_quote_identifier(node.alias)}"
+            return text
+        if isinstance(node, ast.DerivedTable):
+            text = f"({self.select(node.select)})"
+            if node.alias:
+                return f"{text} AS {_quote_identifier(node.alias)}"
+            return text
+        if isinstance(node, ast.Join):
+            return self.join(node)
+        raise TypeError(f"cannot format {type(node).__name__}")
+
+    def join(self, node: ast.Join) -> str:
+        left = self.source(node.left)
+        right = self.source(node.right)
+        if isinstance(node.right, ast.Join):
+            right = f"({right})"
+        if node.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        if node.kind == "CROSS APPLY":
+            return f"{left} CROSS APPLY {right}"
+        keyword = {
+            "INNER": "INNER JOIN",
+            "LEFT": "LEFT OUTER JOIN",
+            "RIGHT": "RIGHT OUTER JOIN",
+            "FULL": "FULL OUTER JOIN",
+        }[node.kind]
+        text = f"{left} {keyword} {right}"
+        if node.condition is not None:
+            text += f" ON {self.expression(node.condition)}"
+        return text
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def expression(self, node: ast.Expression) -> str:
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is None:
+            raise TypeError(f"cannot format {type(node).__name__}")
+        return handler(node)
+
+    def _child(self, child: ast.Expression, parent_precedence: int) -> str:
+        """Render a child, parenthesising if it binds looser than parent."""
+        text = self.expression(child)
+        if _precedence(child) < parent_precedence:
+            return f"({text})"
+        return text
+
+    def _expr_Literal(self, node: ast.Literal) -> str:
+        if node.kind == "string":
+            return _quote_string(node.value)
+        if node.kind == "null":
+            return "NULL"
+        return node.value
+
+    def _expr_Placeholder(self, node: ast.Placeholder) -> str:
+        return {
+            "number": "<num>",
+            "string": "<str>",
+            "null": "<null>",
+            "var": "<var>",
+        }.get(node.kind, f"<{node.kind}>")
+
+    def _expr_Variable(self, node: ast.Variable) -> str:
+        return f"@{node.name}"
+
+    def _expr_ColumnRef(self, node: ast.ColumnRef) -> str:
+        name = _quote_identifier(node.name)
+        if node.table:
+            return f"{node.table}.{name}"
+        return name
+
+    def _expr_Star(self, node: ast.Star) -> str:
+        return f"{node.table}.*" if node.table else "*"
+
+    def _expr_FunctionCall(self, node: ast.FunctionCall) -> str:
+        name = node.name if node.schema is None else f"{node.schema}.{node.name}"
+        inner = ", ".join(self.expression(arg) for arg in node.args)
+        if node.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{name}({inner})"
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp) -> str:
+        return f"{node.op}{self._child(node.operand, _PRECEDENCE[ast.UnaryOp])}"
+
+    def _expr_BinaryOp(self, node: ast.BinaryOp) -> str:
+        level = _precedence(node)
+        left = self._child(node.left, level)
+        # right child at same level needs parens to preserve associativity
+        right = self.expression(node.right)
+        if _precedence(node.right) <= level and not isinstance(
+            node.right, (ast.Literal, ast.ColumnRef, ast.Variable)
+        ):
+            right = f"({right})"
+        return f"{left} {node.op} {right}"
+
+    def _expr_Comparison(self, node: ast.Comparison) -> str:
+        level = _PRECEDENCE[ast.Comparison]
+        return (
+            f"{self._child(node.left, level + 1)} {node.op} "
+            f"{self._child(node.right, level + 1)}"
+        )
+
+    def _expr_And(self, node: ast.And) -> str:
+        # parenthesise a right child at the same level so right-nested
+        # trees survive the round trip (the parser is left-associative)
+        level = _PRECEDENCE[ast.And]
+        return (
+            f"{self._child(node.left, level)} AND "
+            f"{self._child(node.right, level + 1)}"
+        )
+
+    def _expr_Or(self, node: ast.Or) -> str:
+        level = _PRECEDENCE[ast.Or]
+        return (
+            f"{self._child(node.left, level)} OR "
+            f"{self._child(node.right, level + 1)}"
+        )
+
+    def _expr_Not(self, node: ast.Not) -> str:
+        return f"NOT {self._child(node.operand, _PRECEDENCE[ast.Not])}"
+
+    def _expr_InList(self, node: ast.InList) -> str:
+        target = self._child(node.expr, _PRECEDENCE[ast.InList] + 1)
+        items = ", ".join(self.expression(item) for item in node.items)
+        keyword = "NOT IN" if node.negated else "IN"
+        return f"{target} {keyword} ({items})"
+
+    def _expr_InSubquery(self, node: ast.InSubquery) -> str:
+        target = self._child(node.expr, _PRECEDENCE[ast.InSubquery] + 1)
+        keyword = "NOT IN" if node.negated else "IN"
+        return f"{target} {keyword} ({self.select(node.subquery)})"
+
+    def _expr_Between(self, node: ast.Between) -> str:
+        level = _PRECEDENCE[ast.Between] + 1
+        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return (
+            f"{self._child(node.expr, level)} {keyword} "
+            f"{self._child(node.low, level)} AND {self._child(node.high, level)}"
+        )
+
+    def _expr_IsNull(self, node: ast.IsNull) -> str:
+        target = self._child(node.expr, _PRECEDENCE[ast.IsNull] + 1)
+        return f"{target} IS NOT NULL" if node.negated else f"{target} IS NULL"
+
+    def _expr_Like(self, node: ast.Like) -> str:
+        level = _PRECEDENCE[ast.Like] + 1
+        keyword = "NOT LIKE" if node.negated else "LIKE"
+        return f"{self._child(node.expr, level)} {keyword} {self._child(node.pattern, level)}"
+
+    def _expr_Exists(self, node: ast.Exists) -> str:
+        prefix = "NOT EXISTS" if node.negated else "EXISTS"
+        return f"{prefix} ({self.select(node.subquery)})"
+
+    def _expr_CaseExpression(self, node: ast.CaseExpression) -> str:
+        parts = ["CASE"]
+        if node.operand is not None:
+            parts.append(self.expression(node.operand))
+        for when in node.whens:
+            parts.append(
+                f"WHEN {self.expression(when.condition)} "
+                f"THEN {self.expression(when.result)}"
+            )
+        if node.else_result is not None:
+            parts.append(f"ELSE {self.expression(node.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _expr_Cast(self, node: ast.Cast) -> str:
+        return f"CAST({self.expression(node.expr)} AS {node.type_name})"
+
+    def _expr_ScalarSubquery(self, node: ast.ScalarSubquery) -> str:
+        return f"({self.select(node.select)})"

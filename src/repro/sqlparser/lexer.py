@@ -1,0 +1,238 @@
+"""Hand-written lexer for the SkyServer SQL dialect.
+
+The lexer turns a statement string into a list of :class:`Token` objects.
+It understands:
+
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* single-quoted string literals with ``''`` escaping,
+* numeric literals (integers, decimals, scientific notation, and numbers
+  that start with a dot, e.g. ``.5``),
+* regular identifiers, bracket-quoted identifiers (``[Full Name]``) and
+  double-quoted identifiers (``"Full Name"``),
+* T-SQL variables (``@ra``) — SkyServer templates are full of them,
+* single- and multi-character operators.
+
+Anything else raises :class:`~repro.sqlparser.errors.LexerError` with a
+source position, which the pipeline records as a syntax error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexerError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_#"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_WHITESPACE = frozenset(" \t\r\n\f\v")
+
+
+class Lexer:
+    """Single-use tokenizer over one SQL statement string."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole input, appending a trailing EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenKind.EOF, "", self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Character helpers
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (both styles)."""
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in _WHITESPACE:
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._column
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexerError(
+                        "unterminated block comment", start_line, start_col
+                    )
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Token producers
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        line, column = self._line, self._column
+
+        if char in _IDENT_START:
+            return self._lex_word(line, column)
+        if char in _DIGITS or (char == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, column)
+        if char == "'":
+            return self._lex_string(line, column)
+        if char == "[":
+            return self._lex_bracket_identifier(line, column)
+        if char == '"':
+            return self._lex_quoted_identifier(line, column)
+        if char == "@":
+            return self._lex_variable(line, column)
+        if char == ",":
+            self._advance()
+            return Token(TokenKind.COMMA, ",", line, column)
+        if char == ".":
+            self._advance()
+            return Token(TokenKind.DOT, ".", line, column)
+        if char == "(":
+            self._advance()
+            return Token(TokenKind.LPAREN, "(", line, column)
+        if char == ")":
+            self._advance()
+            return Token(TokenKind.RPAREN, ")", line, column)
+        if char == ";":
+            self._advance()
+            return Token(TokenKind.SEMICOLON, ";", line, column)
+
+        for operator in MULTI_CHAR_OPERATORS:
+            if self._text.startswith(operator, self._pos):
+                self._advance(len(operator))
+                return Token(TokenKind.OPERATOR, operator, line, column)
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, char, line, column)
+
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, line, column)
+        return Token(TokenKind.IDENTIFIER, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead) in _DIGITS:
+                self._advance(lookahead)
+                while self._peek() in _DIGITS:
+                    self._advance()
+        text = self._text[start : self._pos]
+        # `1abc` is a malformed literal, not a number followed by an
+        # identifier; reject it here for a clear error position.
+        if self._peek() in _IDENT_START:
+            raise LexerError(
+                f"malformed numeric literal {text + self._peek()!r}",
+                line,
+                column,
+            )
+        return Token(TokenKind.NUMBER, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        pieces: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexerError("unterminated string literal", line, column)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    pieces.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenKind.STRING, "".join(pieces), line, column)
+            pieces.append(char)
+            self._advance()
+
+    def _lex_bracket_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening bracket
+        start = self._pos
+        while self._pos < len(self._text) and self._peek() != "]":
+            self._advance()
+        if self._pos >= len(self._text):
+            raise LexerError("unterminated [identifier]", line, column)
+        name = self._text[start : self._pos]
+        self._advance()  # closing bracket
+        return Token(TokenKind.IDENTIFIER, name, line, column)
+
+    def _lex_quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        start = self._pos
+        while self._pos < len(self._text) and self._peek() != '"':
+            self._advance()
+        if self._pos >= len(self._text):
+            raise LexerError('unterminated "identifier"', line, column)
+        name = self._text[start : self._pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.IDENTIFIER, name, line, column)
+
+    def _lex_variable(self, line: int, column: int) -> Token:
+        self._advance()  # the @ sign
+        start = self._pos
+        if self._peek() == "@":  # @@rowcount style system variables
+            self._advance()
+        if self._peek() not in _IDENT_START:
+            raise LexerError("malformed variable name", line, column)
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        return Token(
+            TokenKind.VARIABLE, self._text[start : self._pos], line, column
+        )
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` and return its tokens (EOF-terminated)."""
+    return Lexer(text).tokenize()

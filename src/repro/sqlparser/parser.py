@@ -1,0 +1,652 @@
+"""Recursive-descent parser for the SkyServer SELECT dialect.
+
+The grammar (simplified)::
+
+    statement   := select_stmt (UNION [ALL] select_stmt)* [';']
+    select_stmt := SELECT [DISTINCT] [TOP number [PERCENT]] select_list
+                   [FROM source (',' source)*]
+                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list]
+    source      := primary_source (join_clause)*
+    join_clause := [INNER|LEFT [OUTER]|RIGHT [OUTER]|FULL [OUTER]|CROSS]
+                   JOIN primary_source [ON expr]
+                 | CROSS APPLY primary_source
+    expr        := or_expr  (standard precedence: OR < AND < NOT <
+                   predicate < additive < multiplicative < unary < primary)
+
+Non-SELECT statements (INSERT/UPDATE/CREATE/…) raise
+:class:`UnsupportedStatementError`; anything malformed raises
+:class:`ParseError`.  Both are subclasses of :class:`SqlError`, so the
+pipeline's "parse statements" stage (Section 5.3) needs a single handler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    And,
+    Between,
+    BinaryOp,
+    CaseExpression,
+    Cast,
+    ColumnRef,
+    Comparison,
+    DerivedTable,
+    Exists,
+    Expression,
+    FunctionCall,
+    FunctionTable,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    TableName,
+    TableSource,
+    TopClause,
+    UnaryOp,
+    Union,
+    Variable,
+    WhenClause,
+)
+from .errors import ParseError, UnsupportedStatementError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_NON_SELECT_OPENERS = frozenset(
+    {
+        "INSERT",
+        "UPDATE",
+        "DELETE",
+        "CREATE",
+        "DROP",
+        "ALTER",
+        "TRUNCATE",
+        "EXEC",
+        "EXECUTE",
+        "MERGE",
+        "GRANT",
+        "REVOKE",
+        "DECLARE",
+        "SET",
+        "USE",
+        "WITH",
+    }
+)
+
+_JOIN_OPENERS = frozenset({"JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS"})
+
+#: Keywords that terminate a FROM source without an explicit alias.
+_CLAUSE_BOUNDARY = frozenset(
+    {"WHERE", "GROUP", "HAVING", "ORDER", "ON", "UNION", "INTO"}
+) | _JOIN_OPENERS
+
+
+class Parser:
+    """Single-use parser over one statement's token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._peek().is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise ParseError(
+                f"expected {name}, found {token.value or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind is kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, description: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {description}, found {token.value or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement and require EOF afterwards."""
+        first = self._peek()
+        if first.kind is TokenKind.EOF:
+            raise ParseError("empty statement", first.line, first.column)
+        if first.kind is TokenKind.KEYWORD and first.value in _NON_SELECT_OPENERS:
+            raise UnsupportedStatementError(
+                f"{first.value} statements are outside the SELECT-only dialect",
+                first.line,
+                first.column,
+            )
+        statement = self._parse_union()
+        self._accept(TokenKind.SEMICOLON)
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected trailing input {trailing.value!r}",
+                trailing.line,
+                trailing.column,
+            )
+        return statement
+
+    def _parse_union(self) -> Statement:
+        statement: Statement = self._parse_select()
+        while self._accept_keyword("UNION"):
+            all_flag = bool(self._accept_keyword("ALL"))
+            right = self._parse_select()
+            statement = Union(left=statement, right=right, all=all_flag)
+        return statement
+
+    # ------------------------------------------------------------------
+    # SELECT statement
+
+    def _parse_select(self) -> SelectStatement:
+        if self._accept(TokenKind.LPAREN):
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return select
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if self._accept_keyword("ALL"):
+            distinct = False
+        top = self._parse_top()
+        items = self._parse_select_list()
+        if self._accept_keyword("INTO"):
+            # SELECT ... INTO #temp: consume the target name; the log
+            # cleaner still treats the statement as a read of its sources.
+            self._parse_qualified_name()
+        from_sources: Tuple[TableSource, ...] = ()
+        if self._accept_keyword("FROM"):
+            from_sources = self._parse_from_list()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        group_by: Tuple[Expression, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._parse_expression_list()
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_expression()
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_list()
+        return SelectStatement(
+            items=items,
+            from_sources=from_sources,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            distinct=distinct,
+            top=top,
+        )
+
+    def _parse_top(self) -> Optional[TopClause]:
+        if not self._accept_keyword("TOP"):
+            return None
+        if self._accept(TokenKind.LPAREN):
+            count = self._parse_expression()
+            self._expect(TokenKind.RPAREN, "')'")
+        else:
+            token = self._peek()
+            if token.kind is TokenKind.NUMBER:
+                self._advance()
+                count: Expression = Literal(token.value, "number")
+            elif token.kind is TokenKind.VARIABLE:
+                self._advance()
+                count = Variable(token.value)
+            else:
+                raise self._error("expected row count after TOP")
+        percent = bool(self._accept_keyword("PERCENT"))
+        return TopClause(count=count, percent=percent)
+
+    def _parse_select_list(self) -> Tuple[SelectItem, ...]:
+        items = [self._parse_select_item()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        # `alias = expr` T-SQL style aliasing.
+        if (
+            token.kind is TokenKind.IDENTIFIER
+            and self._peek(1).kind is TokenKind.OPERATOR
+            and self._peek(1).value == "="
+        ):
+            self._advance()
+            self._advance()
+            expr = self._parse_expression()
+            return SelectItem(expr=expr, alias=token.value)
+        expr = self._parse_expression()
+        alias = self._parse_optional_alias()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            token = self._peek()
+            if token.kind in (TokenKind.IDENTIFIER, TokenKind.STRING):
+                self._advance()
+                return token.value
+            raise self._error("expected alias name after AS")
+        token = self._peek()
+        if token.kind is TokenKind.IDENTIFIER:
+            self._advance()
+            return token.value
+        return None
+
+    def _parse_order_list(self) -> Tuple[OrderItem, ...]:
+        items = [self._parse_order_item()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_order_item())
+        return tuple(items)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _parse_expression_list(self) -> Tuple[Expression, ...]:
+        items = [self._parse_expression()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_expression())
+        return tuple(items)
+
+    # ------------------------------------------------------------------
+    # FROM clause
+
+    def _parse_from_list(self) -> Tuple[TableSource, ...]:
+        sources = [self._parse_joined_source()]
+        while self._accept(TokenKind.COMMA):
+            sources.append(self._parse_joined_source())
+        return tuple(sources)
+
+    def _parse_joined_source(self) -> TableSource:
+        source = self._parse_primary_source()
+        while True:
+            join = self._parse_join_tail(source)
+            if join is None:
+                return source
+            source = join
+
+    def _parse_join_tail(self, left: TableSource) -> Optional[Join]:
+        token = self._peek()
+        if token.kind is not TokenKind.KEYWORD or token.value not in _JOIN_OPENERS:
+            return None
+        kind = "INNER"
+        if self._accept_keyword("INNER"):
+            kind = "INNER"
+        elif self._accept_keyword("LEFT"):
+            kind = "LEFT"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("RIGHT"):
+            kind = "RIGHT"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("FULL"):
+            kind = "FULL"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("CROSS"):
+            if self._accept_keyword("APPLY"):
+                right = self._parse_primary_source()
+                return Join(left=left, right=right, kind="CROSS APPLY")
+            kind = "CROSS"
+        self._expect_keyword("JOIN")
+        right = self._parse_primary_source()
+        condition = None
+        if kind != "CROSS":
+            self._expect_keyword("ON")
+            condition = self._parse_expression()
+        return Join(left=left, right=right, kind=kind, condition=condition)
+
+    def _parse_primary_source(self) -> TableSource:
+        if self._accept(TokenKind.LPAREN):
+            if self._peek().is_keyword("SELECT"):
+                select = self._parse_select()
+                self._expect(TokenKind.RPAREN, "')'")
+                alias = self._parse_source_alias()
+                return DerivedTable(select=select, alias=alias)
+            source = self._parse_joined_source()
+            self._expect(TokenKind.RPAREN, "')'")
+            return source
+        parts = self._parse_qualified_name()
+        if self._peek().kind is TokenKind.LPAREN:
+            call = self._finish_function_call(parts)
+            alias = self._parse_source_alias()
+            return FunctionTable(call=call, alias=alias)
+        schema = ".".join(parts[:-1]) if len(parts) > 1 else None
+        alias = self._parse_source_alias()
+        return TableName(name=parts[-1], schema=schema, alias=alias)
+
+    def _parse_source_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            token = self._expect(TokenKind.IDENTIFIER, "alias name")
+            return token.value
+        token = self._peek()
+        if token.kind is TokenKind.IDENTIFIER:
+            self._advance()
+            return token.value
+        return None
+
+    def _parse_qualified_name(self) -> Tuple[str, ...]:
+        parts = [self._expect(TokenKind.IDENTIFIER, "name").value]
+        while self._accept(TokenKind.DOT):
+            parts.append(self._expect(TokenKind.IDENTIFIER, "name").value)
+        return tuple(parts)
+
+    def _finish_function_call(self, parts: Tuple[str, ...]) -> FunctionCall:
+        """Parse the argument list of a call whose name is already read."""
+        self._expect(TokenKind.LPAREN, "'('")
+        schema = ".".join(parts[:-1]) if len(parts) > 1 else None
+        name = parts[-1]
+        distinct = False
+        args: List[Expression] = []
+        if not self._accept(TokenKind.RPAREN):
+            if self._accept_keyword("DISTINCT"):
+                distinct = True
+            if self._peek().kind is TokenKind.OPERATOR and self._peek().value == "*":
+                self._advance()
+                args.append(Star())
+            else:
+                args.append(self._parse_expression())
+                while self._accept(TokenKind.COMMA):
+                    args.append(self._parse_expression())
+            self._expect(TokenKind.RPAREN, "')'")
+        return FunctionCall(
+            name=name, args=tuple(args), schema=schema, distinct=distinct
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions, precedence-climbing
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = Or(left=left, right=right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = And(left=left, right=right)
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+
+        negated = False
+        if token.is_keyword("NOT"):
+            follower = self._peek(1)
+            if follower.is_keyword("IN", "BETWEEN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+
+        if token.is_keyword("IS"):
+            self._advance()
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return IsNull(expr=left, negated=is_negated)
+
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._finish_in(left, negated)
+
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(expr=left, low=low, high=high, negated=negated)
+
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._parse_additive()
+            return Like(expr=left, pattern=pattern, negated=negated)
+
+        if token.kind is TokenKind.OPERATOR and token.value in (
+            "=",
+            "<>",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            self._advance()
+            op = "<>" if token.value == "!=" else token.value
+            right = self._parse_additive()
+            return Comparison(op=op, left=left, right=right)
+
+        return left
+
+    def _finish_in(self, left: Expression, negated: bool) -> Expression:
+        self._expect(TokenKind.LPAREN, "'(' after IN")
+        if self._peek().is_keyword("SELECT"):
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return InSubquery(expr=left, subquery=select, negated=negated)
+        items = [self._parse_expression()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_expression())
+        self._expect(TokenKind.RPAREN, "')'")
+        return InList(expr=left, items=tuple(items), negated=negated)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("+", "-", "||"):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = BinaryOp(op=token.value, left=left, right=right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("*", "/", "%"):
+                self._advance()
+                right = self._parse_unary()
+                left = BinaryOp(op=token.value, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.value in ("-", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            # Fold unary minus into numeric literals so `-5` skeletonises
+            # exactly like `5` (both are a single <num> placeholder).
+            if token.value == "-" and isinstance(operand, Literal):
+                if operand.kind == "number":
+                    return Literal("-" + operand.value, "number")
+            if token.value == "+":
+                return operand
+            return UnaryOp(op=token.value, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Literal(token.value, "number")
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.value, "string")
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal("NULL", "null")
+        if token.kind is TokenKind.VARIABLE:
+            self._advance()
+            return Variable(token.value)
+
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenKind.LPAREN, "'(' after EXISTS")
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return Exists(subquery=select)
+
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                select = self._parse_select()
+                self._expect(TokenKind.RPAREN, "')'")
+                return ScalarSubquery(select=select)
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+
+        if token.kind is TokenKind.OPERATOR and token.value == "*":
+            self._advance()
+            return Star()
+
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._parse_name_expression()
+
+        # A handful of keywords double as bare function names (LEFT, RIGHT)
+        # in real logs; we do not support that usage and report it clearly.
+        raise self._error(f"unexpected token {token.value or 'end of input'!r}")
+
+    def _parse_name_expression(self) -> Expression:
+        parts = [self._expect(TokenKind.IDENTIFIER, "name").value]
+        while self._peek().kind is TokenKind.DOT:
+            follower = self._peek(1)
+            if follower.kind is TokenKind.OPERATOR and follower.value == "*":
+                # qualified star: table.* (or schema.table.*)
+                self._advance()
+                self._advance()
+                return Star(table=parts[-1])
+            self._advance()
+            parts.append(self._expect(TokenKind.IDENTIFIER, "name").value)
+        if self._peek().kind is TokenKind.LPAREN:
+            return self._finish_function_call(tuple(parts))
+        if len(parts) == 1:
+            return ColumnRef(name=parts[0])
+        if len(parts) == 2:
+            return ColumnRef(name=parts[1], table=parts[0])
+        # schema.table.column — keep the last two components, the cleaner
+        # only reasons about table-qualified columns.
+        return ColumnRef(name=parts[-1], table=parts[-2])
+
+    def _parse_case(self) -> Expression:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._peek().is_keyword("WHEN"):
+            operand = self._parse_expression()
+        whens: List[WhenClause] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            result = self._parse_expression()
+            whens.append(WhenClause(condition=condition, result=result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN arm")
+        else_result = None
+        if self._accept_keyword("ELSE"):
+            else_result = self._parse_expression()
+        self._expect_keyword("END")
+        return CaseExpression(
+            whens=tuple(whens), operand=operand, else_result=else_result
+        )
+
+    def _parse_cast(self) -> Expression:
+        self._expect_keyword("CAST")
+        self._expect(TokenKind.LPAREN, "'(' after CAST")
+        expr = self._parse_expression()
+        self._expect_keyword("AS")
+        type_parts = [self._expect(TokenKind.IDENTIFIER, "type name").value]
+        if self._accept(TokenKind.LPAREN):
+            size = self._expect(TokenKind.NUMBER, "type size").value
+            type_parts.append(f"({size})")
+            self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.RPAREN, "')'")
+        return Cast(expr=expr, type_name="".join(type_parts))
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement string into an AST.
+
+    :raises LexerError: on invalid characters / unterminated literals.
+    :raises UnsupportedStatementError: for non-SELECT statements.
+    :raises ParseError: on malformed SELECT syntax.
+    """
+    return Parser(tokenize(sql)).parse_statement()
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse ``sql`` and require a plain (non-UNION) SELECT statement."""
+    statement = parse(sql)
+    if not isinstance(statement, SelectStatement):
+        raise UnsupportedStatementError(
+            "expected a plain SELECT statement, found a UNION"
+        )
+    return statement

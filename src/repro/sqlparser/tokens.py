@@ -1,0 +1,129 @@
+"""Token model for the SQL lexer.
+
+The lexer produces a flat stream of :class:`Token` objects.  Token kinds are
+deliberately coarse — the parser, not the lexer, decides whether ``count`` is
+a function name or a column — with one exception: *keywords* are recognised
+in the lexer because SQL keywords are reserved in the dialect we support
+(T-SQL style, as used by SkyServer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    VARIABLE = "variable"  # T-SQL @name variables
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Reserved words of the supported dialect.  Matching is case-insensitive;
+#: the lexer upper-cases the token value for keywords so the parser can
+#: compare against these constants directly.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "TOP",
+        "PERCENT",
+        "AS",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "CROSS",
+        "APPLY",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "BETWEEN",
+        "EXISTS",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "UNION",
+        "ALL",
+        "CAST",
+        "CONVERT",
+        "INTO",
+        # Recognised so that non-SELECT statements are classified as
+        # unsupported (not as syntax errors) — see Table 5's SELECT share.
+        "INSERT",
+        "UPDATE",
+        "DELETE",
+        "CREATE",
+        "DROP",
+        "ALTER",
+        "TRUNCATE",
+        "EXEC",
+        "EXECUTE",
+        "MERGE",
+        "GRANT",
+        "REVOKE",
+        "DECLARE",
+        "SET",
+        "USE",
+        "WITH",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS = ("<>", "!=", "<=", ">=", "||")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = frozenset("=<>+-*/%")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    :param kind: lexical category.
+    :param value: textual value.  Keywords are upper-cased; string literals
+        keep their *unquoted* content; identifiers keep original case
+        (SQL identifier comparison elsewhere is case-insensitive).
+    :param line: 1-based source line.
+    :param column: 1-based source column.
+    """
+
+    kind: TokenKind
+    value: str
+    line: int = 0
+    column: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True iff this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r})"

@@ -1,0 +1,49 @@
+"""Generic AST rebuilding utilities.
+
+:func:`transform` applies a bottom-up rewrite function over a tree,
+reconstructing the frozen dataclass nodes only along changed paths.  Both
+the skeletonizer (constants → placeholders) and the antipattern rewrites
+are expressed with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, TypeVar
+
+from .ast_nodes import Node
+
+NodeT = TypeVar("NodeT", bound=Node)
+
+#: A rewrite callback: receives each (already child-rewritten) node and
+#: returns a replacement, or None to keep the node unchanged.
+Rewriter = Callable[[Node], Optional[Node]]
+
+
+def transform(node: NodeT, rewrite: Rewriter) -> NodeT:
+    """Rebuild ``node`` bottom-up, applying ``rewrite`` at every node.
+
+    Children are transformed first; then ``rewrite`` is offered the node
+    (with its new children).  Returning ``None`` keeps the node.  Untouched
+    subtrees are shared, not copied.
+    """
+    changes = {}
+    for node_field in dataclasses.fields(node):
+        value = getattr(node, node_field.name)
+        if isinstance(value, Node):
+            new_value = transform(value, rewrite)
+            if new_value is not value:
+                changes[node_field.name] = new_value
+        elif isinstance(value, tuple) and any(
+            isinstance(item, Node) for item in value
+        ):
+            new_items = tuple(
+                transform(item, rewrite) if isinstance(item, Node) else item
+                for item in value
+            )
+            if any(a is not b for a, b in zip(new_items, value)):
+                changes[node_field.name] = new_items
+
+    rebuilt = dataclasses.replace(node, **changes) if changes else node
+    replacement = rewrite(rebuilt)
+    return rebuilt if replacement is None else replacement  # type: ignore[return-value]

@@ -1,0 +1,29 @@
+"""Synthetic SkyServer workload: schema, actor profiles, log generator."""
+
+from .generator import (
+    DEFAULT_BURSTS,
+    WorkloadConfig,
+    WorkloadResult,
+    generate,
+    generate_log,
+)
+from .groundtruth import GroundTruth, TruthGroup, score_detection
+from .profiles import Event, Profile, SkyContext, default_profiles
+from .schema import build_database, skyserver_catalog
+
+__all__ = [
+    "DEFAULT_BURSTS",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "generate",
+    "generate_log",
+    "GroundTruth",
+    "TruthGroup",
+    "score_detection",
+    "Event",
+    "Profile",
+    "SkyContext",
+    "default_profiles",
+    "build_database",
+    "skyserver_catalog",
+]

@@ -1,0 +1,160 @@
+"""Synthetic SkyServer-log generation.
+
+Mixes the actor profiles of :mod:`repro.workload.profiles` over a common
+timeline and emits a :class:`~repro.log.models.QueryLog` plus the planted
+:class:`~repro.workload.groundtruth.GroundTruth`.
+
+The default mixture is calibrated so the paper's headline *proportions*
+come out in the generated log (SELECT share ≈ 96 %, duplicates ≈ 4–8 %,
+solvable-antipattern coverage ≈ 19 %, spatial-search patterns dominating
+the post-clean ranking, DW ≫ DS ≫ DF coverage).  ``scale`` multiplies all
+burst counts, so log size grows roughly linearly without changing the mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.executor import Database
+from ..log.models import LogRecord, QueryLog
+from .groundtruth import GroundTruth
+from .profiles import Profile, SkyContext, default_profiles
+
+#: Default bursts *per user* for each profile (scale = 1.0).
+DEFAULT_BURSTS: Dict[str, int] = {
+    "nearby": 30,
+    "nearby-info": 25,
+    "rect": 4,
+    "htm-count": 30,
+    "dw-stifle": 35,
+    "ds-stifle": 20,
+    "df-stifle": 15,
+    "cth-real": 10,
+    "cth-false": 8,
+    "sws": 25,
+    "snc": 8,
+    "human": 4,
+    "dup": 10,
+    "noise": 12,
+}
+
+#: 2003-01-01 00:00:00 UTC — the SkyServer log's first year.
+DEFAULT_START_TIME = 1041379200.0
+
+
+@dataclass
+class WorkloadConfig:
+    """Generation parameters.
+
+    :param seed: determinism anchor for the whole log.
+    :param scale: multiplies every profile's burst count (1.0 ≈ 18k
+        queries with the default mixture).
+    :param duration: timeline length in seconds over which bursts are
+        scattered.
+    :param bursts: per-profile bursts-per-user overrides.
+    :param profiles: profile set; ``None`` = all default profiles.
+    """
+
+    seed: int = 42
+    scale: float = 1.0
+    duration: float = 30 * 86400.0
+    start_time: float = DEFAULT_START_TIME
+    bursts: Dict[str, int] = field(default_factory=dict)
+    profiles: Optional[Sequence[Profile]] = None
+
+    def burst_count(self, profile: Profile, rng: random.Random) -> int:
+        base = self.bursts.get(profile.name, DEFAULT_BURSTS.get(profile.name, 5))
+        scaled = base * self.scale
+        count = int(scaled)
+        if rng.random() < (scaled - count):
+            count += 1
+        return count
+
+
+@dataclass
+class WorkloadResult:
+    """A generated log with its ground truth and context."""
+
+    log: QueryLog
+    truth: GroundTruth
+    context: SkyContext
+
+
+def generate(
+    config: WorkloadConfig = WorkloadConfig(),
+    *,
+    database: Optional[Database] = None,
+    context: Optional[SkyContext] = None,
+) -> WorkloadResult:
+    """Generate a synthetic log.
+
+    :param database: when given, constants (objids, HTM ranges, table
+        names) are drawn from its actual contents, so the generated log is
+        *executable* against it — required by the Section 6.3 runtime
+        benchmark and the rewrite-validation tests.
+    :param context: explicit context (overrides ``database``); with
+        neither, a synthetic context is used (log-only experiments).
+    """
+    rng = random.Random(config.seed)
+    if context is None:
+        context = (
+            SkyContext.from_database(database)
+            if database is not None
+            else SkyContext.synthetic(config.seed)
+        )
+    profiles = list(config.profiles) if config.profiles is not None else default_profiles()
+
+    group_counter = [0]
+
+    def next_group() -> int:
+        group_counter[0] += 1
+        return group_counter[0]
+
+    # Raw rows: (timestamp, tiebreak, user, ip, session, event)
+    raw: List[Tuple[float, int, str, str, str, object]] = []
+    tiebreak = 0
+    session_counter = 0
+    user_profiles: Dict[str, str] = {}
+    for profile in profiles:
+        for user, ip in profile.users(rng):
+            user_profiles[user] = profile.name
+            burst_count = config.burst_count(profile, rng)
+            for _ in range(burst_count):
+                session_counter += 1
+                session = f"sess-{session_counter}"
+                start = config.start_time + rng.uniform(0.0, config.duration)
+                clock = start
+                for event in profile.burst(rng, context, next_group):
+                    clock += event.gap
+                    raw.append((clock, tiebreak, user, ip, session, event))
+                    tiebreak += 1
+
+    raw.sort(key=lambda row: (row[0], row[1]))
+
+    truth = GroundTruth(user_profiles=user_profiles)
+    records: List[LogRecord] = []
+    for seq, (timestamp, _, user, ip, session, event) in enumerate(raw):
+        records.append(
+            LogRecord(
+                seq=seq,
+                sql=event.sql,  # type: ignore[attr-defined]
+                timestamp=timestamp,
+                user=user,
+                ip=ip,
+                session=session,
+            )
+        )
+        truth.record(
+            seq,
+            event.truth,  # type: ignore[attr-defined]
+            event.group,  # type: ignore[attr-defined]
+            event.cth_real,  # type: ignore[attr-defined]
+        )
+    return WorkloadResult(log=QueryLog(records), truth=truth, context=context)
+
+
+def generate_log(seed: int = 42, scale: float = 1.0) -> QueryLog:
+    """Convenience: just the log, default mixture."""
+    return generate(WorkloadConfig(seed=seed, scale=scale)).log

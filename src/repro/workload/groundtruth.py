@@ -1,0 +1,124 @@
+"""Ground truth of a synthetic log.
+
+The generator *knows* which statements it planted as antipatterns,
+duplicates or noise; the benchmarks score the detectors against this
+knowledge — the stand-in for the paper's domain experts (Section 6.6/6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class TruthGroup:
+    """One planted artifact instance (a stifle run, a hunt, a reload)."""
+
+    group: int
+    label: str
+    seqs: List[int] = field(default_factory=list)
+    cth_real: Optional[bool] = None
+
+
+#: Profiles that are automated clients ("bots" in the SkyServer traffic
+#: reports' sense): scripted spatial sweeps, stifle loops, programmatic
+#: hunts, crawlers, machine template applications.
+AUTOMATED_PROFILES = frozenset(
+    {
+        "nearby",
+        "nearby-info",
+        "rect",
+        "htm-count",
+        "dw-stifle",
+        "ds-stifle",
+        "df-stifle",
+        "cth-real",
+        "sws",
+        "snc",
+        "bad-practices",
+    }
+)
+
+#: Profiles driven by a human at an interface.
+HUMAN_PROFILES = frozenset({"human", "cth-false", "dup", "noise"})
+
+
+@dataclass
+class GroundTruth:
+    """All planted artifacts of one generated log."""
+
+    label_by_seq: Dict[int, str] = field(default_factory=dict)
+    groups: Dict[int, TruthGroup] = field(default_factory=dict)
+    #: user key → emitting profile name (for behaviour-classification
+    #: experiments: is this user a bot or a human?).
+    user_profiles: Dict[str, str] = field(default_factory=dict)
+
+    def record(
+        self,
+        seq: int,
+        label: Optional[str],
+        group: Optional[int],
+        cth_real: Optional[bool],
+    ) -> None:
+        if label is None:
+            return
+        self.label_by_seq[seq] = label
+        if group is not None:
+            entry = self.groups.get(group)
+            if entry is None:
+                entry = TruthGroup(group=group, label=label, cth_real=cth_real)
+                self.groups[group] = entry
+            entry.seqs.append(seq)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def seqs_with_label(self, label: str) -> Set[int]:
+        return {
+            seq for seq, lbl in self.label_by_seq.items() if lbl == label
+        }
+
+    def groups_with_label(self, label: str) -> List[TruthGroup]:
+        return [g for g in self.groups.values() if g.label == label]
+
+    def duplicate_seqs(self) -> Set[int]:
+        return self.seqs_with_label("duplicate")
+
+    def cth_reality(self) -> Dict[int, bool]:
+        """group id → planted real/false verdict, CTH groups only."""
+        return {
+            group.group: bool(group.cth_real)
+            for group in self.groups.values()
+            if group.label == "CTH-candidate"
+        }
+
+    def count_by_label(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for label in self.label_by_seq.values():
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def is_bot(self, user: str) -> Optional[bool]:
+        """Planted verdict for a user: True (automated), False (human),
+        or None when the user's profile is unknown."""
+        profile = self.user_profiles.get(user)
+        if profile is None:
+            return None
+        if profile in AUTOMATED_PROFILES:
+            return True
+        if profile in HUMAN_PROFILES:
+            return False
+        return None
+
+
+def score_detection(
+    detected_seqs: Set[int], truth_seqs: Set[int]
+) -> Tuple[float, float]:
+    """(precision, recall) of a detected seq set against the truth."""
+    if not detected_seqs:
+        return (1.0 if not truth_seqs else 0.0, 0.0 if truth_seqs else 1.0)
+    true_positives = len(detected_seqs & truth_seqs)
+    precision = true_positives / len(detected_seqs)
+    recall = true_positives / len(truth_seqs) if truth_seqs else 1.0
+    return (precision, recall)

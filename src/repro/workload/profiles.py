@@ -1,0 +1,709 @@
+"""Actor profiles of the synthetic SkyServer workload.
+
+The paper's case study attributes the log's traffic to a handful of
+behaviours; each gets a profile here, with the exact query *shapes* the
+paper reports:
+
+===================  ====================================================
+Profile              Paper evidence
+===================  ====================================================
+NearbyBot            Table 7 #1/#4/#5 — fGetNearbyObjEq joins, 1 IP each
+RectBot              Table 7 #2 — fGetObjFromRect + magnitude band, 19 IPs
+HtmCountBot          Table 7 #3 — count(*) over an HTM range, 1 IP
+DwStifleBot          Table 6 #1–#3 — rowc_X/colc_X by objid, 1–3 IPs
+DsStifleBot          Table 6 #4/#5 — alternating column sets by objid
+DfStifleBot          Definition 14 / Example 13 — same WHERE, two tables
+CthRealApp           Table 10 — fGetNearestObjEq then an instant lookup
+CthFalseApp          Table 9 — web UI browsing DBObjects with think time
+SwsCrawler           Section 6.5 — sliding HTM windows, one user
+SncApp               Section 5.4 — ``= NULL`` / ``<> NULL`` filters
+HumanAdhoc           the long tail of hand-written queries, many users
+DupReloader          Section 5.2 — web-form reloads within a second
+NoiseMaker           Section 6.3 — DML/DDL and syntax errors (~4 %)
+===================  ====================================================
+
+A profile emits *bursts*: one same-user sitting of queries with small
+inter-query gaps.  Each event may carry ground-truth tags the benchmarks
+later score detectors against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.executor import Database
+
+#: Truth labels (aligned with repro.antipatterns.types where applicable).
+TRUTH_DW = "DW-Stifle"
+TRUTH_DS = "DS-Stifle"
+TRUTH_DF = "DF-Stifle"
+TRUTH_CTH = "CTH-candidate"
+TRUTH_SNC = "SNC"
+TRUTH_SWS = "SWS"
+TRUTH_DUPLICATE = "duplicate"
+TRUTH_NON_SELECT = "non-select"
+TRUTH_SYNTAX_ERROR = "syntax-error"
+
+
+@dataclass
+class Event:
+    """One query emission of a profile.
+
+    :param sql: statement text.
+    :param gap: seconds since the actor's previous event of this burst.
+    :param truth: ground-truth label, if the event belongs to a planted
+        artifact.
+    :param group: instance id grouping the events of one planted artifact.
+    :param cth_real: for CTH events: whether the planted hunt is a real
+        dependency (Table 10) or coincidental browsing (Table 9).
+    """
+
+    sql: str
+    gap: float
+    truth: Optional[str] = None
+    group: Optional[int] = None
+    cth_real: Optional[bool] = None
+
+
+@dataclass
+class SkyContext:
+    """Workload-relevant content of the synthetic database."""
+
+    objids: Sequence[int]
+    specobjids: Sequence[int]
+    cluster_centers: Sequence[Tuple[float, float]]
+    htm_bounds: Tuple[int, int]
+    dbobject_names: Sequence[str]
+
+    @classmethod
+    def from_database(cls, database: Database) -> "SkyContext":
+        photo = database.table("photoprimary").rows()
+        spec = database.table("specobjall").rows()
+        htmids = [row["htmid"] for row in photo] or [0, 1]
+        from .schema import SKY_CLUSTERS
+
+        return cls(
+            objids=[row["objid"] for row in photo] or [1],
+            specobjids=[row["specobjid"] for row in spec] or [1],
+            cluster_centers=[(ra, dec) for ra, dec, _, _ in SKY_CLUSTERS],
+            htm_bounds=(min(htmids), max(htmids)),
+            dbobject_names=[
+                row["name"] for row in database.table("dbobjects").rows()
+            ],
+        )
+
+    @classmethod
+    def synthetic(cls, seed: int = 7) -> "SkyContext":
+        """A context without a database (log-only experiments)."""
+        rng = random.Random(seed)
+        return cls(
+            objids=[758_000_000_000_000_000 + i * 977 for i in range(5000)],
+            specobjids=[75_000_000_000_000_000 + i * 131 for i in range(800)],
+            cluster_centers=[(145.0, 0.1), (185.0, 15.0), (220.0, 30.0)],
+            htm_bounds=(0, 1 << 32),
+            dbobject_names=["photoprimary", "galaxy", "star", "specobjall"],
+        )
+
+
+class Profile:
+    """Base class: a named behaviour with users/IPs and burst emission."""
+
+    #: short name used in mixture configuration.
+    name: str = "profile"
+    #: how many distinct users play this behaviour.
+    user_count: int = 1
+    #: events per burst: (low, high) inclusive.
+    burst_size: Tuple[int, int] = (5, 20)
+    #: inter-query gap range in seconds.
+    gap_range: Tuple[float, float] = (0.5, 5.0)
+
+    def users(self, rng: random.Random) -> List[Tuple[str, str]]:
+        """(user, ip) identities for this profile's actors."""
+        return [
+            (f"{self.name}-u{i}", _random_ip(rng)) for i in range(self.user_count)
+        ]
+
+    def _gap(self, rng: random.Random) -> float:
+        low, high = self.gap_range
+        return rng.uniform(low, high)
+
+    def _size(self, rng: random.Random) -> int:
+        low, high = self.burst_size
+        return rng.randint(low, high)
+
+    def burst(
+        self, rng: random.Random, ctx: SkyContext, next_group
+    ) -> List[Event]:
+        """Emit one burst of events.  ``next_group()`` mints instance ids."""
+        raise NotImplementedError
+
+
+def _random_ip(rng: random.Random) -> str:
+    return ".".join(str(rng.randrange(1, 255)) for _ in range(4))
+
+
+def _near_cluster(
+    rng: random.Random, ctx: SkyContext, spread: float = 2.0
+) -> Tuple[float, float]:
+    ra, dec = rng.choice(list(ctx.cluster_centers))
+    return (
+        (rng.gauss(ra, spread)) % 360.0,
+        max(-90.0, min(90.0, rng.gauss(dec, spread))),
+    )
+
+
+# ----------------------------------------------------------------------
+# Spatial-search patterns (Table 7)
+
+
+class NearbyBot(Profile):
+    """Table 7 #1: objects near an equatorial point, with the spectro
+    left-join; single IP, massive volume."""
+
+    name = "nearby"
+    user_count = 1
+    burst_size = (30, 120)
+    gap_range = (0.4, 2.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            ra, dec = _near_cluster(rng, ctx)
+            radius = rng.choice((0.5, 1.0, 2.0, 3.0))
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT g.objid, g.ra, g.dec, g.r, s.specobjid "
+                        "FROM photoobjall as g "
+                        f"JOIN fGetNearbyObjEq({ra:.5f}, {dec:.5f}, {radius}) as gn "
+                        "ON g.objid = gn.objid "
+                        "LEFT OUTER JOIN specobjall s ON s.bestobjid = gn.objid"
+                    ),
+                    gap=self._gap(rng),
+                )
+            )
+        return events
+
+
+class NearbyInfoBot(Profile):
+    """Table 7 #4/#5: plain photoprimary join with fGetNearbyObjEq."""
+
+    name = "nearby-info"
+    user_count = 1
+    burst_size = (20, 80)
+    gap_range = (0.5, 3.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            ra, dec = _near_cluster(rng, ctx)
+            radius = rng.choice((0.2, 0.5, 1.0))
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT p.objid, p.ra, p.dec, p.type "
+                        f"FROM fGetNearbyObjEq({ra:.5f}, {dec:.5f}, {radius}) n, "
+                        "photoprimary p WHERE n.objid = p.objid"
+                    ),
+                    gap=self._gap(rng),
+                )
+            )
+        return events
+
+
+class RectBot(Profile):
+    """Table 7 #2: rectangle search with a magnitude band; 19 IPs."""
+
+    name = "rect"
+    user_count = 19
+    burst_size = (10, 40)
+    gap_range = (1.0, 6.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            ra, dec = _near_cluster(rng, ctx)
+            width = rng.uniform(0.05, 0.4)
+            low = rng.uniform(14.0, 20.0)
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT p.objid, p.ra, p.dec "
+                        f"FROM fGetObjFromRect({ra:.5f}, {dec:.5f}, "
+                        f"{(ra + width) % 360.0:.5f}, {min(dec + width, 90.0):.5f}) n, "
+                        "photoprimary p WHERE n.objid = p.objid "
+                        f"AND r BETWEEN {low:.2f} AND {low + 2.0:.2f}"
+                    ),
+                    gap=self._gap(rng),
+                )
+            )
+        return events
+
+
+class HtmCountBot(Profile):
+    """Table 7 #3: count objects in an HTM range; 1 IP."""
+
+    name = "htm-count"
+    user_count = 1
+    burst_size = (20, 100)
+    gap_range = (0.5, 2.0)
+
+    def burst(self, rng, ctx, next_group):
+        low_bound, high_bound = ctx.htm_bounds
+        span = max(1, (high_bound - low_bound) // 512)
+        events = []
+        for _ in range(self._size(rng)):
+            start = rng.randrange(low_bound, max(low_bound + 1, high_bound - span))
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT count(*) FROM photoprimary "
+                        f"WHERE htmid >= {start} AND htmid <= {start + span}"
+                    ),
+                    gap=self._gap(rng),
+                )
+            )
+        return events
+
+
+# ----------------------------------------------------------------------
+# Stifle bots (Table 6)
+
+_BANDS = ("g", "r", "i")
+
+
+class DwStifleBot(Profile):
+    """Table 6 #1–#3: per-band pixel coordinates fetched object by object
+    — the dominant DW-Stifle.  One burst = one planted instance."""
+
+    name = "dw-stifle"
+    user_count = 3
+    burst_size = (5, 60)
+    gap_range = (0.05, 0.6)
+
+    def burst(self, rng, ctx, next_group):
+        band = rng.choice(_BANDS)
+        group = next_group()
+        events = []
+        for objid in rng.sample(list(ctx.objids), min(self._size(rng), len(ctx.objids))):
+            events.append(
+                Event(
+                    sql=(
+                        f"SELECT rowc_{band}, colc_{band} FROM photoprimary "
+                        f"WHERE objid = {objid}"
+                    ),
+                    gap=self._gap(rng),
+                    truth=TRUTH_DW,
+                    group=group,
+                )
+            )
+        return events
+
+
+class DsStifleBot(Profile):
+    """Table 6 #4/#5: two column sets of the *same* object, back to back
+    — each object contributes one DS-Stifle instance."""
+
+    name = "ds-stifle"
+    user_count = 2
+    burst_size = (4, 20)  # objects per burst; 2 queries each
+    gap_range = (0.05, 0.5)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        first, second = rng.sample(_BANDS, 2)
+        for objid in rng.sample(list(ctx.objids), min(self._size(rng), len(ctx.objids))):
+            group = next_group()
+            for band in (first, second):
+                events.append(
+                    Event(
+                        sql=(
+                            f"SELECT rowc_{band}, colc_{band} FROM photoprimary "
+                            f"WHERE objid = {objid}"
+                        ),
+                        gap=self._gap(rng),
+                        truth=TRUTH_DS,
+                        group=group,
+                    )
+                )
+        return events
+
+
+class DfStifleBot(Profile):
+    """Example 13's shape on SkyServer tables: the same object looked up
+    in ``photoprimary`` and then in ``photoobjall``."""
+
+    name = "df-stifle"
+    user_count = 1
+    burst_size = (3, 12)  # objects per burst; 2 queries each
+    gap_range = (0.05, 0.5)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for objid in rng.sample(list(ctx.objids), min(self._size(rng), len(ctx.objids))):
+            group = next_group()
+            events.append(
+                Event(
+                    sql=f"SELECT ra, dec FROM photoprimary WHERE objid = {objid}",
+                    gap=self._gap(rng),
+                    truth=TRUTH_DF,
+                    group=group,
+                )
+            )
+            events.append(
+                Event(
+                    sql=f"SELECT ra, dec FROM photoobjall WHERE objid = {objid}",
+                    gap=self._gap(rng),
+                    truth=TRUTH_DF,
+                    group=group,
+                )
+            )
+        return events
+
+
+# ----------------------------------------------------------------------
+# Treasure hunts (Tables 9 and 10)
+
+
+class CthRealApp(Profile):
+    """Table 10: a program finds the nearest object, then *instantly*
+    fetches its spectrum — a genuine dependency (real CTH)."""
+
+    name = "cth-real"
+    user_count = 2
+    burst_size = (3, 10)  # hunts per burst
+    gap_range = (2.0, 10.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            group = next_group()
+            ra, dec = _near_cluster(rng, ctx)
+            events.append(
+                Event(
+                    sql=(
+                        f"SELECT * FROM dbo.fGetNearestObjEq({ra:.5f}, "
+                        f"{dec:.5f}, 0.5)"
+                    ),
+                    gap=self._gap(rng),
+                    truth=TRUTH_CTH,
+                    group=group,
+                    cth_real=True,
+                )
+            )
+            for _ in range(rng.randint(1, 2)):
+                specobjid = rng.choice(list(ctx.specobjids))
+                events.append(
+                    Event(
+                        sql=(
+                            "SELECT plate, fiberid, mjd, specobjid "
+                            f"FROM specobjall WHERE specobjid = {specobjid}"
+                        ),
+                        gap=0.0,  # zero think time: the tell of a real CTH
+                        truth=TRUTH_CTH,
+                        group=group,
+                        cth_real=True,
+                    )
+                )
+        return events
+
+
+class CthFalseApp(Profile):
+    """Table 9: the web UI lists tables, the human reflects, then asks for
+    one table's description — shape-wise a CTH candidate, but not a
+    programmatic dependency (false CTH)."""
+
+    name = "cth-false"
+    user_count = 4
+    burst_size = (1, 3)  # browse sequences per burst
+    gap_range = (15.0, 90.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            group = next_group()
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT name, type FROM dbobjects WHERE type = 'U' "
+                        "AND name NOT IN ('loadevents', 'queryresults') "
+                        "ORDER BY name"
+                    ),
+                    gap=self._gap(rng),
+                    truth=TRUTH_CTH,
+                    group=group,
+                    cth_real=False,
+                )
+            )
+            name = rng.choice(list(ctx.dbobject_names))
+            events.append(
+                Event(
+                    sql=f"SELECT description FROM dbobjects WHERE name = '{name}'",
+                    gap=rng.uniform(15.0, 60.0),  # the human thinks first
+                    truth=TRUTH_CTH,
+                    group=group,
+                    cth_real=False,
+                )
+            )
+        return events
+
+
+# ----------------------------------------------------------------------
+# Sliding-window crawlers, SNC, humans, noise
+
+
+class SwsCrawler(Profile):
+    """Section 6.5: a machine download sliding disjoint HTM windows —
+    frequent pattern, one user, not an antipattern."""
+
+    name = "sws"
+    user_count = 1
+    burst_size = (40, 150)
+    gap_range = (1.0, 4.0)
+
+    def __init__(self) -> None:
+        self._cursor: Dict[str, int] = {}
+
+    def burst(self, rng, ctx, next_group):
+        low_bound, high_bound = ctx.htm_bounds
+        span = max(1, (high_bound - low_bound) // 2048)
+        cursor = self._cursor.get(self.name, low_bound)
+        events = []
+        group = next_group()
+        for _ in range(self._size(rng)):
+            events.append(
+                Event(
+                    sql=(
+                        "SELECT objid, ra, dec, r FROM photoprimary "
+                        f"WHERE htmid >= {cursor} AND htmid < {cursor + span}"
+                    ),
+                    gap=self._gap(rng),
+                    truth=TRUTH_SWS,
+                    group=group,
+                )
+            )
+            cursor += span  # the window slides: disjoint filter ranges
+            if cursor >= high_bound:
+                cursor = low_bound
+        self._cursor[self.name] = cursor
+        return events
+
+
+class SncApp(Profile):
+    """Section 5.4: an application testing nullable columns with = NULL."""
+
+    name = "snc"
+    user_count = 2
+    burst_size = (2, 6)
+    gap_range = (1.0, 10.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            group = next_group()
+            operator = rng.choice(("=", "<>"))
+            column = rng.choice(("zerr", "z"))
+            events.append(
+                Event(
+                    sql=f"SELECT * FROM specobjall WHERE {column} {operator} NULL",
+                    gap=self._gap(rng),
+                    truth=TRUTH_SNC,
+                    group=group,
+                )
+            )
+        return events
+
+
+_HUMAN_TEMPLATES = (
+    "SELECT TOP {n} objid, ra, dec FROM photoprimary WHERE r < {mag:.2f} ORDER BY r",
+    "SELECT objid, u, g, r FROM photoprimary WHERE g - r > {color:.2f} AND type = 3",
+    "SELECT count(*) FROM photoprimary WHERE type = {type}",
+    "SELECT s.plate, s.mjd, s.z FROM specobjall s WHERE s.z BETWEEN {z1:.3f} AND {z2:.3f}",
+    "SELECT p.objid, s.z FROM photoprimary p INNER JOIN specobjall s "
+    "ON s.bestobjid = p.objid WHERE p.r < {mag:.2f}",
+    "SELECT type, count(*) AS cnt, avg(r) AS mean_r FROM photoprimary "
+    "GROUP BY type ORDER BY cnt DESC",
+    "SELECT objid, ra, dec FROM photoprimary WHERE ra BETWEEN {ra1:.3f} AND "
+    "{ra2:.3f} AND dec BETWEEN {dec1:.3f} AND {dec2:.3f}",
+    "SELECT TOP {n} objid, g - r AS color FROM photoprimary WHERE status = 1 "
+    "ORDER BY color DESC",
+    "SELECT name, description FROM dbobjects WHERE type = 'V'",
+    "SELECT count(DISTINCT run) FROM photoprimary",
+    "SELECT min(mjd), max(mjd) FROM specobjall",
+    "SELECT camcol, count(*) FROM photoprimary WHERE run = {run} GROUP BY camcol",
+)
+
+
+class HumanAdhoc(Profile):
+    """Hand-written exploratory queries: many users, small sessions."""
+
+    name = "human"
+    user_count = 60
+    burst_size = (2, 8)
+    gap_range = (8.0, 120.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            template = rng.choice(_HUMAN_TEMPLATES)
+            ra, dec = _near_cluster(rng, ctx, spread=5.0)
+            sql = template.format(
+                n=rng.choice((10, 50, 100)),
+                mag=rng.uniform(15.0, 21.0),
+                color=rng.uniform(0.2, 1.2),
+                type=rng.choice((3, 6)),
+                z1=rng.uniform(0.0, 0.2),
+                z2=rng.uniform(0.2, 0.5),
+                ra1=ra,
+                ra2=ra + rng.uniform(0.5, 3.0),
+                dec1=dec,
+                dec2=dec + rng.uniform(0.5, 3.0),
+                run=rng.randrange(100, 8000),
+            )
+            events.append(Event(sql=sql, gap=self._gap(rng)))
+        return events
+
+
+class DupReloader(Profile):
+    """Section 5.2: a web form resubmitting the identical query within a
+    second.  The first submission is legitimate; the reloads carry the
+    duplicate truth tag."""
+
+    name = "dup"
+    user_count = 8
+    burst_size = (1, 4)  # legitimate queries per burst
+    gap_range = (5.0, 40.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            ra, dec = _near_cluster(rng, ctx)
+            sql = (
+                "SELECT p.objid, p.ra, p.dec, p.type "
+                f"FROM fGetNearbyObjEq({ra:.5f}, {dec:.5f}, 1.0) n, "
+                "photoprimary p WHERE n.objid = p.objid"
+            )
+            events.append(Event(sql=sql, gap=self._gap(rng)))
+            group = next_group()
+            for _ in range(rng.randint(1, 3)):
+                events.append(
+                    Event(
+                        sql=sql,
+                        gap=rng.uniform(0.05, 0.9),
+                        truth=TRUTH_DUPLICATE,
+                        group=group,
+                    )
+                )
+        return events
+
+
+_DML_STATEMENTS = (
+    "CREATE TABLE mydb.results (objid bigint, ra float, dec float)",
+    "INSERT INTO mydb.results SELECT objid, ra, dec FROM photoprimary",
+    "UPDATE mydb.results SET ra = 0 WHERE objid = 1",
+    "DROP TABLE mydb.results",
+    "EXEC spGetNeighbors 12345",
+)
+
+_BROKEN_STATEMENTS = (
+    "SELECT FROM photoprimary WHERE",
+    "SELCT objid FROM photoprimary",
+    "SELECT objid FROM photoprimary WHERE ra >",
+    "SELECT 'unterminated FROM photoprimary",
+)
+
+
+class NoiseMaker(Profile):
+    """Non-SELECT statements (MyDB-style DML) and typos — the ~4 % the
+    parse stage must classify and exclude, never crash on."""
+
+    name = "noise"
+    user_count = 10
+    burst_size = (1, 5)
+    gap_range = (5.0, 60.0)
+
+    def burst(self, rng, ctx, next_group):
+        events = []
+        for _ in range(self._size(rng)):
+            if rng.random() < 0.7:
+                events.append(
+                    Event(
+                        sql=rng.choice(_DML_STATEMENTS),
+                        gap=self._gap(rng),
+                        truth=TRUTH_NON_SELECT,
+                    )
+                )
+            else:
+                events.append(
+                    Event(
+                        sql=rng.choice(_BROKEN_STATEMENTS),
+                        gap=self._gap(rng),
+                        truth=TRUTH_SYNTAX_ERROR,
+                    )
+                )
+        return events
+
+
+class BadPracticesApp(Profile):
+    """An application written with the textbook SQL antipatterns of the
+    extended catalog (Karwin): leading-wildcard LIKE searches, redundant
+    DISTINCT, aggregate-free HAVING, accidental cartesian products and
+    ORDER BY rand().  Not part of the default mixture (the paper's case
+    study does not quantify these); benches opt in explicitly."""
+
+    name = "bad-practices"
+    user_count = 3
+    burst_size = (4, 12)
+    gap_range = (2.0, 20.0)
+
+    def burst(self, rng, ctx, next_group):
+        shapes = (
+            ("Poor-Mans-Search",
+             "SELECT name, description FROM dbobjects WHERE description "
+             "LIKE '%{word}%'"),
+            ("Redundant-Distinct",
+             "SELECT DISTINCT type, count(*) AS cnt FROM photoprimary "
+             "GROUP BY type"),
+            ("Having-No-Aggregate",
+             "SELECT run, count(*) FROM photoprimary GROUP BY run "
+             "HAVING run > {run}"),
+            ("Cartesian-Product",
+             "SELECT p.objid FROM photoprimary p, specobjall s "
+             "WHERE p.r < {mag:.2f}"),
+            ("Random-Selection",
+             "SELECT TOP 1 objid FROM photoprimary ORDER BY rand()"),
+        )
+        events = []
+        for _ in range(self._size(rng)):
+            label, template = rng.choice(shapes)
+            sql = template.format(
+                word=rng.choice(("galaxy", "star", "survey")),
+                run=rng.randrange(100, 8000),
+                mag=rng.uniform(15.0, 21.0),
+            )
+            events.append(
+                Event(sql=sql, gap=self._gap(rng), truth=label, group=next_group())
+            )
+        return events
+
+
+def default_profiles() -> List[Profile]:
+    """All profiles, in a stable order."""
+    return [
+        NearbyBot(),
+        NearbyInfoBot(),
+        RectBot(),
+        HtmCountBot(),
+        DwStifleBot(),
+        DsStifleBot(),
+        DfStifleBot(),
+        CthRealApp(),
+        CthFalseApp(),
+        SwsCrawler(),
+        SncApp(),
+        HumanAdhoc(),
+        DupReloader(),
+        NoiseMaker(),
+    ]

@@ -1,0 +1,115 @@
+"""Shared fixtures: synthetic database, workload, pipeline configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.engine import Column, Database, TableSchema
+from repro.patterns import SwsConfig
+from repro.pipeline import PipelineConfig
+from repro.workload import WorkloadConfig, build_database, generate, skyserver_catalog
+
+
+@pytest.fixture(scope="session")
+def sky_database():
+    """A small populated synthetic SkyServer database."""
+    return build_database(object_count=800, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def sky_keys():
+    """Key-attribute names of the SkyServer schema."""
+    return frozenset(skyserver_catalog().key_column_names())
+
+
+@pytest.fixture()
+def detection_context(sky_keys):
+    return DetectionContext(key_columns=sky_keys)
+
+
+@pytest.fixture()
+def pipeline_config(sky_keys):
+    return PipelineConfig(
+        detection=DetectionContext(key_columns=sky_keys),
+        sws=SwsConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A deterministic small synthetic log with ground truth."""
+    return generate(WorkloadConfig(seed=99, scale=0.12))
+
+
+@pytest.fixture(scope="session")
+def executable_workload(sky_database):
+    """A workload whose constants come from ``sky_database`` — every
+    generated SELECT is executable against it."""
+    return generate(
+        WorkloadConfig(seed=5, scale=0.05), database=sky_database
+    )
+
+
+@pytest.fixture()
+def employees_database():
+    """The paper's running-example schema (Table 1), populated."""
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "Employees",
+            (
+                Column("empId", "bigint", is_key=True),
+                Column("id", "bigint", is_key=True),
+                Column("name"),
+                Column("surname"),
+                Column("department"),
+                Column("birthday"),
+                Column("phone"),
+            ),
+        ),
+        [
+            {
+                "empId": 12,
+                "id": 12,
+                "name": "John",
+                "surname": "Doe",
+                "department": "sales",
+                "birthday": "12.03.1985",
+                "phone": "01259863448",
+            },
+            {
+                "empId": 15,
+                "id": 15,
+                "name": "Mary",
+                "surname": "Major",
+                "department": "sales",
+                "birthday": "01.01.1990",
+                "phone": "123",
+            },
+            {
+                "empId": 16,
+                "id": 16,
+                "name": "Ann",
+                "surname": "Lee",
+                "department": "hr",
+                "birthday": "02.02.1992",
+                "phone": "456",
+            },
+        ],
+    )
+    database.create_table(
+        TableSchema(
+            "Orders",
+            (
+                Column("orderId", "bigint", is_key=True),
+                Column("empId", "bigint", is_key=True),
+                Column("orders", "int"),
+            ),
+        ),
+        [
+            {"orderId": i, "empId": 12 if i % 2 else 15, "orders": i}
+            for i in range(1, 11)
+        ],
+    )
+    return database

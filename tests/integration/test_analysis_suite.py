@@ -1,0 +1,102 @@
+"""Integration: the full analysis suite over one pipeline run.
+
+A downstream operator runs the cleaner once and consumes *all* the
+analyses from the same result: the Table-5 overview, the CSV report, the
+traffic report, the bot classifier, the recommender and the hotspot
+extraction.  This test asserts the cross-module numbers agree with each
+other — the sum of the parts equals the whole.
+"""
+
+import csv
+
+import pytest
+
+from repro.analysis.behavior import classify_users
+from repro.analysis.clustering import cluster_queries
+from repro.analysis.interests import extract_hotspots
+from repro.analysis.traffic import traffic_report
+from repro.antipatterns import DetectionContext
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.pipeline.report import export_report
+from repro.recommend import TemplateTransitionModel, split_blocks
+from repro.workload import skyserver_catalog
+
+
+@pytest.fixture(scope="module")
+def suite_result(small_workload):
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        ),
+        sws=SwsConfig(),
+    )
+    return CleaningPipeline(config).run(small_workload.log)
+
+
+class TestCrossModuleConsistency:
+    def test_overview_matches_parse_stage(self, suite_result):
+        overview = suite_result.overview()
+        # parsed + classified failures == the deduplicated input, exactly
+        assert (
+            len(suite_result.parse_stage.queries)
+            + overview.non_select
+            + overview.syntax_errors
+            == overview.after_dedup
+        )
+
+    def test_registry_covers_all_parsed_queries(self, suite_result):
+        assert suite_result.registry.total_queries() == len(
+            suite_result.parse_stage.queries
+        )
+
+    def test_traffic_report_matches_log(self, suite_result, small_workload):
+        report = traffic_report(
+            small_workload.log, suite_result.parse_stage.queries
+        )
+        assert report.total_queries == len(small_workload.log)
+        assert ("photoprimary" in dict(report.top_tables))
+
+    def test_behavior_covers_all_parsed_users(self, suite_result):
+        verdicts = classify_users(suite_result)
+        parsed_users = {q.user for q in suite_result.parse_stage.queries}
+        assert set(verdicts) == parsed_users
+
+    def test_recommender_trains_on_every_block(self, suite_result):
+        train, test = split_blocks(suite_result.mining.blocks, 0.8)
+        assert len(train) + len(test) == len(suite_result.mining.blocks)
+        model = TemplateTransitionModel().train_on_blocks(
+            suite_result.mining.blocks
+        )
+        parsed_templates = {
+            q.template_id for q in suite_result.parse_stage.queries
+        }
+        assert model.vocabulary_size == len(parsed_templates)
+
+    def test_hotspots_from_clean_clustering(self, suite_result):
+        from repro.pipeline import parse_log
+
+        clean_queries = parse_log(suite_result.clean_log).queries
+        clustering = cluster_queries(clean_queries, threshold=0.5)
+        hotspots = extract_hotspots(clustering)
+        assert hotspots
+        covered = sum(spot.query_count for spot in hotspots)
+        assert covered <= len(clean_queries)
+
+    def test_csv_report_numbers_match(self, suite_result, tmp_path):
+        written = export_report(suite_result, tmp_path)
+        with open(written["patterns"], newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(suite_result.registry)
+        total_from_csv = sum(int(row["query_count"]) for row in rows)
+        assert total_from_csv == suite_result.registry.total_queries()
+        with open(written["solved"], newline="", encoding="utf-8") as handle:
+            solved_rows = list(csv.DictReader(handle))
+        assert len(solved_rows) == len(suite_result.solve_result.solved)
+
+    def test_clean_plus_removed_accounts_for_parsed(self, suite_result):
+        removed_by_solving = suite_result.solve_result.queries_removed
+        assert (
+            len(suite_result.clean_log) + removed_by_solving
+            == len(suite_result.parse_stage.parsed_log)
+        )

@@ -1,0 +1,80 @@
+"""Integration: the Section 6.9 downstream clustering experiment."""
+
+import pytest
+
+from repro.analysis import ds_cluster_sizes, run_downstream_experiment
+from repro.antipatterns import DetectionContext
+from repro.pipeline import PipelineConfig
+from repro.workload import WorkloadConfig, generate, skyserver_catalog
+
+THRESHOLDS = (0.1, 0.5, 0.9)
+
+
+@pytest.fixture(scope="module")
+def report():
+    workload = generate(WorkloadConfig(seed=21, scale=0.08))
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        )
+    )
+    return run_downstream_experiment(
+        workload.log, thresholds=THRESHOLDS, config=config
+    )
+
+
+class TestDownstreamExperiment:
+    def test_all_variants_and_thresholds_present(self, report):
+        assert set(report.series) == {"raw", "clean", "removal"}
+        for series in report.series.values():
+            assert set(series.results) == set(THRESHOLDS)
+
+    def test_variant_sizes_ordered(self, report):
+        """removal < clean < raw (rewriting keeps one query per instance,
+        removal drops them all — Section 6.9)."""
+        sizes = report.variant_sizes
+        assert sizes["removal"] < sizes["clean"] < sizes["raw"]
+
+    def test_raw_has_most_clusters(self, report):
+        """Fig. 3: the raw log's clusters are 'too numerous to be
+        analyzed individually'."""
+        for threshold in THRESHOLDS:
+            raw = report.result("raw", threshold).cluster_count
+            clean = report.result("clean", threshold).cluster_count
+            removal = report.result("removal", threshold).cluster_count
+            assert raw > clean >= removal * 0.9
+
+    def test_removal_clusters_bigger_on_average(self, report):
+        for threshold in THRESHOLDS:
+            raw = report.result("raw", threshold).average_size
+            removal = report.result("removal", threshold).average_size
+            assert removal >= raw * 0.8
+
+    def test_removal_clusters_found_in_raw(self, report):
+        """The paper found all removal-log clusters in the raw log too —
+        removing antipatterns removes noise, not signal.  We check the
+        representative regions of removal clusters appear in raw."""
+        raw = report.result("raw", 0.5)
+        removal = report.result("removal", 0.5)
+        raw_keys = {
+            cluster.representative_region.key() for cluster in raw.clusters
+        }
+        found = sum(
+            1
+            for cluster in removal.clusters
+            if cluster.representative_region.key() in raw_keys
+        )
+        assert found / max(len(removal.clusters), 1) > 0.7
+
+    def test_ds_clusters_shrink_after_cleaning(self, report):
+        """Fig. 4(c): DS-clusters in the clean log are smaller than in
+        the raw log (two statements merged into one)."""
+        pairs = ds_cluster_sizes(report, threshold=0.9, top=10)
+        assert pairs, "no DS clusters found"
+        clean_sizes = [c for c, _ in pairs if c > 0]
+        raw_sizes = [r for _, r in pairs if r is not None]
+        assert clean_sizes and raw_sizes
+        mean_clean = sum(clean_sizes) / len(clean_sizes)
+        mean_raw = sum(raw_sizes) / len(raw_sizes)
+        # the paper's Fig. 4(c): raw DS-clusters ≈ 2× the cleaned ones
+        assert mean_raw > mean_clean * 1.2

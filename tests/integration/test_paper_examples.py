@@ -1,0 +1,176 @@
+"""Integration tests encoding the paper's running examples end to end.
+
+Each test cites the table/example of the paper it reproduces.
+"""
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import CleaningPipeline, PipelineConfig
+
+KEYS = frozenset({"empid", "id", "objid", "specobjid", "name", "htmid", "bestobjid"})
+
+
+def run_pipeline(timed_statements, user="u1", **config_kwargs):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts) in enumerate(timed_statements)
+    )
+    config = PipelineConfig(
+        detection=DetectionContext(key_columns=KEYS), **config_kwargs
+    )
+    return CleaningPipeline(config).run(log)
+
+
+class TestTable1And2:
+    """The paper's running example: Table 1's session, parsed and marked
+    like Table 2, cleaned like Table 3."""
+
+    STATEMENTS = [
+        ("SELECT E.Id FROM Employees E WHERE E.department = 'sales'", 0.0),
+        ("SELECT E.name, E.surname FROM Employees E WHERE E.id = 12", 1.0),
+        ("SELECT E.name, E.surname FROM Employees E WHERE E.id = 15", 2.0),
+        ("SELECT E.name, E.surname FROM Employees E WHERE E.id = 16", 3.0),
+    ]
+
+    def test_table2_marks(self):
+        result = run_pipeline(self.STATEMENTS)
+        labels = {
+            (instance.label, instance.record_seqs())
+            for instance in result.antipatterns
+        }
+        assert ("CTH-candidate", (0, 1, 2, 3)) in labels
+        assert ("DW-Stifle", (1, 2, 3)) in labels
+
+    def test_table3_clean_log(self):
+        result = run_pipeline(self.STATEMENTS)
+        statements = result.clean_log.statements()
+        assert len(statements) == 2
+        assert statements[0] == self.STATEMENTS[0][0]
+        assert "E.id IN (12, 15, 16)" in statements[1]
+
+    def test_cth_stays_in_log_stifle_solved(self):
+        result = run_pipeline(self.STATEMENTS)
+        assert result.solve_result.solved_counts() == {"DW-Stifle": 1}
+        assert len(result.solve_result.unsolvable) == 1
+
+
+class TestExample5Stifle:
+    """Example 5: a for-loop issuing SELECT * FROM T WHERE Id = <item>."""
+
+    def test_loop_queries_form_one_dw_stifle(self):
+        statements = [
+            (f"SELECT * FROM T WHERE Id = {item}", 0.1 * i)
+            for i, item in enumerate([7, 3, 9, 4])
+        ]
+        result = run_pipeline(statements)
+        assert [a.label for a in result.antipatterns] == ["DW-Stifle"]
+        assert result.clean_log.statements() == [
+            "SELECT * FROM T WHERE Id IN (7, 3, 9, 4)"
+        ]
+
+
+class TestExamples9To14:
+    def test_example_9_10(self):
+        result = run_pipeline(
+            [
+                ("SELECT name FROM Employee WHERE empId = 8;", 0.0),
+                ("SELECT name FROM Employee WHERE empId = 1;", 0.5),
+            ]
+        )
+        assert result.clean_log.statements() == [
+            "SELECT empId, name FROM Employee WHERE empId IN (8, 1)"
+        ]
+
+    def test_example_11_12(self):
+        result = run_pipeline(
+            [
+                ("SELECT name FROM Employee WHERE empId=8;", 0.0),
+                ("SELECT address, phone FROM Employee WHERE empId=8;", 0.5),
+            ]
+        )
+        assert result.clean_log.statements() == [
+            "SELECT name, address, phone FROM Employee WHERE empId = 8"
+        ]
+
+    def test_example_13_14(self):
+        result = run_pipeline(
+            [
+                ("SELECT name FROM Employee WHERE empId = 8;", 0.0),
+                ("SELECT address FROM EmployeeInfo WHERE empId = 8;", 0.5),
+            ]
+        )
+        statements = result.clean_log.statements()
+        assert len(statements) == 1
+        assert "INNER JOIN EmployeeInfo" in statements[0]
+        assert "WHERE t0.empId = 8" in statements[0]
+
+
+class TestSection54Snc:
+    def test_snc_definition_16_and_rewrite(self):
+        result = run_pipeline(
+            [
+                ("SELECT * FROM Bugs WHERE assigned_to = NULL", 0.0),
+                ("SELECT * FROM Bugs WHERE assigned_to <> NULL", 5.0),
+            ]
+        )
+        assert result.clean_log.statements() == [
+            "SELECT * FROM Bugs WHERE assigned_to IS NULL",
+            "SELECT * FROM Bugs WHERE assigned_to IS NOT NULL",
+        ]
+
+
+class TestTables9And10:
+    def test_candidate_1_is_false_cth(self):
+        """Table 9: 27 seconds of human reflection between the queries."""
+        result = run_pipeline(
+            [
+                (
+                    "SELECT name, type FROM DBObjects WHERE type='U' AND name "
+                    "NOT IN ('LoadEvents', 'QueryResults') ORDER BY name;",
+                    0.0,
+                ),
+                ("SELECT description FROM DBObjects WHERE name='Galaxy'", 27.0),
+            ]
+        )
+        cth = [a for a in result.antipatterns if a.label == "CTH-candidate"]
+        assert len(cth) == 1
+        assert cth[0].details["oracle_real"] is False
+
+    def test_candidate_2_is_real_cth(self):
+        """Table 10: both queries share the same timestamp."""
+        result = run_pipeline(
+            [
+                ("SELECT * FROM dbo.fGetNearestObjEq(145.38708,0.12532,0.1);", 0.0),
+                (
+                    "SELECT plate, fiberID, mjd, SpecObjID FROM SpecObjAll "
+                    "WHERE SpecObjID = 75094094447116288",
+                    0.0,
+                ),
+            ]
+        )
+        cth = [a for a in result.antipatterns if a.label == "CTH-candidate"]
+        assert len(cth) == 1
+        assert cth[0].details["oracle_real"] is True
+
+
+class TestExample7Pattern:
+    def test_shoe_shop_pattern_mined_as_unit(self):
+        """Example 7's BUY procedure: the SELECT part of the pattern
+        recurs; the miner should find the periodic unit."""
+        statements = []
+        clock = 0.0
+        for barcode in (111, 222, 333):
+            statements.append(
+                (f"SELECT model, size FROM BarCodesInfo WHERE id = {barcode}", clock)
+            )
+            statements.append(
+                (f"SELECT count(*) FROM InPresence WHERE model = {barcode}", clock + 0.1)
+            )
+            clock += 1.0
+        result = run_pipeline(statements)
+        units = {len(stats.unit) for stats in result.registry}
+        assert 2 in units  # the two-query unit was recognised
+        two_unit = [s for s in result.registry if len(s.unit) == 2][0]
+        assert two_unit.frequency == 3

@@ -1,0 +1,78 @@
+"""Integration: the Section 6.8 reduced-information experiment.
+
+Running the framework on statements+timestamps only (no users/sessions)
+should barely change pattern frequencies, because instances arrive in a
+tight time window anyway; but SWS detection (which needs userPopularity)
+degrades — exactly the paper's observations.
+"""
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.workload import skyserver_catalog
+
+
+@pytest.fixture(scope="module")
+def both_runs(small_workload):
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        ),
+        sws=SwsConfig(),
+    )
+    full = CleaningPipeline(config).run(small_workload.log)
+    reduced = CleaningPipeline(config).run(small_workload.log.without_metadata())
+    return full, reduced
+
+
+class TestReducedInformation:
+    def test_top_pattern_frequencies_stay_close(self, both_runs):
+        full, reduced = both_runs
+        full_top = {
+            s.skeletons: s.frequency for s in full.registry.top(10)
+        }
+        reduced_by_skeleton = {
+            s.skeletons: s.frequency for s in reduced.registry
+        }
+        compared = 0
+        for skeletons, frequency in full_top.items():
+            other = reduced_by_skeleton.get(skeletons)
+            if other is None:
+                continue
+            compared += 1
+            assert other == pytest.approx(frequency, rel=0.35), skeletons
+        assert compared >= 5
+
+    def test_clean_log_sizes_close(self, both_runs):
+        """Paper: the reduced-input result set was 0.36 % smaller; we
+        allow a few percent on the small log."""
+        full, reduced = both_runs
+        difference = abs(len(full.clean_log) - len(reduced.clean_log))
+        assert difference / max(len(full.clean_log), 1) < 0.10
+
+    def test_stifle_detection_survives_without_users(self, both_runs):
+        full, reduced = both_runs
+        full_stifles = sum(
+            1 for a in full.antipatterns if a.label.endswith("Stifle")
+        )
+        reduced_stifles = sum(
+            1 for a in reduced.antipatterns if a.label.endswith("Stifle")
+        )
+        assert reduced_stifles >= 0.8 * full_stifles
+
+    def test_user_popularity_collapses_to_one_user(self, both_runs):
+        _, reduced = both_runs
+        assert all(s.user_popularity == 1 for s in reduced.registry)
+
+    def test_sws_detection_limited_without_users(self, both_runs):
+        """With one synthetic user, popularity thresholds lose their
+        meaning: *everything* frequent looks like one user's crawl.  The
+        paper notes low-popularity patterns become undetectable — i.e.
+        the reduced run's SWS set is unreliable, not equal to the full
+        run's."""
+        full, reduced = both_runs
+        full_units = {s.unit for s in full.sws_report.patterns}
+        reduced_units = {s.unit for s in reduced.sws_report.patterns}
+        assert full_units != reduced_units

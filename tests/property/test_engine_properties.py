@@ -1,0 +1,158 @@
+"""Property-based tests: relational-engine invariants.
+
+Random small tables + random predicates; the properties are the algebraic
+identities any SQL engine must satisfy — including the predicate
+equivalences the Stifle rewrites rely on (``IN`` vs OR-chain, ``BETWEEN``
+vs conjunction of bounds).
+"""
+
+from collections import Counter
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine import Column, Database, TableSchema
+
+values = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+
+
+@st.composite
+def databases(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(values, values),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "items",
+            (Column("id", "int", is_key=True), Column("a", "int"), Column("b", "int")),
+        ),
+        [{"id": i, "a": a, "b": b} for i, (a, b) in enumerate(rows)],
+    )
+    return database
+
+
+constants = st.integers(min_value=-6, max_value=6)
+
+
+class TestFilterInvariants:
+    @given(databases(), constants)
+    @settings(max_examples=150, deadline=None)
+    def test_filter_returns_subset(self, db, constant):
+        everything = Counter(db.execute("SELECT id, a, b FROM items").rows)
+        filtered = Counter(
+            db.execute(f"SELECT id, a, b FROM items WHERE a >= {constant}").rows
+        )
+        assert all(filtered[row] <= everything[row] for row in filtered)
+
+    @given(databases(), constants, constants)
+    @settings(max_examples=150, deadline=None)
+    def test_and_is_intersection(self, db, c1, c2):
+        both = set(
+            db.execute(
+                f"SELECT id FROM items WHERE a >= {c1} AND b >= {c2}"
+            ).rows
+        )
+        left = set(db.execute(f"SELECT id FROM items WHERE a >= {c1}").rows)
+        right = set(db.execute(f"SELECT id FROM items WHERE b >= {c2}").rows)
+        assert both == left & right
+
+    @given(databases(), constants, constants)
+    @settings(max_examples=150, deadline=None)
+    def test_or_is_union(self, db, c1, c2):
+        either = set(
+            db.execute(f"SELECT id FROM items WHERE a = {c1} OR b = {c2}").rows
+        )
+        left = set(db.execute(f"SELECT id FROM items WHERE a = {c1}").rows)
+        right = set(db.execute(f"SELECT id FROM items WHERE b = {c2}").rows)
+        assert either == left | right
+
+    @given(databases(), st.lists(constants, min_size=1, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_in_list_equals_or_chain(self, db, in_values):
+        """The identity the DW-Stifle rewrite rests on."""
+        in_sql = ", ".join(str(v) for v in in_values)
+        or_sql = " OR ".join(f"a = {v}" for v in in_values)
+        via_in = sorted(
+            db.execute(f"SELECT id FROM items WHERE a IN ({in_sql})").rows
+        )
+        via_or = sorted(db.execute(f"SELECT id FROM items WHERE {or_sql}").rows)
+        assert via_in == via_or
+
+    @given(databases(), constants, constants)
+    @settings(max_examples=150, deadline=None)
+    def test_between_equals_bound_pair(self, db, low, high):
+        low, high = min(low, high), max(low, high)
+        via_between = sorted(
+            db.execute(
+                f"SELECT id FROM items WHERE a BETWEEN {low} AND {high}"
+            ).rows
+        )
+        via_bounds = sorted(
+            db.execute(
+                f"SELECT id FROM items WHERE a >= {low} AND a <= {high}"
+            ).rows
+        )
+        assert via_between == via_bounds
+
+    @given(databases(), constants)
+    @settings(max_examples=100, deadline=None)
+    def test_null_comparisons_never_match(self, db, constant):
+        """The semantics behind the SNC antipattern."""
+        assert db.execute("SELECT id FROM items WHERE a = NULL").rows == []
+        matched = db.execute(f"SELECT id FROM items WHERE a = {constant}").rows
+        nulls = db.execute("SELECT id FROM items WHERE a IS NULL").rows
+        assert not (set(matched) & set(nulls))
+
+
+class TestShapeInvariants:
+    @given(databases())
+    @settings(max_examples=100, deadline=None)
+    def test_count_star_matches_row_count(self, db):
+        count = db.execute("SELECT count(*) FROM items").rows[0][0]
+        assert count == len(db.execute("SELECT * FROM items").rows)
+
+    @given(databases())
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_is_set_of_projection(self, db):
+        plain = db.execute("SELECT a FROM items").rows
+        distinct = db.execute("SELECT DISTINCT a FROM items").rows
+        assert set(distinct) == set(plain)
+        assert len(distinct) == len(set(plain))
+
+    @given(databases(), st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_top_bounds_cardinality(self, db, limit):
+        total = len(db.execute("SELECT id FROM items").rows)
+        rows = db.execute(f"SELECT TOP {limit} id FROM items").rows
+        assert len(rows) == min(limit, total)
+
+    @given(databases())
+    @settings(max_examples=100, deadline=None)
+    def test_order_by_is_permutation(self, db):
+        plain = Counter(db.execute("SELECT id FROM items").rows)
+        ordered = Counter(db.execute("SELECT id FROM items ORDER BY a DESC").rows)
+        assert plain == ordered
+
+    @given(databases())
+    @settings(max_examples=100, deadline=None)
+    def test_group_by_partitions_rows(self, db):
+        groups = db.execute(
+            "SELECT a, count(*) FROM items GROUP BY a"
+        ).rows
+        assert sum(count for _, count in groups) == len(
+            db.execute("SELECT id FROM items").rows
+        )
+
+    @given(databases())
+    @settings(max_examples=100, deadline=None)
+    def test_self_join_on_key_is_identity(self, db):
+        joined = db.execute(
+            "SELECT x.id FROM items x JOIN items y ON x.id = y.id"
+        ).rows
+        plain = db.execute("SELECT id FROM items").rows
+        assert sorted(joined) == sorted(plain)

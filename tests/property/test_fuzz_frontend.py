@@ -1,0 +1,79 @@
+"""Fuzzing the SQL front end: total functions, typed failures only.
+
+The parse stage of the pipeline feeds on *hostile* input — seven years of
+web traffic includes every malformed string imaginable — and Section 5.3
+requires misparses to be counted, never to crash the run.  Property: for
+ANY input string, ``parse`` either returns a Statement or raises a
+``SqlError``; nothing else ever escapes.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import example, given, settings
+
+from repro.sqlparser import SqlError, parse, tokenize
+from repro.sqlparser.ast_nodes import Statement
+
+arbitrary_text = st.text(max_size=120)
+
+sql_ish_text = st.lists(
+    st.sampled_from(
+        [
+            "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "JOIN",
+            "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "NULL",
+            "a", "b", "t", "u", "objid", "count", "*", ",", "(", ")",
+            "=", "<", ">", "<>", "'x'", "1", "2.5", "@v", ".", ";",
+            "--", "/*", "*/", "[", "]",
+        ]
+    ),
+    max_size=25,
+).map(" ".join)
+
+
+class TestParserTotality:
+    @given(arbitrary_text)
+    @example("SELECT '")
+    @example("SELECT /*")
+    @example("\x00\x01\x02")
+    @example("SELECT a FROM t WHERE ((((((((")
+    @settings(max_examples=500, deadline=None)
+    def test_arbitrary_input_never_crashes(self, text):
+        try:
+            result = parse(text)
+        except SqlError:
+            return
+        assert isinstance(result, Statement)
+
+    @given(sql_ish_text)
+    @settings(max_examples=500, deadline=None)
+    def test_sql_shaped_garbage_never_crashes(self, text):
+        try:
+            result = parse(text)
+        except SqlError:
+            return
+        assert isinstance(result, Statement)
+
+    @given(arbitrary_text)
+    @settings(max_examples=300, deadline=None)
+    def test_lexer_totality(self, text):
+        try:
+            tokens = tokenize(text)
+        except SqlError:
+            return
+        assert tokens  # at least the EOF token
+
+
+class TestPipelineTotality:
+    @given(st.lists(sql_ish_text, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_pipeline_survives_garbage_logs(self, statements):
+        from repro.log import QueryLog
+        from repro.pipeline import CleaningPipeline
+
+        log = QueryLog.from_statements(statements)
+        result = CleaningPipeline().run(log)
+        accounted = (
+            len(result.parse_stage.queries)
+            + len(result.parse_stage.syntax_errors)
+            + len(result.parse_stage.non_select)
+        )
+        assert accounted == len(result.dedup.log)

@@ -1,0 +1,126 @@
+"""Property-based tests: dedup and mining invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.antipatterns import minimal_period
+from repro.log import LogRecord, QueryLog, delete_duplicates
+from repro.log.dedup import normalize_statement_text
+from repro.patterns import MinerConfig, mine
+from repro.pipeline import parse_log
+
+statements = st.sampled_from(
+    [
+        "SELECT a FROM t WHERE id = 1",
+        "SELECT a FROM t WHERE id = 2",
+        "SELECT b FROM t WHERE id = 1",
+        "SELECT c FROM u",
+    ]
+)
+users = st.sampled_from(["u1", "u2", None])
+
+log_entries = st.lists(
+    st.tuples(
+        statements,
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        users,
+    ),
+    max_size=40,
+)
+thresholds = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def build_log(entries):
+    return QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+
+
+class TestDedupProperties:
+    @given(log_entries, thresholds)
+    @settings(max_examples=200, deadline=None)
+    def test_dedup_is_idempotent(self, entries, threshold):
+        log = build_log(entries)
+        once = delete_duplicates(log, threshold)
+        twice = delete_duplicates(once.log, threshold)
+        assert twice.removed == 0
+        assert twice.log == once.log
+
+    @given(log_entries, thresholds)
+    @settings(max_examples=200, deadline=None)
+    def test_kept_is_subsequence_of_original(self, entries, threshold):
+        log = build_log(entries)
+        result = delete_duplicates(log, threshold)
+        original_seqs = [record.seq for record in log]
+        kept_seqs = [record.seq for record in result.log]
+        iterator = iter(original_seqs)
+        assert all(seq in iterator for seq in kept_seqs)  # subsequence
+
+    @given(log_entries, thresholds)
+    @settings(max_examples=200, deadline=None)
+    def test_no_kept_duplicates_within_threshold(self, entries, threshold):
+        log = build_log(entries)
+        result = delete_duplicates(log, threshold)
+        last = {}
+        for record in result.log:
+            key = (record.user_key(), normalize_statement_text(record.sql))
+            previous = last.get(key)
+            if previous is not None:
+                assert record.timestamp - previous > threshold
+            last[key] = record.timestamp
+
+    @given(log_entries, thresholds)
+    @settings(max_examples=100, deadline=None)
+    def test_counts_add_up(self, entries, threshold):
+        log = build_log(entries)
+        result = delete_duplicates(log, threshold)
+        assert result.kept + result.removed == len(log)
+
+
+class TestMinerProperties:
+    @given(log_entries)
+    @settings(max_examples=100, deadline=None)
+    def test_instances_partition_parsed_queries(self, entries):
+        queries = parse_log(build_log(entries)).queries
+        result = mine(queries)
+        covered = sorted(
+            query.record.seq
+            for instance in result.instances
+            for query in instance.queries
+        )
+        assert covered == sorted(q.record.seq for q in queries)
+
+    @given(log_entries)
+    @settings(max_examples=100, deadline=None)
+    def test_instances_are_time_ordered_within(self, entries):
+        queries = parse_log(build_log(entries)).queries
+        for instance in mine(queries).instances:
+            times = [q.timestamp for q in instance.queries]
+            assert times == sorted(times)
+
+    @given(log_entries)
+    @settings(max_examples=100, deadline=None)
+    def test_instances_are_single_user(self, entries):
+        queries = parse_log(build_log(entries)).queries
+        for instance in mine(queries).instances:
+            assert len({q.user for q in instance.queries}) == 1
+
+
+class TestMinimalPeriodProperties:
+    units = st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4)
+
+    @given(unit=units, repeats=st.integers(1, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_period_reconstructs_sequence(self, unit, repeats):
+        sequence = unit * repeats
+        period = minimal_period(sequence)
+        assert len(sequence) % len(period) == 0
+        times = len(sequence) // len(period)
+        assert list(period) * times == sequence
+
+    @given(unit=units, repeats=st.integers(1, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_period_is_no_longer_than_unit(self, unit, repeats):
+        period = minimal_period(unit * repeats)
+        assert len(period) <= len(unit)

@@ -1,0 +1,107 @@
+"""Property-based tests: the overlap measure's metric-style axioms."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import Interval, Region, interval_overlap, region_overlap
+
+bounds = st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(bounds)
+    b = draw(bounds)
+    return Interval(min(a, b), max(a, b))
+
+
+table_sets = st.sets(
+    st.sampled_from(["t", "u", "photoprimary", "specobjall"]), min_size=1, max_size=3
+).map(frozenset)
+
+columns = st.sampled_from(["objid", "ra", "htmid", "z"])
+
+
+@st.composite
+def regions(draw):
+    numeric = draw(
+        st.dictionaries(columns, intervals(), max_size=2)
+    )
+    points = draw(
+        st.dictionaries(
+            st.sampled_from(["pid", "kid"]),
+            st.sets(
+                st.integers(0, 50).map(float), min_size=1, max_size=4
+            ).map(frozenset),
+            max_size=1,
+        )
+    )
+    categorical = draw(
+        st.dictionaries(
+            st.sampled_from(["name", "type"]),
+            st.sets(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=2).map(
+                frozenset
+            ),
+            max_size=1,
+        )
+    )
+    return Region(
+        tables=draw(table_sets),
+        numeric=tuple(sorted(numeric.items())),
+        points=tuple(sorted(points.items())),
+        categorical=tuple(sorted(categorical.items())),
+    )
+
+
+class TestOverlapAxioms:
+    @given(regions())
+    @settings(max_examples=200, deadline=None)
+    def test_identity(self, region):
+        assert region_overlap(region, region) == 1.0
+
+    @given(regions(), regions())
+    @settings(max_examples=300, deadline=None)
+    def test_symmetry(self, first, second):
+        forward = region_overlap(first, second)
+        backward = region_overlap(second, first)
+        assert abs(forward - backward) < 1e-12
+
+    @given(regions(), regions())
+    @settings(max_examples=300, deadline=None)
+    def test_bounded(self, first, second):
+        value = region_overlap(first, second)
+        assert 0.0 <= value <= 1.0
+
+    @given(regions(), regions(), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_unshared_factor_monotone(self, first, second, factor):
+        """A larger unshared-dimension factor never lowers the overlap."""
+        loose = region_overlap(first, second, unshared_factor=factor)
+        strict = region_overlap(first, second, unshared_factor=0.0)
+        assert loose >= strict - 1e-12
+
+
+class TestIntervalOverlapAxioms:
+    @given(intervals())
+    @settings(max_examples=100, deadline=None)
+    def test_self_overlap_is_one(self, interval):
+        assert interval_overlap(interval, interval) == 1.0
+
+    @given(intervals(), intervals())
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry_and_bounds(self, a, b):
+        forward = interval_overlap(a, b)
+        assert forward == interval_overlap(b, a)
+        assert 0.0 <= forward <= 1.0
+
+    @given(intervals(), intervals())
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_implies_zero(self, a, b):
+        if a.intersect(b) is None:
+            assert interval_overlap(a, b) == 0.0
+
+    @given(intervals(), intervals())
+    @settings(max_examples=200, deadline=None)
+    def test_positive_implies_intersecting(self, a, b):
+        if interval_overlap(a, b) > 0.0:
+            assert a.intersect(b) is not None

@@ -1,0 +1,219 @@
+"""Property-based tests: formatter/parser round-trip over generated ASTs.
+
+The strategy builds random (but valid) statement trees bottom-up; the
+property is the core guarantee the cleaning framework rests on:
+
+    parse(format_sql(tree)) == tree
+
+i.e. the canonical rendering loses no structure, for *any* statement the
+dialect can express.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sqlparser import ast, format_sql, parse, tokenize
+from repro.sqlparser.tokens import TokenKind
+
+# ----------------------------------------------------------------------
+# AST strategies
+
+identifiers = st.sampled_from(
+    ["a", "b", "objid", "ra", "name", "rowc_g", "htmid", "x1"]
+)
+table_names = st.sampled_from(["t", "u", "photoprimary", "employees"])
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(
+        lambda n: ast.Literal(str(n), "number")
+    ),
+    st.floats(
+        min_value=0.001, max_value=10**6, allow_nan=False, allow_infinity=False
+    ).map(lambda f: ast.Literal(repr(round(f, 6)), "number")),
+    st.text(
+        alphabet="abc XYZ_0129'", min_size=0, max_size=8
+    ).map(lambda s: ast.Literal(s, "string")),
+    st.just(ast.Literal("NULL", "null")),
+)
+
+columns = st.builds(
+    ast.ColumnRef,
+    name=identifiers,
+    table=st.one_of(st.none(), st.sampled_from(["t", "p"])),
+)
+
+variables = identifiers.map(lambda n: ast.Variable(n))
+
+
+def value_exprs(children):
+    return st.one_of(
+        literals,
+        columns,
+        variables,
+        st.builds(
+            ast.BinaryOp,
+            op=st.sampled_from(["+", "-", "*", "/"]),
+            left=children,
+            right=children,
+        ),
+        st.builds(ast.UnaryOp, op=st.just("-"), operand=columns),
+        st.builds(
+            ast.FunctionCall,
+            name=st.sampled_from(["abs", "round", "count", "isnull"]),
+            args=st.lists(children, min_size=1, max_size=2).map(tuple),
+        ),
+        st.builds(
+            ast.CaseExpression,
+            whens=st.lists(
+                st.builds(
+                    ast.WhenClause,
+                    condition=st.builds(
+                        ast.Comparison, op=st.just("="), left=columns, right=literals
+                    ),
+                    result=children,
+                ),
+                min_size=1,
+                max_size=2,
+            ).map(tuple),
+            operand=st.none(),
+            else_result=st.one_of(st.none(), children),
+        ),
+    )
+
+
+values = st.recursive(st.one_of(literals, columns), value_exprs, max_leaves=8)
+
+
+def predicates(children):
+    leaf = st.one_of(
+        st.builds(
+            ast.Comparison,
+            op=st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+            left=values,
+            right=values,
+        ),
+        st.builds(
+            ast.InList,
+            expr=columns,
+            items=st.lists(literals, min_size=1, max_size=3).map(tuple),
+            negated=st.booleans(),
+        ),
+        st.builds(
+            ast.Between,
+            expr=columns,
+            low=literals,
+            high=literals,
+            negated=st.booleans(),
+        ),
+        st.builds(ast.IsNull, expr=columns, negated=st.booleans()),
+        st.builds(
+            ast.Like,
+            expr=columns,
+            pattern=st.text(alphabet="ab%_", min_size=1, max_size=4).map(
+                lambda s: ast.Literal(s, "string")
+            ),
+            negated=st.booleans(),
+        ),
+    )
+    return st.one_of(
+        leaf,
+        st.builds(ast.And, left=children, right=children),
+        st.builds(ast.Or, left=children, right=children),
+        st.builds(ast.Not, operand=children),
+    )
+
+
+conditions = st.recursive(
+    st.builds(ast.Comparison, op=st.just("="), left=columns, right=literals),
+    predicates,
+    max_leaves=6,
+)
+
+select_items = st.one_of(
+    st.builds(ast.SelectItem, expr=values, alias=st.one_of(st.none(), identifiers)),
+    st.just(ast.SelectItem(expr=ast.Star())),
+)
+
+simple_sources = st.builds(
+    ast.TableName,
+    name=table_names,
+    schema=st.one_of(st.none(), st.just("dbo")),
+    alias=st.one_of(st.none(), st.sampled_from(["t", "p", "x"])),
+)
+
+
+def sources(children):
+    return st.builds(
+        ast.Join,
+        left=children,
+        right=simple_sources,
+        kind=st.sampled_from(["INNER", "LEFT", "CROSS"]),
+        condition=st.builds(
+            ast.Comparison,
+            op=st.just("="),
+            left=columns,
+            right=columns,
+        ),
+    ).map(
+        lambda join: ast.Join(
+            left=join.left,
+            right=join.right,
+            kind=join.kind,
+            condition=None if join.kind == "CROSS" else join.condition,
+        )
+    )
+
+
+from_sources = st.recursive(simple_sources, sources, max_leaves=3)
+
+select_statements = st.builds(
+    ast.SelectStatement,
+    items=st.lists(select_items, min_size=1, max_size=3).map(tuple),
+    from_sources=st.lists(from_sources, min_size=1, max_size=2).map(tuple),
+    where=st.one_of(st.none(), conditions),
+    group_by=st.just(()),
+    having=st.none(),
+    order_by=st.lists(
+        st.builds(ast.OrderItem, expr=columns, descending=st.booleans()),
+        max_size=2,
+    ).map(tuple),
+    distinct=st.booleans(),
+    top=st.one_of(
+        st.none(),
+        st.builds(
+            ast.TopClause,
+            count=st.integers(1, 100).map(lambda n: ast.Literal(str(n), "number")),
+            percent=st.booleans(),
+        ),
+    ),
+)
+
+statements = st.one_of(
+    select_statements,
+    st.builds(
+        ast.Union,
+        left=select_statements,
+        right=select_statements,
+        all=st.booleans(),
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(statements)
+    @settings(max_examples=300, deadline=None)
+    def test_format_parse_round_trip(self, tree):
+        rendered = format_sql(tree)
+        reparsed = parse(rendered)
+        assert reparsed == tree, rendered
+
+    @given(statements)
+    @settings(max_examples=100, deadline=None)
+    def test_formatting_is_deterministic(self, tree):
+        assert format_sql(tree) == format_sql(tree)
+
+    @given(statements)
+    @settings(max_examples=100, deadline=None)
+    def test_rendered_sql_lexes_cleanly(self, tree):
+        tokens = tokenize(format_sql(tree))
+        assert tokens[-1].kind is TokenKind.EOF

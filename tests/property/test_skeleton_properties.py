@@ -1,0 +1,76 @@
+"""Property-based tests: skeleton/template invariants (Definition 6)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.skeleton import build_template, skeletonize_statement, template_fingerprint
+from repro.sqlparser import ast, format_sql, parse
+from repro.sqlparser.visitor import transform
+
+numbers = st.integers(min_value=0, max_value=10**9)
+strings = st.text(alphabet="abcXYZ 019", max_size=10)
+
+
+def substitute_constants(tree, number_value, string_value):
+    """Replace every literal with a fixed other constant of the same kind."""
+
+    def rule(node):
+        if isinstance(node, ast.Literal):
+            if node.kind == "number":
+                return ast.Literal(str(number_value), "number")
+            if node.kind == "string":
+                return ast.Literal(string_value, "string")
+        return None
+
+    return transform(tree, rule)
+
+
+TEMPLATE_SAMPLES = [
+    "SELECT a, b FROM t WHERE a = 0 AND b >= 3",
+    "SELECT name FROM employee WHERE empid = 8",
+    "SELECT count(*) FROM photoprimary WHERE htmid >= 100 AND htmid <= 200",
+    "SELECT x FROM t WHERE name = 'abc' AND k IN (1, 2, 3)",
+    "SELECT TOP 10 a FROM t WHERE b BETWEEN 1 AND 2 ORDER BY a DESC",
+    "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 5)",
+]
+
+
+class TestSkeletonInvariance:
+    @given(
+        sql=st.sampled_from(TEMPLATE_SAMPLES),
+        number=numbers,
+        string=strings,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_constant_substitution_preserves_template(self, sql, number, string):
+        """Definition 6: queries differing only in constants are similar —
+        they must map to the identical template and fingerprint."""
+        original = parse(sql)
+        substituted = substitute_constants(original, number, string)
+        t1 = build_template(original)
+        t2 = build_template(substituted)
+        assert t1 == t2
+        assert template_fingerprint(t1) == template_fingerprint(t2)
+
+    @given(sql=st.sampled_from(TEMPLATE_SAMPLES))
+    @settings(max_examples=50, deadline=None)
+    def test_skeletonization_idempotent(self, sql):
+        tree = parse(sql)
+        once = skeletonize_statement(tree)
+        twice = skeletonize_statement(once)
+        assert once == twice
+
+    @given(sql=st.sampled_from(TEMPLATE_SAMPLES), number=numbers)
+    @settings(max_examples=100, deadline=None)
+    def test_skeleton_contains_no_original_constants(self, sql, number):
+        substituted = substitute_constants(parse(sql), number, "zz_secret")
+        skeleton_text = format_sql(skeletonize_statement(substituted))
+        assert "zz_secret" not in skeleton_text
+        # the (large) substituted number must be gone too
+        if number > 1000:
+            assert str(number) not in skeleton_text
+
+    @given(sql=st.sampled_from(TEMPLATE_SAMPLES))
+    @settings(max_examples=50, deadline=None)
+    def test_case_insensitivity(self, sql):
+        assert build_template(parse(sql)) == build_template(parse(sql.upper()))

@@ -1,0 +1,229 @@
+"""Unit tests for the data-space analysis: regions, overlap, clustering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Interval,
+    cluster_queries,
+    extract_region,
+    interval_overlap,
+    region_distance,
+    region_overlap,
+    set_overlap,
+)
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import parse_log
+
+
+def region_of(sql):
+    log = QueryLog([LogRecord(0, sql, 0.0, "u")])
+    return extract_region(parse_log(log).queries[0])
+
+
+def queries_for(statements):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i), user="u")
+        for i, sql in enumerate(statements)
+    )
+    return parse_log(log).queries
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_unbounded(self):
+        assert Interval().is_unbounded()
+        assert not Interval(0, 1).is_unbounded()
+
+
+class TestExtractRegion:
+    def test_tables_collected(self):
+        region = region_of("SELECT a FROM t JOIN u ON t.i = u.i")
+        assert region.tables == {"t", "u"}
+
+    def test_equality_gives_point_set(self):
+        region = region_of("SELECT a FROM t WHERE objid = 5")
+        assert region.points_map()["objid"] == frozenset({5.0})
+
+    def test_between_gives_interval(self):
+        region = region_of("SELECT a FROM t WHERE h BETWEEN 10 AND 20")
+        assert region.numeric_map()["h"] == Interval(10.0, 20.0)
+
+    def test_range_pair_intersects(self):
+        region = region_of("SELECT a FROM t WHERE h >= 10 AND h <= 20")
+        assert region.numeric_map()["h"] == Interval(10.0, 20.0)
+
+    def test_flipped_comparison(self):
+        region = region_of("SELECT a FROM t WHERE 10 <= h")
+        assert region.numeric_map()["h"] == Interval(10.0, math.inf)
+
+    def test_string_equality_is_categorical(self):
+        region = region_of("SELECT a FROM t WHERE name = 'Galaxy'")
+        assert region.categorical_map()["name"] == frozenset({"galaxy"})
+
+    def test_numeric_in_list_is_a_point_set(self):
+        region = region_of("SELECT a FROM t WHERE objid IN (3, 9, 5)")
+        assert region.points_map()["objid"] == frozenset({3.0, 9.0, 5.0})
+
+    def test_point_set_and_range_reconcile(self):
+        region = region_of("SELECT a FROM t WHERE h IN (1, 5, 9) AND h < 6")
+        assert region.points_map()["h"] == frozenset({1.0, 5.0})
+        assert "h" not in region.numeric_map()
+
+    def test_or_is_ignored_conservatively(self):
+        region = region_of("SELECT a FROM t WHERE h = 1 OR h = 2")
+        assert "h" not in region.numeric_map()
+        assert "h" not in region.points_map()
+
+    def test_function_args_become_pseudo_columns(self):
+        region = region_of(
+            "SELECT a FROM fGetNearbyObjEq(145.3, 0.2, 1.0) n, photoprimary p "
+            "WHERE n.objid = p.objid"
+        )
+        assert "_fn_ra" in region.numeric_map()
+        assert region.numeric_map()["_fn_ra"] == Interval(145.0, 146.0)
+
+
+class TestOverlap:
+    def test_identical_regions_overlap_fully(self):
+        r = region_of("SELECT a FROM t WHERE objid = 5")
+        assert region_overlap(r, r) == 1.0
+        assert region_distance(r, r) == 0.0
+
+    def test_disjoint_tables_no_overlap(self):
+        a = region_of("SELECT a FROM t WHERE x = 1")
+        b = region_of("SELECT a FROM u WHERE x = 1")
+        assert region_overlap(a, b) == 0.0
+
+    def test_disjoint_points_no_overlap(self):
+        a = region_of("SELECT a FROM t WHERE objid = 5")
+        b = region_of("SELECT a FROM t WHERE objid = 6")
+        assert region_overlap(a, b) == 0.0
+
+    def test_same_point_different_projection_overlaps(self):
+        a = region_of("SELECT name FROM t WHERE objid = 5")
+        b = region_of("SELECT phone FROM t WHERE objid = 5")
+        assert region_overlap(a, b) == 1.0
+
+    def test_point_inside_range_counts_as_covered(self):
+        a = region_of("SELECT a FROM t WHERE h = 15")
+        b = region_of("SELECT a FROM t WHERE h BETWEEN 10 AND 20")
+        assert region_overlap(a, b) == 1.0
+
+    def test_partially_overlapping_ranges(self):
+        a = region_of("SELECT a FROM t WHERE h BETWEEN 0 AND 10")
+        b = region_of("SELECT a FROM t WHERE h BETWEEN 5 AND 15")
+        assert 0.0 < region_overlap(a, b) < 1.0
+
+    def test_symmetry(self):
+        a = region_of("SELECT a FROM t WHERE h BETWEEN 0 AND 10")
+        b = region_of("SELECT a FROM t, u WHERE h BETWEEN 5 AND 15")
+        assert region_overlap(a, b) == pytest.approx(region_overlap(b, a))
+
+    def test_overlap_bounded(self):
+        samples = [
+            "SELECT a FROM t WHERE h = 1",
+            "SELECT a FROM t WHERE h BETWEEN 0 AND 5",
+            "SELECT a FROM t, u WHERE x = 'y'",
+            "SELECT a FROM u",
+        ]
+        regions = [region_of(sql) for sql in samples]
+        for first in regions:
+            for second in regions:
+                value = region_overlap(first, second)
+                assert 0.0 <= value <= 1.0
+
+    def test_interval_overlap_primitives(self):
+        assert interval_overlap(Interval(0, 10), Interval(0, 10)) == 1.0
+        assert interval_overlap(Interval(0, 1), Interval(2, 3)) == 0.0
+        assert interval_overlap(Interval(5, 5), Interval(0, 10)) == 1.0
+        assert interval_overlap(Interval(), Interval(0, 10)) == 1.0
+        assert interval_overlap(Interval(0, 4), Interval(2, 6)) == 0.5
+
+    def test_set_overlap_primitives(self):
+        # Jaccard semantics: a subset only overlaps fractionally
+        assert set_overlap(frozenset({"a"}), frozenset({"a", "b"})) == 0.5
+        assert set_overlap(frozenset({"a"}), frozenset({"a"})) == 1.0
+        assert set_overlap(frozenset({"a"}), frozenset({"b"})) == 0.0
+        assert set_overlap(frozenset(), frozenset({"a"})) == 0.0
+
+
+class TestClustering:
+    def test_identical_queries_one_cluster(self):
+        queries = queries_for(["SELECT a FROM t WHERE objid = 5"] * 4)
+        result = cluster_queries(queries, threshold=0.5)
+        assert result.cluster_count == 1
+        assert result.clusters[0].size == 4
+
+    def test_disjoint_points_stay_apart(self):
+        queries = queries_for(
+            [f"SELECT a FROM t WHERE objid = {i}" for i in range(5)]
+        )
+        result = cluster_queries(queries, threshold=0.5)
+        assert result.cluster_count == 5
+
+    def test_different_tables_stay_apart(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE x = 1", "SELECT a FROM u WHERE x = 1"]
+        )
+        assert cluster_queries(queries, threshold=0.9).cluster_count == 2
+
+    def test_higher_threshold_merges_more(self):
+        queries = queries_for(
+            [
+                "SELECT a FROM t WHERE h BETWEEN 0 AND 10",
+                "SELECT a FROM t WHERE h BETWEEN 8 AND 18",
+            ]
+        )
+        low = cluster_queries(queries, threshold=0.05)
+        high = cluster_queries(queries, threshold=0.95)
+        assert low.cluster_count >= high.cluster_count
+
+    def test_sizes_ranked_descending(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE objid = 1"] * 3
+            + ["SELECT a FROM t WHERE objid = 2"]
+        )
+        result = cluster_queries(queries, threshold=0.5)
+        assert result.sizes_ranked() == [3, 1]
+
+    def test_average_size(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE objid = 1"] * 2
+            + ["SELECT a FROM t WHERE objid = 2"] * 2
+        )
+        result = cluster_queries(queries, threshold=0.5)
+        assert result.average_size == 2.0
+
+    def test_empty_input(self):
+        result = cluster_queries([], threshold=0.5)
+        assert result.cluster_count == 0
+        assert result.average_size == 0.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            cluster_queries([], threshold=0.0)
+        with pytest.raises(ValueError):
+            cluster_queries([], threshold=1.5)
+
+    def test_runtime_recorded(self):
+        queries = queries_for(["SELECT a FROM t WHERE objid = 1"])
+        assert cluster_queries(queries, threshold=0.5).runtime_seconds >= 0.0
+
+    def test_members_cover_all_queries(self):
+        queries = queries_for(
+            [f"SELECT a FROM t WHERE objid = {i % 3}" for i in range(9)]
+        )
+        result = cluster_queries(queries, threshold=0.5)
+        members = sorted(
+            index for cluster in result.clusters for index in cluster.members
+        )
+        assert members == list(range(9))

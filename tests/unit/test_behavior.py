@@ -1,0 +1,133 @@
+"""Unit tests for human-vs-bot classification (Section 6.5 extension)."""
+
+import pytest
+
+from repro.analysis.behavior import (
+    BehaviorConfig,
+    UserActivity,
+    classify_users,
+    extract_activity,
+    score_classification,
+    score_user,
+)
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+
+KEYS = frozenset({"id", "objid"})
+
+
+def run_pipeline(entries):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+    config = PipelineConfig(
+        detection=DetectionContext(key_columns=KEYS), sws=SwsConfig()
+    )
+    return CleaningPipeline(config).run(log)
+
+
+def bot_entries(count=80, user="bot"):
+    return [
+        (f"SELECT a FROM t WHERE id = {i}", i * 0.5, user) for i in range(count)
+    ]
+
+
+def human_entries(user="human"):
+    shapes = [
+        "SELECT a FROM t WHERE x > {}",
+        "SELECT b, c FROM u WHERE y < {}",
+        "SELECT count(*) FROM t WHERE z BETWEEN {} AND 99",
+        "SELECT a FROM t ORDER BY a",
+    ]
+    return [
+        (shapes[i % len(shapes)].format(i), 1_000_000 + i * 60.0, user)
+        for i in range(12)
+    ]
+
+
+class TestFeatureExtraction:
+    def test_activity_features(self):
+        result = run_pipeline(bot_entries(10))
+        activity = extract_activity(result)["bot"]
+        assert activity.query_count == 10
+        assert activity.distinct_templates == 1
+        assert activity.median_gap == pytest.approx(0.5)
+        assert activity.antipattern_share == 1.0  # the whole run is a stifle
+
+    def test_single_query_user_has_infinite_gap(self):
+        result = run_pipeline([("SELECT a FROM t WHERE x > 1", 0.0, "once")])
+        activity = extract_activity(result)["once"]
+        assert activity.median_gap == float("inf")
+
+    def test_diversity_of_varied_user(self):
+        result = run_pipeline(human_entries())
+        activity = extract_activity(result)["human"]
+        assert activity.template_diversity > 0.3
+
+
+class TestClassification:
+    def test_bot_classified_as_bot(self):
+        result = run_pipeline(bot_entries())
+        verdicts = classify_users(result)
+        assert verdicts["bot"].is_bot
+
+    def test_human_classified_as_human(self):
+        result = run_pipeline(human_entries())
+        verdicts = classify_users(result)
+        assert not verdicts["human"].is_bot
+
+    def test_mixed_log_separates_users(self):
+        result = run_pipeline(bot_entries() + human_entries())
+        verdicts = classify_users(result)
+        assert verdicts["bot"].is_bot
+        assert not verdicts["human"].is_bot
+
+    def test_shape_features_add_points(self):
+        result = run_pipeline(bot_entries())
+        with_shape = classify_users(result, BehaviorConfig(use_shape_features=True))
+        without = classify_users(result, BehaviorConfig(use_shape_features=False))
+        assert with_shape["bot"].score >= without["bot"].score
+
+    def test_score_user_point_system(self):
+        activity = UserActivity(
+            user="u",
+            query_count=100,
+            distinct_templates=2,
+            median_gap=0.1,
+            antipattern_share=1.0,
+            sws_share=0.0,
+        )
+        config = BehaviorConfig()
+        assert score_user(activity, config) == 4.0
+        baseline = BehaviorConfig(use_shape_features=False)
+        assert score_user(activity, baseline) == 3.0
+
+
+class TestScoring:
+    def test_score_classification(self):
+        result = run_pipeline(bot_entries() + human_entries())
+        verdicts = classify_users(result)
+        score = score_classification(
+            verdicts, {"bot": True, "human": False, "absent": True}
+        )
+        assert score.total == 2  # unknown users ignored
+        assert score.accuracy == 1.0
+        assert score.bot_recall == 1.0
+        assert score.human_recall == 1.0
+
+    def test_empty_truth(self):
+        score = score_classification({}, {})
+        assert score.accuracy == 0.0
+
+
+class TestGroundTruthIntegration:
+    def test_generator_records_user_profiles(self, small_workload):
+        profiles = small_workload.truth.user_profiles
+        assert profiles
+        assert any(name == "human" for name in profiles.values())
+        assert small_workload.truth.is_bot("dw-stifle-u0") is True
+        assert small_workload.truth.is_bot("human-u0") is False
+        assert small_workload.truth.is_bot("nobody") is None

@@ -1,0 +1,178 @@
+"""Unit tests for the sqlog-clean CLI."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.log import read_csv, read_jsonl
+
+
+@pytest.fixture()
+def generated_csv(tmp_path):
+    path = tmp_path / "log.csv"
+    assert main(["generate", str(path), "--seed", "3", "--scale", "0.03"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_csv(self, tmp_path, capsys):
+        path = tmp_path / "log.csv"
+        assert main(["generate", str(path), "--scale", "0.03"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert len(read_csv(path)) > 50
+
+    def test_generate_jsonl(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert main(["generate", str(path), "--scale", "0.03"]) == 0
+        assert len(read_jsonl(path)) > 50
+
+
+class TestClean:
+    def test_clean_prints_overview(self, generated_csv, capsys):
+        assert main(["clean", str(generated_csv), "--skyserver-schema"]) == 0
+        out = capsys.readouterr().out
+        assert "Size of original query log" in out
+
+    def test_clean_writes_output(self, generated_csv, tmp_path, capsys):
+        out_path = tmp_path / "clean.csv"
+        assert (
+            main(
+                [
+                    "clean",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        cleaned = read_csv(out_path)
+        original = read_csv(generated_csv)
+        assert 0 < len(cleaned) <= len(original)
+
+
+class TestPatterns:
+    def test_patterns_listing(self, generated_csv, capsys):
+        assert (
+            main(["patterns", str(generated_csv), "--skyserver-schema", "--top", "5"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "freq" in out
+        assert len([l for l in out.splitlines() if l.strip()]) >= 3
+
+
+class TestCluster:
+    def test_cluster_comparison(self, generated_csv, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "--thresholds",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "raw" in out and "clean" in out and "removal" in out
+
+
+class TestStreamingClean:
+    def test_streaming_clean(self, generated_csv, tmp_path, capsys):
+        out_path = tmp_path / "clean.csv"
+        assert (
+            main(
+                [
+                    "clean",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "--streaming",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "streamed" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_streaming_matches_batch(self, generated_csv, tmp_path):
+        batch_path = tmp_path / "batch.csv"
+        stream_path = tmp_path / "stream.csv"
+        main(["clean", str(generated_csv), "--skyserver-schema", "-o", str(batch_path)])
+        main(
+            [
+                "clean",
+                str(generated_csv),
+                "--skyserver-schema",
+                "--streaming",
+                "-o",
+                str(stream_path),
+            ]
+        )
+        assert read_csv(batch_path).statements() == read_csv(stream_path).statements()
+
+
+class TestTraffic:
+    def test_traffic_report(self, generated_csv, capsys):
+        assert main(["traffic", str(generated_csv), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "queries:" in out
+        assert "top users:" in out
+        assert "top tables:" in out
+
+
+class TestBots:
+    def test_bots_listing(self, generated_csv, capsys):
+        assert (
+            main(["bots", str(generated_csv), "--skyserver-schema", "--top", "10"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "classified as bots" in out
+        assert "BOT" in out
+
+    def test_bots_baseline_mode(self, generated_csv, capsys):
+        assert (
+            main(
+                [
+                    "bots",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "--no-shape-features",
+                ]
+            )
+            == 0
+        )
+        assert "users" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_writes_csvs(self, generated_csv, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert (
+            main(
+                [
+                    "report",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "overview.csv").exists()
+        assert (out_dir / "patterns.csv").exists()
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,151 @@
+"""Unit tests for CTH detection (Definition 15, Section 6.6)."""
+
+import pytest
+
+from repro.antipatterns import (
+    CTH_CANDIDATE,
+    CthDetector,
+    DetectionContext,
+    classify_candidate,
+    cth_census,
+)
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+
+
+def blocks_for(timed_statements, user="u"):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts) in enumerate(timed_statements)
+    )
+    return build_blocks(parse_log(log).queries)
+
+
+def detect(timed_statements, **kwargs):
+    return CthDetector(**kwargs).detect(
+        blocks_for(timed_statements), DetectionContext()
+    )
+
+
+FIRST = "SELECT E.Id FROM Employees E WHERE E.department = 'sales'"
+FOLLOW = "SELECT name FROM Employees WHERE id = {}"
+
+
+class TestDetection:
+    def test_paper_table2_shape(self):
+        instances = detect(
+            [(FIRST, 0.0)] + [(FOLLOW.format(i), float(i)) for i in (1, 2, 3)]
+        )
+        assert len(instances) == 1
+        assert instances[0].label == CTH_CANDIDATE
+        assert len(instances[0].queries) == 4
+        assert not instances[0].solvable
+
+    def test_follow_column_must_match_first_output(self):
+        instances = detect(
+            [
+                ("SELECT name FROM Employees WHERE department = 'x'", 0.0),
+                ("SELECT a FROM t WHERE id = 5", 1.0),  # id not in outputs
+            ]
+        )
+        assert instances == []
+
+    def test_star_output_matches_any_follow_column(self):
+        instances = detect(
+            [
+                ("SELECT * FROM dbo.fGetNearestObjEq(1, 2, 3)", 0.0),
+                ("SELECT plate FROM specobjall WHERE specobjid = 7", 0.0),
+            ]
+        )
+        assert len(instances) == 1
+
+    def test_same_template_follow_is_not_cth(self):
+        """Definition 15's first axiom: SQ1 ≠ SQ2."""
+        instances = detect(
+            [(FOLLOW.format(1), 0.0), (FOLLOW.format(2), 0.5)]
+        )
+        assert instances == []
+
+    def test_alias_output_matches(self):
+        instances = detect(
+            [
+                ("SELECT empId AS id FROM e WHERE dept = 'x'", 0.0),
+                ("SELECT name FROM e WHERE id = 5", 0.2),
+            ]
+        )
+        assert len(instances) == 1
+
+    def test_follow_needs_single_equality(self):
+        instances = detect(
+            [
+                (FIRST, 0.0),
+                ("SELECT name FROM e WHERE id = 1 AND x = 2", 0.2),
+            ]
+        )
+        assert instances == []
+
+    def test_chained_hunts_are_all_found(self):
+        instances = detect(
+            [
+                ("SELECT id FROM a WHERE k = 'x'", 0.0),
+                ("SELECT pid AS id2 FROM b WHERE id = 1", 0.1),
+                ("SELECT z FROM c WHERE id2 = 9", 0.2),
+            ]
+        )
+        assert len(instances) == 2
+
+    def test_cap_on_followups(self):
+        timed = [(FIRST, 0.0)] + [
+            (FOLLOW.format(i), 0.1 * i) for i in range(1, 8)
+        ]
+        instances = CthDetector().detect(
+            blocks_for(timed), DetectionContext(cth_max_followups=3)
+        )
+        assert len(instances[0].queries) == 4  # first + capped 3
+
+
+class TestOracle:
+    def test_zero_think_time_is_real(self):
+        instance = detect([(FIRST, 0.0), (FOLLOW.format(1), 0.5)])[0]
+        assert classify_candidate(instance, think_time=2.0)
+        assert instance.details["oracle_real"] is True
+
+    def test_long_think_time_is_false(self):
+        instance = detect([(FIRST, 0.0), (FOLLOW.format(1), 27.0)])[0]
+        assert not classify_candidate(instance, think_time=2.0)
+        assert instance.details["oracle_real"] is False
+
+
+class TestCensus:
+    def test_census_groups_by_template_pair(self):
+        instances = detect(
+            [(FIRST, 0.0), (FOLLOW.format(1), 0.5)]
+        ) + detect(
+            [(FIRST, 100.0), (FOLLOW.format(2), 100.5)]
+        )
+        census = cth_census(instances)
+        assert len(census) == 1
+        assert census[0].frequency == 2
+
+    def test_census_majority_vote(self):
+        real = detect([(FIRST, 0.0), (FOLLOW.format(1), 0.1)])
+        false1 = detect([(FIRST, 0.0), (FOLLOW.format(2), 50.0)])
+        false2 = detect([(FIRST, 0.0), (FOLLOW.format(3), 60.0)])
+        census = cth_census(real + false1 + false2)
+        assert census[0].oracle_real is False
+
+    def test_census_user_popularity(self):
+        a = CthDetector().detect(
+            blocks_for([(FIRST, 0.0), (FOLLOW.format(1), 0.5)], user="u1"),
+            DetectionContext(),
+        )
+        b = CthDetector().detect(
+            blocks_for([(FIRST, 0.0), (FOLLOW.format(2), 0.5)], user="u2"),
+            DetectionContext(),
+        )
+        census = cth_census(a + b)
+        assert census[0].user_popularity == 2
+
+    def test_census_ignores_other_labels(self):
+        assert cth_census([]) == []

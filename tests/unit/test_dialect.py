@@ -1,0 +1,61 @@
+"""Unit tests for dialect knowledge (aggregates, function tables)."""
+
+import pytest
+
+from repro.sqlparser import ast, parse_select
+from repro.sqlparser.dialect import (
+    AGGREGATE_FUNCTIONS,
+    TABLE_VALUED_FUNCTIONS,
+    contains_aggregate,
+    is_aggregate_call,
+)
+
+
+def expr_of(sql):
+    return parse_select(sql).items[0].expr
+
+
+class TestAggregateDetection:
+    @pytest.mark.parametrize("name", sorted(AGGREGATE_FUNCTIONS))
+    def test_known_aggregates(self, name):
+        assert is_aggregate_call(expr_of(f"SELECT {name}(a) FROM t"))
+
+    def test_case_insensitive(self):
+        assert is_aggregate_call(expr_of("SELECT COUNT(*) FROM t"))
+
+    def test_scalar_function_is_not_aggregate(self):
+        assert not is_aggregate_call(expr_of("SELECT abs(a) FROM t"))
+
+    def test_column_is_not_aggregate(self):
+        assert not is_aggregate_call(expr_of("SELECT a FROM t"))
+
+
+class TestContainsAggregate:
+    def test_nested_in_arithmetic(self):
+        assert contains_aggregate(expr_of("SELECT max(a) - min(a) FROM t"))
+
+    def test_nested_in_scalar_function(self):
+        assert contains_aggregate(expr_of("SELECT abs(sum(a)) FROM t"))
+
+    def test_plain_expression(self):
+        assert not contains_aggregate(expr_of("SELECT a + b FROM t"))
+
+    def test_subquery_aggregates_are_not_counted(self):
+        """An aggregate inside a scalar subquery belongs to the subquery,
+        not to the outer item — the outer query is not grouped by it."""
+        expr = expr_of("SELECT (SELECT max(a) FROM t) FROM u")
+        assert not contains_aggregate(expr)
+
+    def test_case_arms_are_searched(self):
+        expr = expr_of("SELECT CASE WHEN count(*) > 1 THEN 1 ELSE 0 END FROM t")
+        assert contains_aggregate(expr)
+
+
+class TestTableValuedFunctions:
+    def test_sky_functions_registered(self):
+        assert "fgetnearbyobjeq" in TABLE_VALUED_FUNCTIONS
+        assert "fgetobjfromrect" in TABLE_VALUED_FUNCTIONS
+
+    def test_output_columns_include_objid(self):
+        for columns in TABLE_VALUED_FUNCTIONS.values():
+            assert "objid" in columns

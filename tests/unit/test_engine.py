@@ -1,0 +1,365 @@
+"""Unit tests for the in-memory engine: catalog, tables, executor."""
+
+import math
+
+import pytest
+
+from repro.engine import (
+    Catalog,
+    Column,
+    CostModel,
+    Database,
+    EngineError,
+    ExecStats,
+    TableSchema,
+    compare_workloads,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            (
+                Column("id", "bigint", is_key=True),
+                Column("name"),
+                Column("grp"),
+                Column("val", "float"),
+            ),
+        ),
+        [
+            {"id": 1, "name": "alpha", "grp": "a", "val": 10.0},
+            {"id": 2, "name": "beta", "grp": "a", "val": 20.0},
+            {"id": 3, "name": "gamma", "grp": "b", "val": 30.0},
+            {"id": 4, "name": None, "grp": "b", "val": None},
+        ],
+    )
+    database.create_table(
+        TableSchema(
+            "u",
+            (Column("id", "bigint", is_key=True), Column("extra")),
+        ),
+        [{"id": 1, "extra": "x1"}, {"id": 3, "extra": "x3"}, {"id": 9, "extra": "x9"}],
+    )
+    return database
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog([TableSchema("t", (Column("a"),))])
+        with pytest.raises(ValueError):
+            catalog.add(TableSchema("T", (Column("a"),)))
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (Column("a"), Column("A")))
+
+    def test_key_column_names(self):
+        catalog = Catalog(
+            [
+                TableSchema("t", (Column("id", is_key=True), Column("x"))),
+                TableSchema("u", (Column("uid", is_key=True),)),
+            ]
+        )
+        assert catalog.key_column_names() == {"id", "uid"}
+
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog([TableSchema("Photo", (Column("a"),))])
+        assert catalog.get("PHOTO") is not None
+        assert "photo" in catalog
+
+    def test_require_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Catalog().require("missing")
+
+
+class TestTableStorage:
+    def test_insert_unknown_column_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.table("t").insert({"nope": 1})
+
+    def test_missing_columns_become_null(self, db):
+        db.table("u").insert({"id": 99})
+        rows = db.execute("SELECT extra FROM u WHERE id = 99").rows
+        assert rows == [(None,)]
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(EngineError):
+            db.execute("SELECT a FROM missing")
+
+
+class TestProjection:
+    def test_column_projection(self, db):
+        assert db.execute("SELECT name FROM t WHERE id = 1").rows == [("alpha",)]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM t WHERE id = 1")
+        assert result.columns == ["id", "name", "grp", "val"]
+        assert result.rows == [(1, "alpha", "a", 10.0)]
+
+    def test_qualified_star(self, db):
+        result = db.execute(
+            "SELECT x.*, u.extra FROM t x JOIN u ON x.id = u.id WHERE x.id = 1"
+        )
+        assert result.columns == ["id", "name", "grp", "val", "extra"]
+
+    def test_expression_and_alias(self, db):
+        result = db.execute("SELECT val * 2 AS double FROM t WHERE id = 2")
+        assert result.columns == ["double"]
+        assert result.rows == [(40.0,)]
+
+    def test_unnamed_expression_gets_positional_name(self, db):
+        result = db.execute("SELECT val + 1 FROM t WHERE id = 1")
+        assert result.columns == ["col1"]
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(EngineError, match="ambiguous"):
+            db.execute("SELECT id FROM t, u")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(EngineError, match="unknown column"):
+            db.execute("SELECT missing FROM t")
+
+    def test_unknown_alias_raises(self, db):
+        with pytest.raises(EngineError):
+            db.execute("SELECT z.name FROM t")
+
+
+class TestWhere:
+    def test_comparisons(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE val >= 20").rows) == 2
+
+    def test_string_comparison_case_insensitive(self, db):
+        assert db.execute("SELECT id FROM t WHERE name = 'ALPHA'").rows == [(1,)]
+
+    def test_in_list(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE id IN (1, 3)").rows) == 2
+
+    def test_not_in_list_excludes_matches(self, db):
+        rows = db.execute("SELECT id FROM t WHERE id NOT IN (1, 2)").rows
+        assert sorted(rows) == [(3,), (4,)]
+
+    def test_between(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE val BETWEEN 10 AND 20").rows) == 2
+
+    def test_like(self, db):
+        assert db.execute("SELECT id FROM t WHERE name LIKE 'al%'").rows == [(1,)]
+        assert db.execute("SELECT id FROM t WHERE name LIKE '_eta'").rows == [(2,)]
+
+    def test_null_comparison_is_never_true(self, db):
+        """The SQL semantics that make SNC a bug."""
+        assert db.execute("SELECT id FROM t WHERE name = NULL").rows == []
+        assert db.execute("SELECT id FROM t WHERE name <> NULL").rows == []
+
+    def test_is_null(self, db):
+        assert db.execute("SELECT id FROM t WHERE name IS NULL").rows == [(4,)]
+        assert len(db.execute("SELECT id FROM t WHERE name IS NOT NULL").rows) == 3
+
+    def test_and_or_not(self, db):
+        rows = db.execute(
+            "SELECT id FROM t WHERE (grp = 'a' OR id = 3) AND NOT id = 2"
+        ).rows
+        assert sorted(rows) == [(1,), (3,)]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = db.execute(
+            "SELECT t.id, u.extra FROM t JOIN u ON t.id = u.id"
+        ).rows
+        assert sorted(rows) == [(1, "x1"), (3, "x3")]
+
+    def test_left_join_pads_nulls(self, db):
+        rows = db.execute(
+            "SELECT t.id, u.extra FROM t LEFT JOIN u ON t.id = u.id ORDER BY id"
+        ).rows
+        assert rows == [(1, "x1"), (2, None), (3, "x3"), (4, None)]
+
+    def test_right_join(self, db):
+        rows = db.execute(
+            "SELECT u.id, t.name FROM t RIGHT JOIN u ON t.id = u.id"
+        ).rows
+        assert (9, None) in rows
+
+    def test_cross_join_cardinality(self, db):
+        assert len(db.execute("SELECT t.id FROM t CROSS JOIN u").rows) == 12
+
+    def test_comma_join_is_cross(self, db):
+        assert len(db.execute("SELECT t.id FROM t, u").rows) == 12
+
+    def test_derived_table(self, db):
+        rows = db.execute(
+            "SELECT s.n FROM (SELECT count(*) AS n FROM t) s"
+        ).rows
+        assert rows == [(4,)]
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM t").rows == [(4,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT count(name) FROM t").rows == [(3,)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT grp) FROM t").rows == [(2,)]
+
+    def test_sum_avg_min_max(self, db):
+        row = db.execute("SELECT sum(val), avg(val), min(val), max(val) FROM t").rows[0]
+        assert row == (60.0, 20.0, 10.0, 30.0)
+
+    def test_aggregate_over_empty_group_is_null(self, db):
+        assert db.execute("SELECT max(val) FROM t WHERE id = 999").rows == [(None,)]
+
+    def test_count_over_empty_is_zero(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE id = 999").rows == [(0,)]
+
+    def test_group_by(self, db):
+        rows = db.execute(
+            "SELECT grp, count(*) FROM t GROUP BY grp ORDER BY grp"
+        ).rows
+        assert rows == [("a", 2), ("b", 2)]
+
+    def test_having(self, db):
+        # group a: avg(10, 20) = 15; group b: avg(30) = 30 (NULL skipped)
+        rows = db.execute(
+            "SELECT grp, avg(val) AS s FROM t GROUP BY grp HAVING avg(val) > 20"
+        ).rows
+        assert rows == [("b", 30.0)]
+
+    def test_expression_over_aggregates(self, db):
+        assert db.execute("SELECT max(val) - min(val) FROM t").rows == [(20.0,)]
+
+    def test_stdev_var(self, db):
+        row = db.execute("SELECT var(val), stdev(val) FROM t").rows[0]
+        assert row[0] == pytest.approx(100.0)
+        assert row[1] == pytest.approx(10.0)
+
+
+class TestOrderTopDistinct:
+    def test_order_by_asc_desc(self, db):
+        asc = db.execute("SELECT id FROM t ORDER BY val").rows
+        desc = db.execute("SELECT id FROM t ORDER BY val DESC").rows
+        assert asc != desc
+        # NULL sorts first ascending (our canonical order)
+        assert asc[0] == (4,)
+
+    def test_order_by_expression(self, db):
+        rows = db.execute("SELECT id FROM t WHERE val IS NOT NULL ORDER BY -val").rows
+        assert rows == [(3,), (2,), (1,)]
+
+    def test_top(self, db):
+        assert len(db.execute("SELECT TOP 2 id FROM t ORDER BY id").rows) == 2
+
+    def test_top_percent(self, db):
+        assert len(db.execute("SELECT TOP 50 PERCENT id FROM t").rows) == 2
+
+    def test_distinct(self, db):
+        assert len(db.execute("SELECT DISTINCT grp FROM t").rows) == 2
+
+
+class TestSubqueries:
+    def test_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT id FROM t WHERE id IN (SELECT id FROM u)"
+        ).rows
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_exists_correlated(self, db):
+        rows = db.execute(
+            "SELECT id FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)"
+        ).rows
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_scalar_subquery(self, db):
+        rows = db.execute(
+            "SELECT id FROM t WHERE val = (SELECT max(val) FROM t)"
+        ).rows
+        assert rows == [(3,)]
+
+    def test_scalar_subquery_multiple_rows_raises(self, db):
+        with pytest.raises(EngineError):
+            db.execute("SELECT (SELECT id FROM t) FROM u")
+
+
+class TestScalarFunctions:
+    def test_numeric_functions(self, db):
+        row = db.execute(
+            "SELECT abs(-3), round(2.7), floor(2.7), ceiling(2.1), power(2, 3), sqrt(9)"
+        ).rows[0]
+        assert row == (3, 3, 2, 3, 8, 3.0)
+
+    def test_string_functions(self, db):
+        row = db.execute("SELECT upper('ab'), lower('AB'), len('abc')").rows[0]
+        assert row == ("AB", "ab", 3)
+
+    def test_isnull_coalesce(self, db):
+        row = db.execute("SELECT isnull(NULL, 5), coalesce(NULL, NULL, 7)").rows[0]
+        assert row == (5, 7)
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(EngineError, match="unknown function"):
+            db.execute("SELECT frobnicate(1) FROM t")
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(EngineError, match="division by zero"):
+            db.execute("SELECT 1 / 0")
+
+    def test_integer_division(self, db):
+        assert db.execute("SELECT 7 / 2").rows == [(3,)]
+
+    def test_case_expression(self, db):
+        rows = db.execute(
+            "SELECT id, CASE WHEN val >= 20 THEN 'big' ELSE 'small' END "
+            "FROM t WHERE val IS NOT NULL ORDER BY id"
+        ).rows
+        assert rows == [(1, "small"), (2, "big"), (3, "big")]
+
+    def test_cast(self, db):
+        assert db.execute("SELECT CAST('12' AS int)").rows == [(12,)]
+        assert db.execute("SELECT CAST(1 AS varchar(5))").rows == [("1",)]
+
+
+class TestStatsAndCost:
+    def test_rows_scanned_counted(self, db):
+        result = db.execute("SELECT id FROM t")
+        assert result.stats.rows_scanned == 4
+        assert result.stats.statements == 1
+        assert result.stats.rows_returned == 4
+
+    def test_execute_many_merges_stats(self, db):
+        _, total = db.execute_many(
+            ["SELECT id FROM t", "SELECT id FROM u"]
+        )
+        assert total.statements == 2
+        assert total.rows_scanned == 7
+
+    def test_cost_model(self):
+        model = CostModel(statement_overhead=100.0, scan_cost=1.0, return_cost=2.0)
+        stats = ExecStats(statements=2, rows_scanned=10, rows_returned=3)
+        assert model.cost(stats) == 2 * 100 + 10 + 6
+
+    def test_compare_workloads(self):
+        original = ExecStats(statements=100, rows_scanned=1000, rows_returned=100)
+        rewritten = ExecStats(statements=2, rows_scanned=1000, rows_returned=100)
+        comparison = compare_workloads(original, rewritten)
+        assert comparison.statement_reduction == 50.0
+        assert comparison.speedup > 10
+
+    def test_union(self, db):
+        rows = db.execute(
+            "SELECT id FROM t WHERE id = 1 UNION SELECT id FROM u WHERE id = 9"
+        ).rows
+        assert sorted(rows) == [(1,), (9,)]
+
+    def test_union_dedupes_union_all_keeps(self, db):
+        union = db.execute("SELECT id FROM u UNION SELECT id FROM u").rows
+        union_all = db.execute("SELECT id FROM u UNION ALL SELECT id FROM u").rows
+        assert len(union) == 3
+        assert len(union_all) == 6
+
+    def test_variable_raises(self, db):
+        with pytest.raises(EngineError, match="unbound variable"):
+            db.execute("SELECT id FROM t WHERE id = @x")

@@ -1,0 +1,257 @@
+"""Unit tests for the extended antipattern catalog and its rewrites."""
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.antipatterns.extended import (
+    AMBIGUOUS_GROUP_BY,
+    CARTESIAN_PRODUCT,
+    EXTENDED_LABELS,
+    HAVING_NO_AGGREGATE,
+    IMPLICIT_COLUMNS,
+    POOR_MANS_SEARCH,
+    RANDOM_SELECTION,
+    REDUNDANT_DISTINCT,
+    extended_detectors,
+)
+from repro.engine import Catalog, Column, TableSchema
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.rewrite.extended_rewrites import install_extended_rules
+from repro.rewrite.solver import solve
+from repro.sqlparser import format_sql
+
+
+def detect_all(statements):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i), user="u")
+        for i, sql in enumerate(statements)
+    )
+    blocks = build_blocks(parse_log(log).queries)
+    context = DetectionContext()
+    instances = []
+    for detector in extended_detectors():
+        instances.extend(detector.detect(blocks, context))
+    return instances
+
+
+def labels_of(statements):
+    return {instance.label for instance in detect_all(statements)}
+
+
+class TestImplicitColumns:
+    def test_star_over_base_table_flagged(self):
+        assert IMPLICIT_COLUMNS in labels_of(["SELECT * FROM t"])
+
+    def test_qualified_star_flagged(self):
+        assert IMPLICIT_COLUMNS in labels_of(["SELECT p.* FROM t p"])
+
+    def test_star_over_join_flagged(self):
+        assert IMPLICIT_COLUMNS in labels_of(
+            ["SELECT * FROM t JOIN u ON t.i = u.i"]
+        )
+
+    def test_explicit_columns_fine(self):
+        assert IMPLICIT_COLUMNS not in labels_of(["SELECT a, b FROM t"])
+
+    def test_count_star_fine(self):
+        assert IMPLICIT_COLUMNS not in labels_of(["SELECT count(*) FROM t"])
+
+    def test_star_over_function_table_not_flagged(self):
+        assert IMPLICIT_COLUMNS not in labels_of(
+            ["SELECT * FROM fGetNearestObjEq(1, 2, 3)"]
+        )
+
+
+class TestPoorMansSearch:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t WHERE name LIKE '%xyz%'",
+            "SELECT a FROM t WHERE name LIKE '%xyz'",
+            "SELECT a FROM t WHERE name LIKE '_xyz'",
+        ],
+    )
+    def test_leading_wildcard_flagged(self, sql):
+        assert POOR_MANS_SEARCH in labels_of([sql])
+
+    def test_trailing_wildcard_fine(self):
+        assert POOR_MANS_SEARCH not in labels_of(
+            ["SELECT a FROM t WHERE name LIKE 'xyz%'"]
+        )
+
+    def test_non_literal_pattern_ignored(self):
+        assert POOR_MANS_SEARCH not in labels_of(
+            ["SELECT a FROM t WHERE name LIKE other_col"]
+        )
+
+
+class TestRandomSelection:
+    def test_order_by_rand_flagged(self):
+        assert RANDOM_SELECTION in labels_of(
+            ["SELECT TOP 1 a FROM t ORDER BY rand()"]
+        )
+
+    def test_order_by_newid_flagged(self):
+        assert RANDOM_SELECTION in labels_of(["SELECT a FROM t ORDER BY newid()"])
+
+    def test_plain_order_by_fine(self):
+        assert RANDOM_SELECTION not in labels_of(["SELECT a FROM t ORDER BY a"])
+
+
+class TestAmbiguousGroupBy:
+    def test_ungrouped_column_flagged(self):
+        assert AMBIGUOUS_GROUP_BY in labels_of(
+            ["SELECT a, b, count(*) FROM t GROUP BY a"]
+        )
+
+    def test_all_grouped_fine(self):
+        assert AMBIGUOUS_GROUP_BY not in labels_of(
+            ["SELECT a, count(*) FROM t GROUP BY a"]
+        )
+
+    def test_qualified_matching_by_name(self):
+        assert AMBIGUOUS_GROUP_BY not in labels_of(
+            ["SELECT t.a, count(*) FROM t GROUP BY a"]
+        )
+
+    def test_star_in_grouped_query_flagged(self):
+        assert AMBIGUOUS_GROUP_BY in labels_of(
+            ["SELECT *, count(*) FROM t GROUP BY a"]
+        )
+
+    def test_no_group_by_fine(self):
+        assert AMBIGUOUS_GROUP_BY not in labels_of(["SELECT a, b FROM t"])
+
+
+class TestCartesianProduct:
+    def test_comma_join_without_predicate_flagged(self):
+        assert CARTESIAN_PRODUCT in labels_of(["SELECT a FROM t, u"])
+
+    def test_comma_join_with_filter_only_flagged(self):
+        assert CARTESIAN_PRODUCT in labels_of(
+            ["SELECT a FROM t, u WHERE t.x = 5"]
+        )
+
+    def test_connecting_predicate_fine(self):
+        assert CARTESIAN_PRODUCT not in labels_of(
+            ["SELECT a FROM t, u WHERE t.id = u.id"]
+        )
+
+    def test_single_table_fine(self):
+        assert CARTESIAN_PRODUCT not in labels_of(["SELECT a FROM t"])
+
+    def test_explicit_join_fine(self):
+        assert CARTESIAN_PRODUCT not in labels_of(
+            ["SELECT a FROM t JOIN u ON t.id = u.id"]
+        )
+
+
+class TestRedundantDistinct:
+    def test_distinct_with_matching_group_by_flagged(self):
+        assert REDUNDANT_DISTINCT in labels_of(
+            ["SELECT DISTINCT a, count(*) FROM t GROUP BY a"]
+        )
+
+    def test_distinct_without_group_by_fine(self):
+        assert REDUNDANT_DISTINCT not in labels_of(["SELECT DISTINCT a FROM t"])
+
+    def test_distinct_on_extra_column_not_flagged(self):
+        # b is not grouped: the query is broken differently (ambiguous),
+        # but not a *redundant* distinct
+        assert REDUNDANT_DISTINCT not in labels_of(
+            ["SELECT DISTINCT a, b FROM t GROUP BY a"]
+        )
+
+
+class TestHavingNoAggregate:
+    def test_aggregate_free_having_flagged(self):
+        assert HAVING_NO_AGGREGATE in labels_of(
+            ["SELECT a, count(*) FROM t GROUP BY a HAVING a > 3"]
+        )
+
+    def test_aggregate_having_fine(self):
+        assert HAVING_NO_AGGREGATE not in labels_of(
+            ["SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 3"]
+        )
+
+
+class TestExtendedRewrites:
+    def _solve(self, statements, catalog=None):
+        log = QueryLog(
+            LogRecord(seq=i, sql=sql, timestamp=float(i), user="u")
+            for i, sql in enumerate(statements)
+        )
+        stage = parse_log(log)
+        blocks = build_blocks(stage.queries)
+        context = DetectionContext()
+        instances = []
+        for detector in extended_detectors():
+            instances.extend(detector.detect(blocks, context))
+        return solve(stage.parsed_log, instances, install_extended_rules(catalog))
+
+    def test_redundant_distinct_dropped(self):
+        result = self._solve(["SELECT DISTINCT a, count(*) FROM t GROUP BY a"])
+        assert result.log.statements() == [
+            "SELECT a, count(*) FROM t GROUP BY a"
+        ]
+
+    def test_having_moved_to_where(self):
+        result = self._solve(
+            ["SELECT a, count(*) FROM t WHERE b = 1 GROUP BY a HAVING a > 3"]
+        )
+        assert result.log.statements() == [
+            "SELECT a, count(*) FROM t WHERE b = 1 AND a > 3 GROUP BY a"
+        ]
+
+    def test_having_without_where(self):
+        result = self._solve(
+            ["SELECT a FROM t GROUP BY a HAVING a > 3"]
+        )
+        assert result.log.statements() == ["SELECT a FROM t WHERE a > 3 GROUP BY a"]
+
+    def test_star_expansion_with_catalog(self):
+        catalog = Catalog(
+            [TableSchema("t", (Column("x"), Column("y"), Column("z")))]
+        )
+        result = self._solve(["SELECT * FROM t WHERE x = 1"], catalog)
+        assert result.log.statements() == [
+            "SELECT t.x, t.y, t.z FROM t WHERE x = 1"
+        ]
+
+    def test_star_expansion_with_alias(self):
+        catalog = Catalog([TableSchema("t", (Column("x"), Column("y")))])
+        result = self._solve(["SELECT p.* FROM t p"], catalog)
+        assert result.log.statements() == ["SELECT p.x, p.y FROM t AS p"]
+
+    def test_star_without_catalog_stays(self):
+        # no catalog → no rule registered → the instance is unsolvable
+        result = self._solve(["SELECT * FROM t"])
+        assert result.log.statements() == ["SELECT * FROM t"]
+        assert len(result.unsolvable) == 1
+
+    def test_unknown_table_not_applicable(self):
+        catalog = Catalog([TableSchema("other", (Column("x"),))])
+        result = self._solve(["SELECT * FROM t"], catalog)
+        assert result.log.statements() == ["SELECT * FROM t"]
+        assert len(result.not_applicable) == 1
+
+    def test_rewrites_semantics_on_engine(self, employees_database):
+        """HAVING→WHERE and DISTINCT-drop preserve results."""
+        original = (
+            "SELECT department, count(*) AS c FROM Employees "
+            "GROUP BY department HAVING department = 'sales'"
+        )
+        result = self._solve([original])
+        rewritten = result.log.statements()[0]
+        left = employees_database.execute(original)
+        right = employees_database.execute(rewritten)
+        assert left.sorted_rows() == right.sorted_rows()
+
+
+class TestCatalogOfLabels:
+    def test_every_detector_has_unique_label(self):
+        labels = [d.label for d in extended_detectors()]
+        assert len(labels) == len(set(labels))
+        assert set(labels) == set(EXTENDED_LABELS)

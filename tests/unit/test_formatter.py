@@ -1,0 +1,125 @@
+"""Unit tests for the canonical SQL formatter."""
+
+import pytest
+
+from repro.sqlparser import ast, format_expression, format_sql, parse
+
+
+def canonical(sql: str) -> str:
+    return format_sql(parse(sql))
+
+
+class TestCanonicalRendering:
+    def test_keywords_uppercased_and_spacing_normalised(self):
+        assert (
+            canonical("select  a,b   from t where a=1")
+            == "SELECT a, b FROM t WHERE a = 1"
+        )
+
+    def test_alias_rendered_with_as(self):
+        assert canonical("SELECT a x FROM t y") == "SELECT a AS x FROM t AS y"
+
+    def test_string_literal_quoting(self):
+        assert canonical("SELECT 'O''Brien' FROM t") == "SELECT 'O''Brien' FROM t"
+
+    def test_null_rendering(self):
+        assert canonical("SELECT a FROM t WHERE a = null").endswith("a = NULL")
+
+    def test_not_equal_normalised(self):
+        assert canonical("SELECT a FROM t WHERE a != 1").endswith("a <> 1")
+
+    def test_join_rendering(self):
+        assert (
+            canonical("SELECT a FROM t join u on t.i=u.i")
+            == "SELECT a FROM t INNER JOIN u ON t.i = u.i"
+        )
+
+    def test_left_outer_join_rendering(self):
+        assert "LEFT OUTER JOIN" in canonical(
+            "SELECT a FROM t LEFT JOIN u ON t.i=u.i"
+        )
+
+    def test_union_rendering(self):
+        text = canonical("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert text == "SELECT a FROM t UNION ALL SELECT b FROM u"
+
+    def test_order_by_desc(self):
+        assert canonical("SELECT a FROM t ORDER BY a desc").endswith("ORDER BY a DESC")
+
+    def test_top_percent(self):
+        assert canonical("SELECT top 5 percent a FROM t").startswith(
+            "SELECT TOP 5 PERCENT"
+        )
+
+    def test_group_by_having(self):
+        text = canonical("SELECT a FROM t GROUP BY a HAVING count(*) > 2")
+        assert "GROUP BY a HAVING count(*) > 2" in text
+
+
+class TestParenthesisation:
+    def test_or_under_and_keeps_parentheses(self):
+        sql = "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3"
+        assert canonical(sql) == sql
+
+    def test_redundant_parentheses_dropped(self):
+        assert (
+            canonical("SELECT a FROM t WHERE (a = 1) AND (b = 2)")
+            == "SELECT a FROM t WHERE a = 1 AND b = 2"
+        )
+
+    def test_arithmetic_grouping_preserved(self):
+        sql = "SELECT 2 * (a - b) FROM t"
+        assert canonical(sql) == sql
+
+    def test_right_associative_subtraction_preserved(self):
+        tree1 = parse("SELECT a - (b - c) FROM t")
+        tree2 = parse(format_sql(tree1))
+        assert tree1 == tree2
+
+    def test_not_over_disjunction(self):
+        sql = "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)"
+        assert canonical(sql) == sql
+
+
+class TestIdentifierQuoting:
+    def test_plain_identifier_unquoted(self):
+        assert canonical("SELECT abc FROM t") == "SELECT abc FROM t"
+
+    def test_identifier_with_space_bracketed(self):
+        assert canonical("SELECT [full name] FROM t") == "SELECT [full name] FROM t"
+
+    def test_keyword_identifier_bracketed(self):
+        assert canonical("SELECT [select] FROM t") == "SELECT [select] FROM t"
+
+
+class TestPlaceholders:
+    def test_placeholder_rendering(self):
+        assert format_expression(ast.Placeholder(kind="number")) == "<num>"
+        assert format_expression(ast.Placeholder(kind="string")) == "<str>"
+        assert format_expression(ast.Placeholder(kind="null")) == "<null>"
+        assert format_expression(ast.Placeholder(kind="var")) == "<var>"
+
+
+class TestRoundTripSamples:
+    SAMPLES = [
+        "SELECT E.empId FROM Employees AS E WHERE E.department = 'sales'",
+        "SELECT count(*) FROM photoprimary WHERE htmid >= @htm1 AND htmid <= @htm2",
+        "SELECT TOP 10 name FROM DBObjects WHERE type = 'U' AND name NOT IN "
+        "('LoadEvents', 'QueryResults') ORDER BY name",
+        "SELECT a FROM (SELECT a FROM t WHERE x = 3) AS sub WHERE a > 0",
+        "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM T",
+        "SELECT a FROM t WHERE x IN (SELECT y FROM u)",
+        "SELECT p.objid FROM fgetobjfromrect(1, 2, 3, 4) AS n, photoprimary AS p "
+        "WHERE n.objid = p.objid AND r BETWEEN 10 AND 20",
+    ]
+
+    @pytest.mark.parametrize("sql", SAMPLES)
+    def test_round_trip_is_stable(self, sql):
+        once = format_sql(parse(sql))
+        twice = format_sql(parse(once))
+        assert once == twice
+        assert parse(once) == parse(sql)
+
+    def test_formatting_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            format_sql("not a node")  # type: ignore[arg-type]

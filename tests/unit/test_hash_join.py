@@ -1,0 +1,120 @@
+"""Unit tests for the hash equi-join fast path and IN-list set cache.
+
+Semantics must be identical to the nested-loop path; these tests pin the
+corner cases (NULL keys, numeric type mixing, case-insensitive strings,
+non-equi fallback)."""
+
+import pytest
+
+from repro.engine import Column, Database, TableSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema("l", (Column("k"), Column("v"))),
+        [
+            {"k": 1, "v": "a"},
+            {"k": 2.0, "v": "b"},
+            {"k": None, "v": "c"},
+            {"k": "X", "v": "d"},
+        ],
+    )
+    database.create_table(
+        TableSchema("r", (Column("k"), Column("w"))),
+        [
+            {"k": 1.0, "w": 10},
+            {"k": 2, "w": 20},
+            {"k": None, "w": 30},
+            {"k": "x", "w": 40},
+        ],
+    )
+    return database
+
+
+class TestHashJoinSemantics:
+    def test_numeric_int_float_keys_match(self, db):
+        rows = db.execute(
+            "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k"
+        ).rows
+        assert ("a", 10) in rows  # 1 joins 1.0
+        assert ("b", 20) in rows  # 2.0 joins 2
+
+    def test_string_keys_case_insensitive(self, db):
+        rows = db.execute("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k").rows
+        assert ("d", 40) in rows  # 'X' joins 'x'
+
+    def test_null_keys_never_join(self, db):
+        rows = db.execute("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k").rows
+        assert not any(v == "c" for v, _ in rows)
+        assert not any(w == 30 for _, w in rows)
+
+    def test_left_join_pads_unmatched_and_null_keys(self, db):
+        rows = db.execute(
+            "SELECT l.v, r.w FROM l LEFT JOIN r ON l.k = r.k ORDER BY v"
+        ).rows
+        assert ("c", None) in rows
+
+    def test_right_join_keeps_unmatched_right(self, db):
+        rows = db.execute(
+            "SELECT l.v, r.w FROM l RIGHT JOIN r ON l.k = r.k"
+        ).rows
+        assert (None, 30) in rows
+
+    def test_reversed_condition_still_hashes(self, db):
+        forward = db.execute("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k").rows
+        reversed_ = db.execute("SELECT l.v, r.w FROM l JOIN r ON r.k = l.k").rows
+        assert sorted(forward, key=str) == sorted(reversed_, key=str)
+
+    def test_duplicate_keys_produce_all_combinations(self):
+        database = Database()
+        database.create_table(
+            TableSchema("a", (Column("k"),)), [{"k": 1}, {"k": 1}]
+        )
+        database.create_table(
+            TableSchema("b", (Column("k"),)), [{"k": 1}, {"k": 1}, {"k": 1}]
+        )
+        rows = database.execute(
+            "SELECT a.k FROM a JOIN b ON a.k = b.k"
+        ).rows
+        assert len(rows) == 6
+
+    def test_non_equi_condition_falls_back(self):
+        # < joins must still work (nested loop path)
+        database = Database()
+        database.create_table(TableSchema("a", (Column("k"),)), [{"k": 1}, {"k": 5}])
+        database.create_table(TableSchema("b", (Column("k"),)), [{"k": 2}])
+        rows = database.execute("SELECT a.k FROM a JOIN b ON a.k < b.k").rows
+        assert rows == [(1,)]
+
+    def test_condition_on_expression_falls_back(self, db):
+        rows = db.execute(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k + 0"
+        ).rows
+        assert ("a",) in rows
+
+    def test_matches_nested_loop_on_where_style_join(self, db):
+        explicit = db.execute("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k").rows
+        comma = db.execute("SELECT l.v, r.w FROM l, r WHERE l.k = r.k").rows
+        assert sorted(explicit, key=str) == sorted(comma, key=str)
+
+
+class TestInListSetCache:
+    def test_big_constant_in_list(self, db):
+        values = ", ".join(str(i) for i in range(1000))
+        rows = db.execute(f"SELECT v FROM l WHERE k IN ({values})").rows
+        assert sorted(rows) == [("a",), ("b",)]
+
+    def test_case_insensitive_string_in_list(self, db):
+        rows = db.execute("SELECT v FROM l WHERE k IN ('x')").rows
+        assert rows == [("d",)]
+
+    def test_negated_cached_list(self, db):
+        rows = db.execute("SELECT v FROM l WHERE k NOT IN (1)").rows
+        # NULL k row is excluded by SQL semantics; 'X' and 2.0 remain
+        assert sorted(rows) == [("b",), ("d",)]
+
+    def test_non_constant_items_still_work(self, db):
+        rows = db.execute("SELECT v FROM l WHERE k IN (v, 1)").rows
+        assert ("a",) in rows

@@ -1,0 +1,145 @@
+"""Unit tests for hotspot extraction (user-interest analysis)."""
+
+import pytest
+
+from repro.analysis import cluster_queries
+from repro.analysis.interests import (
+    Hotspot,
+    extract_hotspots,
+    match_hotspots,
+    spatial_center,
+)
+from repro.analysis.dataspace import extract_region
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import parse_log
+
+
+def region_of(sql):
+    log = QueryLog([LogRecord(0, sql, 0.0, "u")])
+    return extract_region(parse_log(log).queries[0])
+
+
+def queries_for(statements):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i), user="u")
+        for i, sql in enumerate(statements)
+    )
+    return parse_log(log).queries
+
+
+class TestSpatialCenter:
+    def test_function_call_center(self):
+        region = region_of(
+            "SELECT p.objid FROM fGetNearbyObjEq(145.2, 0.3, 1.0) n, "
+            "photoprimary p WHERE n.objid = p.objid"
+        )
+        center = spatial_center(region)
+        assert center is not None
+        assert center[0] == pytest.approx(145.5, abs=1.0)
+        assert center[1] == pytest.approx(0.5, abs=1.0)
+
+    def test_ra_dec_range_center(self):
+        region = region_of(
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 100 AND 102 "
+            "AND dec BETWEEN 10 AND 12"
+        )
+        assert spatial_center(region) == (101.0, 11.0)
+
+    def test_non_spatial_region_is_none(self):
+        region = region_of("SELECT objid FROM photoprimary WHERE objid = 5")
+        assert spatial_center(region) is None
+
+    def test_unbounded_spatial_is_none(self):
+        region = region_of("SELECT objid FROM photoprimary WHERE ra > 100")
+        assert spatial_center(region) is None
+
+    def test_ra_wraps_into_range(self):
+        region = region_of(
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 359 AND 365 "
+            "AND dec BETWEEN 0 AND 2"
+        )
+        ra, _ = spatial_center(region)
+        assert 0.0 <= ra < 360.0
+
+
+class TestExtractHotspots:
+    def _clustering(self, statements, threshold=0.5):
+        return cluster_queries(queries_for(statements), threshold)
+
+    def test_spatial_queries_become_hotspot(self):
+        statements = [
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 100 AND 102 "
+            "AND dec BETWEEN 10 AND 12"
+        ] * 5
+        hotspots = extract_hotspots(self._clustering(statements))
+        assert len(hotspots) == 1
+        assert hotspots[0].query_count == 5
+
+    def test_nearby_areas_merge_on_grid(self):
+        statements = [
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 100 AND 101 "
+            "AND dec BETWEEN 10 AND 11",
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 101 AND 102 "
+            "AND dec BETWEEN 10 AND 11",
+        ]
+        hotspots = extract_hotspots(
+            self._clustering(statements), grid_degrees=8.0
+        )
+        assert len(hotspots) == 1
+        assert hotspots[0].cluster_count >= 1
+
+    def test_distant_areas_stay_apart(self):
+        statements = [
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 10 AND 11 "
+            "AND dec BETWEEN 0 AND 1",
+            "SELECT objid FROM photoprimary WHERE ra BETWEEN 200 AND 201 "
+            "AND dec BETWEEN 50 AND 51",
+        ]
+        hotspots = extract_hotspots(self._clustering(statements))
+        assert len(hotspots) == 2
+
+    def test_non_spatial_clusters_skipped(self):
+        statements = [f"SELECT a FROM t WHERE objid = {i}" for i in range(5)]
+        assert extract_hotspots(self._clustering(statements)) == []
+
+    def test_ranked_by_query_count(self):
+        statements = (
+            [
+                "SELECT objid FROM photoprimary WHERE ra BETWEEN 10 AND 11 "
+                "AND dec BETWEEN 0 AND 1"
+            ]
+            * 5
+            + [
+                "SELECT objid FROM photoprimary WHERE ra BETWEEN 200 AND 201 "
+                "AND dec BETWEEN 50 AND 51"
+            ]
+            * 2
+        )
+        hotspots = extract_hotspots(self._clustering(statements))
+        assert hotspots[0].query_count >= hotspots[1].query_count
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            extract_hotspots(self._clustering([]), grid_degrees=0)
+
+
+class TestMatchHotspots:
+    def test_recovery(self):
+        hotspots = [Hotspot(ra=145.0, dec=0.0, query_count=10)]
+        match = match_hotspots(hotspots, [(146.0, 1.0), (300.0, -40.0)])
+        assert match.recovered == 1
+        assert match.total == 2
+        assert match.recall == 0.5
+
+    def test_ra_wraparound_matching(self):
+        hotspots = [Hotspot(ra=359.5, dec=0.0, query_count=1)]
+        match = match_hotspots(hotspots, [(0.5, 0.0)])
+        assert match.recovered == 1
+
+    def test_top_limits_pool(self):
+        hotspots = [
+            Hotspot(ra=10.0, dec=0.0, query_count=100),
+            Hotspot(ra=200.0, dec=0.0, query_count=1),
+        ]
+        match = match_hotspots(hotspots, [(200.0, 0.0)], top=1)
+        assert match.recovered == 0

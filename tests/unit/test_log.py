@@ -1,0 +1,195 @@
+"""Unit tests for the log substrate: models, dedup, IO, sessions."""
+
+import math
+
+import pytest
+
+from repro.log import (
+    LogRecord,
+    QueryLog,
+    assume_single_user,
+    delete_duplicates,
+    derive_users_from_ip,
+    normalize_statement_text,
+    read_csv,
+    read_jsonl,
+    sessionize_by_gap,
+    threshold_sweep,
+    write_csv,
+    write_jsonl,
+)
+
+
+def make_log(entries):
+    """entries: (sql, timestamp, user) triples."""
+    return QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+
+
+class TestQueryLog:
+    def test_records_sorted_by_time_then_seq(self):
+        log = make_log([("b", 2.0, "u"), ("a", 1.0, "u")])
+        assert log.statements() == ["a", "b"]
+
+    def test_from_statements_spacing(self):
+        log = QueryLog.from_statements(["a", "b", "c"], spacing=2.0)
+        assert [r.timestamp for r in log] == [0.0, 2.0, 4.0]
+
+    def test_anonymous_user_key(self):
+        record = LogRecord(seq=0, sql="a", timestamp=0.0)
+        assert record.user_key() == "<anonymous>"
+
+    def test_by_user_groups_in_order(self):
+        log = make_log([("a", 1.0, "u1"), ("b", 2.0, "u2"), ("c", 3.0, "u1")])
+        groups = log.by_user()
+        assert [r.sql for r in groups["u1"]] == ["a", "c"]
+
+    def test_distinct_users(self):
+        log = make_log([("a", 1.0, "u1"), ("b", 2.0, None)])
+        assert log.distinct_users() == 2
+
+    def test_time_span(self):
+        assert make_log([("a", 5.0, "u"), ("b", 9.0, "u")]).time_span() == (5.0, 9.0)
+
+    def test_time_span_empty(self):
+        assert QueryLog().time_span() == (0.0, 0.0)
+
+    def test_filter(self):
+        log = make_log([("a", 1.0, "u"), ("b", 2.0, "u")])
+        assert log.filter(lambda r: r.sql == "a").statements() == ["a"]
+
+    def test_without_metadata_strips_users(self):
+        log = make_log([("a", 1.0, "u1")])
+        stripped = log.without_metadata()
+        assert stripped[0].user is None
+        assert stripped[0].sql == "a"
+
+    def test_map_sql(self):
+        log = make_log([("a", 1.0, "u")])
+        assert log.map_sql(lambda r: r.sql.upper()).statements() == ["A"]
+
+    def test_equality(self):
+        assert make_log([("a", 1.0, "u")]) == make_log([("a", 1.0, "u")])
+        assert make_log([("a", 1.0, "u")]) != make_log([("b", 1.0, "u")])
+
+
+class TestDedup:
+    def test_identical_within_threshold_removed(self):
+        log = make_log([("q", 0.0, "u"), ("q", 0.5, "u")])
+        result = delete_duplicates(log, 1.0)
+        assert result.kept == 1
+        assert result.removed == 1
+
+    def test_identical_beyond_threshold_kept(self):
+        log = make_log([("q", 0.0, "u"), ("q", 10.0, "u")])
+        assert delete_duplicates(log, 1.0).kept == 2
+
+    def test_different_users_never_duplicates(self):
+        log = make_log([("q", 0.0, "u1"), ("q", 0.5, "u2")])
+        assert delete_duplicates(log, 1.0).kept == 2
+
+    def test_different_statements_never_duplicates(self):
+        log = make_log([("q1", 0.0, "u"), ("q2", 0.5, "u")])
+        assert delete_duplicates(log, 1.0).kept == 2
+
+    def test_whitespace_normalisation(self):
+        log = make_log([("SELECT  a FROM t", 0.0, "u"), ("SELECT a\nFROM t", 0.5, "u")])
+        assert delete_duplicates(log, 1.0).kept == 1
+
+    def test_run_of_reloads_collapses_to_first(self):
+        log = make_log([("q", float(i) * 0.9, "u") for i in range(5)])
+        result = delete_duplicates(log, 1.0)
+        assert result.kept == 1
+        assert result.log[0].timestamp == 0.0
+
+    def test_infinite_threshold_removes_all_repeats(self):
+        log = make_log([("q", 0.0, "u"), ("q", 1e9, "u")])
+        assert delete_duplicates(log, math.inf).kept == 1
+
+    def test_zero_threshold_keeps_spaced_repeats(self):
+        log = make_log([("q", 0.0, "u"), ("q", 0.5, "u")])
+        assert delete_duplicates(log, 0.0).kept == 2
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            delete_duplicates(QueryLog(), -1.0)
+
+    def test_order_preserved(self):
+        log = make_log([("a", 0.0, "u"), ("b", 1.0, "u"), ("a", 100.0, "u")])
+        assert delete_duplicates(log, 1.0).log.statements() == ["a", "b", "a"]
+
+    def test_threshold_sweep_shape(self):
+        log = make_log([("q", 0.0, "u"), ("q", 0.5, "u"), ("q", 30.0, "u")])
+        rows = threshold_sweep(log, thresholds=(1.0, math.inf))
+        assert rows[0] == ("original", 3, 100.0)
+        assert rows[1][1] == 2  # 1 second threshold
+        assert rows[2][1] == 1  # unrestricted
+        # kept counts are monotonically non-increasing with the threshold
+        assert rows[1][1] >= rows[2][1]
+
+    def test_normalize_statement_text(self):
+        assert normalize_statement_text(" a  b\n c ") == "a b c"
+
+
+class TestIO:
+    def _sample(self):
+        return QueryLog(
+            [
+                LogRecord(0, "SELECT a FROM t", 1.5, "u1", "1.2.3.4", "s1", 10),
+                LogRecord(1, "SELECT 'x,y' FROM t", 2.5, None, None, None, None),
+            ]
+        )
+
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "log.csv"
+        write_csv(self._sample(), path)
+        assert read_csv(path) == self._sample()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(self._sample(), path)
+        assert read_jsonl(path) == self._sample()
+
+    def test_csv_missing_columns_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_csv(path)
+
+    def test_jsonl_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_jsonl(path)
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(self._sample(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(path)) == 2
+
+
+class TestSessions:
+    def test_assume_single_user(self):
+        log = make_log([("a", 1.0, "u1"), ("b", 2.0, None)])
+        unified = assume_single_user(log)
+        assert {r.user for r in unified} == {"<anonymous>"}
+
+    def test_derive_users_from_ip(self):
+        log = QueryLog(
+            [LogRecord(0, "a", 1.0, None, "9.9.9.9"), LogRecord(1, "b", 2.0)]
+        )
+        derived = derive_users_from_ip(log)
+        assert derived[0].user == "9.9.9.9"
+        assert derived[1].user is None
+
+    def test_sessionize_by_gap_splits_on_large_gap(self):
+        log = make_log([("a", 0.0, "u"), ("b", 10.0, "u"), ("c", 10000.0, "u")])
+        sessions = {r.session for r in sessionize_by_gap(log, 1800.0)}
+        assert len(sessions) == 2
+
+    def test_sessionize_requires_positive_gap(self):
+        with pytest.raises(ValueError):
+            sessionize_by_gap(QueryLog(), 0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for pattern mining (blocks, periodic segmentation)."""
+
+import pytest
+
+from repro.log import LogRecord, QueryLog
+from repro.patterns import MinerConfig, build_blocks, mine, segment_block
+from repro.patterns.models import Block, ParsedQuery
+from repro.pipeline import parse_log
+
+
+def parsed(entries):
+    """entries: (sql, timestamp, user) triples -> parsed queries."""
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+    return parse_log(log).queries
+
+
+A = "SELECT a FROM t WHERE id = {}"
+B = "SELECT b FROM t WHERE id = {}"
+C = "SELECT c FROM t WHERE id = {}"
+
+
+class TestBlocks:
+    def test_single_user_one_block(self):
+        queries = parsed([(A.format(i), float(i), "u") for i in range(4)])
+        blocks = build_blocks(queries)
+        assert len(blocks) == 1
+        assert len(blocks[0]) == 4
+
+    def test_gap_splits_block(self):
+        queries = parsed(
+            [(A.format(1), 0.0, "u"), (A.format(2), 1000.0, "u")]
+        )
+        blocks = build_blocks(queries, MinerConfig(block_gap=300.0))
+        assert len(blocks) == 2
+
+    def test_users_get_separate_blocks(self):
+        queries = parsed([(A.format(1), 0.0, "u1"), (A.format(2), 1.0, "u2")])
+        blocks = build_blocks(queries)
+        assert {block.user for block in blocks} == {"u1", "u2"}
+
+    def test_interleaved_users_keep_per_user_order(self):
+        queries = parsed(
+            [
+                (A.format(1), 0.0, "u1"),
+                (B.format(1), 0.5, "u2"),
+                (A.format(2), 1.0, "u1"),
+            ]
+        )
+        blocks = {block.user: block for block in build_blocks(queries)}
+        assert [q.record.seq for q in blocks["u1"].queries] == [0, 2]
+
+    def test_empty_input(self):
+        assert build_blocks([]) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MinerConfig(block_gap=0)
+        with pytest.raises(ValueError):
+            MinerConfig(max_period=0)
+
+
+class TestSegmentation:
+    def _block(self, sqls):
+        queries = parsed([(sql, float(i), "u") for i, sql in enumerate(sqls)])
+        return build_blocks(queries)[0]
+
+    def test_repeated_template_is_one_run(self):
+        block = self._block([A.format(i) for i in range(5)])
+        runs = segment_block(block)
+        assert len(runs) == 1
+        assert runs[0].repeats == 5
+        assert len(runs[0].unit) == 1
+
+    def test_alternating_pair_is_period_two(self):
+        block = self._block([A.format(1), B.format(1), A.format(2), B.format(2)])
+        runs = segment_block(block)
+        assert len(runs) == 1
+        assert len(runs[0].unit) == 2
+        assert runs[0].repeats == 2
+
+    def test_tie_prefers_short_period(self):
+        # AAAA could be (A) x4 or (A,A) x2 — short period must win.
+        block = self._block([A.format(i) for i in range(4)])
+        runs = segment_block(block)
+        assert len(runs[0].unit) == 1
+
+    def test_non_periodic_sequence_yields_singletons(self):
+        block = self._block([A.format(1), B.format(1), C.format(1)])
+        runs = segment_block(block)
+        assert len(runs) == 3
+        assert all(run.repeats == 1 for run in runs)
+
+    def test_run_followed_by_tail(self):
+        block = self._block([A.format(1), A.format(2), A.format(3), B.format(1)])
+        runs = segment_block(block)
+        assert runs[0].repeats == 3
+        assert runs[1].unit != runs[0].unit
+
+    def test_max_period_limits_unit_length(self):
+        sqls = [A.format(1), B.format(1), C.format(1)] * 2
+        block = self._block(sqls)
+        runs = segment_block(block, MinerConfig(max_period=2))
+        assert all(len(run.unit) <= 2 for run in runs)
+
+    def test_triple_period(self):
+        sqls = [A.format(1), B.format(1), C.format(1)] * 3
+        block = self._block(sqls)
+        runs = segment_block(block)
+        assert len(runs) == 1
+        assert len(runs[0].unit) == 3
+        assert runs[0].repeats == 3
+
+    def test_cycles_split_queries_per_repeat(self):
+        block = self._block([A.format(1), B.format(1), A.format(2), B.format(2)])
+        run = segment_block(block)[0]
+        cycles = run.cycles()
+        assert len(cycles) == 2
+        assert all(len(cycle) == 2 for cycle in cycles)
+
+
+class TestMine:
+    def test_instances_count_cycles(self):
+        queries = parsed([(A.format(i), float(i), "u") for i in range(6)])
+        result = mine(queries)
+        assert len(result.instances) == 6  # one instance per cycle
+
+    def test_instances_cover_all_queries_exactly_once(self):
+        queries = parsed(
+            [(A.format(1), 0.0, "u"), (B.format(1), 1.0, "u"), (A.format(2), 2.0, "u"),
+             (B.format(2), 3.0, "u"), (C.format(9), 4.0, "u")]
+        )
+        result = mine(queries)
+        covered = [
+            q.record.seq for inst in result.instances for q in inst.queries
+        ]
+        assert sorted(covered) == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        queries = parsed([(A.format(i % 3), float(i), "u") for i in range(9)])
+        r1 = mine(queries)
+        r2 = mine(queries)
+        assert [i.unit for i in r1.instances] == [i.unit for i in r2.instances]

@@ -1,0 +1,358 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlparser import (
+    ParseError,
+    UnsupportedStatementError,
+    ast,
+    parse,
+    parse_select,
+)
+
+
+class TestSelectList:
+    def test_single_column(self):
+        stmt = parse_select("SELECT name FROM t")
+        assert len(stmt.items) == 1
+        assert stmt.items[0].expr == ast.ColumnRef(name="name")
+
+    def test_qualified_column(self):
+        stmt = parse_select("SELECT e.name FROM t e")
+        assert stmt.items[0].expr == ast.ColumnRef(name="name", table="e")
+
+    def test_three_part_name_keeps_last_two(self):
+        stmt = parse_select("SELECT dbo.t.c FROM t")
+        assert stmt.items[0].expr == ast.ColumnRef(name="c", table="t")
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.items[0].expr == ast.Star()
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT p.* FROM t p")
+        assert stmt.items[0].expr == ast.Star(table="p")
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS b FROM t")
+        assert stmt.items[0].alias == "b"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("SELECT a b FROM t")
+        assert stmt.items[0].alias == "b"
+
+    def test_tsql_equals_alias(self):
+        stmt = parse_select("SELECT total = a FROM t")
+        assert stmt.items[0].alias == "total"
+        assert stmt.items[0].expr == ast.ColumnRef(name="a")
+
+    def test_multiple_items(self):
+        stmt = parse_select("SELECT a, b, c FROM t")
+        assert [item.expr.name for item in stmt.items] == ["a", "b", "c"]
+
+    def test_select_without_from(self):
+        stmt = parse_select("SELECT 1")
+        assert stmt.from_sources == ()
+        assert stmt.items[0].expr == ast.Literal("1", "number")
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_top(self):
+        stmt = parse_select("SELECT TOP 10 a FROM t")
+        assert stmt.top == ast.TopClause(count=ast.Literal("10", "number"))
+
+    def test_top_percent(self):
+        stmt = parse_select("SELECT TOP 5 PERCENT a FROM t")
+        assert stmt.top.percent
+
+    def test_select_into_is_consumed(self):
+        stmt = parse_select("SELECT a INTO #tmp FROM t")
+        assert stmt.items[0].expr == ast.ColumnRef(name="a")
+        assert stmt.from_sources[0] == ast.TableName(name="t")
+
+
+class TestFromClause:
+    def test_table_with_schema(self):
+        stmt = parse_select("SELECT a FROM dbo.t")
+        assert stmt.from_sources[0] == ast.TableName(name="t", schema="dbo")
+
+    def test_table_alias_variants(self):
+        for sql in ("SELECT a FROM t AS x", "SELECT a FROM t x"):
+            assert parse_select(sql).from_sources[0].alias == "x"
+
+    def test_comma_join(self):
+        stmt = parse_select("SELECT a FROM t, u")
+        assert len(stmt.from_sources) == 2
+
+    def test_inner_join(self):
+        stmt = parse_select("SELECT a FROM t JOIN u ON t.id = u.id")
+        join = stmt.from_sources[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert isinstance(join.condition, ast.Comparison)
+
+    @pytest.mark.parametrize(
+        "sql,kind",
+        [
+            ("SELECT a FROM t LEFT JOIN u ON t.i=u.i", "LEFT"),
+            ("SELECT a FROM t LEFT OUTER JOIN u ON t.i=u.i", "LEFT"),
+            ("SELECT a FROM t RIGHT JOIN u ON t.i=u.i", "RIGHT"),
+            ("SELECT a FROM t FULL OUTER JOIN u ON t.i=u.i", "FULL"),
+            ("SELECT a FROM t CROSS JOIN u", "CROSS"),
+        ],
+    )
+    def test_join_kinds(self, sql, kind):
+        assert parse_select(sql).from_sources[0].kind == kind
+
+    def test_cross_join_has_no_condition(self):
+        join = parse_select("SELECT a FROM t CROSS JOIN u").from_sources[0]
+        assert join.condition is None
+
+    def test_join_chain_is_left_nested(self):
+        stmt = parse_select(
+            "SELECT a FROM t JOIN u ON t.i=u.i JOIN v ON u.j=v.j"
+        )
+        outer = stmt.from_sources[0]
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableName)
+
+    def test_missing_on_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t JOIN u")
+
+    def test_function_table(self):
+        stmt = parse_select("SELECT a FROM fGetNearbyObjEq(1, 2, 3) n")
+        source = stmt.from_sources[0]
+        assert isinstance(source, ast.FunctionTable)
+        assert source.call.name == "fGetNearbyObjEq"
+        assert source.alias == "n"
+        assert len(source.call.args) == 3
+
+    def test_schema_qualified_function_table(self):
+        stmt = parse_select("SELECT a FROM dbo.fGetNearestObjEq(1,2,3)")
+        assert stmt.from_sources[0].call.schema == "dbo"
+
+    def test_derived_table(self):
+        stmt = parse_select("SELECT a FROM (SELECT a FROM t) sub")
+        source = stmt.from_sources[0]
+        assert isinstance(source, ast.DerivedTable)
+        assert source.alias == "sub"
+
+    def test_parenthesised_join(self):
+        stmt = parse_select("SELECT a FROM (t JOIN u ON t.i = u.i)")
+        assert isinstance(stmt.from_sources[0], ast.Join)
+
+
+class TestWhereClause:
+    def test_comparison_operators_normalised(self):
+        ne1 = parse_select("SELECT a FROM t WHERE a <> 1").where
+        ne2 = parse_select("SELECT a FROM t WHERE a != 1").where
+        assert ne1 == ne2
+        assert ne1.op == "<>"
+
+    def test_and_or_precedence(self):
+        where = parse_select("SELECT a FROM t WHERE a=1 OR b=2 AND c=3").where
+        assert isinstance(where, ast.Or)
+        assert isinstance(where.right, ast.And)
+
+    def test_parentheses_override_precedence(self):
+        where = parse_select("SELECT a FROM t WHERE (a=1 OR b=2) AND c=3").where
+        assert isinstance(where, ast.And)
+        assert isinstance(where.left, ast.Or)
+
+    def test_not(self):
+        where = parse_select("SELECT a FROM t WHERE NOT a = 1").where
+        assert isinstance(where, ast.Not)
+
+    def test_in_list(self):
+        where = parse_select("SELECT a FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, ast.InList)
+        assert len(where.items) == 3
+        assert not where.negated
+
+    def test_not_in_list(self):
+        where = parse_select("SELECT a FROM t WHERE a NOT IN ('x')").where
+        assert where.negated
+
+    def test_in_subquery(self):
+        where = parse_select(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u)"
+        ).where
+        assert isinstance(where, ast.InSubquery)
+
+    def test_between(self):
+        where = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 5").where
+        assert isinstance(where, ast.Between)
+        assert where.low == ast.Literal("1", "number")
+        assert where.high == ast.Literal("5", "number")
+
+    def test_between_binds_tighter_than_and(self):
+        where = parse_select(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2"
+        ).where
+        assert isinstance(where, ast.And)
+        assert isinstance(where.left, ast.Between)
+
+    def test_is_null(self):
+        where = parse_select("SELECT a FROM t WHERE a IS NULL").where
+        assert where == ast.IsNull(expr=ast.ColumnRef(name="a"))
+
+    def test_is_not_null(self):
+        where = parse_select("SELECT a FROM t WHERE a IS NOT NULL").where
+        assert where.negated
+
+    def test_equals_null_literal(self):
+        where = parse_select("SELECT a FROM t WHERE a = NULL").where
+        assert isinstance(where, ast.Comparison)
+        assert where.right == ast.Literal("NULL", "null")
+
+    def test_like(self):
+        where = parse_select("SELECT a FROM t WHERE a LIKE 'x%'").where
+        assert isinstance(where, ast.Like)
+
+    def test_exists(self):
+        where = parse_select(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        ).where
+        assert isinstance(where, ast.Exists)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_select("SELECT 1 + 2 * 3 FROM t").items[0].expr
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds_into_number(self):
+        expr = parse_select("SELECT -5 FROM t").items[0].expr
+        assert expr == ast.Literal("-5", "number")
+
+    def test_unary_minus_on_column(self):
+        expr = parse_select("SELECT -a FROM t").items[0].expr
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_unary_plus_is_dropped(self):
+        expr = parse_select("SELECT +5 FROM t").items[0].expr
+        assert expr == ast.Literal("5", "number")
+
+    def test_function_call(self):
+        expr = parse_select("SELECT count(*) FROM t").items[0].expr
+        assert expr == ast.FunctionCall(name="count", args=(ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = parse_select("SELECT count(DISTINCT a) FROM t").items[0].expr
+        assert expr.distinct
+
+    def test_zero_arg_function(self):
+        expr = parse_select("SELECT getdate() FROM t").items[0].expr
+        assert expr == ast.FunctionCall(name="getdate")
+
+    def test_case_searched(self):
+        expr = parse_select(
+            "SELECT CASE WHEN a=1 THEN 'x' ELSE 'y' END FROM t"
+        ).items[0].expr
+        assert isinstance(expr, ast.CaseExpression)
+        assert expr.operand is None
+        assert expr.else_result == ast.Literal("y", "string")
+
+    def test_case_simple(self):
+        expr = parse_select(
+            "SELECT CASE a WHEN 1 THEN 'x' END FROM t"
+        ).items[0].expr
+        assert expr.operand == ast.ColumnRef(name="a")
+
+    def test_case_without_when_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT CASE END FROM t")
+
+    def test_cast(self):
+        expr = parse_select("SELECT CAST(a AS varchar(10)) FROM t").items[0].expr
+        assert expr == ast.Cast(expr=ast.ColumnRef(name="a"), type_name="varchar(10)")
+
+    def test_scalar_subquery(self):
+        expr = parse_select("SELECT (SELECT max(a) FROM t) FROM u").items[0].expr
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_variable(self):
+        expr = parse_select("SELECT a FROM t WHERE b = @ra").where.right
+        assert expr == ast.Variable(name="ra")
+
+
+class TestGroupOrder:
+    def test_group_by(self):
+        stmt = parse_select("SELECT a, count(*) FROM t GROUP BY a")
+        assert stmt.group_by == (ast.ColumnRef(name="a"),)
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 3"
+        )
+        assert isinstance(stmt.having, ast.Comparison)
+
+    def test_order_by_defaults_ascending(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a")
+        assert not stmt.order_by[0].descending
+
+    def test_order_by_desc(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+
+class TestStatements:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.Union)
+        assert not stmt.all
+
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.all
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse("SELECT 1;"), ast.SelectStatement)
+
+    def test_parse_select_rejects_union(self):
+        with pytest.raises(UnsupportedStatementError):
+            parse_select("SELECT a FROM t UNION SELECT b FROM u")
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT INTO t VALUES (1)",
+            "UPDATE t SET a = 1",
+            "DELETE FROM t",
+            "CREATE TABLE t (a int)",
+            "DROP TABLE t",
+            "EXEC sp_who",
+        ],
+    )
+    def test_non_select_raises_unsupported(self, sql):
+        with pytest.raises(UnsupportedStatementError):
+            parse(sql)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "   ",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t trailing garbage ON x",
+            "SELECT a WHERE (b = 1",
+        ],
+    )
+    def test_malformed_raises_parse_error(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_messages_carry_position(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse("SELECT a FROM t WHERE >")
+        assert exc_info.value.line == 1
+        assert exc_info.value.column > 0

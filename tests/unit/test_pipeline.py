@@ -1,0 +1,152 @@
+"""Unit tests for the cleaning pipeline framework and statistics."""
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.patterns import SwsConfig
+from repro.pipeline import (
+    CleaningPipeline,
+    PipelineConfig,
+    clean_log,
+    parse_log,
+)
+from repro.pipeline.statistics import census_by_label
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+def make_log(statements, user="u", spacing=0.2):
+    return QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=i * spacing, user=user)
+        for i, sql in enumerate(statements)
+    )
+
+
+class TestParseStage:
+    def test_classification_of_failures(self):
+        log = make_log(
+            [
+                "SELECT a FROM t WHERE x = 1",
+                "INSERT INTO t VALUES (1)",
+                "SELECT FROM WHERE",
+            ]
+        )
+        stage = parse_log(log)
+        assert len(stage.queries) == 1
+        assert len(stage.non_select) == 1
+        assert len(stage.syntax_errors) == 1
+        assert "expected" in stage.syntax_errors[0][1]
+
+    def test_parsed_log_preserves_records(self):
+        log = make_log(["SELECT a FROM t"])
+        stage = parse_log(log)
+        assert stage.parsed_log[0] == log[0]
+
+    def test_empty_log(self):
+        stage = parse_log(QueryLog())
+        assert stage.queries == []
+
+
+class TestPipeline:
+    def test_stages_chain(self):
+        statements = (
+            ["SELECT a FROM t WHERE x > 0"]  # ordinary query
+            + ["SELECT a FROM t WHERE x > 0"]  # duplicate (same ts window)
+            + [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]  # DW
+        )
+        log = make_log(statements)
+        result = CleaningPipeline(
+            PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        ).run(log)
+        assert result.dedup.removed == 1
+        assert len(result.antipatterns) == 1
+        assert len(result.clean_log) == 2
+
+    def test_overview_counts(self):
+        statements = (
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(4)]
+            + ["INSERT INTO t VALUES (1)"]
+        )
+        log = make_log(statements)
+        result = CleaningPipeline(
+            PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        ).run(log)
+        overview = result.overview()
+        assert overview.original_size == 5
+        assert overview.select_count == 4
+        assert overview.final_size == 1
+        assert overview.antipatterns["DW-Stifle"].queries == 4
+        text = overview.format()
+        assert "Size of original query log" in text
+        assert "DW-Stifle" in text
+
+    def test_registry_marked(self):
+        log = make_log([f"SELECT name FROM e WHERE id = {i}" for i in range(4)])
+        result = CleaningPipeline(
+            PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        ).run(log)
+        marked = [s for s in result.registry if s.is_antipattern]
+        assert len(marked) == 1
+        assert marked[0].antipattern_types == {"DW-Stifle"}
+
+    def test_removal_log_property(self):
+        log = make_log(
+            ["SELECT keep FROM t WHERE x > 0"]
+            + [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+        )
+        result = CleaningPipeline(
+            PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        ).run(log)
+        assert result.removal_log.statements() == ["SELECT keep FROM t WHERE x > 0"]
+
+    def test_sws_report_only_when_configured(self):
+        log = make_log(["SELECT a FROM t WHERE x > 0"])
+        without = CleaningPipeline(PipelineConfig()).run(log)
+        assert without.sws_report is None
+        with_sws = CleaningPipeline(PipelineConfig(sws=SwsConfig())).run(log)
+        assert with_sws.sws_report is not None
+
+    def test_clean_log_convenience(self):
+        log = make_log([f"SELECT name FROM e WHERE id = {i}" for i in range(3)])
+        cleaned = clean_log(
+            log, PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        )
+        assert len(cleaned) == 1
+
+    def test_empty_log_runs(self):
+        result = CleaningPipeline().run(QueryLog())
+        assert len(result.clean_log) == 0
+        assert result.overview().original_size == 0
+
+    def test_unparseable_only_log(self):
+        log = make_log(["garbage ..", "DROP TABLE x"])
+        result = CleaningPipeline().run(log)
+        assert len(result.clean_log) == 0
+        assert result.overview().syntax_errors == 1
+        assert result.overview().non_select == 1
+
+    def test_second_pass_residual_is_zero_on_simple_runs(self):
+        """Section 5.5: after one cleaning pass, re-cleaning finds
+        (almost) nothing; on this simple log, exactly nothing."""
+        log = make_log([f"SELECT name FROM e WHERE id = {i}" for i in range(4)])
+        config = PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        first = CleaningPipeline(config).run(log)
+        second = CleaningPipeline(config).run(first.clean_log)
+        assert [a for a in second.antipatterns if a.solvable] == []
+
+
+class TestCensus:
+    def test_census_by_label_distincts(self):
+        log = make_log(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+            + ["SELECT other FROM t WHERE x > 0"] * 1
+            + [f"SELECT name FROM e WHERE id = {i}" for i in range(10, 13)]
+        )
+        result = CleaningPipeline(
+            PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        ).run(log)
+        census = census_by_label(result.antipatterns)
+        assert census["DW-Stifle"].instances == 2
+        assert census["DW-Stifle"].distinct == 1  # same pattern unit twice
+        assert census["DW-Stifle"].queries == 6

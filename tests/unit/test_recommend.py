@@ -1,0 +1,125 @@
+"""Unit tests for the recommendation module (the paper's future work)."""
+
+import pytest
+
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.recommend import (
+    TemplateTransitionModel,
+    evaluate,
+    split_blocks,
+)
+
+A = "SELECT a FROM t WHERE id = {}"
+B = "SELECT b FROM t WHERE id = {}"
+C = "SELECT c FROM u WHERE id = {}"
+
+
+def blocks_for(entries):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+    return build_blocks(parse_log(log).queries)
+
+
+def trained(entries, smoothing=0.0):
+    model = TemplateTransitionModel(smoothing=smoothing)
+    return model.train_on_blocks(blocks_for(entries)), blocks_for(entries)
+
+
+class TestModel:
+    def test_most_frequent_successor_ranks_first(self):
+        entries = []
+        clock = 0.0
+        for _ in range(5):
+            entries += [(A.format(1), clock, "u"), (B.format(1), clock + 1, "u")]
+            clock += 10
+        entries += [(A.format(2), clock, "u"), (C.format(1), clock + 1, "u")]
+        model, blocks = trained(entries)
+        a_id = blocks[0].queries[0].template_id
+        suggestions = model.recommend(a_id, k=2)
+        assert len(suggestions) == 2
+        assert suggestions[0].score > suggestions[1].score
+        assert "SELECT b" in suggestions[0].skeleton_sql
+
+    def test_unknown_context_falls_back_to_unigrams(self):
+        model, _ = trained([(A.format(1), 0.0, "u"), (B.format(1), 1.0, "u")])
+        suggestions = model.recommend("no-such-template", k=1)
+        assert len(suggestions) == 1
+
+    def test_empty_model_recommends_nothing(self):
+        assert TemplateTransitionModel().recommend("x") == []
+
+    def test_transitions_do_not_cross_blocks(self):
+        # two separate users: no A→B transition should be learned
+        model, blocks = trained(
+            [(A.format(1), 0.0, "u1"), (B.format(1), 0.5, "u2")]
+        )
+        assert model.transition_count == 0
+
+    def test_scores_are_probabilities(self):
+        entries = [(A.format(i), float(i), "u") for i in range(3)] + [
+            (B.format(1), 3.0, "u")
+        ]
+        model, blocks = trained(entries)
+        a_id = blocks[0].queries[0].template_id
+        total = sum(s.score for s in model.recommend(a_id, k=10))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TemplateTransitionModel(smoothing=-1)
+        with pytest.raises(ValueError):
+            TemplateTransitionModel().recommend("x", k=0)
+
+    def test_vocabulary_size(self):
+        model, _ = trained(
+            [(A.format(1), 0.0, "u"), (B.format(1), 1.0, "u"), (A.format(2), 2.0, "u")]
+        )
+        assert model.vocabulary_size == 2
+
+
+class TestEvaluation:
+    def test_split_blocks_time_ordered(self):
+        blocks = blocks_for(
+            [(A.format(1), 0.0, "u1"), (B.format(1), 100.0, "u2"),
+             (C.format(1), 200.0, "u3")]
+        )
+        train, test = split_blocks(blocks, train_share=0.67)
+        assert len(train) == 2 and len(test) == 1
+        assert test[0].queries[0].timestamp == 200.0
+
+    def test_split_blocks_invalid_share(self):
+        with pytest.raises(ValueError):
+            split_blocks([], train_share=1.0)
+
+    def test_perfect_hit_rate_on_deterministic_pattern(self):
+        entries = []
+        clock = 0.0
+        for _ in range(10):
+            entries += [(A.format(1), clock, "u"), (B.format(1), clock + 1, "u")]
+            clock += 1000  # separate blocks
+        blocks = blocks_for(entries)
+        train, test = blocks[:8], blocks[8:]
+        model = TemplateTransitionModel().train_on_blocks(train)
+        report = evaluate(model, test, k=1)
+        assert report.hit_rate == 1.0
+        assert report.evaluated_pairs == 2
+
+    def test_antipattern_rate_counts_flagged_templates(self):
+        entries = [(A.format(1), 0.0, "u"), (B.format(1), 1.0, "u")]
+        blocks = blocks_for(entries)
+        model = TemplateTransitionModel().train_on_blocks(blocks)
+        b_id = blocks[0].queries[1].template_id
+        report = evaluate(
+            model, blocks, k=1, antipattern_templates={b_id}
+        )
+        assert report.antipattern_rate == 1.0
+
+    def test_empty_test_set(self):
+        model = TemplateTransitionModel()
+        report = evaluate(model, [], k=3)
+        assert report.hit_rate == 0.0
+        assert report.evaluated_pairs == 0

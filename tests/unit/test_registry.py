@@ -1,0 +1,87 @@
+"""Unit tests for the pattern registry (frequency, userPopularity)."""
+
+from repro.log import LogRecord, QueryLog
+from repro.patterns import PatternRegistry, mine
+from repro.pipeline import parse_log
+
+
+def instances_for(entries):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user, ip=ip)
+        for i, (sql, ts, user, ip) in enumerate(entries)
+    )
+    return mine(parse_log(log).queries).instances
+
+
+Q = "SELECT a FROM t WHERE id = {}"
+R = "SELECT b FROM u WHERE id = {}"
+
+
+class TestRegistry:
+    def test_frequency_counts_instances(self):
+        registry = PatternRegistry.from_instances(
+            instances_for([(Q.format(i), float(i), "u", None) for i in range(5)])
+        )
+        assert len(registry) == 1
+        stats = registry.ranked()[0]
+        assert stats.frequency == 5
+        assert stats.query_count == 5
+
+    def test_user_popularity_definition_10(self):
+        entries = [(Q.format(1), 0.0, "u1", None), (Q.format(2), 1000.0, "u2", None)]
+        registry = PatternRegistry.from_instances(instances_for(entries))
+        assert registry.ranked()[0].user_popularity == 2
+
+    def test_distinct_ips_tracked(self):
+        entries = [
+            (Q.format(1), 0.0, "u1", "1.1.1.1"),
+            (Q.format(2), 1000.0, "u2", "2.2.2.2"),
+            (Q.format(3), 2000.0, "u1", "1.1.1.1"),
+        ]
+        registry = PatternRegistry.from_instances(instances_for(entries))
+        assert registry.ranked()[0].distinct_ips == 2
+
+    def test_ranked_orders_by_frequency(self):
+        entries = [(Q.format(i), float(i), "u", None) for i in range(5)]
+        entries += [(R.format(1), 1000.0, "u", None)]
+        registry = PatternRegistry.from_instances(instances_for(entries))
+        ranked = registry.ranked()
+        assert ranked[0].frequency >= ranked[1].frequency
+
+    def test_top_limits(self):
+        entries = [(Q.format(1), 0.0, "u", None), (R.format(1), 1000.0, "u", None)]
+        registry = PatternRegistry.from_instances(instances_for(entries))
+        assert len(registry.top(1)) == 1
+
+    def test_mark_antipattern(self):
+        registry = PatternRegistry.from_instances(
+            instances_for([(Q.format(i), float(i), "u", None) for i in range(3)])
+        )
+        unit = registry.ranked()[0].unit
+        registry.mark_antipattern(unit, "DW-Stifle")
+        assert registry.ranked()[0].is_antipattern
+        assert registry.ranked(antipatterns=False) == []
+        assert len(registry.ranked(antipatterns=True)) == 1
+
+    def test_mark_unknown_unit_is_ignored(self):
+        registry = PatternRegistry()
+        registry.mark_antipattern(("nope",), "DW-Stifle")  # must not raise
+
+    def test_coverage(self):
+        registry = PatternRegistry.from_instances(
+            instances_for([(Q.format(i), float(i), "u", None) for i in range(4)])
+        )
+        assert registry.ranked()[0].coverage(8) == 0.5
+
+    def test_totals(self):
+        registry = PatternRegistry.from_instances(
+            instances_for([(Q.format(i), float(i), "u", None) for i in range(4)])
+        )
+        assert registry.total_instances() == 4
+        assert registry.total_queries() == 4
+        assert registry.max_frequency() == 4
+
+    def test_empty_registry(self):
+        registry = PatternRegistry()
+        assert registry.max_frequency() == 0
+        assert registry.ranked() == []

@@ -1,0 +1,86 @@
+"""Unit tests for CSV report export."""
+
+import csv
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.pipeline.report import export_report
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+@pytest.fixture()
+def small_result():
+    statements = (
+        ["SELECT E.Id FROM Employees E WHERE E.department = 'sales'"]
+        + [f"SELECT name FROM Employees WHERE id = {i}" for i in (12, 15, 16)]
+        + ["SELECT * FROM Bugs WHERE assigned_to = NULL"]
+    )
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i), user="u", ip="1.1.1.1")
+        for i, sql in enumerate(statements)
+    )
+    config = PipelineConfig(
+        detection=DetectionContext(key_columns=KEYS), sws=SwsConfig()
+    )
+    return CleaningPipeline(config).run(log)
+
+
+def read(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestExportReport:
+    def test_all_files_written(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path / "report")
+        expected = {
+            "overview",
+            "patterns",
+            "antipatterns",
+            "cth_candidates",
+            "sws",
+            "solved",
+        }
+        assert set(written) == expected
+        for path in written.values():
+            assert path.exists()
+
+    def test_overview_contents(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        rows = read(written["overview"])
+        properties = {row["property"] for row in rows}
+        assert "Size of original query log" in properties
+
+    def test_patterns_ranked(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        rows = read(written["patterns"])
+        assert rows
+        frequencies = [int(row["frequency"]) for row in rows]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_antipatterns_census(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        labels = {row["label"] for row in read(written["antipatterns"])}
+        assert "DW-Stifle" in labels
+        assert "SNC" in labels
+
+    def test_solved_rows_carry_sql(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        rows = read(written["solved"])
+        assert any("IN (12, 15, 16)" in row["replacement_sql"] for row in rows)
+
+    def test_cth_candidates_have_verdict(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        rows = read(written["cth_candidates"])
+        assert rows
+        assert rows[0]["oracle_real"] in ("0", "1")
+
+    def test_directory_created(self, small_result, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        export_report(small_result, target)
+        assert target.exists()

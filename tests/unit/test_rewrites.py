@@ -1,0 +1,235 @@
+"""Unit tests for the Stifle/SNC rewrite rules (Section 4.2)."""
+
+import pytest
+
+from repro.antipatterns import DetectionContext, StifleDetector
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.rewrite import (
+    RewriteNotApplicable,
+    rewrite_df_stifle,
+    rewrite_ds_stifle,
+    rewrite_dw_stifle,
+    rewrite_snc_statement,
+)
+from repro.sqlparser import format_sql, parse
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+def queries_for(statements, user="u"):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i) * 0.1, user=user)
+        for i, sql in enumerate(statements)
+    )
+    return parse_log(log).queries
+
+
+class TestDwRewrite:
+    def test_example_9_to_10(self):
+        """The paper's Example 9 rewrites to Example 10 (modulo key column
+        ordering, which the paper also adds)."""
+        queries = queries_for(
+            [
+                "SELECT name FROM Employee WHERE empId = 8",
+                "SELECT name FROM Employee WHERE empId = 1",
+            ]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert format_sql(merged) == (
+            "SELECT empId, name FROM Employee WHERE empId IN (8, 1)"
+        )
+
+    def test_key_column_not_duplicated(self):
+        queries = queries_for(
+            [
+                "SELECT empId, name FROM Employee WHERE empId = 8",
+                "SELECT empId, name FROM Employee WHERE empId = 1",
+            ]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert format_sql(merged).count("empId,") == 1
+
+    def test_star_projection_covers_key(self):
+        queries = queries_for(
+            [
+                "SELECT * FROM t WHERE id = 1",
+                "SELECT * FROM t WHERE id = 2",
+            ]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert format_sql(merged) == "SELECT * FROM t WHERE id IN (1, 2)"
+
+    def test_duplicate_values_deduped(self):
+        queries = queries_for(
+            [
+                "SELECT name FROM e WHERE id = 5",
+                "SELECT name FROM e WHERE id = 5",
+                "SELECT name FROM e WHERE id = 6",
+            ]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert format_sql(merged).endswith("IN (5, 6)")
+
+    def test_single_distinct_value_stays_equality(self):
+        queries = queries_for(
+            ["SELECT name FROM e WHERE id = 5", "SELECT name FROM e WHERE id = 5"]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert format_sql(merged).endswith("WHERE id = 5")
+
+    def test_string_constants(self):
+        queries = queries_for(
+            [
+                "SELECT text FROM dbobjects WHERE name = 'a'",
+                "SELECT text FROM dbobjects WHERE name = 'b'",
+            ]
+        )
+        merged = rewrite_dw_stifle(queries)
+        assert "IN ('a', 'b')" in format_sql(merged)
+
+    def test_fewer_than_two_queries_rejected(self):
+        with pytest.raises(RewriteNotApplicable):
+            rewrite_dw_stifle(queries_for(["SELECT a FROM t WHERE id = 1"]))
+
+    def test_mixed_filter_columns_rejected(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE id = 1", "SELECT a FROM t WHERE objid = 2"]
+        )
+        with pytest.raises(RewriteNotApplicable):
+            rewrite_dw_stifle(queries)
+
+
+class TestDsRewrite:
+    def test_example_11_to_12(self):
+        queries = queries_for(
+            [
+                "SELECT name FROM Employee WHERE empId = 8",
+                "SELECT address, phone FROM Employee WHERE empId = 8",
+            ]
+        )
+        merged = rewrite_ds_stifle(queries)
+        assert format_sql(merged) == (
+            "SELECT name, address, phone FROM Employee WHERE empId = 8"
+        )
+
+    def test_overlapping_select_lists_deduped(self):
+        queries = queries_for(
+            [
+                "SELECT name, address FROM e WHERE id = 8",
+                "SELECT address, phone FROM e WHERE id = 8",
+            ]
+        )
+        merged = rewrite_ds_stifle(queries)
+        assert format_sql(merged) == (
+            "SELECT name, address, phone FROM e WHERE id = 8"
+        )
+
+    def test_where_preserved(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE id = 8", "SELECT b FROM t WHERE id = 8"]
+        )
+        assert format_sql(rewrite_ds_stifle(queries)).endswith("WHERE id = 8")
+
+
+class TestDfRewrite:
+    def test_example_13_to_14(self):
+        queries = queries_for(
+            [
+                "SELECT name FROM Employee WHERE empId = 8",
+                "SELECT address FROM EmployeeInfo WHERE empId = 8",
+            ]
+        )
+        merged = rewrite_df_stifle(queries)
+        assert format_sql(merged) == (
+            "SELECT t0.name, t1.address FROM Employee AS t0 "
+            "INNER JOIN EmployeeInfo AS t1 ON t0.empId = t1.empId "
+            "WHERE t0.empId = 8"
+        )
+
+    def test_three_tables_chain_joins(self):
+        queries = queries_for(
+            [
+                "SELECT a FROM t1 WHERE id = 8",
+                "SELECT b FROM t2 WHERE id = 8",
+                "SELECT c FROM t3 WHERE id = 8",
+            ]
+        )
+        text = format_sql(rewrite_df_stifle(queries))
+        assert text.count("INNER JOIN") == 2
+        assert "t0.id = t2.id" in text
+
+    def test_derived_table_rejected(self):
+        queries = queries_for(
+            [
+                "SELECT a FROM (SELECT a, id FROM t) s WHERE id = 8",
+                "SELECT b FROM u WHERE id = 8",
+            ]
+        )
+        with pytest.raises(RewriteNotApplicable):
+            rewrite_df_stifle(queries)
+
+    def test_grouped_query_rejected(self):
+        queries = queries_for(
+            [
+                "SELECT count(*) FROM t GROUP BY x",
+                "SELECT b FROM u WHERE id = 8",
+            ]
+        )
+        with pytest.raises(RewriteNotApplicable):
+            rewrite_df_stifle(queries)
+
+    def test_single_distinct_table_rejected(self):
+        queries = queries_for(
+            ["SELECT a FROM t WHERE id = 8", "SELECT b FROM t WHERE id = 8"]
+        )
+        with pytest.raises(RewriteNotApplicable):
+            rewrite_df_stifle(queries)
+
+
+class TestSncRewrite:
+    @pytest.mark.parametrize(
+        "original,expected",
+        [
+            (
+                "SELECT * FROM Bugs WHERE assigned_to = NULL",
+                "SELECT * FROM Bugs WHERE assigned_to IS NULL",
+            ),
+            (
+                "SELECT * FROM Bugs WHERE assigned_to <> NULL",
+                "SELECT * FROM Bugs WHERE assigned_to IS NOT NULL",
+            ),
+            (
+                "SELECT * FROM Bugs WHERE assigned_to != NULL",
+                "SELECT * FROM Bugs WHERE assigned_to IS NOT NULL",
+            ),
+            (
+                "SELECT * FROM Bugs WHERE NULL = assigned_to",
+                "SELECT * FROM Bugs WHERE assigned_to IS NULL",
+            ),
+            (
+                "SELECT * FROM Bugs WHERE a = 1 AND b = NULL",
+                "SELECT * FROM Bugs WHERE a = 1 AND b IS NULL",
+            ),
+        ],
+    )
+    def test_section_5_4_rewrites(self, original, expected):
+        assert format_sql(rewrite_snc_statement(parse(original))) == expected
+
+    def test_non_null_comparisons_untouched(self):
+        tree = parse("SELECT * FROM t WHERE a = 1")
+        assert rewrite_snc_statement(tree) == tree
+
+    def test_null_to_null_untouched(self):
+        tree = parse("SELECT * FROM t WHERE NULL = NULL")
+        assert rewrite_snc_statement(tree) == tree
+
+    def test_having_clause_rewritten(self):
+        tree = parse("SELECT a FROM t GROUP BY a HAVING max(b) = NULL")
+        assert "IS NULL" in format_sql(rewrite_snc_statement(tree))
+
+    def test_select_list_comparison_untouched(self):
+        tree = parse("SELECT CASE WHEN a = NULL THEN 1 ELSE 0 END FROM t")
+        # only WHERE/HAVING are rewritten; a CASE in the SELECT list stays
+        assert rewrite_snc_statement(tree) == tree

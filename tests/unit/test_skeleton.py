@@ -1,0 +1,140 @@
+"""Unit tests for skeletonization, templates and fingerprints."""
+
+import pytest
+
+from repro.skeleton import (
+    build_clause_texts,
+    build_template,
+    normalize_case,
+    pattern_fingerprint,
+    skeletonize_statement,
+    template_fingerprint,
+)
+from repro.sqlparser import ast, format_sql, parse
+
+
+class TestSkeletonize:
+    def test_example8_from_the_paper(self):
+        """Section 4.1.2, Example 8: both queries share one skeleton."""
+        q1 = parse("SELECT a, b FROM T WHERE a = 0 AND b >= 3")
+        q2 = parse("SELECT a, b FROM T WHERE a = 10 AND b >= 5")
+        s1 = skeletonize_statement(q1)
+        s2 = skeletonize_statement(q2)
+        assert s1 == s2
+        assert format_sql(s1) == (
+            "SELECT a, b FROM T WHERE a = <num> AND b >= <num>"
+        )
+
+    def test_string_and_null_placeholders(self):
+        skeleton = skeletonize_statement(
+            parse("SELECT a FROM t WHERE b = 'x' AND c = NULL")
+        )
+        text = format_sql(skeleton)
+        assert "<str>" in text
+        assert "<null>" in text
+
+    def test_variables_kept_by_default(self):
+        skeleton = skeletonize_statement(parse("SELECT a FROM t WHERE b = @ra"))
+        assert "@ra" in format_sql(skeleton)
+
+    def test_variables_folded_on_request(self):
+        skeleton = skeletonize_statement(
+            parse("SELECT a FROM t WHERE b = @ra"), fold_variables=True
+        )
+        assert "<var>" in format_sql(skeleton)
+
+    def test_skeleton_is_idempotent(self):
+        tree = parse("SELECT a FROM t WHERE b = 5")
+        once = skeletonize_statement(tree)
+        twice = skeletonize_statement(once)
+        assert once == twice
+
+    def test_constants_in_subqueries_are_folded(self):
+        skeleton = skeletonize_statement(
+            parse("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 7)")
+        )
+        assert "7" not in format_sql(skeleton)
+
+
+class TestNormalizeCase:
+    def test_identifiers_lowercased(self):
+        tree = normalize_case(parse("SELECT Name FROM Employees E WHERE E.Dept = 'X'"))
+        text = format_sql(tree)  # type: ignore[arg-type]
+        assert "name" in text and "employees" in text
+        assert "Name" not in text
+
+    def test_string_literals_keep_case(self):
+        tree = normalize_case(parse("SELECT a FROM t WHERE b = 'MiXeD'"))
+        assert "'MiXeD'" in format_sql(tree)  # type: ignore[arg-type]
+
+
+class TestTemplates:
+    def test_case_insensitive_equality(self):
+        t1 = build_template(parse("SELECT Name FROM Employee WHERE id = 1"))
+        t2 = build_template(parse("select name from EMPLOYEE where ID = 2"))
+        assert t1 == t2
+        assert template_fingerprint(t1) == template_fingerprint(t2)
+
+    def test_different_select_means_different_template(self):
+        t1 = build_template(parse("SELECT a FROM t WHERE id = 1"))
+        t2 = build_template(parse("SELECT b FROM t WHERE id = 1"))
+        assert t1 != t2
+
+    def test_order_by_separates_templates_by_default(self):
+        t1 = build_template(parse("SELECT a FROM t WHERE id = 1 ORDER BY a"))
+        t2 = build_template(parse("SELECT a FROM t WHERE id = 1"))
+        assert t1 != t2
+
+    def test_strict_triple_ignores_order_by(self):
+        t1 = build_template(
+            parse("SELECT a FROM t WHERE id = 1 ORDER BY a"), strict_triple=True
+        )
+        t2 = build_template(parse("SELECT a FROM t WHERE id = 1"), strict_triple=True)
+        assert t1 == t2
+
+    def test_triple_accessor(self):
+        template = build_template(parse("SELECT a FROM t WHERE id = 1"))
+        sfc, swc, ssc = template.triple()
+        assert (sfc, swc, ssc) == ("t", "id = <num>", "a")
+
+    def test_skeleton_sql_readable(self):
+        template = build_template(parse("SELECT a FROM t WHERE id = 5"))
+        assert template.skeleton_sql == "SELECT a FROM t WHERE id = <num>"
+
+    def test_no_where_clause(self):
+        template = build_template(parse("SELECT a FROM t"))
+        assert template.swc == ""
+
+    def test_union_shapes_do_not_collapse(self):
+        t1 = build_template(parse("SELECT a FROM t UNION SELECT b FROM u"))
+        t2 = build_template(parse("SELECT a FROM t"))
+        assert t1 != t2
+
+
+class TestClauseTexts:
+    def test_clause_texts_preserve_constants(self):
+        texts = build_clause_texts(parse("SELECT Name FROM T WHERE Id = 42"))
+        assert texts.sc == "name"
+        assert texts.fc == "t"
+        assert texts.wc == "id = 42"
+
+    def test_different_constants_differ_in_wc_only(self):
+        a = build_clause_texts(parse("SELECT name FROM t WHERE id = 1"))
+        b = build_clause_texts(parse("SELECT name FROM t WHERE id = 2"))
+        assert a.sc == b.sc and a.fc == b.fc and a.wc != b.wc
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable(self):
+        template = build_template(parse("SELECT a FROM t WHERE id = 1"))
+        assert template_fingerprint(template) == template_fingerprint(template)
+
+    def test_fingerprint_distinguishes_templates(self):
+        t1 = build_template(parse("SELECT a FROM t WHERE id = 1"))
+        t2 = build_template(parse("SELECT a FROM u WHERE id = 1"))
+        assert template_fingerprint(t1) != template_fingerprint(t2)
+
+    def test_pattern_fingerprint_depends_on_order(self):
+        t1 = build_template(parse("SELECT a FROM t"))
+        t2 = build_template(parse("SELECT b FROM t"))
+        assert pattern_fingerprint([t1, t2]) != pattern_fingerprint([t2, t1])

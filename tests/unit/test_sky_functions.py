@@ -1,0 +1,131 @@
+"""Unit tests for the SkyServer table-valued functions."""
+
+import math
+
+import pytest
+
+from repro.engine import (
+    Column,
+    Database,
+    EngineError,
+    TableSchema,
+    angular_distance_arcmin,
+    register_sky_functions,
+)
+
+
+@pytest.fixture()
+def sky_db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "photoprimary",
+            (
+                Column("objid", "bigint", is_key=True),
+                Column("ra", "float"),
+                Column("dec", "float"),
+                Column("run", "int"),
+                Column("camcol", "int"),
+                Column("field", "int"),
+                Column("type", "int"),
+                Column("htmid", "bigint", is_key=True),
+            ),
+        ),
+        [
+            {"objid": 1, "ra": 145.0, "dec": 0.0, "run": 1, "camcol": 1,
+             "field": 1, "type": 3, "htmid": 10},
+            {"objid": 2, "ra": 145.01, "dec": 0.01, "run": 1, "camcol": 2,
+             "field": 2, "type": 6, "htmid": 11},
+            {"objid": 3, "ra": 300.0, "dec": 45.0, "run": 2, "camcol": 3,
+             "field": 3, "type": 3, "htmid": 99},
+        ],
+    )
+    register_sky_functions(database)
+    return database
+
+
+class TestAngularDistance:
+    def test_zero_distance(self):
+        assert angular_distance_arcmin(145.0, 0.0, 145.0, 0.0) == pytest.approx(0.0)
+
+    def test_one_degree_on_equator_is_sixty_arcmin(self):
+        assert angular_distance_arcmin(10.0, 0.0, 11.0, 0.0) == pytest.approx(
+            60.0, rel=1e-6
+        )
+
+    def test_symmetry(self):
+        a = angular_distance_arcmin(10.0, 20.0, 30.0, 40.0)
+        b = angular_distance_arcmin(30.0, 40.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+    def test_antipodal(self):
+        assert angular_distance_arcmin(0.0, 0.0, 180.0, 0.0) == pytest.approx(
+            180.0 * 60.0
+        )
+
+
+class TestNearby:
+    def test_nearby_returns_objects_within_radius(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT objid FROM fGetNearbyObjEq(145.0, 0.0, 2.0)"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_nearby_sorted_by_distance(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT objid, distance FROM fGetNearbyObjEq(145.0, 0.0, 5.0)"
+        ).rows
+        assert rows[0][0] == 1
+        assert rows[0][1] <= rows[1][1]
+
+    def test_nearest_returns_at_most_one(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT objid FROM dbo.fGetNearestObjEq(145.0, 0.0, 5.0)"
+        ).rows
+        assert rows == [(1,)]
+
+    def test_nearest_empty_when_nothing_close(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT objid FROM fGetNearestObjEq(0.0, -80.0, 1.0)"
+        ).rows
+        assert rows == []
+
+    def test_wrong_arity_raises(self, sky_db):
+        with pytest.raises(EngineError, match="expects 3 arguments"):
+            sky_db.execute("SELECT * FROM fGetNearbyObjEq(1.0, 2.0)")
+
+
+class TestRect:
+    def test_rect_selects_bounding_box(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT objid FROM fGetObjFromRect(144.9, -0.1, 145.1, 0.1)"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_rect_corner_order_does_not_matter(self, sky_db):
+        a = sky_db.execute(
+            "SELECT objid FROM fGetObjFromRect(144.9, -0.1, 145.1, 0.1)"
+        ).rows
+        b = sky_db.execute(
+            "SELECT objid FROM fGetObjFromRect(145.1, 0.1, 144.9, -0.1)"
+        ).rows
+        assert sorted(a) == sorted(b)
+
+    def test_join_with_photoprimary(self, sky_db):
+        rows = sky_db.execute(
+            "SELECT p.type FROM fGetObjFromRect(144.9, -0.1, 145.1, 0.1) n, "
+            "photoprimary p WHERE n.objid = p.objid"
+        ).rows
+        assert sorted(rows) == [(3,), (6,)]
+
+
+class TestRegistration:
+    def test_functions_require_photoprimary(self):
+        database = Database()
+        register_sky_functions(database)
+        with pytest.raises(EngineError, match="photoprimary"):
+            database.execute("SELECT * FROM fGetNearbyObjEq(1.0, 2.0, 3.0)")
+
+    def test_unregistered_function_raises(self, sky_db):
+        with pytest.raises(EngineError, match="unknown table-valued function"):
+            sky_db.execute("SELECT * FROM fNoSuchFunction(1)")

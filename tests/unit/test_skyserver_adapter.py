@@ -1,0 +1,107 @@
+"""Unit tests for the real-SkyServer log-export adapter."""
+
+import pytest
+
+from repro.log.skyserver import SkyServerFormatError, read_skyserver_csv
+from repro.pipeline import CleaningPipeline
+
+
+FULL_EXPORT = """yy,mm,dd,hh,mi,ss,seq,theTime,logID,clientIP,requestor,server,dbname,access,elapsed,busy,rows,statement,error,errorMessage
+2007,6,13,12,18,46,1,2007-06-13 12:18:46,77,130.1.2.3,,SkyServer,BESTDR5,Web,0.1,0.05,42,"SELECT name, type FROM DBObjects WHERE type='U' ORDER BY name",0,
+2007,6,13,12,19,13,2,2007-06-13 12:19:13,77,130.1.2.3,,SkyServer,BESTDR5,Web,0.1,0.02,1,"SELECT description FROM DBObjects WHERE name='Galaxy'",0,
+"""
+
+MINIMAL_EXPORT = """yy,mm,dd,hh,mi,ss,statement
+3,1,15,8,30,0,SELECT objid FROM photoprimary WHERE objid = 5
+3,1,15,8,30,2,SELECT objid FROM photoprimary WHERE objid = 6
+"""
+
+
+class TestFullExport:
+    def test_reads_all_rows(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(FULL_EXPORT)
+        log = read_skyserver_csv(path)
+        assert len(log) == 2
+        assert log[0].sql.startswith("SELECT name, type")
+
+    def test_the_time_parsed(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(FULL_EXPORT)
+        log = read_skyserver_csv(path)
+        # Table 9's 27-second think time must be reconstructed
+        assert log[1].timestamp - log[0].timestamp == pytest.approx(27.0)
+
+    def test_ip_becomes_user_when_no_requestor(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(FULL_EXPORT)
+        log = read_skyserver_csv(path)
+        assert log[0].user == "130.1.2.3"
+        assert log[0].ip == "130.1.2.3"
+
+    def test_rows_and_session(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(FULL_EXPORT)
+        log = read_skyserver_csv(path)
+        assert log[0].rows == 42
+        assert log[0].session == "77"
+
+
+class TestMinimalExport:
+    def test_time_assembled_from_parts(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(MINIMAL_EXPORT)
+        log = read_skyserver_csv(path)
+        assert len(log) == 2
+        assert log[1].timestamp - log[0].timestamp == pytest.approx(2.0)
+
+    def test_two_digit_year_normalised(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(MINIMAL_EXPORT)
+        log = read_skyserver_csv(path)
+        import datetime
+
+        year = datetime.datetime.fromtimestamp(
+            log[0].timestamp, tz=datetime.timezone.utc
+        ).year
+        assert year == 2003
+
+    def test_pipeline_runs_on_adapter_output(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(MINIMAL_EXPORT)
+        result = CleaningPipeline().run(read_skyserver_csv(path))
+        assert len(result.parse_stage.queries) == 2
+
+
+class TestFailureModes:
+    def test_missing_statement_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SkyServerFormatError, match="statement"):
+            read_skyserver_csv(path)
+
+    def test_missing_time_information(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("statement\nSELECT 1\n")
+        with pytest.raises(SkyServerFormatError, match="time"):
+            read_skyserver_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SkyServerFormatError):
+            read_skyserver_csv(path)
+
+    def test_blank_statements_skipped(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "yy,mm,dd,statement\n2003,1,1,SELECT 1\n2003,1,1,\n"
+        )
+        assert len(read_skyserver_csv(path)) == 1
+
+    def test_garbage_rows_value_tolerated(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "yy,mm,dd,rows,statement\n2003,1,1,n/a,SELECT 1\n"
+        )
+        assert read_skyserver_csv(path)[0].rows is None

@@ -1,0 +1,95 @@
+"""Unit tests for SNC detection and antipattern common types."""
+
+import pytest
+
+from repro.antipatterns import (
+    DetectionContext,
+    SncDetector,
+    has_snc_shape,
+    minimal_period,
+    run_detectors,
+)
+from repro.antipatterns.types import AntipatternInstance
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+
+
+def blocks_for(statements, user="u"):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i), user=user)
+        for i, sql in enumerate(statements)
+    )
+    return build_blocks(parse_log(log).queries)
+
+
+class TestSnc:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM bugs WHERE assigned_to = NULL",
+            "SELECT * FROM bugs WHERE assigned_to <> NULL",
+            "SELECT * FROM bugs WHERE assigned_to != NULL",
+            "SELECT * FROM bugs WHERE NULL = assigned_to",
+            "SELECT * FROM bugs WHERE a = 1 AND b = NULL",
+        ],
+    )
+    def test_snc_shapes_detected(self, sql):
+        instances = SncDetector().detect(blocks_for([sql]), DetectionContext())
+        assert len(instances) == 1
+        assert instances[0].solvable
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM bugs WHERE assigned_to IS NULL",
+            "SELECT * FROM bugs WHERE assigned_to IS NOT NULL",
+            "SELECT * FROM bugs WHERE assigned_to = 'NULL'",
+            "SELECT * FROM bugs WHERE a = 1",
+        ],
+    )
+    def test_correct_shapes_not_flagged(self, sql):
+        assert SncDetector().detect(blocks_for([sql]), DetectionContext()) == []
+
+    def test_snc_is_per_query(self):
+        statements = [
+            "SELECT * FROM bugs WHERE a = NULL",
+            "SELECT * FROM bugs WHERE b <> NULL",
+        ]
+        instances = SncDetector().detect(blocks_for(statements), DetectionContext())
+        assert len(instances) == 2
+        assert all(len(i.queries) == 1 for i in instances)
+
+
+class TestMinimalPeriod:
+    @pytest.mark.parametrize(
+        "sequence,expected",
+        [
+            (["a"], ("a",)),
+            (["a", "a", "a"], ("a",)),
+            (["a", "b", "a", "b"], ("a", "b")),
+            (["a", "b", "c"], ("a", "b", "c")),
+            (["a", "b", "a"], ("a", "b", "a")),
+            ([], ()),
+        ],
+    )
+    def test_minimal_period(self, sequence, expected):
+        assert minimal_period(sequence) == expected
+
+
+class TestAntipatternInstance:
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError):
+            AntipatternInstance(label="X", queries=(), solvable=False)
+
+    def test_run_detectors_orders_by_log_position(self):
+        statements = [
+            "SELECT * FROM bugs WHERE b = NULL",
+            "SELECT name FROM e WHERE id = 1",
+            "SELECT name FROM e WHERE id = 2",
+        ]
+        instances = run_detectors(
+            blocks_for(statements), DetectionContext(key_columns=None)
+        )
+        starts = [instance.start_seq for instance in instances]
+        assert starts == sorted(starts)

@@ -1,0 +1,128 @@
+"""Unit tests for the solving stage (Section 5.5)."""
+
+import pytest
+
+from repro.antipatterns import DetectionContext, run_detectors
+from repro.antipatterns.types import AntipatternInstance, DW_STIFLE
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.rewrite import remove, solve
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+def prepare(statements, user="u"):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i) * 0.1, user=user)
+        for i, sql in enumerate(statements)
+    )
+    stage = parse_log(log)
+    blocks = build_blocks(stage.queries)
+    instances = run_detectors(blocks, DetectionContext(key_columns=KEYS))
+    return stage.parsed_log, instances
+
+
+class TestSolve:
+    def test_dw_run_collapses_to_one_statement(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(4)]
+        )
+        result = solve(log, instances)
+        assert len(result.log) == 1
+        assert "IN (0, 1, 2, 3)" in result.log[0].sql
+        assert result.queries_removed == 3
+
+    def test_rewrite_placed_at_first_position(self):
+        log, instances = prepare(
+            ["SELECT x FROM pre WHERE k > 0"]
+            + [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+            + ["SELECT y FROM post WHERE k > 0"]
+        )
+        result = solve(log, instances)
+        statements = result.log.statements()
+        assert len(statements) == 3
+        assert statements[0].startswith("SELECT x")
+        assert "IN (" in statements[1]
+        assert statements[2].startswith("SELECT y")
+
+    def test_solved_counts(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+            + ["SELECT * FROM bugs WHERE a = NULL"],
+        )
+        result = solve(log, instances)
+        counts = result.solved_counts()
+        assert counts["DW-Stifle"] == 1
+        assert counts["SNC"] == 1
+
+    def test_snc_rewrite_in_place(self):
+        log, instances = prepare(["SELECT * FROM bugs WHERE a = NULL"])
+        result = solve(log, instances)
+        assert len(result.log) == 1
+        assert result.log[0].sql.endswith("a IS NULL")
+        assert result.queries_removed == 0
+
+    def test_unsolvable_cth_left_in_log(self):
+        log, instances = prepare(
+            [
+                "SELECT E.Id FROM e E WHERE E.department = 'x'",
+                "SELECT name FROM e WHERE id = 12",
+            ]
+        )
+        # the pair is a CTH candidate (not solvable); too short for a stifle
+        result = solve(log, instances)
+        assert len(result.log) == 2
+        assert len(result.unsolvable) == 1
+
+    def test_conflicting_instances_first_wins(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+        )
+        # fabricate an overlapping later instance over the same queries
+        stage_queries = parse_log(log).queries
+        overlap = AntipatternInstance(
+            label=DW_STIFLE, queries=tuple(stage_queries[1:]), solvable=True
+        )
+        result = solve(log, list(instances) + [overlap])
+        assert len(result.solved) == 1
+        assert len(result.skipped_conflicts) == 1
+
+    def test_timestamps_of_kept_records_unchanged(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+        )
+        result = solve(log, instances)
+        assert result.log[0].timestamp == log[0].timestamp
+
+    def test_no_instances_is_identity(self):
+        log, _ = prepare(["SELECT a FROM t WHERE x > 0"])
+        result = solve(log, [])
+        assert result.log == log
+
+    def test_clean_log_reparses(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(4)]
+            + ["SELECT * FROM bugs WHERE a = NULL"]
+        )
+        result = solve(log, instances)
+        stage = parse_log(result.log)
+        assert not stage.syntax_errors
+
+
+class TestRemove:
+    def test_remove_drops_all_instance_queries(self):
+        log, instances = prepare(
+            ["SELECT keepme FROM t WHERE x > 0"]
+            + [f"SELECT name FROM e WHERE id = {i}" for i in range(3)]
+        )
+        removed = remove(log, instances)
+        assert removed.statements() == ["SELECT keepme FROM t WHERE x > 0"]
+
+    def test_removal_smaller_than_clean(self):
+        log, instances = prepare(
+            [f"SELECT name FROM e WHERE id = {i}" for i in range(4)]
+        )
+        clean = solve(log, instances).log
+        removal = remove(log, instances)
+        assert len(removal) < len(clean)

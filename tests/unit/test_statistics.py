@@ -1,0 +1,72 @@
+"""Unit tests for the statistics/overview rendering (Table 5 shape)."""
+
+import pytest
+
+from repro.antipatterns.types import AntipatternInstance
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.pipeline.statistics import AntipatternCensus, Overview, census_by_label
+
+
+class TestOverview:
+    def test_percent_of_zero_original(self):
+        assert Overview().percent(5) == 0.0
+
+    def test_percent(self):
+        overview = Overview(original_size=200)
+        assert overview.percent(50) == 25.0
+
+    def test_rows_always_include_core_properties(self):
+        rows = dict(Overview(original_size=10).rows())
+        assert "Size of original query log" in rows
+        assert "Count of distinct candidate CTH" in rows
+
+    def test_rows_include_present_labels_only(self):
+        overview = Overview(
+            original_size=10,
+            antipatterns={"DW-Stifle": AntipatternCensus(distinct=1, queries=4)},
+        )
+        names = [name for name, _ in overview.rows()]
+        assert any("DW-Stifle" in name for name in names)
+        assert not any("DS-Stifle" in name for name in names)
+
+    def test_format_alignment(self):
+        text = Overview(original_size=10).format()
+        lines = text.splitlines()
+        assert len(lines) > 5
+        assert all(lines[0].index("  ") or True for _ in lines)
+
+    def test_thousands_separator(self):
+        overview = Overview(original_size=1_234_567, final_size=1_000_000)
+        assert "1,234,567" in overview.format()
+
+
+class TestCensusByLabel:
+    def _instances(self):
+        log = QueryLog(
+            LogRecord(seq=i, sql=f"SELECT a FROM t WHERE id = {i}",
+                      timestamp=i * 0.1, user="u")
+            for i in range(4)
+        )
+        queries = parse_log(log).queries
+        first = AntipatternInstance(
+            label="X", queries=tuple(queries[:2]), solvable=True
+        )
+        second = AntipatternInstance(
+            label="X", queries=tuple(queries[2:]), solvable=True
+        )
+        third = AntipatternInstance(
+            label="Y", queries=(queries[0],), solvable=False
+        )
+        return [first, second, third]
+
+    def test_counts(self):
+        census = census_by_label(self._instances())
+        assert census["X"].instances == 2
+        assert census["X"].queries == 4
+        assert census["X"].distinct == 1  # same unit
+        assert census["Y"].instances == 1
+
+    def test_empty(self):
+        assert census_by_label([]) == {}

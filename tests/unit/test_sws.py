@@ -1,0 +1,112 @@
+"""Unit tests for sliding-window-search detection (Section 6.5)."""
+
+from repro.log import LogRecord, QueryLog
+from repro.patterns import (
+    PatternRegistry,
+    SwsConfig,
+    coverage_grid,
+    detect_sws,
+    mine,
+)
+from repro.pipeline import parse_log
+
+
+def mined(entries):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+    result = mine(parse_log(log).queries)
+    return PatternRegistry.from_instances(result.instances), result.instances
+
+
+def sliding_entries(count, user="bot"):
+    return [
+        (
+            f"SELECT a FROM t WHERE h >= {i * 10} AND h < {(i + 1) * 10}",
+            float(i),
+            user,
+        )
+        for i in range(count)
+    ]
+
+
+class TestDetectSws:
+    def test_sliding_window_bot_is_detected(self):
+        registry, instances = mined(sliding_entries(50))
+        report = detect_sws(registry, instances, SwsConfig(max_popularity=1))
+        assert len(report.patterns) == 1
+        assert report.coverage > 0.9
+
+    def test_popular_pattern_is_not_sws(self):
+        entries = []
+        for user in range(10):
+            entries.extend(sliding_entries(5, user=f"u{user}"))
+        registry, instances = mined(entries)
+        report = detect_sws(
+            registry, instances, SwsConfig(max_popularity=2, min_frequency_share=0.0)
+        )
+        assert report.patterns == []
+
+    def test_infrequent_pattern_is_not_sws(self):
+        entries = sliding_entries(2) + [
+            (f"SELECT b FROM u WHERE x = {i}", 1000.0 + i, f"h{i}")
+            for i in range(50)
+        ]
+        registry, instances = mined(entries)
+        report = detect_sws(
+            registry, instances, SwsConfig(min_frequency_share=0.5)
+        )
+        assert report.patterns == []
+
+    def test_repeating_constants_fail_shape_check(self):
+        # Same window requested over and over: not a sliding download.
+        entries = [
+            ("SELECT a FROM t WHERE h >= 0 AND h < 10", float(i) * 100, "bot")
+            for i in range(30)
+        ]
+        registry, instances = mined(entries)
+        with_check = detect_sws(
+            registry,
+            instances,
+            SwsConfig(max_popularity=1, check_disjoint_windows=True),
+            mark=False,
+        )
+        without_check = detect_sws(
+            registry,
+            instances,
+            SwsConfig(max_popularity=1, check_disjoint_windows=False),
+            mark=False,
+        )
+        assert with_check.patterns == []
+        assert len(without_check.patterns) == 1
+
+    def test_mark_labels_registry(self):
+        registry, instances = mined(sliding_entries(30))
+        detect_sws(registry, instances, SwsConfig(max_popularity=1), mark=True)
+        assert registry.ranked()[0].antipattern_types == {"SWS"}
+
+    def test_skip_antipatterns(self):
+        registry, instances = mined(sliding_entries(30))
+        registry.ranked()[0].antipattern_types.add("DW-Stifle")
+        report = detect_sws(registry, instances, SwsConfig(max_popularity=1))
+        assert report.patterns == []
+
+
+class TestCoverageGrid:
+    def test_grid_shape_and_monotonicity(self):
+        registry, instances = mined(
+            sliding_entries(40) + sliding_entries(40, user="bot2")
+        )
+        grid = coverage_grid(
+            registry,
+            instances,
+            frequency_shares=(0.5, 0.01),
+            popularities=(1, 2),
+        )
+        assert len(grid) == 2 and len(grid[0]) == 2
+        # Lower frequency threshold can only widen coverage...
+        for row in grid:
+            assert row[1] >= row[0]
+        # ...and a higher popularity cap can only widen it too.
+        assert grid[1][1] >= grid[0][1]

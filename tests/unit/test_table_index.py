@@ -1,0 +1,121 @@
+"""Unit tests for table hash indexes and the indexed access path."""
+
+import pytest
+
+from repro.engine import Column, Database, TableSchema
+from repro.engine.table import Table, index_key
+
+
+@pytest.fixture()
+def table():
+    schema = TableSchema(
+        "t", (Column("id", "int", is_key=True), Column("name"), Column("v"))
+    )
+    return Table(
+        schema,
+        [
+            {"id": 1, "name": "Alpha", "v": 10},
+            {"id": 2, "name": "beta", "v": 20},
+            {"id": 2, "name": "Beta2", "v": 21},
+            {"id": None, "name": None, "v": 30},
+        ],
+    )
+
+
+class TestIndexKey:
+    def test_string_case_folded(self):
+        assert index_key("ABC") == index_key("abc")
+
+    def test_integral_float_unified(self):
+        assert index_key(5.0) == index_key(5)
+
+    def test_bool_not_confused_with_int(self):
+        assert index_key(True) is True
+
+
+class TestLookup:
+    def test_point_lookup(self, table):
+        rows = table.lookup("id", 1)
+        assert len(rows) == 1
+        assert rows[0]["name"] == "Alpha"
+
+    def test_duplicate_values_all_returned(self, table):
+        assert len(table.lookup("id", 2)) == 2
+
+    def test_case_insensitive_string_lookup(self, table):
+        assert len(table.lookup("name", "ALPHA")) == 1
+
+    def test_float_int_equivalence(self, table):
+        assert len(table.lookup("id", 1.0)) == 1
+
+    def test_null_lookup_empty(self, table):
+        assert table.lookup("id", None) == []
+
+    def test_null_stored_values_not_indexed(self, table):
+        # the NULL-id row must not be reachable via any lookup value
+        for value in (0, 1, 2, 30):
+            assert all(r["v"] != 30 for r in table.lookup("id", value))
+
+    def test_missing_value(self, table):
+        assert table.lookup("id", 999) == []
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.lookup("nope", 1)
+
+    def test_index_invalidated_by_insert(self, table):
+        assert table.lookup("id", 77) == []
+        table.insert({"id": 77, "name": "new", "v": 0})
+        assert len(table.lookup("id", 77)) == 1
+
+
+class TestIndexedAccessPath:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.create_table(
+            TableSchema("t", (Column("id", "int", is_key=True), Column("v"))),
+            [{"id": i, "v": i * 10} for i in range(100)],
+        )
+        return database
+
+    def test_equality_lookup_scans_one_row(self, db):
+        result = db.execute("SELECT v FROM t WHERE id = 7")
+        assert result.rows == [(70,)]
+        assert result.stats.rows_scanned == 1
+
+    def test_in_list_scans_only_matches(self, db):
+        result = db.execute("SELECT v FROM t WHERE id IN (3, 5, 5, 900)")
+        assert sorted(result.rows) == [(30,), (50,)]
+        assert result.stats.rows_scanned == 2
+
+    def test_extra_conjuncts_still_applied(self, db):
+        result = db.execute("SELECT v FROM t WHERE id = 7 AND v > 1000")
+        assert result.rows == []
+        assert result.stats.rows_scanned == 1
+
+    def test_alias_qualified_column(self, db):
+        result = db.execute("SELECT x.v FROM t x WHERE x.id = 7")
+        assert result.rows == [(70,)]
+        assert result.stats.rows_scanned == 1
+
+    def test_range_predicates_still_scan(self, db):
+        result = db.execute("SELECT v FROM t WHERE id > 95")
+        assert len(result.rows) == 4
+        assert result.stats.rows_scanned == 100
+
+    def test_or_disables_index(self, db):
+        result = db.execute("SELECT v FROM t WHERE id = 1 OR id = 2")
+        assert len(result.rows) == 2
+        assert result.stats.rows_scanned == 100
+
+    def test_same_results_as_scan_path(self, db):
+        indexed = db.execute("SELECT v FROM t WHERE id = 42").rows
+        scanned = db.execute("SELECT v FROM t WHERE id + 0 = 42").rows
+        assert indexed == scanned
+
+    def test_unknown_table_still_errors(self, db):
+        from repro.engine import EngineError
+
+        with pytest.raises(EngineError):
+            db.execute("SELECT v FROM missing WHERE id = 1")

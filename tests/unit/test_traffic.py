@@ -1,0 +1,98 @@
+"""Unit tests for the traffic-report statistics."""
+
+import pytest
+
+from repro.analysis.traffic import traffic_report
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import parse_log
+
+DAY = 86_400.0
+
+
+def make_log():
+    records = []
+    seq = 0
+    # user "heavy" issues 10 queries on day 1, one session
+    for i in range(10):
+        records.append(
+            LogRecord(
+                seq=seq,
+                sql=f"SELECT a FROM t WHERE x = {i}",
+                timestamp=i * 10.0,
+                user="heavy",
+                session="s1",
+            )
+        )
+        seq += 1
+    # user "light" issues 2 queries on day 2, one session
+    for i in range(2):
+        records.append(
+            LogRecord(
+                seq=seq,
+                sql="SELECT b FROM u WHERE y > 0",
+                timestamp=DAY + i * 5.0,
+                user="light",
+                session="s2",
+            )
+        )
+        seq += 1
+    return QueryLog(records)
+
+
+class TestTrafficReport:
+    def test_totals(self):
+        report = traffic_report(make_log())
+        assert report.total_queries == 12
+        assert report.distinct_users == 2
+
+    def test_daily_volumes(self):
+        report = traffic_report(make_log())
+        assert len(report.days) == 2
+        volumes = dict(report.days)
+        assert sorted(volumes.values()) == [2, 10]
+
+    def test_busiest_day(self):
+        report = traffic_report(make_log())
+        assert report.busiest_day[1] == 10
+
+    def test_top_users_ranked(self):
+        report = traffic_report(make_log())
+        assert report.top_users[0] == ("heavy", 10)
+        assert report.top_user_share(1) == pytest.approx(10 / 12)
+
+    def test_session_stats(self):
+        report = traffic_report(make_log())
+        assert report.sessions.count == 2
+        assert report.sessions.max_queries == 10
+        assert report.sessions.median_queries == 6.0
+        assert report.sessions.median_duration == pytest.approx((90 + 5) / 2)
+
+    def test_table_census_with_parsed(self):
+        log = make_log()
+        parsed = parse_log(log).queries
+        report = traffic_report(log, parsed)
+        tables = dict(report.top_tables)
+        assert tables == {"t": 10, "u": 2}
+
+    def test_without_parsed_no_tables(self):
+        report = traffic_report(make_log())
+        assert report.top_tables == []
+
+    def test_empty_log(self):
+        report = traffic_report(QueryLog())
+        assert report.total_queries == 0
+        assert report.busiest_day is None
+        assert report.top_user_share() == 0.0
+        assert report.sessions.count == 0
+
+    def test_top_limit(self):
+        report = traffic_report(make_log(), top=1)
+        assert len(report.top_users) == 1
+
+    def test_on_synthetic_workload(self, small_workload):
+        report = traffic_report(small_workload.log)
+        assert report.total_queries == len(small_workload.log)
+        assert report.distinct_users == small_workload.log.distinct_users()
+        assert report.sessions.count > 10
+        # heavy-tail shape: the top-10 users dominate (bots)
+        assert report.top_user_share(10) > 0.5

@@ -1,0 +1,98 @@
+"""Unit tests for engine-backed rewrite validation."""
+
+import pytest
+
+from repro.antipatterns import DetectionContext, run_detectors
+from repro.log import LogRecord, QueryLog
+from repro.patterns import build_blocks
+from repro.pipeline import parse_log
+from repro.rewrite import solve
+from repro.rewrite.validation import validate_all, validate_solved
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+def solved_for(statements, user="u"):
+    log = QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=float(i) * 0.1, user=user)
+        for i, sql in enumerate(statements)
+    )
+    stage = parse_log(log)
+    instances = run_detectors(
+        build_blocks(stage.queries), DetectionContext(key_columns=KEYS)
+    )
+    return solve(stage.parsed_log, instances).solved
+
+
+class TestDwValidation:
+    def test_dw_rewrite_is_equivalent(self, employees_database):
+        solved = solved_for(
+            [
+                "SELECT name FROM Employees WHERE empId = 12",
+                "SELECT name FROM Employees WHERE empId = 15",
+                "SELECT name FROM Employees WHERE empId = 16",
+            ]
+        )
+        assert len(solved) == 1
+        report = validate_solved(employees_database, solved[0])
+        assert report.comparable
+        assert report.equivalent
+        assert report.per_query_coverage == [1.0, 1.0, 1.0]
+
+    def test_dw_with_missing_key_still_equivalent(self, employees_database):
+        """A lookup of a nonexistent key returns no rows in both forms."""
+        solved = solved_for(
+            [
+                "SELECT name FROM Employees WHERE empId = 12",
+                "SELECT name FROM Employees WHERE empId = 999",
+            ]
+        )
+        report = validate_solved(employees_database, solved[0])
+        assert report.equivalent
+
+
+class TestDsValidation:
+    def test_ds_rewrite_is_equivalent(self, employees_database):
+        solved = solved_for(
+            [
+                "SELECT name, surname FROM Employees WHERE empId = 12",
+                "SELECT birthday, phone FROM Employees WHERE empId = 12",
+            ]
+        )
+        assert solved[0].instance.label == "DS-Stifle"
+        report = validate_solved(employees_database, solved[0])
+        assert report.comparable
+        assert report.equivalent
+
+
+class TestSncValidation:
+    def test_snc_originals_provably_empty(self, employees_database):
+        solved = solved_for(["SELECT name FROM Employees WHERE phone = NULL"])
+        report = validate_solved(employees_database, solved[0])
+        assert report.comparable
+        assert report.equivalent  # original returned 0 rows, as SQL demands
+
+    def test_validate_all_returns_one_report_each(self, employees_database):
+        solved = solved_for(
+            [
+                "SELECT name FROM Employees WHERE empId = 12",
+                "SELECT name FROM Employees WHERE empId = 15",
+                "SELECT name FROM Employees WHERE phone = NULL",
+            ]
+        )
+        reports = validate_all(employees_database, solved)
+        assert len(reports) == len(solved)
+        assert all(report.equivalent for report in reports)
+
+
+class TestFailureModes:
+    def test_execution_failure_is_not_comparable(self, employees_database):
+        solved = solved_for(
+            [
+                "SELECT nosuchcol FROM Employees WHERE empId = 12",
+                "SELECT nosuchcol FROM Employees WHERE empId = 15",
+            ]
+        )
+        report = validate_solved(employees_database, solved[0])
+        assert not report.comparable
+        assert "execution failed" in report.reason

@@ -1,0 +1,176 @@
+"""Unit tests for the synthetic workload: schema, profiles, generator."""
+
+import random
+
+import pytest
+
+from repro.pipeline import parse_log
+from repro.workload import (
+    WorkloadConfig,
+    build_database,
+    default_profiles,
+    generate,
+    skyserver_catalog,
+)
+from repro.workload.groundtruth import GroundTruth, score_detection
+from repro.workload.profiles import SkyContext
+
+
+class TestSchema:
+    def test_catalog_contains_core_tables(self):
+        catalog = skyserver_catalog()
+        for name in ("photoprimary", "photoobjall", "specobjall", "dbobjects"):
+            assert name in catalog
+
+    def test_key_columns_include_objid(self):
+        keys = skyserver_catalog().key_column_names()
+        assert {"objid", "htmid", "specobjid", "bestobjid", "name"} <= keys
+
+    def test_build_database_is_deterministic(self):
+        db1 = build_database(object_count=50, seed=7)
+        db2 = build_database(object_count=50, seed=7)
+        assert db1.table("photoprimary").rows() == db2.table("photoprimary").rows()
+
+    def test_photoprimary_is_subset_of_photoobjall(self):
+        db = build_database(object_count=100, seed=3)
+        all_ids = {row["objid"] for row in db.table("photoobjall").rows()}
+        primary_ids = {row["objid"] for row in db.table("photoprimary").rows()}
+        assert primary_ids <= all_ids
+
+    def test_spec_links_back_to_photo(self):
+        db = build_database(object_count=100, seed=3)
+        all_ids = {row["objid"] for row in db.table("photoobjall").rows()}
+        for row in db.table("specobjall").rows():
+            assert row["bestobjid"] in all_ids
+
+    def test_positions_in_range(self):
+        db = build_database(object_count=200, seed=5)
+        for row in db.table("photoobjall").rows():
+            assert 0.0 <= row["ra"] < 360.0
+            assert -90.0 <= row["dec"] <= 90.0
+
+    def test_spatial_functions_registered(self):
+        db = build_database(object_count=30, seed=1)
+        result = db.execute("SELECT count(*) FROM fGetObjFromRect(0, -90, 360, 90)")
+        assert result.rows[0][0] == len(db.table("photoprimary"))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_database(object_count=-1)
+
+
+class TestProfiles:
+    def test_every_profile_emits_parseable_or_intended_noise(self):
+        rng = random.Random(1)
+        ctx = SkyContext.synthetic()
+        counter = [0]
+
+        def next_group():
+            counter[0] += 1
+            return counter[0]
+
+        from repro.sqlparser import SqlError, parse
+
+        for profile in default_profiles():
+            events = profile.burst(rng, ctx, next_group)
+            assert events, profile.name
+            for event in events:
+                if event.truth in ("non-select", "syntax-error"):
+                    with pytest.raises(SqlError):
+                        parse(event.sql)
+                else:
+                    parse(event.sql)  # must not raise
+
+    def test_gaps_are_nonnegative(self):
+        rng = random.Random(2)
+        ctx = SkyContext.synthetic()
+        for profile in default_profiles():
+            for event in profile.burst(rng, ctx, lambda: 1):
+                assert event.gap >= 0.0
+
+    def test_cth_profiles_tag_reality(self):
+        rng = random.Random(3)
+        ctx = SkyContext.synthetic()
+        from repro.workload.profiles import CthFalseApp, CthRealApp
+
+        real_events = CthRealApp().burst(rng, ctx, lambda: 1)
+        assert all(e.cth_real is True for e in real_events)
+        false_events = CthFalseApp().burst(rng, ctx, lambda: 2)
+        assert all(e.cth_real is False for e in false_events)
+
+    def test_sws_crawler_slides_disjoint_windows(self):
+        rng = random.Random(4)
+        ctx = SkyContext.synthetic()
+        from repro.workload.profiles import SwsCrawler
+
+        events = SwsCrawler().burst(rng, ctx, lambda: 1)
+        constants = [e.sql.split(">= ")[1].split(" AND")[0] for e in events]
+        assert len(set(constants)) == len(constants)
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        a = generate(WorkloadConfig(seed=11, scale=0.05))
+        b = generate(WorkloadConfig(seed=11, scale=0.05))
+        assert a.log == b.log
+
+    def test_different_seeds_differ(self):
+        a = generate(WorkloadConfig(seed=11, scale=0.05))
+        b = generate(WorkloadConfig(seed=12, scale=0.05))
+        assert a.log != b.log
+
+    def test_seqs_are_consecutive_and_time_ordered(self):
+        result = generate(WorkloadConfig(seed=1, scale=0.05))
+        seqs = [record.seq for record in result.log]
+        assert seqs == list(range(len(result.log)))
+        times = [record.timestamp for record in result.log]
+        assert times == sorted(times)
+
+    def test_scale_grows_log(self):
+        small = generate(WorkloadConfig(seed=1, scale=0.05))
+        large = generate(WorkloadConfig(seed=1, scale=0.2))
+        assert len(large.log) > len(small.log)
+
+    def test_metadata_present(self):
+        result = generate(WorkloadConfig(seed=1, scale=0.05))
+        record = result.log[0]
+        assert record.user and record.ip and record.session
+
+    def test_truth_references_valid_seqs(self, small_workload):
+        seqs = {record.seq for record in small_workload.log}
+        assert set(small_workload.truth.label_by_seq) <= seqs
+
+    def test_truth_counts_cover_major_labels(self, small_workload):
+        counts = small_workload.truth.count_by_label()
+        for label in ("DW-Stifle", "DS-Stifle", "CTH-candidate", "duplicate"):
+            assert counts.get(label, 0) > 0, label
+
+    def test_generated_log_mostly_parses(self, small_workload):
+        stage = parse_log(small_workload.log)
+        planted_bad = len(
+            small_workload.truth.seqs_with_label("syntax-error")
+        ) + len(small_workload.truth.seqs_with_label("non-select"))
+        assert len(stage.syntax_errors) + len(stage.non_select) == planted_bad
+
+    def test_executable_against_database(self, sky_database, executable_workload):
+        """Constants drawn from the database make every SELECT runnable."""
+        stage = parse_log(executable_workload.log)
+        for query in stage.queries[:200]:
+            sky_database.execute(query.statement)
+
+
+class TestGroundTruthHelpers:
+    def test_score_detection_perfect(self):
+        assert score_detection({1, 2}, {1, 2}) == (1.0, 1.0)
+
+    def test_score_detection_partial(self):
+        precision, recall = score_detection({1, 2, 3, 4}, {1, 2})
+        assert precision == 0.5 and recall == 1.0
+
+    def test_score_detection_empty_detected(self):
+        assert score_detection(set(), {1}) == (0.0, 0.0)
+        assert score_detection(set(), set()) == (1.0, 1.0)
+
+    def test_cth_reality_map(self, small_workload):
+        reality = small_workload.truth.cth_reality()
+        assert set(reality.values()) == {True, False}
