@@ -1,0 +1,130 @@
+"""E21 — parallel scaling: the sharded executor at 1/2/4 workers.
+
+Cleans a ~100k-statement synthetic log (the default
+``REPRO_PARALLEL_BENCH_SCALE`` is calibrated for that size) with the
+batch pipeline and with :class:`~repro.pipeline.parallel.ParallelCleaner`
+at increasing worker counts, asserts that every configuration produces
+the *identical* clean log, and writes throughput plus per-stage
+wall-clock timings to ``BENCH_parallel.json`` next to this file, so
+future PRs have a perf trajectory to compare against.
+
+Speedup is only asserted when the machine actually has the cores
+(``len(os.sched_getaffinity(0)) >= 4``): the merged report records the
+visible CPU count, so a 1-core CI run still produces an honest artifact
+without failing on physics.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.pipeline import CleaningPipeline, ExecutionConfig, ParallelCleaner
+from repro.workload import WorkloadConfig, generate
+
+#: ~17.2k queries per unit of scale with the default mixture.
+BENCH_SCALE = float(os.environ.get("REPRO_PARALLEL_BENCH_SCALE", "5.8"))
+BENCH_SEED = int(os.environ.get("REPRO_PARALLEL_BENCH_SEED", "2018"))
+WORKER_COUNTS = tuple(
+    int(w)
+    for w in os.environ.get("REPRO_PARALLEL_BENCH_WORKERS", "1,2,4").split(",")
+)
+OUTPUT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+
+
+def _visible_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_scaling(benchmark, bench_config):
+    workload = generate(WorkloadConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+    log = workload.log
+
+    def run_all():
+        report = {
+            "queries": len(log),
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "visible_cpus": _visible_cpus(),
+            "runs": [],
+        }
+
+        started = time.perf_counter()
+        batch = CleaningPipeline(bench_config).run(log)
+        batch_seconds = time.perf_counter() - started
+        report["runs"].append(
+            {
+                "mode": "batch",
+                "workers": 1,
+                "seconds": batch_seconds,
+                "throughput": len(log) / batch_seconds,
+                "identical_to_batch": True,
+            }
+        )
+
+        for workers in WORKER_COUNTS:
+            config = replace(
+                bench_config,
+                sws=None,  # global-only stage; parallel mode skips it anyway
+                execution=ExecutionConfig(mode="parallel", workers=workers),
+            )
+            cleaner = ParallelCleaner(config)
+            cleaned = cleaner.run(log)
+            stats = cleaner.stats
+            report["runs"].append(
+                {
+                    "mode": "parallel",
+                    "workers": workers,
+                    "shards": stats.shard_count,
+                    "seconds": stats.wall_seconds,
+                    "throughput": stats.throughput,
+                    "records_out": stats.records_out,
+                    "stage_seconds": stats.timings.as_dict(),
+                    "identical_to_batch": cleaned.records()
+                    == batch.clean_log.records(),
+                }
+            )
+        return report
+
+    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print_table(
+        f"Parallel scaling — {report['queries']:,} queries, "
+        f"{report['visible_cpus']} visible CPU(s)",
+        ["mode", "workers", "shards", "seconds", "records/s", "identical"],
+        [
+            (
+                run["mode"],
+                run["workers"],
+                run.get("shards", "-"),
+                f"{run['seconds']:.2f}",
+                f"{run['throughput']:,.0f}",
+                "yes" if run["identical_to_batch"] else "NO",
+            )
+            for run in report["runs"]
+        ],
+    )
+
+    assert all(run["identical_to_batch"] for run in report["runs"])
+    parallel_runs = {
+        run["workers"]: run for run in report["runs"] if run["mode"] == "parallel"
+    }
+    assert all(run["throughput"] > 0 for run in parallel_runs.values())
+    # ≥2× throughput at 4 workers over 1 worker — asserted only where the
+    # hardware can deliver it; the JSON records the ratio either way.
+    if (
+        report["visible_cpus"] >= 4
+        and 1 in parallel_runs
+        and 4 in parallel_runs
+    ):
+        speedup = (
+            parallel_runs[4]["throughput"] / parallel_runs[1]["throughput"]
+        )
+        assert speedup >= 2.0, f"4-worker speedup only {speedup:.2f}x"

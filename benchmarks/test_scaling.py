@@ -14,7 +14,7 @@ import time
 
 from conftest import print_table
 
-from repro.pipeline import CleaningPipeline, clean_log_streaming
+from repro.pipeline import CleaningPipeline, StreamingCleaner
 from repro.workload import WorkloadConfig, generate
 
 SCALES = (0.1, 0.2, 0.4)
@@ -29,7 +29,9 @@ def test_scaling(benchmark, bench_config):
             batch = CleaningPipeline(bench_config).run(workload.log)
             batch_seconds = time.perf_counter() - started
             started = time.perf_counter()
-            streamed, stats = clean_log_streaming(workload.log, bench_config)
+            cleaner = StreamingCleaner(bench_config)
+            streamed = cleaner.run(workload.log)
+            stats = cleaner.stats
             stream_seconds = time.perf_counter() - started
             rows.append(
                 {

@@ -16,28 +16,39 @@ The package implements the paper's full stack:
 
 Quick start::
 
-    from repro import CleaningPipeline, PipelineConfig, QueryLog
+    import repro
 
-    log = QueryLog.from_statements([
+    log = repro.QueryLog.from_statements([
         "SELECT name FROM Employee WHERE empId = 8",
         "SELECT name FROM Employee WHERE empId = 1",
     ])
-    result = CleaningPipeline().run(log)
+    result = repro.clean(log)                        # batch, full artifacts
     print(result.clean_log.statements())
+
+    result = repro.clean(log, execution="parallel")  # hash-sharded, all cores
 """
 
 from .log.models import LogRecord, QueryLog
-from .pipeline.config import PipelineConfig
+from .pipeline.api import clean
+from .pipeline.config import ExecutionConfig, PipelineConfig
 from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
+from .pipeline.parallel import ParallelCleaner, ParallelStats
+from .pipeline.streaming import StreamingCleaner, StreamingStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LogRecord",
     "QueryLog",
+    "clean",
+    "ExecutionConfig",
     "PipelineConfig",
     "CleaningPipeline",
     "PipelineResult",
+    "ParallelCleaner",
+    "ParallelStats",
+    "StreamingCleaner",
+    "StreamingStats",
     "clean_log",
     "__version__",
 ]

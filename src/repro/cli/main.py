@@ -64,15 +64,28 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
+    from ..pipeline.api import clean
+    from ..pipeline.config import ExecutionConfig
+
     log = _read_log(args.input)
     config = _default_config(args.dedup_threshold, args.skyserver_schema, args.sws)
-    if args.streaming:
-        from ..pipeline.streaming import clean_log_streaming
-
-        clean, stats = clean_log_streaming(log, config)
-        if args.output:
-            _write_log(clean, args.output)
-            print(f"wrote clean log ({len(clean):,} queries) to {args.output}")
+    if args.streaming and args.parallel:
+        print("choose one of --streaming / --parallel", file=sys.stderr)
+        return 2
+    mode = "streaming" if args.streaming else "parallel" if args.parallel else "batch"
+    try:
+        execution = ExecutionConfig(mode=mode, workers=args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = clean(log, config, execution=execution)
+    if args.output:
+        _write_log(result.clean_log, args.output)
+        print(
+            f"wrote clean log ({len(result.clean_log):,} queries) to {args.output}"
+        )
+    if mode == "streaming":
+        stats = result.streaming_stats
         print(
             f"streamed {stats.records_in:,} records -> {stats.records_out:,} "
             f"(dup {stats.duplicates_removed:,}, syntax {stats.syntax_errors:,}, "
@@ -80,10 +93,20 @@ def cmd_clean(args: argparse.Namespace) -> int:
             f"peak open queries {stats.max_open_queries:,})"
         )
         return 0
-    result = CleaningPipeline(config).run(log)
-    if args.output:
-        _write_log(result.clean_log, args.output)
-        print(f"wrote clean log ({len(result.clean_log):,} queries) to {args.output}")
+    if mode == "parallel":
+        pstats = result.parallel_stats
+        timings = " ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in pstats.timings.as_dict().items()
+        )
+        print(
+            f"parallel-cleaned {pstats.records_in:,} records -> "
+            f"{pstats.records_out:,} with {pstats.workers} workers over "
+            f"{pstats.shard_count} shards in {pstats.wall_seconds:.2f}s "
+            f"({pstats.throughput:,.0f} records/s; stage seconds summed "
+            f"across workers: {timings})"
+        )
+        return 0
     print(result.overview().format())
     return 0
 
@@ -226,6 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the bounded-memory streaming cleaner (no pattern "
         "registry / SWS / overview statistics)",
+    )
+    clean.add_argument(
+        "--parallel",
+        action="store_true",
+        help="hash-shard the log by user and clean on several CPU cores "
+        "(no pattern registry / SWS / overview statistics)",
+    )
+    clean.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for --parallel (0 = one per CPU)",
     )
     clean.set_defaults(func=cmd_clean)
 

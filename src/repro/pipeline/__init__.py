@@ -1,29 +1,77 @@
-"""The cleaning pipeline (Fig. 1): configuration, framework, statistics."""
+"""The cleaning pipeline (Fig. 1): configuration, framework, statistics.
 
-from .config import PipelineConfig
+:func:`clean` is the one entry point; batch / streaming / parallel are
+execution modes of the same pipeline, selected by
+:class:`ExecutionConfig`.
+"""
+
+from .api import clean
+from .config import EXECUTION_MODES, ExecutionConfig, PipelineConfig
 from .framework import (
+    BlockCleanResult,
     CleaningPipeline,
     ParseStageResult,
     PipelineResult,
+    clean_block,
     clean_log,
+    dedup_stage,
+    detect_stage,
+    mine_stage,
     parse_log,
+    parse_stage,
+    registry_stage,
+    solve_stage,
+)
+from .parallel import (
+    ParallelCleaner,
+    ParallelStats,
+    ShardReport,
+    StageTimings,
+    clean_log_parallel,
+    shard_index,
+    shard_records,
 )
 from .report import export_report
 from .statistics import AntipatternCensus, Overview, census_by_label
 from .streaming import StreamingCleaner, StreamingStats, clean_log_streaming
 
 __all__ = [
-    "export_report",
-    "StreamingCleaner",
-    "StreamingStats",
-    "clean_log_streaming",
+    # unified API
+    "clean",
+    "EXECUTION_MODES",
+    "ExecutionConfig",
+    # batch framework
     "PipelineConfig",
     "CleaningPipeline",
     "ParseStageResult",
     "PipelineResult",
-    "clean_log",
     "parse_log",
+    # stage functions (shared by all execution paths)
+    "dedup_stage",
+    "parse_stage",
+    "mine_stage",
+    "detect_stage",
+    "registry_stage",
+    "solve_stage",
+    "clean_block",
+    "BlockCleanResult",
+    # streaming
+    "StreamingCleaner",
+    "StreamingStats",
+    # parallel
+    "ParallelCleaner",
+    "ParallelStats",
+    "ShardReport",
+    "StageTimings",
+    "clean_log_parallel",
+    "shard_index",
+    "shard_records",
+    # statistics / report
+    "export_report",
     "AntipatternCensus",
     "Overview",
     "census_by_label",
+    # deprecated one-call wrappers
+    "clean_log",
+    "clean_log_streaming",
 ]

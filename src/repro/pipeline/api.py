@@ -1,0 +1,95 @@
+"""The unified cleaning entry point: :func:`clean`.
+
+One function, three execution paths.  *What* to compute is the
+:class:`~repro.pipeline.config.PipelineConfig`; *how* to run it is its
+:class:`~repro.pipeline.config.ExecutionConfig` (or the ``execution``
+override).  Every path returns a
+:class:`~repro.pipeline.framework.PipelineResult`:
+
+==========  ==========================  =================================
+mode        fills                       leaves ``None``
+==========  ==========================  =================================
+batch       every artifact              —
+streaming   ``cleaned``,                dedup/parse/mining/registry/
+            ``streaming_stats``         antipatterns/solve/SWS artifacts
+parallel    ``cleaned``,                dedup/parse/mining/registry/
+            ``parallel_stats``          antipatterns/solve/SWS artifacts
+==========  ==========================  =================================
+
+The clean log itself is always ``result.clean_log``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+from ..log.models import QueryLog
+from .config import EXECUTION_MODES, ExecutionConfig, PipelineConfig
+from .framework import CleaningPipeline, PipelineResult
+
+
+def clean(
+    log: QueryLog,
+    config: Optional[PipelineConfig] = None,
+    *,
+    execution: Optional[Union[ExecutionConfig, str]] = None,
+) -> PipelineResult:
+    """Clean ``log`` and return the run's :class:`PipelineResult`.
+
+    :param log: the query log to clean.
+    :param config: pipeline parameters; defaults to
+        :class:`PipelineConfig()`.
+    :param execution: overrides ``config.execution`` for this call.  An
+        :class:`ExecutionConfig`, or just a mode string (``"batch"``,
+        ``"streaming"``, ``"parallel"``) to switch modes with default
+        knobs.
+
+    Example::
+
+        import repro
+
+        result = repro.clean(log)                          # batch
+        result = repro.clean(log, execution="parallel")    # all cores
+        result = repro.clean(
+            log,
+            execution=repro.ExecutionConfig(mode="parallel", workers=4),
+        )
+        clean_log = result.clean_log
+    """
+    effective = config or PipelineConfig()
+    if execution is not None:
+        if isinstance(execution, str):
+            execution = ExecutionConfig(mode=execution)
+        effective = replace(effective, execution=execution)
+
+    mode = effective.execution.mode
+    if mode == "batch":
+        return CleaningPipeline(effective).run(log)
+    if mode == "streaming":
+        from .streaming import StreamingCleaner
+
+        cleaner = StreamingCleaner(effective)
+        cleaned = cleaner.run(log)
+        return PipelineResult(
+            config=effective,
+            original=log,
+            cleaned=cleaned,
+            streaming_stats=cleaner.stats,
+            execution_mode="streaming",
+        )
+    if mode == "parallel":
+        from .parallel import ParallelCleaner
+
+        parallel_cleaner = ParallelCleaner(effective)
+        cleaned = parallel_cleaner.run(log)
+        return PipelineResult(
+            config=effective,
+            original=log,
+            cleaned=cleaned,
+            parallel_stats=parallel_cleaner.stats,
+            execution_mode="parallel",
+        )
+    raise ValueError(  # pragma: no cover - ExecutionConfig validates mode
+        f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+    )

@@ -1,14 +1,70 @@
 """Configuration of the cleaning pipeline (the framework's parameters,
-Section 5: duplicate threshold, pattern-mining knobs, detector set)."""
+Section 5: duplicate threshold, pattern-mining knobs, detector set) and
+of its execution (batch / streaming / parallel)."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..antipatterns.base import DetectionContext, Detector
 from ..patterns.miner import MinerConfig
 from ..patterns.sws import SwsConfig
+
+#: Execution modes understood by :func:`repro.clean`.
+EXECUTION_MODES = ("batch", "streaming", "parallel")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """*How* the pipeline runs — orthogonal to *what* it computes.
+
+    Every execution knob lives here, so the same :class:`PipelineConfig`
+    can be handed to any execution path unchanged.
+
+    :param mode: ``"batch"`` (whole log in memory, full
+        :class:`~repro.pipeline.framework.PipelineResult` artifacts),
+        ``"streaming"`` (bounded memory, one pass, statistics only) or
+        ``"parallel"`` (hash-sharded by user across worker processes).
+    :param workers: worker-process count for parallel mode; ``0`` means
+        one per available CPU.
+    :param max_block_queries: force-close bound per open block in
+        streaming mode — the memory ceiling is roughly ``open users ×
+        max_block_queries``.  Ignored by batch and parallel modes (they
+        hold whole blocks by construction).
+    :param chunk_size: target number of records per worker task in
+        parallel mode.  Smaller chunks balance skewed users better but
+        cost more inter-process traffic; a chunk never splits a user.
+    """
+
+    mode: str = "batch"
+    workers: int = 0
+    max_block_queries: int = 10_000
+    chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"mode must be one of {EXECUTION_MODES}, got {self.mode!r}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.max_block_queries < 2:
+            raise ValueError(
+                f"max_block_queries must be >= 2, got {self.max_block_queries}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``workers`` or the CPU count)."""
+        if self.workers:
+            return self.workers
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
 
 
 @dataclass
@@ -25,6 +81,9 @@ class PipelineConfig:
     :param fold_variables: skeletonize ``@variables`` too.
     :param strict_triple: use the paper-verbatim template identity
         (SFC, SWC, SSC only — no GROUP/ORDER/TOP component).
+    :param execution: execution-mode parameters (see
+        :class:`ExecutionConfig`); configuration of *what* to compute is
+        everything above, *how* to run it is this one object.
     """
 
     dedup_threshold: float = 1.0
@@ -34,3 +93,4 @@ class PipelineConfig:
     sws: Optional[SwsConfig] = None
     fold_variables: bool = False
     strict_triple: bool = False
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)

@@ -12,6 +12,12 @@ Stages (each producing an inspectable artifact, like the figure's boxes):
 5. **Optionally scan for SWS** (Section 6.5).
 6. **Solve antipatterns** (Section 5.5) → clean query log + statistics.
 
+Each stage is a module-level function so that every execution path —
+batch (:class:`CleaningPipeline`), streaming
+(:class:`~repro.pipeline.streaming.StreamingCleaner`) and parallel
+(:class:`~repro.pipeline.parallel.ParallelCleaner`) — composes the *same*
+stage code and only differs in how it feeds records through them.
+
 :func:`CleaningPipeline.run` executes all of it; the intermediate results
 live on the returned :class:`PipelineResult`.
 """
@@ -19,8 +25,9 @@ live on the returned :class:`PipelineResult`.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..antipatterns.base import run_detectors
 from ..antipatterns.cth import CthCensusRow, cth_census
@@ -28,13 +35,17 @@ from ..antipatterns.types import CTH_CANDIDATE, AntipatternInstance
 from ..log.dedup import DedupResult, delete_duplicates
 from ..log.models import LogRecord, QueryLog
 from ..patterns.miner import MiningResult, mine
-from ..patterns.models import ParsedQuery
+from ..patterns.models import Block, ParsedQuery
 from ..patterns.registry import PatternRegistry
 from ..patterns.sws import SwsReport, detect_sws
 from ..rewrite.solver import SolveResult, remove, solve
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
 from .statistics import Overview, census_by_label
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from .parallel import ParallelStats
+    from .streaming import StreamingStats
 
 
 @dataclass
@@ -51,8 +62,17 @@ class ParseStageResult:
         return QueryLog(query.record for query in self.queries)
 
 
+# ----------------------------------------------------------------------
+# Stage functions — the shared kernel of all execution paths
+
+
+def dedup_stage(log: QueryLog, config: PipelineConfig) -> DedupResult:
+    """Stage 1: delete duplicates (Section 5.2)."""
+    return delete_duplicates(log, config.dedup_threshold)
+
+
 def parse_log(
-    log: QueryLog,
+    log: Iterable[LogRecord],
     *,
     fold_variables: bool = False,
     strict_triple: bool = False,
@@ -100,59 +120,164 @@ def parse_log(
     return result
 
 
+def parse_stage(log: Iterable[LogRecord], config: PipelineConfig) -> ParseStageResult:
+    """Stage 2: :func:`parse_log` with the config's parsing knobs."""
+    return parse_log(
+        log,
+        fold_variables=config.fold_variables,
+        strict_triple=config.strict_triple,
+    )
+
+
+def mine_stage(
+    queries: Sequence[ParsedQuery], config: PipelineConfig
+) -> MiningResult:
+    """Stage 3: blocking + periodic segmentation (Section 4.1)."""
+    return mine(queries, config.miner)
+
+
+def detect_stage(
+    blocks: Sequence[Block], config: PipelineConfig
+) -> List[AntipatternInstance]:
+    """Stage 4: run the configured detector set over ``blocks``."""
+    return run_detectors(blocks, config.detection, config.detectors)
+
+
+def registry_stage(
+    mining: MiningResult,
+    antipatterns: Sequence[AntipatternInstance],
+    config: PipelineConfig,
+) -> Tuple[PatternRegistry, Optional[SwsReport]]:
+    """Build the global pattern registry, mark antipatterns, scan SWS.
+
+    This is the only stage that needs the *whole* log's mining output —
+    frequency, userPopularity and SWS are global statistics — which is
+    why the streaming and parallel paths skip it (their reports say so).
+    """
+    registry = PatternRegistry.from_instances(mining.instances)
+    for instance in antipatterns:
+        registry.mark_antipattern(instance.unit, instance.label)
+    sws_report = None
+    if config.sws is not None:
+        sws_report = detect_sws(registry, mining.instances, config.sws, mark=True)
+    return registry, sws_report
+
+
+def solve_stage(
+    parsed_log: QueryLog,
+    antipatterns: Sequence[AntipatternInstance],
+) -> SolveResult:
+    """Stage 6: rewrite solvable instances (Section 5.5)."""
+    return solve(parsed_log, antipatterns)
+
+
+@dataclass
+class BlockCleanResult:
+    """Outcome of cleaning one block in isolation."""
+
+    records: List[LogRecord]
+    instances_detected: int
+    instances_solved: int
+
+
+def clean_block(block: Block, config: PipelineConfig) -> BlockCleanResult:
+    """Detect + solve one block locally (detectors and solver only ever
+    look *within* a block — the invariant both the streaming and the
+    parallel cleaner are built on)."""
+    instances = detect_stage([block], config)
+    block_log = QueryLog(query.record for query in block.queries)
+    result = solve_stage(block_log, instances)
+    return BlockCleanResult(
+        records=result.log.records(),
+        instances_detected=len(instances),
+        instances_solved=len(result.solved),
+    )
+
+
 @dataclass
 class PipelineResult:
-    """Every artifact of one pipeline run (the boxes of Fig. 1)."""
+    """Every artifact of one pipeline run (the boxes of Fig. 1).
+
+    Batch runs fill every field.  Streaming and parallel runs trade the
+    global artifacts (mining output, registry, SWS) for bounded memory /
+    multi-core speed: they fill ``cleaned`` plus their stats object and
+    leave the per-stage artifacts ``None`` — accessing one raises a
+    :class:`ValueError` naming the mode that skipped it.
+    """
 
     config: PipelineConfig
     original: QueryLog
-    dedup: DedupResult
-    parse_stage: ParseStageResult
-    mining: MiningResult
-    registry: PatternRegistry
-    antipatterns: List[AntipatternInstance]
-    solve_result: SolveResult
+    dedup: Optional[DedupResult] = None
+    parse_stage: Optional[ParseStageResult] = None
+    mining: Optional[MiningResult] = None
+    registry: Optional[PatternRegistry] = None
+    antipatterns: Optional[List[AntipatternInstance]] = None
+    solve_result: Optional[SolveResult] = None
     sws_report: Optional[SwsReport] = None
+    #: the clean log of a streaming / parallel run (batch runs expose it
+    #: through ``solve_result``).
+    cleaned: Optional[QueryLog] = None
+    streaming_stats: Optional["StreamingStats"] = None
+    parallel_stats: Optional["ParallelStats"] = None
+    execution_mode: str = "batch"
+
+    def _artifact(self, value, name: str):
+        if value is None:
+            raise ValueError(
+                f"{name} is not available: this result came from a "
+                f"{self.execution_mode!r} run, which does not materialise "
+                f"the {name} artifact (use batch mode for full artifacts)"
+            )
+        return value
 
     # ------------------------------------------------------------------
     # Convenience accessors
 
     @property
     def clean_log(self) -> QueryLog:
-        return self.solve_result.log
+        if self.solve_result is not None:
+            return self.solve_result.log
+        return self._artifact(self.cleaned, "clean_log")
 
     @property
     def removal_log(self) -> QueryLog:
         """The *removal* variant: antipattern queries dropped, not
         rewritten (the third input of the Section 6.9 experiment)."""
-        return remove(self.parse_stage.parsed_log, self.antipatterns)
+        stage = self._artifact(self.parse_stage, "removal_log")
+        return remove(
+            stage.parsed_log, self._artifact(self.antipatterns, "removal_log")
+        )
 
     def cth_candidates(self) -> List[CthCensusRow]:
         """Ranked census of CTH candidate patterns (Fig. 2(d))."""
-        return cth_census(
-            [a for a in self.antipatterns if a.label == CTH_CANDIDATE]
-        )
+        instances = self._artifact(self.antipatterns, "cth_candidates")
+        return cth_census([a for a in instances if a.label == CTH_CANDIDATE])
 
     def overview(self) -> Overview:
         """Assemble the Table 5 statistics for this run."""
+        dedup = self._artifact(self.dedup, "overview")
+        parse_result = self._artifact(self.parse_stage, "overview")
+        registry = self._artifact(self.registry, "overview")
+        antipatterns = self._artifact(self.antipatterns, "overview")
+        solve_result = self._artifact(self.solve_result, "overview")
         stats = Overview(
             original_size=len(self.original),
             select_count=len(self.original)
-            - len(self.parse_stage.non_select)
-            - len(self.parse_stage.syntax_errors),
-            syntax_errors=len(self.parse_stage.syntax_errors),
-            non_select=len(self.parse_stage.non_select),
-            after_dedup=len(self.dedup.log),
-            duplicates_removed=self.dedup.removed,
+            - len(parse_result.non_select)
+            - len(parse_result.syntax_errors),
+            syntax_errors=len(parse_result.syntax_errors),
+            non_select=len(parse_result.non_select),
+            after_dedup=len(dedup.log),
+            duplicates_removed=dedup.removed,
             final_size=len(self.clean_log),
-            pattern_count=len(self.registry),
-            max_pattern_frequency=self.registry.max_frequency(),
-            antipatterns=census_by_label(self.antipatterns),
+            pattern_count=len(registry),
+            max_pattern_frequency=registry.max_frequency(),
+            antipatterns=census_by_label(antipatterns),
             cth_candidates_real=sum(
                 1 for row in self.cth_candidates() if row.oracle_real
             ),
-            solved_counts=self.solve_result.solved_counts(),
-            queries_removed_by_solving=self.solve_result.queries_removed,
+            solved_counts=solve_result.solved_counts(),
+            queries_removed_by_solving=solve_result.queries_removed,
         )
         return stats
 
@@ -167,41 +292,38 @@ class CleaningPipeline:
         """Execute all stages of Fig. 1 on ``log``."""
         config = self.config
 
-        dedup = delete_duplicates(log, config.dedup_threshold)
-        parse_stage = parse_log(
-            dedup.log,
-            fold_variables=config.fold_variables,
-            strict_triple=config.strict_triple,
-        )
-        mining = mine(parse_stage.queries, config.miner)
-        registry = PatternRegistry.from_instances(mining.instances)
+        dedup = dedup_stage(log, config)
+        parse_result = parse_stage(dedup.log, config)
+        mining = mine_stage(parse_result.queries, config)
+        antipatterns = detect_stage(mining.blocks, config)
+        registry, sws_report = registry_stage(mining, antipatterns, config)
+        solve_result = solve_stage(parse_result.parsed_log, antipatterns)
 
-        antipatterns = run_detectors(
-            mining.blocks, config.detection, config.detectors
-        )
-        for instance in antipatterns:
-            registry.mark_antipattern(instance.unit, instance.label)
-
-        sws_report = None
-        if config.sws is not None:
-            sws_report = detect_sws(
-                registry, mining.instances, config.sws, mark=True
-            )
-
-        solve_result = solve(parse_stage.parsed_log, antipatterns)
         return PipelineResult(
             config=config,
             original=log,
             dedup=dedup,
-            parse_stage=parse_stage,
+            parse_stage=parse_result,
             mining=mining,
             registry=registry,
             antipatterns=antipatterns,
             solve_result=solve_result,
             sws_report=sws_report,
+            execution_mode="batch",
         )
 
 
 def clean_log(log: QueryLog, config: Optional[PipelineConfig] = None) -> QueryLog:
-    """One-call convenience: run the pipeline, return the clean log."""
-    return CleaningPipeline(config).run(log).clean_log
+    """Deprecated one-call convenience — use :func:`repro.clean`.
+
+    .. deprecated:: 1.1
+        ``clean_log(log, config)`` is ``repro.clean(log, config).clean_log``.
+    """
+    warnings.warn(
+        "clean_log() is deprecated; use repro.clean(log, config).clean_log",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import clean
+
+    return clean(log, config).clean_log

@@ -1,0 +1,309 @@
+"""Parallel sharded cleaning executor.
+
+Dedup (keyed by user + statement), blocking, detection and solving are
+all confined to a single user's timeline — a query log is embarrassingly
+parallel *by user*.  The :class:`ParallelCleaner` exploits that:
+
+1. **Shard** — records are hash-sharded by ``user_key()`` (a stable
+   CRC-32, so shard assignment is identical across processes and runs)
+   into tasks of roughly ``execution.chunk_size`` records; a user's
+   whole timeline always lands in exactly one task.
+2. **Fan out** — each task goes to a ``multiprocessing`` worker that
+   runs the batch pipeline's own stage functions
+   (:func:`~repro.pipeline.framework.dedup_stage` →
+   :func:`~repro.pipeline.framework.parse_stage` →
+   :func:`~repro.pipeline.framework.mine_stage` →
+   :func:`~repro.pipeline.framework.detect_stage` →
+   :func:`~repro.pipeline.framework.solve_stage`) over its shard, with
+   its own per-distinct-statement parse cache, and times every stage.
+3. **Merge** — clean records from all shards are re-merged into global
+   (timestamp, seq) order; per-worker counters and stage timings are
+   folded into one :class:`ParallelStats` report.
+
+Because every stage a worker runs is user-local, the merged clean log is
+record-for-record identical to the batch pipeline's.  Global artifacts
+(pattern registry, SWS, Table-5 overview) need the whole log and are out
+of scope here, exactly as in the streaming path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..log.models import LogRecord, QueryLog
+from .config import PipelineConfig
+from .framework import (
+    dedup_stage,
+    detect_stage,
+    mine_stage,
+    parse_stage,
+    solve_stage,
+)
+from .streaming import StreamingStats
+
+#: Stage names in execution order (the keys of a timings report).
+STAGES = ("dedup", "parse", "mine", "detect", "solve", "merge")
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent per pipeline stage.
+
+    Worker-side timings fill the five processing stages; the parent
+    fills ``merge`` (global re-ordering of the emitted records).  Summed
+    across workers the numbers are *aggregate* compute seconds — on N
+    busy cores they exceed the run's wall time by up to a factor N.
+    """
+
+    dedup: float = 0.0
+    parse: float = 0.0
+    mine: float = 0.0
+    detect: float = 0.0
+    solve: float = 0.0
+    merge: float = 0.0
+
+    def add(self, other: "StageTimings") -> None:
+        self.dedup += other.dedup
+        self.parse += other.parse
+        self.mine += other.mine
+        self.detect += other.detect
+        self.solve += other.solve
+        self.merge += other.merge
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dedup + self.parse + self.mine
+            + self.detect + self.solve + self.merge
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in STAGES}
+
+
+@dataclass
+class ShardReport:
+    """One worker task's outcome (also the worker's return value)."""
+
+    shard: int
+    records_in: int
+    records_out: int
+    clean_records: List[LogRecord]
+    stats: StreamingStats
+    timings: StageTimings
+    wall_seconds: float
+
+
+@dataclass
+class ParallelStats:
+    """Merged report of one parallel run.
+
+    :param workers: worker processes used.
+    :param shard_count: tasks the log was sharded into (≥ workers when
+        the log is big enough; a task never splits a user).
+    :param stats: all shards' counters folded into one
+        :class:`~repro.pipeline.streaming.StreamingStats`.
+    :param timings: per-stage wall clock summed across shards, plus the
+        parent-side merge.
+    :param wall_seconds: end-to-end wall time of the run.
+    :param shards: the per-shard reports (clean records dropped).
+    """
+
+    workers: int
+    shard_count: int
+    stats: StreamingStats = field(default_factory=StreamingStats)
+    timings: StageTimings = field(default_factory=StageTimings)
+    wall_seconds: float = 0.0
+    shards: List[ShardReport] = field(default_factory=list)
+
+    @property
+    def records_in(self) -> int:
+        return self.stats.records_in
+
+    @property
+    def records_out(self) -> int:
+        return self.stats.records_out
+
+    @property
+    def throughput(self) -> float:
+        """Input records cleaned per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.records_in / self.wall_seconds
+
+
+def shard_index(user_key: str, shard_count: int) -> int:
+    """Stable shard assignment for one user key.
+
+    CRC-32 rather than :func:`hash`: Python's string hash is randomised
+    per process, and shard assignment must agree across workers, runs
+    and machines.
+    """
+    return zlib.crc32(user_key.encode("utf-8")) % shard_count
+
+
+def shard_records(
+    log: QueryLog, workers: int, chunk_size: int
+) -> List[List[LogRecord]]:
+    """Split ``log`` into per-task record lists, never splitting a user.
+
+    Records are first hashed into fine-grained buckets (several per
+    worker, so one heavy user cannot serialise the whole run), then the
+    buckets are packed in index order into tasks of at most
+    ``chunk_size`` records — except that a single bucket larger than the
+    chunk size stays one task, because a user's timeline is indivisible.
+    """
+    bucket_count = max(32, workers * 8)
+    buckets: Dict[int, List[LogRecord]] = {}
+    for record in log:
+        index = shard_index(record.user_key(), bucket_count)
+        buckets.setdefault(index, []).append(record)
+
+    shards: List[List[LogRecord]] = []
+    current: List[LogRecord] = []
+    for index in sorted(buckets):
+        records = buckets[index]
+        if current and len(current) + len(records) > chunk_size:
+            shards.append(current)
+            current = []
+        current.extend(records)
+    if current:
+        shards.append(current)
+    return shards
+
+
+def _clean_shard(
+    payload: Tuple[int, Sequence[LogRecord], PipelineConfig]
+) -> ShardReport:
+    """Worker body: run the batch stage functions over one shard.
+
+    Module-level (not a closure) so it pickles under every
+    ``multiprocessing`` start method; each worker process gets its own
+    parse cache by construction, because :func:`parse_stage` builds one
+    per call.
+    """
+    shard, records, config = payload
+    started = time.perf_counter()
+    shard_log = QueryLog(records)
+
+    clock = time.perf_counter()
+    dedup = dedup_stage(shard_log, config)
+    timings = StageTimings(dedup=time.perf_counter() - clock)
+
+    clock = time.perf_counter()
+    parsed = parse_stage(dedup.log, config)
+    timings.parse = time.perf_counter() - clock
+
+    clock = time.perf_counter()
+    mining = mine_stage(parsed.queries, config)
+    timings.mine = time.perf_counter() - clock
+
+    clock = time.perf_counter()
+    antipatterns = detect_stage(mining.blocks, config)
+    timings.detect = time.perf_counter() - clock
+
+    clock = time.perf_counter()
+    solve_result = solve_stage(parsed.parsed_log, antipatterns)
+    timings.solve = time.perf_counter() - clock
+
+    clean_records = solve_result.log.records()
+    stats = StreamingStats(
+        records_in=len(records),
+        records_out=len(clean_records),
+        duplicates_removed=dedup.removed,
+        syntax_errors=len(parsed.syntax_errors),
+        non_select=len(parsed.non_select),
+        blocks_closed=len(mining.blocks),
+        blocks_force_closed=0,  # workers hold whole blocks; no size bound
+        instances_detected=len(antipatterns),
+        instances_solved=len(solve_result.solved),
+        max_open_queries=len(parsed.queries),  # the shard is resident at once
+    )
+    return ShardReport(
+        shard=shard,
+        records_in=len(records),
+        records_out=len(clean_records),
+        clean_records=clean_records,
+        stats=stats,
+        timings=timings,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+class ParallelCleaner:
+    """Clean a query log on several CPU cores.
+
+    Same contract as :class:`~repro.pipeline.streaming.StreamingCleaner`:
+    the clean log matches the batch pipeline record for record, global
+    artifacts (registry / SWS / overview) are out of scope.  After
+    :meth:`run`, :attr:`stats` holds the :class:`ParallelStats` report.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        self.stats = ParallelStats(
+            workers=self.config.execution.resolved_workers(), shard_count=0
+        )
+
+    def run(self, log: QueryLog) -> QueryLog:
+        """Shard, fan out, clean, and re-merge into global time order."""
+        execution = self.config.execution
+        workers = execution.resolved_workers()
+        started = time.perf_counter()
+
+        shards = shard_records(log, workers, execution.chunk_size)
+        payloads = [
+            (index, records, self.config)
+            for index, records in enumerate(shards)
+        ]
+
+        if workers == 1 or len(payloads) <= 1:
+            # Nothing to fan out: run in-process, skip the fork+pickle tax.
+            reports = [_clean_shard(payload) for payload in payloads]
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=min(workers, len(payloads))) as pool:
+                reports = list(pool.imap_unordered(_clean_shard, payloads))
+
+        clock = time.perf_counter()
+        cleaned = QueryLog(
+            record for report in reports for record in report.clean_records
+        )
+        merge_seconds = time.perf_counter() - clock
+
+        stats = ParallelStats(workers=workers, shard_count=len(shards))
+        for report in sorted(reports, key=lambda r: r.shard):
+            stats.stats.merge(report.stats)
+            stats.timings.add(report.timings)
+            report.clean_records = []  # keep the report, drop the payload
+            stats.shards.append(report)
+        stats.timings.merge = merge_seconds
+        stats.wall_seconds = time.perf_counter() - started
+        self.stats = stats
+        return cleaned
+
+
+def clean_log_parallel(
+    log: QueryLog,
+    config: Optional[PipelineConfig] = None,
+    *,
+    workers: Optional[int] = None,
+) -> Tuple[QueryLog, ParallelStats]:
+    """One-call parallel clean: (clean log, parallel statistics).
+
+    ``workers`` overrides ``config.execution.workers`` when given.
+    """
+    from dataclasses import replace
+
+    effective = config or PipelineConfig()
+    if workers is not None:
+        effective = replace(
+            effective, execution=replace(effective.execution, workers=workers)
+        )
+    cleaner = ParallelCleaner(effective)
+    cleaned = cleaner.run(log)
+    return cleaned, cleaner.stats

@@ -9,10 +9,12 @@ processes records in time order with bounded state:
   pruned of entries older than the threshold;
 * **blocking** — per-user open blocks; a block closes when its user goes
   quiet for longer than the miner's ``block_gap`` (measured against the
-  stream clock), when it reaches ``max_block_queries``, or at end of
-  stream;
-* **detect + solve** — each closed block runs the detectors and the
-  solver locally and its clean records are emitted.
+  stream clock), when it reaches the execution config's
+  ``max_block_queries``, or at end of stream;
+* **detect + solve** — each closed block runs
+  :func:`~repro.pipeline.framework.clean_block` (the same detect→solve
+  stage code the batch pipeline composes) and its clean records are
+  emitted.
 
 The result is record-for-record identical to the batch pipeline's clean
 log whenever no block was force-closed by the size bound, because both
@@ -23,16 +25,16 @@ out of scope here by design — they are downstream consumers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..antipatterns.base import run_detectors
 from ..log.dedup import normalize_statement_text
 from ..log.models import LogRecord, QueryLog
 from ..patterns.models import Block, ParsedQuery
-from ..rewrite.solver import solve
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
+from .framework import clean_block
 
 
 @dataclass
@@ -50,25 +52,57 @@ class StreamingStats:
     instances_solved: int = 0
     max_open_queries: int = 0
 
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold another run's counters into this one (sharded runs).
+
+        ``max_open_queries`` adds up too: concurrent shards are resident
+        at the same time, so the sum is the honest peak estimate.
+        """
+        self.records_in += other.records_in
+        self.records_out += other.records_out
+        self.duplicates_removed += other.duplicates_removed
+        self.syntax_errors += other.syntax_errors
+        self.non_select += other.non_select
+        self.blocks_closed += other.blocks_closed
+        self.blocks_force_closed += other.blocks_force_closed
+        self.instances_detected += other.instances_detected
+        self.instances_solved += other.instances_solved
+        self.max_open_queries += other.max_open_queries
+
 
 class StreamingCleaner:
     """Process a record stream with bounded memory.
 
     :param config: the same configuration the batch pipeline takes;
-        ``config.sws`` is ignored (needs global state).
-    :param max_block_queries: force-close bound per open block — the
-        memory ceiling is roughly ``open users × max_block_queries``.
+        ``config.sws`` is ignored (needs global state).  The force-close
+        bound per open block comes from ``config.execution
+        .max_block_queries`` — the memory ceiling is roughly ``open
+        users × max_block_queries``.
+    :param max_block_queries: deprecated constructor override of the
+        config knob; kept for one release.
     """
 
     def __init__(
-        self, config: Optional[PipelineConfig] = None, max_block_queries: int = 10_000
+        self,
+        config: Optional[PipelineConfig] = None,
+        max_block_queries: Optional[int] = None,
     ) -> None:
-        if max_block_queries < 2:
-            raise ValueError(
-                f"max_block_queries must be >= 2, got {max_block_queries}"
-            )
         self.config = config or PipelineConfig()
-        self.max_block_queries = max_block_queries
+        if max_block_queries is not None:
+            warnings.warn(
+                "StreamingCleaner(max_block_queries=...) is deprecated; set "
+                "PipelineConfig.execution=ExecutionConfig(max_block_queries=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # Route through ExecutionConfig so its validation applies.
+            self.config = replace(
+                self.config,
+                execution=replace(
+                    self.config.execution, max_block_queries=max_block_queries
+                ),
+            )
+        self.max_block_queries = self.config.execution.max_block_queries
         self.stats = StreamingStats()
         self._open: Dict[str, List[ParsedQuery]] = {}
         self._last_seen: Dict[Tuple[str, str], float] = {}
@@ -115,21 +149,24 @@ class StreamingCleaner:
             return []
         self.stats.blocks_closed += 1
         block = Block(user=user, queries=tuple(queries))
-        instances = run_detectors(
-            [block], self.config.detection, self.config.detectors
-        )
-        self.stats.instances_detected += len(instances)
-        block_log = QueryLog(query.record for query in queries)
-        result = solve(block_log, instances)
-        self.stats.instances_solved += len(result.solved)
-        return result.log.records()
+        result = clean_block(block, self.config)
+        self.stats.instances_detected += result.instances_detected
+        self.stats.instances_solved += result.instances_solved
+        return result.records
 
     def _flush_idle(self, now: float) -> Iterator[LogRecord]:
         gap = self.config.miner.block_gap
         for user in list(self._open):
             queries = self._open[user]
             if queries and now - queries[-1].timestamp > gap:
-                yield from self._close_block(user)
+                yield from self._emit(self._close_block(user))
+
+    def _emit(self, records: List[LogRecord]) -> Iterator[LogRecord]:
+        # records_out is counted here, at the single emission point, so
+        # the stats are correct whether the caller drives process()
+        # directly or goes through run().
+        self.stats.records_out += len(records)
+        return iter(records)
 
     # ------------------------------------------------------------------
     # Driver
@@ -158,24 +195,42 @@ class StreamingCleaner:
             )
             if len(bucket) >= self.max_block_queries:
                 self.stats.blocks_force_closed += 1
-                yield from self._close_block(record.user_key())
+                yield from self._emit(self._close_block(record.user_key()))
 
         for user in list(self._open):
-            yield from self._close_block(user)
+            yield from self._emit(self._close_block(user))
 
     def run(self, log: QueryLog) -> QueryLog:
         """Convenience: stream a whole log, return the clean log."""
-        cleaned = QueryLog(self.process(log))
-        self.stats.records_out = len(cleaned)
-        return cleaned
+        return QueryLog(self.process(log))
 
 
 def clean_log_streaming(
     log: QueryLog,
     config: Optional[PipelineConfig] = None,
-    max_block_queries: int = 10_000,
+    max_block_queries: Optional[int] = None,
 ) -> Tuple[QueryLog, StreamingStats]:
-    """One-call streaming clean: (clean log, streaming statistics)."""
-    cleaner = StreamingCleaner(config, max_block_queries)
+    """Deprecated one-call streaming clean — use :func:`repro.clean`.
+
+    .. deprecated:: 1.1
+        ``repro.clean(log, config, execution="streaming")`` returns a
+        result whose ``clean_log`` / ``streaming_stats`` carry the same
+        two values.
+    """
+    warnings.warn(
+        "clean_log_streaming() is deprecated; use "
+        "repro.clean(log, config, execution='streaming')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    effective = config or PipelineConfig()
+    if max_block_queries is not None:
+        effective = replace(
+            effective,
+            execution=replace(
+                effective.execution, max_block_queries=max_block_queries
+            ),
+        )
+    cleaner = StreamingCleaner(effective)
     cleaned = cleaner.run(log)
     return cleaned, cleaner.stats

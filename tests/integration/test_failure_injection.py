@@ -12,7 +12,7 @@ import pytest
 
 from repro.antipatterns import DetectionContext
 from repro.log import LogRecord, QueryLog
-from repro.pipeline import CleaningPipeline, PipelineConfig, clean_log_streaming
+from repro.pipeline import CleaningPipeline, PipelineConfig, StreamingCleaner
 
 
 def run(records):
@@ -137,8 +137,9 @@ class TestDegenerateLogs:
             LogRecord(seq=0, sql="SELECT '", timestamp=0.0, user="u"),
             LogRecord(seq=1, sql="SELECT a FROM t WHERE id = 1", timestamp=1.0, user="u"),
         ]
-        cleaned, stats = clean_log_streaming(QueryLog(records))
-        assert stats.syntax_errors == 1
+        cleaner = StreamingCleaner()
+        cleaned = cleaner.run(QueryLog(records))
+        assert cleaner.stats.syntax_errors == 1
         assert len(cleaned) == 1
 
     def test_thousand_users_one_query_each(self):

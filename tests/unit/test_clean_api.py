@@ -1,0 +1,135 @@
+"""Unit tests for the unified ``repro.clean()`` entry point and the
+deprecation shims around the old one-call helpers."""
+
+import pytest
+
+import repro
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import ExecutionConfig, PipelineConfig
+from repro.pipeline.framework import clean_log
+from repro.pipeline.streaming import clean_log_streaming
+
+KEYS = frozenset({"empid", "id", "objid"})
+
+
+def stifle_log(n=4):
+    return QueryLog(
+        LogRecord(
+            seq=i,
+            sql=f"SELECT name FROM e WHERE id = {i}",
+            timestamp=i * 0.1,
+            user="u",
+        )
+        for i in range(n)
+    )
+
+
+def config(**kwargs):
+    return PipelineConfig(
+        detection=DetectionContext(key_columns=KEYS), **kwargs
+    )
+
+
+class TestCleanDispatch:
+    def test_default_is_batch_with_full_artifacts(self):
+        result = repro.clean(stifle_log(), config())
+        assert result.execution_mode == "batch"
+        assert len(result.clean_log) == 1
+        assert result.registry is not None
+        assert result.overview().original_size == 4
+
+    def test_streaming_mode(self):
+        result = repro.clean(stifle_log(), config(), execution="streaming")
+        assert result.execution_mode == "streaming"
+        assert len(result.clean_log) == 1
+        assert result.streaming_stats.records_in == 4
+        assert result.streaming_stats.records_out == 1
+        assert result.parallel_stats is None
+
+    def test_parallel_mode(self):
+        result = repro.clean(
+            stifle_log(),
+            config(),
+            execution=ExecutionConfig(mode="parallel", workers=2),
+        )
+        assert result.execution_mode == "parallel"
+        assert len(result.clean_log) == 1
+        assert result.parallel_stats.records_in == 4
+        assert result.streaming_stats is None
+
+    def test_mode_can_come_from_the_config_itself(self):
+        cfg = config(execution=ExecutionConfig(mode="streaming"))
+        result = repro.clean(stifle_log(), cfg)
+        assert result.execution_mode == "streaming"
+
+    def test_execution_override_does_not_mutate_config(self):
+        cfg = config()
+        repro.clean(stifle_log(), cfg, execution="streaming")
+        assert cfg.execution.mode == "batch"
+
+    def test_invalid_mode_string(self):
+        with pytest.raises(ValueError):
+            repro.clean(stifle_log(), execution="distributed")
+
+    def test_all_modes_agree(self):
+        log = stifle_log(6)
+        results = {
+            mode: repro.clean(log, config(), execution=mode)
+            for mode in ("batch", "streaming", "parallel")
+        }
+        statements = {
+            mode: result.clean_log.statements()
+            for mode, result in results.items()
+        }
+        assert statements["batch"] == statements["streaming"]
+        assert statements["batch"] == statements["parallel"]
+
+
+class TestLeanResultGuards:
+    """Streaming/parallel results say *why* an artifact is missing."""
+
+    def test_overview_raises_with_mode_in_message(self):
+        result = repro.clean(stifle_log(), config(), execution="streaming")
+        with pytest.raises(ValueError, match="streaming"):
+            result.overview()
+
+    def test_removal_log_raises(self):
+        result = repro.clean(stifle_log(), config(), execution="parallel")
+        with pytest.raises(ValueError, match="parallel"):
+            result.removal_log
+
+    def test_clean_log_always_available(self):
+        for mode in ("batch", "streaming", "parallel"):
+            result = repro.clean(stifle_log(), config(), execution=mode)
+            assert isinstance(result.clean_log, QueryLog)
+
+
+class TestDeprecatedWrappers:
+    def test_clean_log_warns_and_behaves(self):
+        log = stifle_log()
+        with pytest.warns(DeprecationWarning, match="repro.clean"):
+            cleaned = clean_log(log, config())
+        assert cleaned == repro.clean(log, config()).clean_log
+
+    def test_clean_log_streaming_warns_and_behaves(self):
+        log = stifle_log()
+        with pytest.warns(DeprecationWarning, match="repro.clean"):
+            cleaned, stats = clean_log_streaming(log, config())
+        reference = repro.clean(log, config(), execution="streaming")
+        assert cleaned == reference.clean_log
+        assert stats.records_out == reference.streaming_stats.records_out
+
+    def test_clean_log_streaming_bound_still_respected(self):
+        log = stifle_log(10)
+        with pytest.warns(DeprecationWarning):
+            cleaned, stats = clean_log_streaming(
+                log, config(), max_block_queries=4
+            )
+        assert stats.blocks_force_closed >= 2
+        assert stats.max_open_queries <= 4
+
+    def test_exports(self):
+        assert callable(repro.clean)
+        assert repro.ExecutionConfig is ExecutionConfig
+        assert "clean" in repro.__all__

@@ -8,7 +8,7 @@ from repro.patterns import SwsConfig
 from repro.pipeline import (
     CleaningPipeline,
     PipelineConfig,
-    clean_log,
+    clean,
     parse_log,
 )
 from repro.pipeline.statistics import census_by_label
@@ -107,12 +107,12 @@ class TestPipeline:
         with_sws = CleaningPipeline(PipelineConfig(sws=SwsConfig())).run(log)
         assert with_sws.sws_report is not None
 
-    def test_clean_log_convenience(self):
+    def test_clean_convenience(self):
         log = make_log([f"SELECT name FROM e WHERE id = {i}" for i in range(3)])
-        cleaned = clean_log(
+        result = clean(
             log, PipelineConfig(detection=DetectionContext(key_columns=KEYS))
         )
-        assert len(cleaned) == 1
+        assert len(result.clean_log) == 1
 
     def test_empty_log_runs(self):
         result = CleaningPipeline().run(QueryLog())

@@ -4,8 +4,8 @@ import pytest
 
 from repro.antipatterns import DetectionContext
 from repro.log import LogRecord, QueryLog
-from repro.pipeline import CleaningPipeline, PipelineConfig
-from repro.pipeline.streaming import StreamingCleaner, clean_log_streaming
+from repro.pipeline import CleaningPipeline, ExecutionConfig, PipelineConfig
+from repro.pipeline.streaming import StreamingCleaner
 
 KEYS = frozenset({"empid", "id", "objid"})
 
@@ -17,8 +17,17 @@ def make_log(entries):
     )
 
 
-def config():
-    return PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+def config(**execution):
+    return PipelineConfig(
+        detection=DetectionContext(key_columns=KEYS),
+        execution=ExecutionConfig(mode="streaming", **execution),
+    )
+
+
+def stream(log, pipeline_config=None):
+    cleaner = StreamingCleaner(pipeline_config or config())
+    cleaned = cleaner.run(log)
+    return cleaned, cleaner.stats
 
 
 class TestStreamingBasics:
@@ -26,14 +35,14 @@ class TestStreamingBasics:
         log = make_log(
             [(f"SELECT name FROM e WHERE id = {i}", i * 0.1, "u") for i in range(4)]
         )
-        cleaned, stats = clean_log_streaming(log, config())
+        cleaned, stats = stream(log)
         assert len(cleaned) == 1
         assert "IN (0, 1, 2, 3)" in cleaned[0].sql
         assert stats.instances_solved == 1
 
     def test_duplicates_removed(self):
         log = make_log([("SELECT a FROM t", 0.0, "u"), ("SELECT a FROM t", 0.5, "u")])
-        cleaned, stats = clean_log_streaming(log, config())
+        cleaned, stats = stream(log)
         assert stats.duplicates_removed == 1
         assert len(cleaned) == 1
 
@@ -42,7 +51,7 @@ class TestStreamingBasics:
             [("DROP TABLE x", 0.0, "u"), ("SELECT FROM", 1.0, "u"),
              ("SELECT a FROM t", 2.0, "u")]
         )
-        cleaned, stats = clean_log_streaming(log, config())
+        cleaned, stats = stream(log)
         assert stats.non_select == 1
         assert stats.syntax_errors == 1
         assert len(cleaned) == 1
@@ -52,7 +61,7 @@ class TestStreamingBasics:
             [("SELECT name FROM e WHERE id = 1", 0.0, "u1"),
              ("SELECT name FROM e WHERE id = 2", 0.1, "u2")]
         )
-        cleaned, stats = clean_log_streaming(log, config())
+        cleaned, stats = stream(log)
         assert len(cleaned) == 2  # no cross-user stifle
         assert stats.blocks_closed == 2
 
@@ -68,20 +77,38 @@ class TestStreamingBasics:
         # u1's stifle was already solved when u2's record arrived
         assert any("IN (1, 2)" in record.sql for record in emitted)
 
-    def test_force_close_bound(self):
+    def test_records_out_counted_when_process_consumed_directly(self):
+        log = make_log(
+            [(f"SELECT name FROM e WHERE id = {i}", i * 0.1, "u") for i in range(4)]
+        )
+        cleaner = StreamingCleaner(config())
+        emitted = list(cleaner.process(log))
+        # the counter moves at emission, not only in run()
+        assert cleaner.stats.records_out == len(emitted) == 1
+
+    def test_force_close_bound_from_execution_config(self):
         log = make_log(
             [(f"SELECT name FROM e WHERE id = {i}", i * 0.1, "u") for i in range(10)]
         )
-        cleaner = StreamingCleaner(config(), max_block_queries=4)
+        cleaner = StreamingCleaner(config(max_block_queries=4))
         cleaned = cleaner.run(log)
         assert cleaner.stats.blocks_force_closed >= 2
         assert cleaner.stats.max_open_queries <= 4
         # still cleans: several partial IN-merges instead of one big one
         assert len(cleaned) < 10
 
+    def test_constructor_bound_is_deprecated_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            cleaner = StreamingCleaner(config(), max_block_queries=4)
+        assert cleaner.max_block_queries == 4
+        assert cleaner.config.execution.max_block_queries == 4
+
     def test_invalid_bound(self):
         with pytest.raises(ValueError):
-            StreamingCleaner(max_block_queries=1)
+            with pytest.warns(DeprecationWarning):
+                StreamingCleaner(max_block_queries=1)
+        with pytest.raises(ValueError):
+            config(max_block_queries=1)
 
 
 class TestBatchEquivalence:
@@ -90,9 +117,7 @@ class TestBatchEquivalence:
             detection=DetectionContext(key_columns=sky_keys)
         )
         batch = CleaningPipeline(pipeline_config).run(small_workload.log)
-        streamed, stats = clean_log_streaming(
-            small_workload.log, pipeline_config
-        )
+        streamed, stats = stream(small_workload.log, pipeline_config)
         assert stats.blocks_force_closed == 0
         assert streamed.statements() == batch.clean_log.statements()
 
@@ -100,7 +125,7 @@ class TestBatchEquivalence:
         pipeline_config = PipelineConfig(
             detection=DetectionContext(key_columns=sky_keys)
         )
-        cleaned, stats = clean_log_streaming(small_workload.log, pipeline_config)
+        cleaned, stats = stream(small_workload.log, pipeline_config)
         assert stats.records_in == len(small_workload.log)
         assert stats.records_out == len(cleaned)
         assert stats.max_open_queries < len(small_workload.log)
