@@ -2,11 +2,19 @@
 
 Cleans a ~100k-statement synthetic log (the default
 ``REPRO_PARALLEL_BENCH_SCALE`` is calibrated for that size) with the
-batch pipeline and with :class:`~repro.pipeline.parallel.ParallelCleaner`
-at increasing worker counts, asserts that every configuration produces
-the *identical* clean log, and writes throughput plus per-stage
-wall-clock timings to ``BENCH_parallel.json`` next to this file, so
-future PRs have a perf trajectory to compare against.
+batch pipeline, the streaming cleaner and
+:class:`~repro.pipeline.parallel.ParallelCleaner` at increasing worker
+counts, asserts that every configuration produces the *identical* clean
+log **and the identical stage-counter ledger**
+(:meth:`PipelineMetrics.comparable`), and writes throughput plus
+per-stage wall-clock timings for every mode to ``BENCH_parallel.json``
+next to this file, so future PRs have a perf trajectory to compare
+against.
+
+The run also measures recorder overhead on the batch path (a second
+batch run with the disabled :data:`repro.obs.NULL` recorder) and records
+the ratio; the acceptance bar is ≤5% but the number is recorded, not
+asserted, because single-run timing on shared hardware is noisy.
 
 Speedup is only asserted when the machine actually has the cores
 (``len(os.sched_getaffinity(0)) >= 4``): the merged report records the
@@ -22,7 +30,15 @@ from pathlib import Path
 
 from conftest import print_table
 
-from repro.pipeline import CleaningPipeline, ExecutionConfig, ParallelCleaner
+from repro.log import QueryLog
+from repro.obs import NULL, Recorder
+from repro.pipeline import (
+    CleaningPipeline,
+    ExecutionConfig,
+    ParallelCleaner,
+    StageTimings,
+    StreamingCleaner,
+)
 from repro.workload import WorkloadConfig, generate
 
 #: ~17.2k queries per unit of scale with the default mixture.
@@ -45,6 +61,9 @@ def _visible_cpus() -> int:
 def test_parallel_scaling(benchmark, bench_config):
     workload = generate(WorkloadConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
     log = workload.log
+    # SWS / registry are global batch-only stages; drop SWS everywhere so
+    # all modes run the same shared-stage work and timings compare fairly.
+    shared_config = replace(bench_config, sws=None)
 
     def run_all():
         report = {
@@ -55,8 +74,9 @@ def test_parallel_scaling(benchmark, bench_config):
             "runs": [],
         }
 
+        recorder = Recorder()
         started = time.perf_counter()
-        batch = CleaningPipeline(bench_config).run(log)
+        batch = CleaningPipeline(shared_config).run(log, recorder=recorder)
         batch_seconds = time.perf_counter() - started
         report["runs"].append(
             {
@@ -64,14 +84,48 @@ def test_parallel_scaling(benchmark, bench_config):
                 "workers": 1,
                 "seconds": batch_seconds,
                 "throughput": len(log) / batch_seconds,
+                "stage_seconds": StageTimings.from_metrics(
+                    recorder.metrics
+                ).as_dict(),
                 "identical_to_batch": True,
+                "metrics_match_batch": True,
+            }
+        )
+        reference = batch.metrics.comparable()
+
+        started = time.perf_counter()
+        plain_batch = CleaningPipeline(shared_config).run(log, recorder=NULL)
+        plain_seconds = time.perf_counter() - started
+        report["recorder_overhead"] = {
+            "batch_recorded_seconds": batch_seconds,
+            "batch_plain_seconds": plain_seconds,
+            "overhead_ratio": batch_seconds / plain_seconds,
+        }
+        assert plain_batch.clean_log.records() == batch.clean_log.records()
+
+        streamer = StreamingCleaner(shared_config)
+        started = time.perf_counter()
+        streamed = QueryLog(streamer.process(log.records()))
+        stream_seconds = time.perf_counter() - started
+        report["runs"].append(
+            {
+                "mode": "streaming",
+                "workers": 1,
+                "seconds": stream_seconds,
+                "throughput": len(log) / stream_seconds,
+                "stage_seconds": StageTimings.from_metrics(
+                    streamer.recorder.metrics
+                ).as_dict(),
+                "identical_to_batch": streamed.records()
+                == batch.clean_log.records(),
+                "metrics_match_batch": streamer.recorder.metrics.comparable()
+                == reference,
             }
         )
 
         for workers in WORKER_COUNTS:
             config = replace(
-                bench_config,
-                sws=None,  # global-only stage; parallel mode skips it anyway
+                shared_config,
                 execution=ExecutionConfig(mode="parallel", workers=workers),
             )
             cleaner = ParallelCleaner(config)
@@ -88,6 +142,8 @@ def test_parallel_scaling(benchmark, bench_config):
                     "stage_seconds": stats.timings.as_dict(),
                     "identical_to_batch": cleaned.records()
                     == batch.clean_log.records(),
+                    "metrics_match_batch": stats.metrics.comparable()
+                    == reference,
                 }
             )
         return report
@@ -97,8 +153,17 @@ def test_parallel_scaling(benchmark, bench_config):
 
     print_table(
         f"Parallel scaling — {report['queries']:,} queries, "
-        f"{report['visible_cpus']} visible CPU(s)",
-        ["mode", "workers", "shards", "seconds", "records/s", "identical"],
+        f"{report['visible_cpus']} visible CPU(s), recorder overhead "
+        f"{report['recorder_overhead']['overhead_ratio']:.3f}x",
+        [
+            "mode",
+            "workers",
+            "shards",
+            "seconds",
+            "records/s",
+            "identical",
+            "metrics",
+        ],
         [
             (
                 run["mode"],
@@ -107,12 +172,24 @@ def test_parallel_scaling(benchmark, bench_config):
                 f"{run['seconds']:.2f}",
                 f"{run['throughput']:,.0f}",
                 "yes" if run["identical_to_batch"] else "NO",
+                "match" if run["metrics_match_batch"] else "DIVERGED",
             )
             for run in report["runs"]
         ],
     )
 
     assert all(run["identical_to_batch"] for run in report["runs"])
+    # The acceptance bar of the observability layer: every execution mode
+    # tells the same stage-counter story about the same E21 log.
+    assert all(run["metrics_match_batch"] for run in report["runs"])
+    # Streaming's per-stage wall times must actually be populated now —
+    # this was the timing asymmetry the recorder backfills.
+    streaming_run = next(
+        run for run in report["runs"] if run["mode"] == "streaming"
+    )
+    assert streaming_run["stage_seconds"]["dedup"] > 0
+    assert streaming_run["stage_seconds"]["parse"] > 0
+    assert streaming_run["stage_seconds"]["solve"] > 0
     parallel_runs = {
         run["workers"]: run for run in report["runs"] if run["mode"] == "parallel"
     }

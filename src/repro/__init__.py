@@ -10,6 +10,7 @@ The package implements the paper's full stack:
 * :mod:`repro.antipatterns` — Stifle / CTH / SNC detection (Section 4.2);
 * :mod:`repro.rewrite` — solving rules + engine-backed validation;
 * :mod:`repro.pipeline` — the Fig. 1 cleaning framework, end to end;
+* :mod:`repro.obs` — pipeline observability (metrics, traces, recorders);
 * :mod:`repro.engine` — in-memory relational engine + cost model;
 * :mod:`repro.workload` — synthetic SkyServer log generator + ground truth;
 * :mod:`repro.analysis` — downstream overlap clustering (Section 6.9).
@@ -29,13 +30,21 @@ Quick start::
 """
 
 from .log.models import LogRecord, QueryLog
+from .obs import (
+    InMemorySink,
+    JsonlSink,
+    NullRecorder,
+    PipelineMetrics,
+    Recorder,
+    StageMetrics,
+)
 from .pipeline.api import clean
 from .pipeline.config import ExecutionConfig, PipelineConfig
 from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
 from .pipeline.parallel import ParallelCleaner, ParallelStats
 from .pipeline.streaming import StreamingCleaner, StreamingStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LogRecord",
@@ -49,6 +58,12 @@ __all__ = [
     "ParallelStats",
     "StreamingCleaner",
     "StreamingStats",
+    "Recorder",
+    "NullRecorder",
+    "PipelineMetrics",
+    "StageMetrics",
+    "InMemorySink",
+    "JsonlSink",
     "clean_log",
     "__version__",
 ]

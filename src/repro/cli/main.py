@@ -64,6 +64,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
+    import json
+
+    from ..obs import JsonlSink, Recorder
     from ..pipeline.api import clean
     from ..pipeline.config import ExecutionConfig
 
@@ -78,7 +81,18 @@ def cmd_clean(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    result = clean(log, config, execution=execution)
+    recorder = Recorder(sinks=[JsonlSink(sys.stderr)] if args.trace else [])
+    result = clean(log, config, execution=execution, recorder=recorder)
+    recorder.close()  # flush the final metrics event to the trace sinks
+    if args.metrics_json:
+        metrics = result.metrics.as_dict()
+        violations = result.metrics.conservation_violations()
+        if violations:
+            metrics["conservation_violations"] = violations
+        Path(args.metrics_json).write_text(
+            json.dumps(metrics, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote per-stage metrics to {args.metrics_json}")
     if args.output:
         _write_log(result.clean_log, args.output)
         print(
@@ -261,6 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes for --parallel (0 = one per CPU)",
+    )
+    clean.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the run's per-stage metrics ledger (counters, "
+        "antipatterns by label, wall times) as JSON to PATH",
+    )
+    clean.add_argument(
+        "--trace",
+        action="store_true",
+        help="stream span-style stage trace events as JSON lines to stderr",
     )
     clean.set_defaults(func=cmd_clean)
 

@@ -1,0 +1,49 @@
+"""repro.obs — unified pipeline observability.
+
+Counters, span-style stage traces and per-stage wall times for every
+execution path of the cleaning pipeline.  The package is standalone
+(imports nothing from :mod:`repro.pipeline`); executors depend on it,
+never the other way around.
+
+* :class:`PipelineMetrics` / :class:`StageMetrics` — the per-stage
+  accounting ledger of one run, with the executor-independent
+  :meth:`~PipelineMetrics.comparable` view and the
+  :meth:`~PipelineMetrics.conservation_violations` checks.
+* :class:`Recorder` — aggregates the ledger and streams span events to
+  pluggable sinks (:class:`NullSink`, :class:`InMemorySink`,
+  :class:`JsonlSink`).
+* :data:`NULL` / :class:`NullRecorder` — the disabled recorder every
+  instrumented function defaults to.
+"""
+
+from .metrics import (
+    SHARED_STAGES,
+    STAGE_COUNTERS,
+    STAGES,
+    PipelineMetrics,
+    StageMetrics,
+)
+from .recorder import (
+    NULL,
+    InMemorySink,
+    JsonlSink,
+    NullRecorder,
+    NullSink,
+    Recorder,
+    Sink,
+)
+
+__all__ = [
+    "STAGES",
+    "SHARED_STAGES",
+    "STAGE_COUNTERS",
+    "PipelineMetrics",
+    "StageMetrics",
+    "Recorder",
+    "NullRecorder",
+    "NULL",
+    "Sink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+]

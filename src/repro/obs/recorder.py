@@ -1,0 +1,244 @@
+"""The recorder — how executors talk to the observability layer.
+
+A :class:`Recorder` does two things:
+
+1. **Aggregate** — every ``count`` / ``count_label`` / ``span`` call
+   updates the run's :class:`~repro.obs.metrics.PipelineMetrics` ledger
+   in memory.  This is always on and cheap: a handful of dict updates
+   per stage entry, never per record.
+2. **Stream** — span-style trace events (stage enter/exit with wall
+   time) are emitted to pluggable :class:`Sink` objects as they happen,
+   so a long run can be watched live.  With no sinks attached nothing is
+   emitted.
+
+The :class:`NullRecorder` singleton (:data:`NULL`) is the disabled
+variant every instrumented function falls back to when no recorder is
+passed — its methods are no-ops and its ``enabled`` flag lets hot paths
+skip metric-only work (e.g. the streaming cleaner's per-block pattern
+segmentation) entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, List, Mapping, Optional, Sequence, Union
+
+from .metrics import PipelineMetrics
+
+
+class Sink:
+    """Receives trace events (plain dicts) from a :class:`Recorder`."""
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        pass
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Keeps every event in a list — the test / debugging sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Mapping[str, object]] = []
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self.events.append(dict(event))
+
+    def spans(self, stage: Optional[str] = None) -> List[Mapping[str, object]]:
+        """The span events seen so far, optionally for one stage."""
+        return [
+            event
+            for event in self.events
+            if event.get("event") == "span"
+            and (stage is None or event.get("stage") == stage)
+        ]
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line to a path or an open text stream.
+
+    A path is opened lazily and closed by :meth:`close`; a stream passed
+    in stays the caller's responsibility.
+    """
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        self._target = target
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = isinstance(target, str)
+
+    def _ensure_handle(self) -> "IO[str]":
+        if self._handle is None:
+            if self._owns_handle:
+                self._handle = open(self._target, "w", encoding="utf-8")
+            else:
+                self._handle = self._target  # type: ignore[assignment]
+        return self._handle
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        handle = self._ensure_handle()
+        handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Recorder:
+    """Aggregates a :class:`PipelineMetrics` ledger and streams spans.
+
+    :param sinks: trace-event receivers; empty by default.
+    :param clock: monotonic clock used for span timing (injectable for
+        deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Sequence[Sink] = (),
+        *,
+        clock=time.perf_counter,
+    ) -> None:
+        self.metrics = PipelineMetrics()
+        self.sinks = tuple(sinks)
+        self._clock = clock
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Counters
+
+    def count(self, stage: str, counter: str, value: int = 1) -> None:
+        """Add ``value`` to ``counter`` of ``stage``."""
+        self.metrics.stage(stage).count(counter, value)
+
+    def count_label(
+        self, stage: str, counter: str, label: str, value: int = 1
+    ) -> None:
+        """Add ``value`` to the ``label`` bucket of ``stage``'s counter."""
+        self.metrics.stage(stage).count_label(counter, label, value)
+
+    def add_seconds(self, stage: str, seconds: float, calls: int = 0) -> None:
+        """Credit wall time measured outside a :meth:`span`."""
+        metrics = self.metrics.stage(stage)
+        metrics.wall_seconds += seconds
+        metrics.calls += calls
+
+    def ensure_counters(self) -> None:
+        """Pre-create the canonical shared-stage counters at zero."""
+        self.metrics.ensure_counters()
+
+    # ------------------------------------------------------------------
+    # Spans
+
+    @contextmanager
+    def span(self, stage: str, **fields: object) -> Iterator[None]:
+        """Time the enclosed block as one entry of ``stage``.
+
+        Wall time and the call count land in the ledger; if sinks are
+        attached, one ``span`` trace event is emitted on exit (extra
+        ``fields`` are carried verbatim into the event).
+        """
+        started = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - started
+            metrics = self.metrics.stage(stage)
+            metrics.wall_seconds += elapsed
+            metrics.calls += 1
+            if self.sinks:
+                event = {
+                    "event": "span",
+                    "stage": stage,
+                    "seconds": elapsed,
+                    "seq": self._seq,
+                }
+                event.update(fields)
+                self._seq += 1
+                self.emit(event)
+
+    # ------------------------------------------------------------------
+    # Sinks
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        """Forward one event to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def absorb(self, metrics: PipelineMetrics) -> None:
+        """Merge a worker's ledger into this recorder's (parallel runs)."""
+        self.metrics.merge(metrics)
+
+    def close(self) -> None:
+        """Emit the final ``metrics`` summary event and close the sinks."""
+        if self.sinks:
+            self.emit({"event": "metrics", **self.metrics.as_dict()})
+        for sink in self.sinks:
+            sink.close()
+
+
+class _NullSpan:
+    """A reusable no-op context manager."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder(Recorder):
+    """The disabled recorder: every operation is a no-op.
+
+    Shares one empty (and intentionally never-populated) ledger; hot
+    paths may consult :attr:`enabled` to skip metric-only computation.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def count(self, stage: str, counter: str, value: int = 1) -> None:
+        pass
+
+    def count_label(
+        self, stage: str, counter: str, label: str, value: int = 1
+    ) -> None:
+        pass
+
+    def add_seconds(self, stage: str, seconds: float, calls: int = 0) -> None:
+        pass
+
+    def ensure_counters(self) -> None:
+        pass
+
+    def span(self, stage: str, **fields: object) -> "_NullSpan":  # type: ignore[override]
+        return _NULL_SPAN
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        pass
+
+    def absorb(self, metrics: PipelineMetrics) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled recorder — the default of every instrumented function.
+NULL = NullRecorder()

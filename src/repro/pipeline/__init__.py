@@ -5,6 +5,14 @@ execution modes of the same pipeline, selected by
 :class:`ExecutionConfig`.
 """
 
+from ..obs import (
+    InMemorySink,
+    JsonlSink,
+    NullRecorder,
+    PipelineMetrics,
+    Recorder,
+    StageMetrics,
+)
 from .api import clean
 from .config import EXECUTION_MODES, ExecutionConfig, PipelineConfig
 from .framework import (
@@ -71,6 +79,13 @@ __all__ = [
     "AntipatternCensus",
     "Overview",
     "census_by_label",
+    # observability (re-exported from repro.obs)
+    "Recorder",
+    "NullRecorder",
+    "PipelineMetrics",
+    "StageMetrics",
+    "InMemorySink",
+    "JsonlSink",
     # deprecated one-call wrappers
     "clean_log",
     "clean_log_streaming",

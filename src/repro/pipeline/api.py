@@ -16,7 +16,10 @@ parallel    ``cleaned``,                dedup/parse/mining/registry/
             ``parallel_stats``          antipatterns/solve/SWS artifacts
 ==========  ==========================  =================================
 
-The clean log itself is always ``result.clean_log``.
+The clean log itself is always ``result.clean_log``, and every path
+fills ``result.metrics`` — the per-stage observability ledger
+(:class:`repro.obs.PipelineMetrics`) whose shared-stage counters are
+identical across execution modes by contract.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from dataclasses import replace
 from typing import Optional, Union
 
 from ..log.models import QueryLog
+from ..obs import Recorder
 from .config import EXECUTION_MODES, ExecutionConfig, PipelineConfig
 from .framework import CleaningPipeline, PipelineResult
 
@@ -34,6 +38,7 @@ def clean(
     config: Optional[PipelineConfig] = None,
     *,
     execution: Optional[Union[ExecutionConfig, str]] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PipelineResult:
     """Clean ``log`` and return the run's :class:`PipelineResult`.
 
@@ -44,6 +49,13 @@ def clean(
         :class:`ExecutionConfig`, or just a mode string (``"batch"``,
         ``"streaming"``, ``"parallel"``) to switch modes with default
         knobs.
+    :param recorder: observability recorder
+        (:class:`repro.obs.Recorder`).  By default a fresh one is
+        created, so ``result.metrics`` always carries the run's
+        per-stage ledger; pass your own to attach trace sinks, or
+        :data:`repro.obs.NULL` to disable collection.  ``clean`` never
+        closes a caller-supplied recorder — call ``recorder.close()``
+        yourself when its sinks need flushing.
 
     Example::
 
@@ -56,20 +68,23 @@ def clean(
             execution=repro.ExecutionConfig(mode="parallel", workers=4),
         )
         clean_log = result.clean_log
+        result.metrics.as_dict()          # per-stage counters + timings
     """
     effective = config or PipelineConfig()
     if execution is not None:
         if isinstance(execution, str):
             execution = ExecutionConfig(mode=execution)
         effective = replace(effective, execution=execution)
+    active = Recorder() if recorder is None else recorder
+    metrics = active.metrics if active.enabled else None
 
     mode = effective.execution.mode
     if mode == "batch":
-        return CleaningPipeline(effective).run(log)
+        return CleaningPipeline(effective).run(log, recorder=active)
     if mode == "streaming":
         from .streaming import StreamingCleaner
 
-        cleaner = StreamingCleaner(effective)
+        cleaner = StreamingCleaner(effective, recorder=active)
         cleaned = cleaner.run(log)
         return PipelineResult(
             config=effective,
@@ -77,11 +92,12 @@ def clean(
             cleaned=cleaned,
             streaming_stats=cleaner.stats,
             execution_mode="streaming",
+            metrics=metrics,
         )
     if mode == "parallel":
         from .parallel import ParallelCleaner
 
-        parallel_cleaner = ParallelCleaner(effective)
+        parallel_cleaner = ParallelCleaner(effective, recorder=active)
         cleaned = parallel_cleaner.run(log)
         return PipelineResult(
             config=effective,
@@ -89,6 +105,7 @@ def clean(
             cleaned=cleaned,
             parallel_stats=parallel_cleaner.stats,
             execution_mode="parallel",
+            metrics=metrics,
         )
     raise ValueError(  # pragma: no cover - ExecutionConfig validates mode
         f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"

@@ -34,7 +34,8 @@ from ..antipatterns.cth import CthCensusRow, cth_census
 from ..antipatterns.types import CTH_CANDIDATE, AntipatternInstance
 from ..log.dedup import DedupResult, delete_duplicates
 from ..log.models import LogRecord, QueryLog
-from ..patterns.miner import MiningResult, mine
+from ..obs import NULL, PipelineMetrics, Recorder
+from ..patterns.miner import MiningResult, mine, segment_block
 from ..patterns.models import Block, ParsedQuery
 from ..patterns.registry import PatternRegistry
 from ..patterns.sws import SwsReport, detect_sws
@@ -64,11 +65,28 @@ class ParseStageResult:
 
 # ----------------------------------------------------------------------
 # Stage functions — the shared kernel of all execution paths
+#
+# Every stage function takes an optional ``recorder``
+# (:class:`~repro.obs.Recorder`); when given, the stage times itself as
+# one span and books its counters (see ``repro.obs.STAGE_COUNTERS``), so
+# that every executor composing these functions emits identical
+# per-stage metrics.  Without a recorder the functions behave exactly as
+# before — :data:`repro.obs.NULL` makes instrumentation a no-op.
 
 
-def dedup_stage(log: QueryLog, config: PipelineConfig) -> DedupResult:
+def dedup_stage(
+    log: QueryLog,
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
+) -> DedupResult:
     """Stage 1: delete duplicates (Section 5.2)."""
-    return delete_duplicates(log, config.dedup_threshold)
+    recorder = recorder or NULL
+    with recorder.span("dedup"):
+        result = delete_duplicates(log, config.dedup_threshold)
+    recorder.count("dedup", "records_in", len(log))
+    recorder.count("dedup", "records_out", len(result.log))
+    recorder.count("dedup", "duplicates_removed", result.removed)
+    return result
 
 
 def parse_log(
@@ -76,6 +94,7 @@ def parse_log(
     *,
     fold_variables: bool = False,
     strict_triple: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> ParseStageResult:
     """Parse every statement; classify failures (Fig. 1's parse stage).
 
@@ -84,69 +103,108 @@ def parse_log(
     statement text: a repeated statement reuses the immutable AST,
     template and clause features and only swaps in its own log record.
     """
+    recorder = recorder or NULL
     result = ParseStageResult()
-    #: sql text -> prototype ParsedQuery, or the SqlError to re-raise.
-    cache: dict = {}
-    for record in log:
-        cached = cache.get(record.sql)
-        if cached is None:
-            try:
-                statement = parse(record.sql)
-                cached = ParsedQuery.from_statement(
-                    record,
-                    statement,
-                    fold_variables=fold_variables,
-                    strict_triple=strict_triple,
+    with recorder.span("parse"):
+        #: sql text -> prototype ParsedQuery, or the SqlError to re-raise.
+        cache: dict = {}
+        for record in log:
+            cached = cache.get(record.sql)
+            if cached is None:
+                try:
+                    statement = parse(record.sql)
+                    cached = ParsedQuery.from_statement(
+                        record,
+                        statement,
+                        fold_variables=fold_variables,
+                        strict_triple=strict_triple,
+                    )
+                except SqlError as error:
+                    cached = error
+                except RecursionError:
+                    # Pathologically deep expressions (hundreds of nested
+                    # conjuncts) exceed the tree-walker capacity; classify
+                    # them like any other unprocessable statement instead
+                    # of crashing the run.
+                    cached = SqlError(
+                        "statement exceeds supported nesting depth"
+                    )
+                cache[record.sql] = cached
+            if isinstance(cached, UnsupportedStatementError):
+                result.non_select.append(record)
+                continue
+            if isinstance(cached, SqlError):
+                result.syntax_errors.append((record, str(cached)))
+                continue
+            if cached.record is record:
+                result.queries.append(cached)
+            else:
+                result.queries.append(
+                    dataclasses.replace(cached, record=record)
                 )
-            except SqlError as error:
-                cached = error
-            except RecursionError:
-                # Pathologically deep expressions (hundreds of nested
-                # conjuncts) exceed the tree-walker capacity; classify
-                # them like any other unprocessable statement instead of
-                # crashing the run.
-                cached = SqlError("statement exceeds supported nesting depth")
-            cache[record.sql] = cached
-        if isinstance(cached, UnsupportedStatementError):
-            result.non_select.append(record)
-            continue
-        if isinstance(cached, SqlError):
-            result.syntax_errors.append((record, str(cached)))
-            continue
-        if cached.record is record:
-            result.queries.append(cached)
-        else:
-            result.queries.append(dataclasses.replace(cached, record=record))
+    recorder.count(
+        "parse",
+        "records_in",
+        len(result.queries) + len(result.syntax_errors) + len(result.non_select),
+    )
+    recorder.count("parse", "records_out", len(result.queries))
+    recorder.count("parse", "syntax_errors", len(result.syntax_errors))
+    recorder.count("parse", "non_select", len(result.non_select))
     return result
 
 
-def parse_stage(log: Iterable[LogRecord], config: PipelineConfig) -> ParseStageResult:
+def parse_stage(
+    log: Iterable[LogRecord],
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
+) -> ParseStageResult:
     """Stage 2: :func:`parse_log` with the config's parsing knobs."""
     return parse_log(
         log,
         fold_variables=config.fold_variables,
         strict_triple=config.strict_triple,
+        recorder=recorder,
     )
 
 
 def mine_stage(
-    queries: Sequence[ParsedQuery], config: PipelineConfig
+    queries: Sequence[ParsedQuery],
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
 ) -> MiningResult:
     """Stage 3: blocking + periodic segmentation (Section 4.1)."""
-    return mine(queries, config.miner)
+    recorder = recorder or NULL
+    with recorder.span("mine"):
+        result = mine(queries, config.miner)
+    recorder.count("mine", "queries_in", len(queries))
+    recorder.count("mine", "blocks", len(result.blocks))
+    recorder.count("mine", "pattern_instances", len(result.instances))
+    recorder.count("mine", "periodic_runs", len(result.runs))
+    return result
 
 
 def detect_stage(
-    blocks: Sequence[Block], config: PipelineConfig
+    blocks: Sequence[Block],
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
 ) -> List[AntipatternInstance]:
     """Stage 4: run the configured detector set over ``blocks``."""
-    return run_detectors(blocks, config.detection, config.detectors)
+    recorder = recorder or NULL
+    with recorder.span("detect"):
+        instances = run_detectors(blocks, config.detection, config.detectors)
+    recorder.count("detect", "blocks_in", len(blocks))
+    recorder.count("detect", "instances_detected", len(instances))
+    if recorder.enabled:
+        for instance in instances:
+            recorder.count_label("detect", "antipatterns", instance.label)
+    return instances
 
 
 def registry_stage(
     mining: MiningResult,
     antipatterns: Sequence[AntipatternInstance],
     config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[PatternRegistry, Optional[SwsReport]]:
     """Build the global pattern registry, mark antipatterns, scan SWS.
 
@@ -154,21 +212,42 @@ def registry_stage(
     frequency, userPopularity and SWS are global statistics — which is
     why the streaming and parallel paths skip it (their reports say so).
     """
-    registry = PatternRegistry.from_instances(mining.instances)
-    for instance in antipatterns:
-        registry.mark_antipattern(instance.unit, instance.label)
-    sws_report = None
-    if config.sws is not None:
-        sws_report = detect_sws(registry, mining.instances, config.sws, mark=True)
+    recorder = recorder or NULL
+    with recorder.span("registry"):
+        registry = PatternRegistry.from_instances(mining.instances)
+        for instance in antipatterns:
+            registry.mark_antipattern(instance.unit, instance.label)
+        sws_report = None
+        if config.sws is not None:
+            sws_report = detect_sws(
+                registry, mining.instances, config.sws, mark=True
+            )
+    recorder.count("registry", "patterns", len(registry))
+    if sws_report is not None:
+        recorder.count("registry", "sws_flagged", len(sws_report.patterns))
     return registry, sws_report
 
 
 def solve_stage(
     parsed_log: QueryLog,
     antipatterns: Sequence[AntipatternInstance],
+    recorder: Optional[Recorder] = None,
 ) -> SolveResult:
     """Stage 6: rewrite solvable instances (Section 5.5)."""
-    return solve(parsed_log, antipatterns)
+    recorder = recorder or NULL
+    with recorder.span("solve"):
+        result = solve(parsed_log, antipatterns)
+    recorder.count("solve", "records_in", len(parsed_log))
+    recorder.count("solve", "records_out", len(result.log))
+    recorder.count("solve", "instances_solved", len(result.solved))
+    recorder.count("solve", "queries_removed", result.queries_removed)
+    recorder.count("solve", "skipped_conflicts", len(result.skipped_conflicts))
+    recorder.count("solve", "not_applicable", len(result.not_applicable))
+    recorder.count("solve", "unsolvable", len(result.unsolvable))
+    if recorder.enabled:
+        for solved in result.solved:
+            recorder.count_label("solve", "solved", solved.instance.label)
+    return result
 
 
 @dataclass
@@ -180,13 +259,34 @@ class BlockCleanResult:
     instances_solved: int
 
 
-def clean_block(block: Block, config: PipelineConfig) -> BlockCleanResult:
+def clean_block(
+    block: Block,
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
+) -> BlockCleanResult:
     """Detect + solve one block locally (detectors and solver only ever
     look *within* a block — the invariant both the streaming and the
-    parallel cleaner are built on)."""
-    instances = detect_stage([block], config)
+    parallel cleaner are built on).
+
+    With an enabled ``recorder`` the block is additionally run through
+    the miner's periodic segmentation, purely to book the ``mine`` stage
+    counters — a closed block's queries are all within ``block_gap`` of
+    each other, so segmenting them reproduces exactly the instances the
+    batch miner would have found for this block.
+    """
+    recorder = recorder or NULL
+    if recorder.enabled:
+        with recorder.span("mine"):
+            runs = segment_block(block, config.miner)
+        recorder.count("mine", "queries_in", len(block.queries))
+        recorder.count("mine", "blocks", 1)
+        recorder.count(
+            "mine", "pattern_instances", sum(run.repeats for run in runs)
+        )
+        recorder.count("mine", "periodic_runs", len(runs))
+    instances = detect_stage([block], config, recorder)
     block_log = QueryLog(query.record for query in block.queries)
-    result = solve_stage(block_log, instances)
+    result = solve_stage(block_log, instances, recorder)
     return BlockCleanResult(
         records=result.log.records(),
         instances_detected=len(instances),
@@ -220,6 +320,9 @@ class PipelineResult:
     streaming_stats: Optional["StreamingStats"] = None
     parallel_stats: Optional["ParallelStats"] = None
     execution_mode: str = "batch"
+    #: the run's observability ledger (every execution mode fills it;
+    #: ``None`` only when the run was driven with the null recorder).
+    metrics: Optional[PipelineMetrics] = None
 
     def _artifact(self, value, name: str):
         if value is None:
@@ -288,16 +391,30 @@ class CleaningPipeline:
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self.config = config or PipelineConfig()
 
-    def run(self, log: QueryLog) -> PipelineResult:
-        """Execute all stages of Fig. 1 on ``log``."""
-        config = self.config
+    def run(
+        self, log: QueryLog, recorder: Optional[Recorder] = None
+    ) -> PipelineResult:
+        """Execute all stages of Fig. 1 on ``log``.
 
-        dedup = dedup_stage(log, config)
-        parse_result = parse_stage(dedup.log, config)
-        mining = mine_stage(parse_result.queries, config)
-        antipatterns = detect_stage(mining.blocks, config)
-        registry, sws_report = registry_stage(mining, antipatterns, config)
-        solve_result = solve_stage(parse_result.parsed_log, antipatterns)
+        ``recorder`` receives the run's metrics and trace spans; by
+        default a fresh :class:`~repro.obs.Recorder` is created so the
+        result's :attr:`~PipelineResult.metrics` ledger is always
+        available (pass :data:`repro.obs.NULL` to opt out entirely).
+        """
+        config = self.config
+        recorder = Recorder() if recorder is None else recorder
+        recorder.ensure_counters()
+
+        dedup = dedup_stage(log, config, recorder)
+        parse_result = parse_stage(dedup.log, config, recorder)
+        mining = mine_stage(parse_result.queries, config, recorder)
+        antipatterns = detect_stage(mining.blocks, config, recorder)
+        registry, sws_report = registry_stage(
+            mining, antipatterns, config, recorder
+        )
+        solve_result = solve_stage(
+            parse_result.parsed_log, antipatterns, recorder
+        )
 
         return PipelineResult(
             config=config,
@@ -310,6 +427,7 @@ class CleaningPipeline:
             solve_result=solve_result,
             sws_report=sws_report,
             execution_mode="batch",
+            metrics=recorder.metrics if recorder.enabled else None,
         )
 
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..log.models import LogRecord, QueryLog
+from ..obs import PipelineMetrics, Recorder
 from .config import PipelineConfig
 from .framework import (
     dedup_stage,
@@ -53,10 +54,13 @@ STAGES = ("dedup", "parse", "mine", "detect", "solve", "merge")
 class StageTimings:
     """Wall-clock seconds spent per pipeline stage.
 
-    Worker-side timings fill the five processing stages; the parent
-    fills ``merge`` (global re-ordering of the emitted records).  Summed
-    across workers the numbers are *aggregate* compute seconds — on N
-    busy cores they exceed the run's wall time by up to a factor N.
+    Since the observability layer landed this is a *view* over a
+    :class:`~repro.obs.PipelineMetrics` ledger (see
+    :meth:`from_metrics`), kept as a stable dataclass for report
+    consumers.  Worker-side timings fill the five processing stages; the
+    parent fills ``merge`` (global re-ordering of the emitted records).
+    Summed across workers the numbers are *aggregate* compute seconds —
+    on N busy cores they exceed the run's wall time by up to a factor N.
     """
 
     dedup: float = 0.0
@@ -65,6 +69,16 @@ class StageTimings:
     detect: float = 0.0
     solve: float = 0.0
     merge: float = 0.0
+
+    @classmethod
+    def from_metrics(cls, metrics: PipelineMetrics) -> "StageTimings":
+        """Project a metrics ledger onto the six classic stage slots."""
+        timings = cls()
+        for name in STAGES:
+            stage = metrics.stages.get(name)
+            if stage is not None:
+                setattr(timings, name, stage.wall_seconds)
+        return timings
 
     def add(self, other: "StageTimings") -> None:
         self.dedup += other.dedup
@@ -96,6 +110,8 @@ class ShardReport:
     stats: StreamingStats
     timings: StageTimings
     wall_seconds: float
+    #: the worker's full observability ledger (plain data — pickles).
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
 
 
 @dataclass
@@ -108,9 +124,11 @@ class ParallelStats:
     :param stats: all shards' counters folded into one
         :class:`~repro.pipeline.streaming.StreamingStats`.
     :param timings: per-stage wall clock summed across shards, plus the
-        parent-side merge.
+        parent-side merge (a view over ``metrics``).
     :param wall_seconds: end-to-end wall time of the run.
     :param shards: the per-shard reports (clean records dropped).
+    :param metrics: the run's merged observability ledger (all shards'
+        counters and stage times folded together, plus the merge stage).
     """
 
     workers: int
@@ -119,6 +137,7 @@ class ParallelStats:
     timings: StageTimings = field(default_factory=StageTimings)
     wall_seconds: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
 
     @property
     def records_in(self) -> int:
@@ -189,26 +208,14 @@ def _clean_shard(
     shard, records, config = payload
     started = time.perf_counter()
     shard_log = QueryLog(records)
+    recorder = Recorder()
 
-    clock = time.perf_counter()
-    dedup = dedup_stage(shard_log, config)
-    timings = StageTimings(dedup=time.perf_counter() - clock)
-
-    clock = time.perf_counter()
-    parsed = parse_stage(dedup.log, config)
-    timings.parse = time.perf_counter() - clock
-
-    clock = time.perf_counter()
-    mining = mine_stage(parsed.queries, config)
-    timings.mine = time.perf_counter() - clock
-
-    clock = time.perf_counter()
-    antipatterns = detect_stage(mining.blocks, config)
-    timings.detect = time.perf_counter() - clock
-
-    clock = time.perf_counter()
-    solve_result = solve_stage(parsed.parsed_log, antipatterns)
-    timings.solve = time.perf_counter() - clock
+    dedup = dedup_stage(shard_log, config, recorder)
+    parsed = parse_stage(dedup.log, config, recorder)
+    mining = mine_stage(parsed.queries, config, recorder)
+    antipatterns = detect_stage(mining.blocks, config, recorder)
+    solve_result = solve_stage(parsed.parsed_log, antipatterns, recorder)
+    timings = StageTimings.from_metrics(recorder.metrics)
 
     clean_records = solve_result.log.records()
     stats = StreamingStats(
@@ -231,6 +238,7 @@ def _clean_shard(
         stats=stats,
         timings=timings,
         wall_seconds=time.perf_counter() - started,
+        metrics=recorder.metrics,
     )
 
 
@@ -243,8 +251,14 @@ class ParallelCleaner:
     :meth:`run`, :attr:`stats` holds the :class:`ParallelStats` report.
     """
 
-    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.config = config or PipelineConfig()
+        self.recorder = Recorder() if recorder is None else recorder
         self.stats = ParallelStats(
             workers=self.config.execution.resolved_workers(), shard_count=0
         )
@@ -275,13 +289,27 @@ class ParallelCleaner:
         )
         merge_seconds = time.perf_counter() - clock
 
+        # Fold the workers' ledgers into one per-run ledger, then absorb
+        # it into the cleaner's recorder (which may span several runs).
+        run_metrics = PipelineMetrics()
+        run_metrics.ensure_counters()
         stats = ParallelStats(workers=workers, shard_count=len(shards))
         for report in sorted(reports, key=lambda r: r.shard):
             stats.stats.merge(report.stats)
-            stats.timings.add(report.timings)
+            run_metrics.merge(report.metrics)
             report.clean_records = []  # keep the report, drop the payload
             stats.shards.append(report)
-        stats.timings.merge = merge_seconds
+        merge_stage = run_metrics.stage("merge")
+        merge_stage.wall_seconds += merge_seconds
+        merge_stage.calls += 1
+        merge_stage.count("records_out", len(cleaned))
+        if self.recorder.enabled:
+            self.recorder.absorb(run_metrics)
+            self.recorder.emit(
+                {"event": "span", "stage": "merge", "seconds": merge_seconds}
+            )
+        stats.metrics = run_metrics
+        stats.timings = StageTimings.from_metrics(run_metrics)
         stats.wall_seconds = time.perf_counter() - started
         self.stats = stats
         return cleaned

@@ -17,12 +17,16 @@ cth_candidates.csv      ranked CTH candidates with the oracle verdict
 sws.csv                 SWS-flagged patterns, when the scan ran
 solved.csv              one row per solved instance: label, replaced seqs,
                         replacement SQL
+metrics.json            the run's observability ledger (per-stage counters,
+                        antipatterns by label, wall times), when the run
+                        carried one
 ======================  =====================================================
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -150,4 +154,12 @@ def export_report(result: PipelineResult, directory: PathLike) -> Dict[str, Path
         ],
     )
     written["solved"] = path
+
+    if result.metrics is not None:
+        path = base / "metrics.json"
+        path.write_text(
+            json.dumps(result.metrics.as_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        written["metrics"] = path
     return written

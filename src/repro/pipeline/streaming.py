@@ -25,12 +25,14 @@ out of scope here by design — they are downstream consumers.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..log.dedup import normalize_statement_text
 from ..log.models import LogRecord, QueryLog
+from ..obs import Recorder
 from ..patterns.models import Block, ParsedQuery
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
@@ -80,14 +82,25 @@ class StreamingCleaner:
         users × max_block_queries``.
     :param max_block_queries: deprecated constructor override of the
         config knob; kept for one release.
+    :param recorder: observability recorder; a fresh
+        :class:`~repro.obs.Recorder` by default, so per-stage metrics
+        are always collected (pass :data:`repro.obs.NULL` to opt out).
+        Dedup/parse wall times are measured per record and credited in
+        bulk; mine/detect/solve are booked per closed block by
+        :func:`~repro.pipeline.framework.clean_block`.  Counters are
+        flushed when :meth:`process` finishes — a partially consumed
+        stream leaves the ledger behind by design.
     """
 
     def __init__(
         self,
         config: Optional[PipelineConfig] = None,
         max_block_queries: Optional[int] = None,
+        *,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.config = config or PipelineConfig()
+        self.recorder = Recorder() if recorder is None else recorder
         if max_block_queries is not None:
             warnings.warn(
                 "StreamingCleaner(max_block_queries=...) is deprecated; set "
@@ -107,6 +120,8 @@ class StreamingCleaner:
         self._open: Dict[str, List[ParsedQuery]] = {}
         self._last_seen: Dict[Tuple[str, str], float] = {}
         self._last_prune = 0.0
+        #: counters already flushed to the recorder (delta bookkeeping).
+        self._flushed = StreamingStats()
 
     # ------------------------------------------------------------------
     # Stages
@@ -149,7 +164,7 @@ class StreamingCleaner:
             return []
         self.stats.blocks_closed += 1
         block = Block(user=user, queries=tuple(queries))
-        result = clean_block(block, self.config)
+        result = clean_block(block, self.config, self.recorder)
         self.stats.instances_detected += result.instances_detected
         self.stats.instances_solved += result.instances_solved
         return result.records
@@ -177,14 +192,30 @@ class StreamingCleaner:
         Emission order is block-close order; feed the output into a
         :class:`QueryLog` to restore global time order.
         """
+        recorder = self.recorder
+        timed = recorder.enabled
+        clock = time.perf_counter
+        dedup_seconds = 0.0
+        parse_seconds = 0.0
         for record in records:
             self.stats.records_in += 1
             yield from self._flush_idle(record.timestamp)
 
-            if self._is_duplicate(record):
+            if timed:
+                started = clock()
+                duplicate = self._is_duplicate(record)
+                dedup_seconds += clock() - started
+            else:
+                duplicate = self._is_duplicate(record)
+            if duplicate:
                 self.stats.duplicates_removed += 1
                 continue
-            parsed = self._parse(record)
+            if timed:
+                started = clock()
+                parsed = self._parse(record)
+                parse_seconds += clock() - started
+            else:
+                parsed = self._parse(record)
             if parsed is None:
                 continue
             bucket = self._open.setdefault(record.user_key(), [])
@@ -199,6 +230,40 @@ class StreamingCleaner:
 
         for user in list(self._open):
             yield from self._emit(self._close_block(user))
+        if timed:
+            recorder.add_seconds("dedup", dedup_seconds, calls=1)
+            recorder.add_seconds("parse", parse_seconds, calls=1)
+        self._flush_counters()
+
+    def _flush_counters(self) -> None:
+        """Book the per-record counters accumulated since the last flush.
+
+        Dedup and parse happen per record here (not via the batch stage
+        functions), so their counters are derived from
+        :class:`StreamingStats` deltas; mine/detect/solve were already
+        booked per closed block by
+        :func:`~repro.pipeline.framework.clean_block`.
+        """
+        recorder = self.recorder
+        if not recorder.enabled:
+            return
+        recorder.ensure_counters()
+        stats, flushed = self.stats, self._flushed
+        records_in = stats.records_in - flushed.records_in
+        duplicates = stats.duplicates_removed - flushed.duplicates_removed
+        syntax_errors = stats.syntax_errors - flushed.syntax_errors
+        non_select = stats.non_select - flushed.non_select
+        recorder.count("dedup", "records_in", records_in)
+        recorder.count("dedup", "records_out", records_in - duplicates)
+        recorder.count("dedup", "duplicates_removed", duplicates)
+        parse_in = records_in - duplicates
+        recorder.count("parse", "records_in", parse_in)
+        recorder.count(
+            "parse", "records_out", parse_in - syntax_errors - non_select
+        )
+        recorder.count("parse", "syntax_errors", syntax_errors)
+        recorder.count("parse", "non_select", non_select)
+        self._flushed = replace(stats)
 
     def run(self, log: QueryLog) -> QueryLog:
         """Convenience: stream a whole log, return the clean log."""

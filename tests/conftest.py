@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.antipatterns import DetectionContext
@@ -9,6 +11,30 @@ from repro.engine import Column, Database, TableSchema
 from repro.patterns import SwsConfig
 from repro.pipeline import PipelineConfig
 from repro.workload import WorkloadConfig, build_database, generate, skyserver_catalog
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("ci", derandomize=True, deadline=None)
+    if os.environ.get("HYPOTHESIS_PROFILE"):
+        settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the pinned golden files under tests/golden/ instead "
+        "of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")

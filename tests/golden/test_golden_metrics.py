@@ -1,0 +1,71 @@
+"""Golden-file regression test for the metrics ledger.
+
+One canonical synthetic log (seed 2018, the paper's year) is cleaned by
+the batch pipeline with the full SkyServer config, and the deterministic
+part of its metrics ledger — ``PipelineMetrics.as_dict(include_timings=
+False)`` — must match the JSON pinned under ``tests/golden/``.
+
+Any behaviour change that shifts a counter (a parser fix that rescues
+queries, a detector that finds more instances, a solver rule change)
+fails here with a readable diff of exactly which numbers moved.  When
+the change is intentional, re-pin with::
+
+    pytest tests/golden --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.antipatterns import DetectionContext
+from repro.patterns import SwsConfig
+from repro.pipeline import CleaningPipeline, PipelineConfig
+from repro.workload import WorkloadConfig, generate, skyserver_catalog
+
+GOLDEN_PATH = Path(__file__).parent / "metrics_seed2018.json"
+
+
+@pytest.fixture(scope="module")
+def canonical_metrics():
+    workload = generate(WorkloadConfig(seed=2018, scale=0.12))
+    config = PipelineConfig(
+        detection=DetectionContext(
+            key_columns=frozenset(skyserver_catalog().key_column_names())
+        ),
+        sws=SwsConfig(),
+    )
+    result = CleaningPipeline(config).run(workload.log)
+    assert result.metrics is not None
+    assert result.metrics.conservation_violations() == []
+    return result.metrics.as_dict(include_timings=False)
+
+
+def test_metrics_match_golden_file(canonical_metrics, update_golden):
+    rendered = json.dumps(canonical_metrics, indent=2, sort_keys=True) + "\n"
+    if update_golden:
+        GOLDEN_PATH.write_text(rendered, encoding="utf-8")
+        pytest.skip(f"rewrote {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file {GOLDEN_PATH} missing — create it with "
+        "`pytest tests/golden --update-golden`"
+    )
+    pinned = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert canonical_metrics == pinned, (
+        "metrics ledger drifted from the golden file; if the change is "
+        "intentional re-pin with `pytest tests/golden --update-golden`"
+    )
+
+
+def test_golden_file_is_nontrivial():
+    """The pinned ledger must exercise the pipeline for real — guards
+    against accidentally pinning a degenerate (e.g. empty-log) run."""
+    pinned = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    stages = pinned["stages"]
+    assert stages["dedup"]["counters"]["records_in"] > 1000
+    assert stages["dedup"]["counters"]["duplicates_removed"] > 0
+    assert stages["mine"]["counters"]["pattern_instances"] > 0
+    assert stages["detect"]["counters"]["instances_detected"] > 0
+    assert stages["detect"]["labels"]["antipatterns"]
+    assert stages["solve"]["counters"]["instances_solved"] > 0
+    assert "registry" in stages

@@ -1,5 +1,7 @@
 """Unit tests for the sqlog-clean CLI."""
 
+import json
+
 import pytest
 
 from repro.cli.main import main
@@ -49,6 +51,76 @@ class TestClean:
         cleaned = read_csv(out_path)
         original = read_csv(generated_csv)
         assert 0 < len(cleaned) <= len(original)
+
+
+class TestCleanObservability:
+    def test_metrics_json_written(self, generated_csv, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "clean",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "--metrics-json",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote per-stage metrics" in capsys.readouterr().out
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        stages = metrics["stages"]
+        assert set(stages) >= {"dedup", "parse", "mine", "detect", "solve"}
+        assert stages["dedup"]["counters"]["records_in"] == len(
+            read_csv(generated_csv)
+        )
+        assert "conservation_violations" not in metrics
+
+    def test_metrics_json_covers_every_mode(self, generated_csv, tmp_path):
+        ledgers = {}
+        for name, flags in {
+            "batch": [],
+            "streaming": ["--streaming"],
+            "parallel": ["--parallel", "--workers", "2"],
+        }.items():
+            path = tmp_path / f"{name}.json"
+            assert (
+                main(
+                    [
+                        "clean",
+                        str(generated_csv),
+                        "--skyserver-schema",
+                        *flags,
+                        "--metrics-json",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+            stages = json.loads(path.read_text(encoding="utf-8"))["stages"]
+            ledgers[name] = {
+                stage: stages[stage]["counters"]
+                for stage in ("dedup", "parse", "solve")
+            }
+        assert ledgers["batch"] == ledgers["streaming"] == ledgers["parallel"]
+
+    def test_trace_streams_jsonl_to_stderr(self, generated_csv, capsys):
+        assert (
+            main(["clean", str(generated_csv), "--skyserver-schema", "--trace"])
+            == 0
+        )
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if line.strip()
+        ]
+        spans = [e for e in events if e["event"] == "span"]
+        assert {"dedup", "parse", "detect", "solve"} <= {
+            e["stage"] for e in spans
+        }
+        assert events[-1]["event"] == "metrics"
+        assert events[-1]["stages"]["dedup"]["counters"]["records_in"] > 0
 
 
 class TestPatterns:

@@ -1,0 +1,256 @@
+"""Unit tests for the observability layer (``repro.obs``)."""
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL,
+    SHARED_STAGES,
+    STAGE_COUNTERS,
+    STAGES,
+    InMemorySink,
+    JsonlSink,
+    NullRecorder,
+    PipelineMetrics,
+    Recorder,
+    StageMetrics,
+)
+
+
+class TestStageMetrics:
+    def test_count_accumulates(self):
+        stage = StageMetrics("dedup")
+        stage.count("records_in", 3)
+        stage.count("records_in")
+        assert stage.get("records_in") == 4
+        assert stage.get("missing") == 0
+
+    def test_count_label_buckets(self):
+        stage = StageMetrics("detect")
+        stage.count_label("antipatterns", "SNC", 2)
+        stage.count_label("antipatterns", "DW-Stifle")
+        assert stage.labels == {"antipatterns": {"SNC": 2, "DW-Stifle": 1}}
+
+    def test_merge_folds_everything(self):
+        left = StageMetrics("solve", counters={"records_in": 5},
+                            wall_seconds=1.0, calls=2)
+        left.count_label("solved", "SNC", 1)
+        right = StageMetrics("solve", counters={"records_in": 7},
+                             wall_seconds=0.5, calls=1)
+        right.count_label("solved", "SNC", 2)
+        right.count_label("solved", "CTH", 1)
+        left.merge(right)
+        assert left.get("records_in") == 12
+        assert left.labels["solved"] == {"SNC": 3, "CTH": 1}
+        assert left.wall_seconds == pytest.approx(1.5)
+        assert left.calls == 3
+
+    def test_as_dict_sorted_and_timing_toggle(self):
+        stage = StageMetrics("parse")
+        stage.count("z_last")
+        stage.count("a_first")
+        stage.wall_seconds = 0.25
+        stage.calls = 1
+        with_timings = stage.as_dict()
+        assert list(with_timings["counters"]) == ["a_first", "z_last"]
+        assert with_timings["wall_seconds"] == 0.25
+        bare = stage.as_dict(include_timings=False)
+        assert "wall_seconds" not in bare
+        assert "calls" not in bare
+
+
+class TestPipelineMetrics:
+    def test_stage_created_on_demand(self):
+        metrics = PipelineMetrics()
+        stage = metrics.stage("dedup")
+        assert stage is metrics.stage("dedup")
+        assert stage.name == "dedup"
+
+    def test_ensure_counters_creates_canonical_zeroes(self):
+        metrics = PipelineMetrics()
+        metrics.ensure_counters()
+        for name in SHARED_STAGES:
+            for counter in STAGE_COUNTERS[name]:
+                assert metrics.stage(name).get(counter) == 0
+
+    def test_as_dict_orders_stages_canonically(self):
+        metrics = PipelineMetrics()
+        metrics.stage("merge").count("records_out")
+        metrics.stage("custom_extra").count("x")
+        metrics.stage("dedup").count("records_in")
+        names = list(metrics.as_dict()["stages"])
+        assert names == ["dedup", "merge", "custom_extra"]
+        assert [s for s in STAGES if s in names] == names[:2]
+
+    def test_comparable_excludes_executor_specific_detail(self):
+        metrics = PipelineMetrics()
+        metrics.ensure_counters()
+        metrics.stage("detect").wall_seconds = 9.9
+        metrics.stage("detect").calls = 42
+        metrics.stage("registry").count("patterns", 3)
+        metrics.stage("merge").count("records_out", 7)
+        view = metrics.comparable()
+        assert set(view) == set(SHARED_STAGES)
+        assert "wall_seconds" not in view["detect"]
+        assert "calls" not in view["detect"]
+
+    def test_merge_is_shard_fold(self):
+        total = PipelineMetrics()
+        for piece in range(3):
+            shard = PipelineMetrics()
+            shard.stage("dedup").count("records_in", piece + 1)
+            shard.stage("detect").count_label("antipatterns", "SNC", 1)
+            total.merge(shard)
+        assert total.stage("dedup").get("records_in") == 6
+        assert total.stage("detect").labels["antipatterns"]["SNC"] == 3
+
+    def test_pickles_across_workers(self):
+        metrics = PipelineMetrics()
+        metrics.ensure_counters()
+        metrics.stage("detect").count_label("antipatterns", "SNC", 2)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.as_dict() == metrics.as_dict()
+
+
+class TestConservationLaws:
+    def balanced(self):
+        metrics = PipelineMetrics()
+        metrics.ensure_counters()
+        dedup = metrics.stage("dedup")
+        dedup.count("records_in", 10)
+        dedup.count("records_out", 8)
+        dedup.count("duplicates_removed", 2)
+        parse = metrics.stage("parse")
+        parse.count("records_in", 8)
+        parse.count("records_out", 6)
+        parse.count("syntax_errors", 1)
+        parse.count("non_select", 1)
+        metrics.stage("mine").count("queries_in", 6)
+        solve = metrics.stage("solve")
+        solve.count("records_in", 6)
+        solve.count("records_out", 4)
+        solve.count("queries_removed", 2)
+        return metrics
+
+    def test_balanced_ledger_has_no_violations(self):
+        assert self.balanced().conservation_violations() == []
+
+    def test_each_law_detects_imbalance(self):
+        for stage, counter in (
+            ("dedup", "duplicates_removed"),
+            ("parse", "syntax_errors"),
+            ("solve", "queries_removed"),
+            ("mine", "queries_in"),
+        ):
+            metrics = self.balanced()
+            metrics.stage(stage).count(counter, 1)
+            violations = metrics.conservation_violations()
+            assert violations, (stage, counter)
+            assert any(stage in violation for violation in violations)
+
+    def test_absent_counters_are_not_violations(self):
+        assert PipelineMetrics().conservation_violations() == []
+
+
+class TestRecorder:
+    def test_counts_land_in_ledger(self):
+        recorder = Recorder()
+        recorder.count("dedup", "records_in", 4)
+        recorder.count_label("detect", "antipatterns", "SNC")
+        recorder.add_seconds("parse", 0.5, calls=1)
+        assert recorder.metrics.stage("dedup").get("records_in") == 4
+        assert recorder.metrics.stage("parse").wall_seconds == 0.5
+        assert recorder.metrics.stage("parse").calls == 1
+
+    def test_span_times_with_injected_clock(self):
+        ticks = iter([10.0, 12.5])
+        recorder = Recorder(clock=lambda: next(ticks))
+        with recorder.span("mine"):
+            pass
+        stage = recorder.metrics.stage("mine")
+        assert stage.wall_seconds == pytest.approx(2.5)
+        assert stage.calls == 1
+
+    def test_span_emits_event_with_fields(self):
+        sink = InMemorySink()
+        ticks = iter([0.0, 1.0])
+        recorder = Recorder(sinks=[sink], clock=lambda: next(ticks))
+        with recorder.span("detect", block="u1"):
+            pass
+        (event,) = sink.spans("detect")
+        assert event["seconds"] == pytest.approx(1.0)
+        assert event["block"] == "u1"
+        assert event["seq"] == 0
+
+    def test_span_books_time_even_on_exception(self):
+        ticks = iter([0.0, 3.0])
+        recorder = Recorder(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with recorder.span("solve"):
+                raise RuntimeError("boom")
+        assert recorder.metrics.stage("solve").wall_seconds == pytest.approx(3.0)
+
+    def test_close_emits_final_metrics_event(self):
+        sink = InMemorySink()
+        recorder = Recorder(sinks=[sink])
+        recorder.count("dedup", "records_in", 2)
+        recorder.close()
+        final = sink.events[-1]
+        assert final["event"] == "metrics"
+        assert final["stages"]["dedup"]["counters"]["records_in"] == 2
+
+    def test_absorb_merges_worker_ledger(self):
+        worker = PipelineMetrics()
+        worker.stage("solve").count("instances_solved", 3)
+        recorder = Recorder()
+        recorder.absorb(worker)
+        recorder.absorb(worker)
+        assert recorder.metrics.stage("solve").get("instances_solved") == 6
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        recorder = NullRecorder()
+        recorder.count("dedup", "records_in", 5)
+        recorder.count_label("detect", "antipatterns", "SNC")
+        recorder.add_seconds("parse", 1.0, calls=1)
+        recorder.ensure_counters()
+        with recorder.span("mine"):
+            pass
+        recorder.close()
+        assert recorder.metrics.stages == {}
+        assert recorder.enabled is False
+
+    def test_shared_singleton_is_disabled(self):
+        assert isinstance(NULL, NullRecorder)
+        assert NULL.enabled is False
+
+
+class TestSinks:
+    def test_jsonl_sink_to_stream(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit({"event": "span", "stage": "dedup"})
+        sink.close()  # must NOT close a caller-owned stream
+        assert not buffer.closed
+        (line,) = buffer.getvalue().splitlines()
+        assert json.loads(line) == {"event": "span", "stage": "dedup"}
+
+    def test_jsonl_sink_owns_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"seq": 0})
+        sink.emit({"seq": 1})
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+
+    def test_in_memory_sink_copies_events(self):
+        sink = InMemorySink()
+        event = {"event": "span", "stage": "parse"}
+        sink.emit(event)
+        event["stage"] = "mutated"
+        assert sink.events[0]["stage"] == "parse"

@@ -1,6 +1,7 @@
 """Unit tests for CSV report export."""
 
 import csv
+import json
 
 import pytest
 
@@ -45,10 +46,21 @@ class TestExportReport:
             "cth_candidates",
             "sws",
             "solved",
+            "metrics",
         }
         assert set(written) == expected
         for path in written.values():
             assert path.exists()
+
+    def test_metrics_json_carries_stage_ledger(self, small_result, tmp_path):
+        written = export_report(small_result, tmp_path)
+        metrics = json.loads(written["metrics"].read_text(encoding="utf-8"))
+        stages = metrics["stages"]
+        assert set(stages) >= {"dedup", "parse", "mine", "detect", "solve"}
+        assert stages["dedup"]["counters"]["records_in"] == 5
+        assert stages["solve"]["counters"]["records_out"] == len(
+            small_result.clean_log
+        )
 
     def test_overview_contents(self, small_result, tmp_path):
         written = export_report(small_result, tmp_path)
