@@ -29,6 +29,13 @@ Quick start::
     result = repro.clean(log, execution="parallel")  # hash-sharded, all cores
 """
 
+from .errors import (
+    ERROR_POLICIES,
+    QuarantineChannel,
+    QuarantinedRecord,
+    RecordFailure,
+    ShardFailure,
+)
 from .log.models import LogRecord, QueryLog
 from .obs import (
     InMemorySink,
@@ -44,7 +51,7 @@ from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
 from .pipeline.parallel import ParallelCleaner, ParallelStats
 from .pipeline.streaming import StreamingCleaner, StreamingStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LogRecord",
@@ -52,6 +59,11 @@ __all__ = [
     "clean",
     "ExecutionConfig",
     "PipelineConfig",
+    "ERROR_POLICIES",
+    "QuarantineChannel",
+    "QuarantinedRecord",
+    "RecordFailure",
+    "ShardFailure",
     "CleaningPipeline",
     "PipelineResult",
     "ParallelCleaner",

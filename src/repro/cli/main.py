@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..analysis.experiment import run_downstream_experiment
 from ..antipatterns.base import DetectionContext
+from ..errors import QuarantineChannel
 from ..log.io import read_csv, read_jsonl, write_csv, write_jsonl
 from ..log.models import QueryLog
 from ..patterns.sws import SwsConfig
@@ -27,10 +28,14 @@ from ..workload.generator import WorkloadConfig, generate
 from ..workload.schema import skyserver_catalog
 
 
-def _read_log(path: str) -> QueryLog:
+def _read_log(
+    path: str,
+    errors: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
     if path.endswith(".jsonl"):
-        return read_jsonl(path)
-    return read_csv(path)
+        return read_jsonl(path, errors=errors, channel=channel)
+    return read_csv(path, errors=errors, channel=channel)
 
 
 def _write_log(log: QueryLog, path: str) -> None:
@@ -40,7 +45,12 @@ def _write_log(log: QueryLog, path: str) -> None:
         write_csv(log, path)
 
 
-def _default_config(dedup: float, use_schema: bool, sws: bool) -> PipelineConfig:
+def _default_config(
+    dedup: float,
+    use_schema: bool,
+    sws: bool,
+    error_policy: str = "strict",
+) -> PipelineConfig:
     detection = DetectionContext(
         key_columns=frozenset(skyserver_catalog().key_column_names())
         if use_schema
@@ -50,6 +60,7 @@ def _default_config(dedup: float, use_schema: bool, sws: bool) -> PipelineConfig
         dedup_threshold=dedup,
         detection=detection,
         sws=SwsConfig() if sws else None,
+        error_policy=error_policy,
     )
 
 
@@ -70,8 +81,14 @@ def cmd_clean(args: argparse.Namespace) -> int:
     from ..pipeline.api import clean
     from ..pipeline.config import ExecutionConfig
 
-    log = _read_log(args.input)
-    config = _default_config(args.dedup_threshold, args.skyserver_schema, args.sws)
+    io_channel = QuarantineChannel()
+    log = _read_log(args.input, args.error_policy, io_channel)
+    config = _default_config(
+        args.dedup_threshold,
+        args.skyserver_schema,
+        args.sws,
+        args.error_policy,
+    )
     if args.streaming and args.parallel:
         print("choose one of --streaming / --parallel", file=sys.stderr)
         return 2
@@ -89,10 +106,33 @@ def cmd_clean(args: argparse.Namespace) -> int:
         violations = result.metrics.conservation_violations()
         if violations:
             metrics["conservation_violations"] = violations
-        Path(args.metrics_json).write_text(
+        metrics_path = Path(args.metrics_json)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
             json.dumps(metrics, indent=2) + "\n", encoding="utf-8"
         )
         print(f"wrote per-stage metrics to {args.metrics_json}")
+    quarantine = QuarantineChannel()
+    quarantine.merge(io_channel)
+    quarantine.merge(result.quarantine)
+    if args.quarantine_json:
+        payload = {"error_policy": args.error_policy}
+        payload.update(quarantine.as_dict())
+        quarantine_path = Path(args.quarantine_json)
+        quarantine_path.parent.mkdir(parents=True, exist_ok=True)
+        quarantine_path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote quarantine report to {args.quarantine_json}")
+    if args.error_policy == "quarantine":
+        reasons = ", ".join(
+            f"{reason} {count:,}"
+            for reason, count in sorted(quarantine.by_reason().items())
+        )
+        print(
+            f"quarantined {len(quarantine):,} records"
+            + (f" ({reasons})" if reasons else "")
+        )
     if args.output:
         _write_log(result.clean_log, args.output)
         print(
@@ -281,6 +321,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's per-stage metrics ledger (counters, "
         "antipatterns by label, wall times) as JSON to PATH",
+    )
+    clean.add_argument(
+        "--error-policy",
+        choices=["strict", "lenient", "quarantine"],
+        default="strict",
+        help="what to do with unreadable/invalid/unparsable records: "
+        "strict raises, lenient drops and counts, quarantine drops, "
+        "counts and captures them for auditing",
+    )
+    clean.add_argument(
+        "--quarantine-json",
+        metavar="PATH",
+        help="write everything the run set aside (reasons + records) "
+        "as JSON to PATH (most useful with --error-policy quarantine)",
     )
     clean.add_argument(
         "--trace",

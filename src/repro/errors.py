@@ -1,0 +1,228 @@
+"""Error policies and the quarantine channel — fault tolerance primitives.
+
+A SkyServer-scale log is never clean: records carry NaN timestamps from
+clock glitches, truncated or garbage SQL, and pathological statements
+that exhaust the parser.  Every execution path of the pipeline degrades
+according to one :data:`ERROR_POLICIES` value carried on
+``PipelineConfig.error_policy``:
+
+* ``"strict"`` — the historical all-or-nothing behaviour.  Structurally
+  invalid records (non-finite timestamps, non-string statements) raise
+  :class:`RecordFailure` on first contact; parse failures keep their
+  classic counted-and-excluded treatment (Section 5.3).
+* ``"lenient"`` — invalid records are dropped and counted; nothing is
+  retained about them beyond the ledger counters.
+* ``"quarantine"`` — invalid records and failed parses are routed into
+  a :class:`QuarantineChannel` exposed on every ``PipelineResult`` and
+  serialised by ``export_report``, so a degraded run stays auditable:
+  clean output + an exact, reasoned list of what was set aside.
+
+The module is standalone (imports nothing from :mod:`repro.pipeline` or
+:mod:`repro.obs`) so that IO, executors and the CLI can all share it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .log.models import LogRecord
+
+#: Error policies understood by the pipeline, in increasing tolerance.
+ERROR_POLICIES = ("strict", "lenient", "quarantine")
+
+# ----------------------------------------------------------------------
+# Failure reasons (the quarantine taxonomy)
+
+#: timestamp is NaN / infinite / not a number — unusable for ordering.
+INVALID_TIMESTAMP = "invalid_timestamp"
+#: statement is not a string (truncated or corrupted log line).
+INVALID_STATEMENT = "invalid_statement"
+#: the SQL front end rejected the statement (Section 5.3's misparses).
+PARSE_ERROR = "parse_error"
+#: statement exceeds the tree-walkers' supported nesting depth
+#: (``RecursionError`` while parsing / extracting features).
+NESTING_DEPTH = "nesting_depth"
+#: raw input line could not even be turned into a ``LogRecord``.
+UNREADABLE_RECORD = "unreadable_record"
+#: a parallel shard failed terminally; its records were set aside whole.
+SHARD_FAILURE = "shard_failure"
+
+
+def validate_error_policy(policy: str) -> str:
+    """Validate and return ``policy``; raise ``ValueError`` otherwise."""
+    if policy not in ERROR_POLICIES:
+        raise ValueError(
+            f"error_policy must be one of {ERROR_POLICIES}, got {policy!r}"
+        )
+    return policy
+
+
+def record_fault(record: "LogRecord") -> Optional[str]:
+    """Structural fault class of ``record``, or ``None`` when sound.
+
+    This is the validate stage's rule, shared by every executor so the
+    per-record verdict — and therefore every ledger counter derived from
+    it — is identical across batch / streaming / parallel.
+    """
+    timestamp = record.timestamp
+    if not isinstance(timestamp, (int, float)) or not math.isfinite(timestamp):
+        return INVALID_TIMESTAMP
+    if not isinstance(record.sql, str):
+        return INVALID_STATEMENT
+    return None
+
+
+class RecordFailure(Exception):
+    """A record failed under the ``strict`` policy.
+
+    Carries the offending record so callers can report *which* input
+    broke the run, not just that something did.
+    """
+
+    def __init__(
+        self,
+        record: Optional["LogRecord"],
+        reason: str,
+        stage: str,
+        detail: str = "",
+    ) -> None:
+        super().__init__(record, reason, stage, detail)
+        self.record = record
+        self.reason = reason
+        self.stage = stage
+        self.detail = detail
+
+    def __str__(self) -> str:
+        where = f"{self.stage} stage" if self.stage else "pipeline"
+        text = f"{self.reason} in {where}"
+        if self.record is not None:
+            text += f" (record seq={self.record.seq})"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+
+class ShardFailure(Exception):
+    """A parallel shard failed terminally under the ``strict`` policy
+    (worker crash, timeout or stage exception, after all retries)."""
+
+    def __init__(self, shard: int, attempts: int, detail: str) -> None:
+        super().__init__(shard, attempts, detail)
+        self.shard = shard
+        self.attempts = attempts
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.shard} failed after {self.attempts} attempt(s): "
+            f"{self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record (or raw input line) set aside by the quarantine policy.
+
+    :param record: the offending :class:`~repro.log.models.LogRecord`,
+        when one could be constructed; ``None`` for raw IO rejects.
+    :param reason: one of the module's reason constants.
+    :param stage: pipeline stage that rejected it (``io`` / ``validate``
+        / ``parse`` / ``shard``).
+    :param detail: human-readable specifics (parser message, traceback
+        summary, raw line excerpt).
+    """
+
+    record: Optional["LogRecord"]
+    reason: str
+    stage: str
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for JSON serialisation."""
+        data: Dict[str, object] = {
+            "reason": self.reason,
+            "stage": self.stage,
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        if self.record is not None:
+            data["record"] = {
+                "seq": self.record.seq,
+                "timestamp": repr(self.record.timestamp),
+                "user": self.record.user,
+                "sql": self.record.sql
+                if isinstance(self.record.sql, str)
+                else repr(self.record.sql),
+            }
+        return data
+
+
+@dataclass
+class QuarantineChannel:
+    """Ordered collection of everything a run set aside.
+
+    Plain data throughout, so a channel pickles across multiprocessing
+    workers (each worker fills its own; the parent folds them with
+    :meth:`merge`) and serialises to JSON via :meth:`as_dict`.
+    """
+
+    entries: List[QuarantinedRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        record: Optional["LogRecord"],
+        reason: str,
+        stage: str,
+        detail: str = "",
+    ) -> None:
+        """Quarantine one record."""
+        self.entries.append(QuarantinedRecord(record, reason, stage, detail))
+
+    def add_raw(self, raw: str, reason: str, stage: str, detail: str = "") -> None:
+        """Quarantine an input line that never became a record."""
+        excerpt = raw if len(raw) <= 200 else raw[:200] + "…"
+        self.entries.append(
+            QuarantinedRecord(None, reason, stage, detail or excerpt)
+        )
+
+    def merge(self, other: "QuarantineChannel") -> None:
+        """Fold another channel's entries into this one (sharded runs)."""
+        self.entries.extend(other.entries)
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[QuarantinedRecord]:
+        return iter(self.entries)
+
+    def records(self) -> List["LogRecord"]:
+        """The quarantined records (raw IO rejects excluded)."""
+        return [e.record for e in self.entries if e.record is not None]
+
+    def seqs(self) -> List[int]:
+        """Sorted seq numbers of the quarantined records."""
+        return sorted(e.record.seq for e in self.entries if e.record is not None)
+
+    def by_reason(self) -> Dict[str, int]:
+        """Entry counts per failure reason."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic plain-dict rendering (``quarantine.json``)."""
+        return {
+            "count": len(self.entries),
+            "by_reason": dict(sorted(self.by_reason().items())),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }

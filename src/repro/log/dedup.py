@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple, Union
 
-from .models import LogRecord, QueryLog
+from .models import LogRecord, QueryLog, record_order_key
 
 
 def normalize_statement_text(sql: str) -> str:
@@ -49,7 +49,9 @@ class DedupResult:
         return len(self.log)
 
 
-def delete_duplicates(log: QueryLog, threshold: float = 1.0) -> DedupResult:
+def delete_duplicates(
+    log: Union[QueryLog, Iterable[LogRecord]], threshold: float = 1.0
+) -> DedupResult:
     """Remove duplicate statements from ``log``.
 
     A record is a duplicate iff an identical statement (after whitespace
@@ -59,6 +61,13 @@ def delete_duplicates(log: QueryLog, threshold: float = 1.0) -> DedupResult:
     the first one only when each reload lands within ``threshold`` of the
     previously *seen* one — matching the paper's "small difference in
     time" reading and keeping the pass O(n).
+
+    The single-pass rule assumes per-user timestamps are non-decreasing;
+    an out-of-order input (clock skew, raw merged shards passed as a
+    plain list) would silently under-remove.  The records are therefore
+    stable-sorted into (timestamp, seq) order first — a no-op for the
+    usual already-sorted :class:`QueryLog` input, and the correctness
+    guarantee for everything else.
 
     :param threshold: seconds; use ``math.inf`` for the unrestricted
         variant of Table 4.
@@ -70,7 +79,7 @@ def delete_duplicates(log: QueryLog, threshold: float = 1.0) -> DedupResult:
     last_seen: Dict[Tuple[str, str], float] = {}
     kept = []
     removed = 0
-    for record in log:
+    for record in sorted(log, key=record_order_key):
         key = (record.user_key(), normalize_statement_text(record.sql))
         previous = last_seen.get(key)
         if previous is not None and record.timestamp - previous <= threshold:

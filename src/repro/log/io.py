@@ -3,6 +3,13 @@
 The CSV layout mirrors the SkyServer SQL-log export the paper points to
 (statement, timestamp, IP, session label, row count); JSONL is offered for
 lossless round-trips of synthetic logs with ground truth kept elsewhere.
+
+Both readers take an ``errors`` policy (:data:`repro.errors
+.ERROR_POLICIES`): ``"strict"`` raises on the first malformed row (the
+historical behaviour), ``"lenient"`` skips it, and ``"quarantine"``
+skips it *and* records the raw line in the caller-supplied
+:class:`~repro.errors.QuarantineChannel` — real log exports are full of
+truncated lines, and dying on line 31 of 42 million is not an option.
 """
 
 from __future__ import annotations
@@ -10,8 +17,13 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Optional, Union
 
+from ..errors import (
+    UNREADABLE_RECORD,
+    QuarantineChannel,
+    validate_error_policy,
+)
 from .models import LogRecord, QueryLog
 
 PathLike = Union[str, Path]
@@ -38,9 +50,21 @@ def write_csv(log: QueryLog, path: PathLike) -> None:
             )
 
 
-def read_csv(path: PathLike) -> QueryLog:
+def read_csv(
+    path: PathLike,
+    *,
+    errors: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
     """Read a CSV written by :func:`write_csv` (or hand-made with the same
-    header).  Empty metadata cells become ``None``."""
+    header).  Empty metadata cells become ``None``.
+
+    :param errors: malformed-row policy (``strict`` raises, ``lenient``
+        skips, ``quarantine`` skips and records into ``channel``).
+    :param channel: quarantine channel for rejected rows; only consulted
+        under the ``quarantine`` policy.
+    """
+    validate_error_policy(errors)
     records = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
@@ -50,17 +74,30 @@ def read_csv(path: PathLike) -> QueryLog:
                 f"log CSV {path} is missing columns: {sorted(missing)}"
             )
         for row in reader:
-            records.append(
-                LogRecord(
-                    seq=int(row["seq"]),
-                    sql=row["sql"],
-                    timestamp=float(row["timestamp"]),
-                    user=row["user"] or None,
-                    ip=row["ip"] or None,
-                    session=row["session"] or None,
-                    rows=int(row["rows"]) if row["rows"] else None,
+            try:
+                records.append(
+                    LogRecord(
+                        seq=int(row["seq"]),
+                        sql=row["sql"],
+                        timestamp=float(row["timestamp"]),
+                        user=row["user"] or None,
+                        ip=row["ip"] or None,
+                        session=row["session"] or None,
+                        rows=int(row["rows"]) if row["rows"] else None,
+                    )
                 )
-            )
+            except (TypeError, ValueError, KeyError) as exc:
+                if errors == "strict":
+                    raise ValueError(
+                        f"{path}:{reader.line_num}: malformed row: {exc}"
+                    ) from exc
+                if errors == "quarantine" and channel is not None:
+                    channel.add_raw(
+                        str(row),
+                        UNREADABLE_RECORD,
+                        "io",
+                        detail=f"{path}:{reader.line_num}: {exc}",
+                    )
     return QueryLog(records)
 
 
@@ -85,8 +122,17 @@ def write_jsonl(log: QueryLog, path: PathLike) -> None:
             handle.write("\n")
 
 
-def read_jsonl(path: PathLike) -> QueryLog:
-    """Read a JSONL log written by :func:`write_jsonl`."""
+def read_jsonl(
+    path: PathLike,
+    *,
+    errors: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
+    """Read a JSONL log written by :func:`write_jsonl`.
+
+    ``errors`` / ``channel`` behave as in :func:`read_csv`.
+    """
+    validate_error_policy(errors)
     records = []
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -95,19 +141,37 @@ def read_jsonl(path: PathLike) -> QueryLog:
                 continue
             try:
                 data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-            records.append(
-                LogRecord(
-                    seq=int(data["seq"]),
-                    sql=data["sql"],
-                    timestamp=float(data["timestamp"]),
-                    user=data.get("user"),
-                    ip=data.get("ip"),
-                    session=data.get("session"),
-                    rows=data.get("rows"),
+                records.append(
+                    LogRecord(
+                        seq=int(data["seq"]),
+                        sql=data["sql"],
+                        timestamp=float(data["timestamp"]),
+                        user=data.get("user"),
+                        ip=data.get("ip"),
+                        session=data.get("session"),
+                        rows=data.get("rows"),
+                    )
                 )
-            )
+            except (
+                json.JSONDecodeError,
+                TypeError,
+                ValueError,
+                KeyError,
+            ) as exc:
+                if errors == "strict":
+                    kind = (
+                        "invalid JSON"
+                        if isinstance(exc, json.JSONDecodeError)
+                        else "malformed line"
+                    )
+                    raise ValueError(
+                        f"{path}:{line_number}: {kind}: {exc}"
+                    ) from exc
+                if errors == "quarantine" and channel is not None:
+                    channel.add_raw(
+                        line,
+                        UNREADABLE_RECORD,
+                        "io",
+                        detail=f"{path}:{line_number}: {exc}",
+                    )
     return QueryLog(records)

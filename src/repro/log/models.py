@@ -10,6 +10,7 @@ framework works with that minimal input).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -53,6 +54,22 @@ class LogRecord:
         return replace(self, sql=sql)
 
 
+def record_order_key(record: LogRecord) -> Tuple[int, float, int]:
+    """The canonical (timestamp, seq) sort key, made NaN-safe.
+
+    ``sorted`` with raw NaN timestamps silently mis-orders *neighbouring
+    valid records* too (NaN compares false both ways, breaking Timsort's
+    transitivity assumption).  Ranking NaN records after every finite
+    one — deterministically, by seq — keeps the valid prefix perfectly
+    ordered, so downstream validation can quarantine the tail without
+    the garbage having scrambled the good records.
+    """
+    timestamp = record.timestamp
+    if isinstance(timestamp, float) and math.isnan(timestamp):
+        return (1, 0.0, record.seq)
+    return (0, timestamp, record.seq)
+
+
 class QueryLog:
     """An ordered, indexable query log.
 
@@ -63,9 +80,7 @@ class QueryLog:
     """
 
     def __init__(self, records: Iterable[LogRecord] = ()) -> None:
-        self._records: List[LogRecord] = sorted(
-            records, key=lambda r: (r.timestamp, r.seq)
-        )
+        self._records: List[LogRecord] = sorted(records, key=record_order_key)
 
     # ------------------------------------------------------------------
     # Container protocol

@@ -31,18 +31,36 @@ from typing import Dict, List, Optional
 
 #: Stage names in execution order.  ``registry`` is batch-only (needs the
 #: whole log), ``merge`` is parallel-only (parent-side re-ordering).
-STAGES = ("dedup", "parse", "mine", "detect", "solve", "registry", "merge")
+STAGES = (
+    "validate",
+    "dedup",
+    "parse",
+    "mine",
+    "detect",
+    "solve",
+    "registry",
+    "merge",
+)
 
 #: The stages every executor runs — the domain of :meth:`comparable`.
-SHARED_STAGES = ("dedup", "parse", "mine", "detect", "solve")
+SHARED_STAGES = ("validate", "dedup", "parse", "mine", "detect", "solve")
 
 #: Canonical counter names per shared stage (the docs' metric table).
 #: Executors pre-create these at zero so that runs over degenerate
 #: inputs (an empty log, a log with no antipatterns) still produce
 #: structurally identical ledgers across batch / streaming / parallel.
+#: ``records_quarantined`` counts records set aside by the error policy
+#: (dropped under ``lenient``, captured under ``quarantine``).
 STAGE_COUNTERS = {
+    "validate": ("records_in", "records_out", "records_quarantined"),
     "dedup": ("records_in", "records_out", "duplicates_removed"),
-    "parse": ("records_in", "records_out", "syntax_errors", "non_select"),
+    "parse": (
+        "records_in",
+        "records_out",
+        "syntax_errors",
+        "non_select",
+        "records_quarantined",
+    ),
     "mine": ("queries_in", "blocks", "pattern_instances", "periodic_runs"),
     "detect": ("blocks_in", "instances_detected"),
     "solve": (
@@ -194,12 +212,13 @@ class PipelineMetrics:
 
         An empty list means every query is accounted for:
 
+        * validate: ``records_in == records_out + records_quarantined``
         * dedup:  ``records_in == records_out + duplicates_removed``
         * parse:  ``records_in == records_out + syntax_errors +
-          non_select``
+          non_select + records_quarantined``
         * solve:  ``records_in == records_out + queries_removed``
-        * hand-offs: dedup out == parse in, parse out == mine in ==
-          solve in.
+        * hand-offs: validate out == dedup in, dedup out == parse in,
+          parse out == mine in == solve in.
         """
         violations: List[str] = []
 
@@ -215,6 +234,16 @@ class PipelineMetrics:
                 return None
             return metrics.counters[name]
 
+        validate_in = counter("validate", "records_in")
+        validate_out = counter("validate", "records_out")
+        validate_quarantined = counter("validate", "records_quarantined")
+        if None not in (validate_in, validate_out, validate_quarantined):
+            check(
+                "validate: records_in == records_out + records_quarantined",
+                validate_in,
+                validate_out + validate_quarantined,
+            )
+
         dedup_in = counter("dedup", "records_in")
         dedup_out = counter("dedup", "records_out")
         dups = counter("dedup", "duplicates_removed")
@@ -229,11 +258,15 @@ class PipelineMetrics:
         parse_out = counter("parse", "records_out")
         syntax = counter("parse", "syntax_errors")
         non_select = counter("parse", "non_select")
+        # Pre-quarantine ledgers have no records_quarantined counter;
+        # treat its absence as zero so old ledgers still validate.
+        parse_quarantined = counter("parse", "records_quarantined") or 0
         if None not in (parse_in, parse_out, syntax, non_select):
             check(
-                "parse: records_in == records_out + syntax_errors + non_select",
+                "parse: records_in == records_out + syntax_errors"
+                " + non_select + records_quarantined",
                 parse_in,
-                parse_out + syntax + non_select,
+                parse_out + syntax + non_select + parse_quarantined,
             )
 
         solve_in = counter("solve", "records_in")
@@ -246,6 +279,8 @@ class PipelineMetrics:
                 solve_out + removed,
             )
 
+        check("hand-off: validate.records_out == dedup.records_in",
+              validate_out, dedup_in)
         check("hand-off: dedup.records_out == parse.records_in",
               dedup_out, parse_in)
         check("hand-off: parse.records_out == mine.queries_in",

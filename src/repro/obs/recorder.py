@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from pathlib import Path
 from typing import IO, Iterator, List, Mapping, Optional, Sequence, Union
 
 from .metrics import PipelineMetrics
@@ -79,6 +80,8 @@ class JsonlSink(Sink):
     def _ensure_handle(self) -> "IO[str]":
         if self._handle is None:
             if self._owns_handle:
+                parent = Path(self._target).parent
+                parent.mkdir(parents=True, exist_ok=True)
                 self._handle = open(self._target, "w", encoding="utf-8")
             else:
                 self._handle = self._target  # type: ignore[assignment]

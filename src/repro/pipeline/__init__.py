@@ -5,6 +5,13 @@ execution modes of the same pipeline, selected by
 :class:`ExecutionConfig`.
 """
 
+from ..errors import (
+    ERROR_POLICIES,
+    QuarantineChannel,
+    QuarantinedRecord,
+    RecordFailure,
+    ShardFailure,
+)
 from ..obs import (
     InMemorySink,
     JsonlSink,
@@ -29,6 +36,7 @@ from .framework import (
     parse_stage,
     registry_stage,
     solve_stage,
+    validate_stage,
 )
 from .parallel import (
     ParallelCleaner,
@@ -54,7 +62,14 @@ __all__ = [
     "ParseStageResult",
     "PipelineResult",
     "parse_log",
+    # error policies / quarantine (re-exported from repro.errors)
+    "ERROR_POLICIES",
+    "QuarantineChannel",
+    "QuarantinedRecord",
+    "RecordFailure",
+    "ShardFailure",
     # stage functions (shared by all execution paths)
+    "validate_stage",
     "dedup_stage",
     "parse_stage",
     "mine_stage",

@@ -93,6 +93,7 @@ def clean(
             streaming_stats=cleaner.stats,
             execution_mode="streaming",
             metrics=metrics,
+            quarantine=cleaner.quarantine,
         )
     if mode == "parallel":
         from .parallel import ParallelCleaner
@@ -106,6 +107,7 @@ def clean(
             parallel_stats=parallel_cleaner.stats,
             execution_mode="parallel",
             metrics=metrics,
+            quarantine=parallel_cleaner.quarantine,
         )
     raise ValueError(  # pragma: no cover - ExecutionConfig validates mode
         f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"

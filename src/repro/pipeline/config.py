@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..antipatterns.base import DetectionContext, Detector
+from ..errors import validate_error_policy
 from ..patterns.miner import MinerConfig
 from ..patterns.sws import SwsConfig
 
@@ -36,12 +37,25 @@ class ExecutionConfig:
     :param chunk_size: target number of records per worker task in
         parallel mode.  Smaller chunks balance skewed users better but
         cost more inter-process traffic; a chunk never splits a user.
+    :param max_shard_retries: how many times a failed parallel shard is
+        re-submitted (worker crash, timeout, transient stage exception)
+        before it is declared terminally failed and handed to the error
+        policy.  ``0`` disables retries.
+    :param retry_backoff: base sleep (seconds) between retry rounds;
+        doubles each round.
+    :param task_timeout: per-shard wall-clock budget in seconds for
+        parallel mode; ``None`` (the default) waits indefinitely.  A
+        shard exceeding it is treated like a crashed worker: the pool is
+        recycled and the shard re-queued.
     """
 
     mode: str = "batch"
     workers: int = 0
     max_block_queries: int = 10_000
     chunk_size: int = 4096
+    max_shard_retries: int = 2
+    retry_backoff: float = 0.05
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -56,6 +70,18 @@ class ExecutionConfig:
             )
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
 
     def resolved_workers(self) -> int:
         """The effective worker count (``workers`` or the CPU count)."""
@@ -81,6 +107,10 @@ class PipelineConfig:
     :param fold_variables: skeletonize ``@variables`` too.
     :param strict_triple: use the paper-verbatim template identity
         (SFC, SWC, SSC only — no GROUP/ORDER/TOP component).
+    :param error_policy: what to do with records the pipeline cannot
+        process (see :mod:`repro.errors`): ``"strict"`` raises,
+        ``"lenient"`` drops and counts, ``"quarantine"`` drops, counts
+        and captures them in the result's quarantine channel.
     :param execution: execution-mode parameters (see
         :class:`ExecutionConfig`); configuration of *what* to compute is
         everything above, *how* to run it is this one object.
@@ -93,4 +123,8 @@ class PipelineConfig:
     sws: Optional[SwsConfig] = None
     fold_variables: bool = False
     strict_triple: bool = False
+    error_policy: str = "strict"
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        validate_error_policy(self.error_policy)

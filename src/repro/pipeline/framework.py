@@ -32,6 +32,13 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 from ..antipatterns.base import run_detectors
 from ..antipatterns.cth import CthCensusRow, cth_census
 from ..antipatterns.types import CTH_CANDIDATE, AntipatternInstance
+from ..errors import (
+    NESTING_DEPTH,
+    PARSE_ERROR,
+    QuarantineChannel,
+    RecordFailure,
+    record_fault,
+)
 from ..log.dedup import DedupResult, delete_duplicates
 from ..log.models import LogRecord, QueryLog
 from ..obs import NULL, PipelineMetrics, Recorder
@@ -51,11 +58,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 
 @dataclass
 class ParseStageResult:
-    """Outcome of the parse stage (Section 5.3)."""
+    """Outcome of the parse stage (Section 5.3).
+
+    ``quarantined`` is only populated under the ``quarantine`` error
+    policy: the records that failed to parse and were routed into the
+    run's :class:`~repro.errors.QuarantineChannel` instead of being
+    counted as syntax errors.
+    """
 
     queries: List[ParsedQuery] = field(default_factory=list)
     syntax_errors: List[Tuple[LogRecord, str]] = field(default_factory=list)
     non_select: List[LogRecord] = field(default_factory=list)
+    quarantined: List[LogRecord] = field(default_factory=list)
 
     @property
     def parsed_log(self) -> QueryLog:
@@ -72,6 +86,43 @@ class ParseStageResult:
 # that every executor composing these functions emits identical
 # per-stage metrics.  Without a recorder the functions behave exactly as
 # before — :data:`repro.obs.NULL` makes instrumentation a no-op.
+
+
+def validate_stage(
+    log: QueryLog,
+    config: PipelineConfig,
+    recorder: Optional[Recorder] = None,
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
+    """Stage 0: reject structurally unusable records.
+
+    :func:`repro.errors.record_fault` is the shared verdict — a record
+    with a non-finite timestamp or a non-string statement cannot be
+    ordered or parsed, so no stage downstream of this one ever sees it.
+    What happens to the rejects is the config's ``error_policy``:
+    ``strict`` raises :class:`~repro.errors.RecordFailure`, ``lenient``
+    drops and counts, ``quarantine`` also captures them in ``channel``.
+    """
+    recorder = recorder or NULL
+    policy = config.error_policy
+    with recorder.span("validate"):
+        kept: List[LogRecord] = []
+        dropped = 0
+        for record in log:
+            reason = record_fault(record)
+            if reason is None:
+                kept.append(record)
+                continue
+            if policy == "strict":
+                raise RecordFailure(record, reason, "validate")
+            dropped += 1
+            if policy == "quarantine" and channel is not None:
+                channel.add(record, reason, "validate")
+        result = log if dropped == 0 else QueryLog(kept)
+    recorder.count("validate", "records_in", len(kept) + dropped)
+    recorder.count("validate", "records_out", len(kept))
+    recorder.count("validate", "records_quarantined", dropped)
+    return result
 
 
 def dedup_stage(
@@ -95,6 +146,8 @@ def parse_log(
     fold_variables: bool = False,
     strict_triple: bool = False,
     recorder: Optional[Recorder] = None,
+    policy: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
 ) -> ParseStageResult:
     """Parse every statement; classify failures (Fig. 1's parse stage).
 
@@ -102,11 +155,18 @@ def parse_log(
     paper), so parsing and feature extraction are cached per distinct
     statement text: a repeated statement reuses the immutable AST,
     template and clause features and only swaps in its own log record.
+
+    Parse failures are part of the paper's accounting, not exceptions:
+    under ``strict`` and ``lenient`` they keep the classic
+    counted-as-``syntax_errors`` treatment (Section 5.3).  Under
+    ``quarantine`` they are booked as ``records_quarantined`` and routed
+    into ``channel`` with a :data:`~repro.errors.PARSE_ERROR` or
+    :data:`~repro.errors.NESTING_DEPTH` reason instead.
     """
     recorder = recorder or NULL
     result = ParseStageResult()
     with recorder.span("parse"):
-        #: sql text -> prototype ParsedQuery, or the SqlError to re-raise.
+        #: sql text -> prototype ParsedQuery, or an (error, reason) pair.
         cache: dict = {}
         for record in log:
             cached = cache.get(record.sql)
@@ -120,21 +180,27 @@ def parse_log(
                         strict_triple=strict_triple,
                     )
                 except SqlError as error:
-                    cached = error
+                    cached = (error, PARSE_ERROR)
                 except RecursionError:
                     # Pathologically deep expressions (hundreds of nested
                     # conjuncts) exceed the tree-walker capacity; classify
                     # them like any other unprocessable statement instead
                     # of crashing the run.
-                    cached = SqlError(
-                        "statement exceeds supported nesting depth"
+                    cached = (
+                        SqlError("statement exceeds supported nesting depth"),
+                        NESTING_DEPTH,
                     )
                 cache[record.sql] = cached
-            if isinstance(cached, UnsupportedStatementError):
-                result.non_select.append(record)
-                continue
-            if isinstance(cached, SqlError):
-                result.syntax_errors.append((record, str(cached)))
+            if isinstance(cached, tuple):
+                error, reason = cached
+                if isinstance(error, UnsupportedStatementError):
+                    result.non_select.append(record)
+                elif policy == "quarantine":
+                    result.quarantined.append(record)
+                    if channel is not None:
+                        channel.add(record, reason, "parse", detail=str(error))
+                else:
+                    result.syntax_errors.append((record, str(error)))
                 continue
             if cached.record is record:
                 result.queries.append(cached)
@@ -145,11 +211,15 @@ def parse_log(
     recorder.count(
         "parse",
         "records_in",
-        len(result.queries) + len(result.syntax_errors) + len(result.non_select),
+        len(result.queries)
+        + len(result.syntax_errors)
+        + len(result.non_select)
+        + len(result.quarantined),
     )
     recorder.count("parse", "records_out", len(result.queries))
     recorder.count("parse", "syntax_errors", len(result.syntax_errors))
     recorder.count("parse", "non_select", len(result.non_select))
+    recorder.count("parse", "records_quarantined", len(result.quarantined))
     return result
 
 
@@ -157,6 +227,7 @@ def parse_stage(
     log: Iterable[LogRecord],
     config: PipelineConfig,
     recorder: Optional[Recorder] = None,
+    channel: Optional[QuarantineChannel] = None,
 ) -> ParseStageResult:
     """Stage 2: :func:`parse_log` with the config's parsing knobs."""
     return parse_log(
@@ -164,6 +235,8 @@ def parse_stage(
         fold_variables=config.fold_variables,
         strict_triple=config.strict_triple,
         recorder=recorder,
+        policy=config.error_policy,
+        channel=channel,
     )
 
 
@@ -323,6 +396,10 @@ class PipelineResult:
     #: the run's observability ledger (every execution mode fills it;
     #: ``None`` only when the run was driven with the null recorder).
     metrics: Optional[PipelineMetrics] = None
+    #: everything the run set aside under the ``quarantine`` error
+    #: policy; empty under ``strict`` / ``lenient``.  Every execution
+    #: mode fills it, so callers can audit degraded runs uniformly.
+    quarantine: QuarantineChannel = field(default_factory=QuarantineChannel)
 
     def _artifact(self, value, name: str):
         if value is None:
@@ -404,9 +481,11 @@ class CleaningPipeline:
         config = self.config
         recorder = Recorder() if recorder is None else recorder
         recorder.ensure_counters()
+        channel = QuarantineChannel()
 
-        dedup = dedup_stage(log, config, recorder)
-        parse_result = parse_stage(dedup.log, config, recorder)
+        validated = validate_stage(log, config, recorder, channel)
+        dedup = dedup_stage(validated, config, recorder)
+        parse_result = parse_stage(dedup.log, config, recorder, channel)
         mining = mine_stage(parse_result.queries, config, recorder)
         antipatterns = detect_stage(mining.blocks, config, recorder)
         registry, sws_report = registry_stage(
@@ -428,6 +507,7 @@ class CleaningPipeline:
             sws_report=sws_report,
             execution_mode="batch",
             metrics=recorder.metrics if recorder.enabled else None,
+            quarantine=channel,
         )
 
 

@@ -24,6 +24,20 @@ Because every stage a worker runs is user-local, the merged clean log is
 record-for-record identical to the batch pipeline's.  Global artifacts
 (pattern registry, SWS, Table-5 overview) need the whole log and are out
 of scope here, exactly as in the streaming path.
+
+**Fault tolerance.**  The fan-out runs on
+:class:`concurrent.futures.ProcessPoolExecutor` rather than
+``multiprocessing.Pool`` because a killed worker surfaces promptly as
+``BrokenProcessPool`` instead of hanging the parent forever.  A shard
+whose worker crashed, timed out (``execution.task_timeout``) or raised a
+transient exception is re-queued up to ``execution.max_shard_retries``
+times with exponential backoff; a shard that exhausts its retries is
+handed to the config's ``error_policy`` — ``strict`` raises
+:class:`~repro.errors.ShardFailure`, ``lenient`` drops its records,
+``quarantine`` sets them aside whole with a
+:data:`~repro.errors.SHARD_FAILURE` reason.  A
+:class:`~repro.errors.RecordFailure` from a worker is a *verdict*, not a
+fault, and is re-raised immediately without retrying.
 """
 
 from __future__ import annotations
@@ -31,9 +45,17 @@ from __future__ import annotations
 import multiprocessing
 import time
 import zlib
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import (
+    SHARD_FAILURE,
+    QuarantineChannel,
+    RecordFailure,
+    ShardFailure,
+)
 from ..log.models import LogRecord, QueryLog
 from ..obs import PipelineMetrics, Recorder
 from .config import PipelineConfig
@@ -43,6 +65,7 @@ from .framework import (
     mine_stage,
     parse_stage,
     solve_stage,
+    validate_stage,
 )
 from .streaming import StreamingStats
 
@@ -112,6 +135,8 @@ class ShardReport:
     wall_seconds: float
     #: the worker's full observability ledger (plain data — pickles).
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    #: records this shard set aside under the ``quarantine`` policy.
+    quarantine: QuarantineChannel = field(default_factory=QuarantineChannel)
 
 
 @dataclass
@@ -129,6 +154,10 @@ class ParallelStats:
     :param shards: the per-shard reports (clean records dropped).
     :param metrics: the run's merged observability ledger (all shards'
         counters and stage times folded together, plus the merge stage).
+    :param shards_retried: how many shard re-submissions the run needed
+        (worker crashes, timeouts, transient exceptions).
+    :param shards_failed: shards that exhausted their retries and were
+        handed to the error policy.
     """
 
     workers: int
@@ -138,6 +167,8 @@ class ParallelStats:
     wall_seconds: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    shards_retried: int = 0
+    shards_failed: int = 0
 
     @property
     def records_in(self) -> int:
@@ -209,9 +240,11 @@ def _clean_shard(
     started = time.perf_counter()
     shard_log = QueryLog(records)
     recorder = Recorder()
+    channel = QuarantineChannel()
 
-    dedup = dedup_stage(shard_log, config, recorder)
-    parsed = parse_stage(dedup.log, config, recorder)
+    validated = validate_stage(shard_log, config, recorder, channel)
+    dedup = dedup_stage(validated, config, recorder)
+    parsed = parse_stage(dedup.log, config, recorder, channel)
     mining = mine_stage(parsed.queries, config, recorder)
     antipatterns = detect_stage(mining.blocks, config, recorder)
     solve_result = solve_stage(parsed.parsed_log, antipatterns, recorder)
@@ -221,9 +254,11 @@ def _clean_shard(
     stats = StreamingStats(
         records_in=len(records),
         records_out=len(clean_records),
+        records_invalid=len(shard_log) - len(validated),
         duplicates_removed=dedup.removed,
         syntax_errors=len(parsed.syntax_errors),
         non_select=len(parsed.non_select),
+        parse_quarantined=len(parsed.quarantined),
         blocks_closed=len(mining.blocks),
         blocks_force_closed=0,  # workers hold whole blocks; no size bound
         instances_detected=len(antipatterns),
@@ -239,6 +274,7 @@ def _clean_shard(
         timings=timings,
         wall_seconds=time.perf_counter() - started,
         metrics=recorder.metrics,
+        quarantine=channel,
     )
 
 
@@ -262,6 +298,166 @@ class ParallelCleaner:
         self.stats = ParallelStats(
             workers=self.config.execution.resolved_workers(), shard_count=0
         )
+        #: everything the last run set aside (quarantine policy only).
+        self.quarantine = QuarantineChannel()
+
+    # ------------------------------------------------------------------
+    # Fault handling
+
+    def _terminal_failure(
+        self,
+        shard: int,
+        records: Sequence[LogRecord],
+        attempts: int,
+        detail: str,
+        quarantine: QuarantineChannel,
+    ) -> None:
+        """A shard is out of retries: apply the error policy to it."""
+        if self.config.error_policy == "strict":
+            raise ShardFailure(shard, attempts, detail)
+        if self.config.error_policy == "quarantine":
+            for record in records:
+                quarantine.add(record, SHARD_FAILURE, "shard", detail=detail)
+        # lenient: the records are simply dropped; the merge-stage
+        # counters still say how many shards were lost.
+
+    def _run_inline(
+        self,
+        payloads: Dict[int, Tuple[int, List[LogRecord], PipelineConfig]],
+        quarantine: QuarantineChannel,
+    ) -> Tuple[List[ShardReport], int, List[int]]:
+        """Run shards in-process (one worker, or nothing to fan out).
+
+        Same retry and error-policy contract as the pool path, minus the
+        timeout (there is no separate process to abandon).
+        """
+        execution = self.config.execution
+        max_attempts = execution.max_shard_retries + 1
+        reports: List[ShardReport] = []
+        retried = 0
+        failed: List[int] = []
+        for shard, payload in sorted(payloads.items()):
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    reports.append(_clean_shard(payload))
+                    break
+                except RecordFailure:
+                    raise  # strict-policy verdict, not a fault — no retry
+                except Exception as exc:
+                    if attempt >= max_attempts:
+                        self._terminal_failure(
+                            shard, payload[1], attempt, repr(exc), quarantine
+                        )
+                        failed.append(shard)
+                        break
+                    retried += 1
+                    if execution.retry_backoff:
+                        time.sleep(
+                            execution.retry_backoff * 2 ** (attempt - 1)
+                        )
+        return reports, retried, failed
+
+    def _run_pool(
+        self,
+        payloads: Dict[int, Tuple[int, List[LogRecord], PipelineConfig]],
+        workers: int,
+        quarantine: QuarantineChannel,
+    ) -> Tuple[List[ShardReport], int, List[int]]:
+        """Fan the shards out over a process pool, re-queueing failures.
+
+        Each round submits every still-pending shard and waits for the
+        wave to finish.  A crashed worker poisons the whole pool
+        (``BrokenProcessPool`` fails every in-flight future), so the pool
+        is rebuilt and *all* pending shards get one attempt charged —
+        innocents succeed on the next round, and the accounting stays
+        bounded: no shard is ever submitted more than
+        ``max_shard_retries + 1`` times.
+        """
+        execution = self.config.execution
+        max_attempts = execution.max_shard_retries + 1
+        pending = dict(payloads)
+        attempts = {shard: 0 for shard in payloads}
+        errors: Dict[int, str] = {}
+        reports: List[ShardReport] = []
+        retried = 0
+        failed: List[int] = []
+        pool_size = min(workers, len(payloads))
+        mp_context = multiprocessing.get_context()
+        executor = futures.ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=mp_context
+        )
+        round_number = 0
+        try:
+            while pending:
+                for shard in [
+                    s for s in sorted(pending) if attempts[s] >= max_attempts
+                ]:
+                    self._terminal_failure(
+                        shard,
+                        pending[shard][1],
+                        attempts[shard],
+                        errors.get(shard, "exhausted retries"),
+                        quarantine,
+                    )
+                    failed.append(shard)
+                    del pending[shard]
+                if not pending:
+                    break
+                round_number += 1
+                if round_number > 1:
+                    retried += len(pending)
+                    if execution.retry_backoff:
+                        time.sleep(
+                            execution.retry_backoff * 2 ** (round_number - 2)
+                        )
+                submitted = {
+                    executor.submit(_clean_shard, payload): shard
+                    for shard, payload in sorted(pending.items())
+                }
+                timeout = None
+                if execution.task_timeout is not None:
+                    # The budget is per shard; a wave wider than the pool
+                    # runs its shards in several passes.
+                    waves = -(-len(submitted) // pool_size)
+                    timeout = execution.task_timeout * waves
+                done, not_done = futures.wait(set(submitted), timeout=timeout)
+                broken = False
+                for future in done:
+                    shard = submitted[future]
+                    try:
+                        report = future.result()
+                    except RecordFailure:
+                        raise  # strict-policy verdict — no retry
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        attempts[shard] += 1
+                        errors[shard] = f"worker crashed: {exc!r}"
+                    except Exception as exc:
+                        attempts[shard] += 1
+                        errors[shard] = repr(exc)
+                    else:
+                        reports.append(report)
+                        del pending[shard]
+                for future in not_done:
+                    shard = submitted[future]
+                    broken = True
+                    attempts[shard] += 1
+                    errors[shard] = (
+                        f"shard exceeded task_timeout="
+                        f"{execution.task_timeout}s"
+                    )
+                if broken:
+                    # The pool may hold dead or still-busy workers;
+                    # abandon it and start fresh for the next round.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = futures.ProcessPoolExecutor(
+                        max_workers=pool_size, mp_context=mp_context
+                    )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return reports, retried, failed
 
     def run(self, log: QueryLog) -> QueryLog:
         """Shard, fan out, clean, and re-merge into global time order."""
@@ -270,18 +466,22 @@ class ParallelCleaner:
         started = time.perf_counter()
 
         shards = shard_records(log, workers, execution.chunk_size)
-        payloads = [
-            (index, records, self.config)
+        payloads = {
+            index: (index, records, self.config)
             for index, records in enumerate(shards)
-        ]
+        }
+        quarantine = QuarantineChannel()
 
+        # Degenerate fan-outs run in-process: an empty log has zero
+        # payloads and a tiny one a single payload — both would ask for
+        # a zero/one-process pool — and one worker gains nothing from
+        # the fork+pickle tax.
         if workers == 1 or len(payloads) <= 1:
-            # Nothing to fan out: run in-process, skip the fork+pickle tax.
-            reports = [_clean_shard(payload) for payload in payloads]
+            reports, retried, failed = self._run_inline(payloads, quarantine)
         else:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=min(workers, len(payloads))) as pool:
-                reports = list(pool.imap_unordered(_clean_shard, payloads))
+            reports, retried, failed = self._run_pool(
+                payloads, workers, quarantine
+            )
 
         clock = time.perf_counter()
         cleaned = QueryLog(
@@ -297,12 +497,17 @@ class ParallelCleaner:
         for report in sorted(reports, key=lambda r: r.shard):
             stats.stats.merge(report.stats)
             run_metrics.merge(report.metrics)
+            quarantine.merge(report.quarantine)
             report.clean_records = []  # keep the report, drop the payload
             stats.shards.append(report)
+        stats.shards_retried = retried
+        stats.shards_failed = len(failed)
         merge_stage = run_metrics.stage("merge")
         merge_stage.wall_seconds += merge_seconds
         merge_stage.calls += 1
         merge_stage.count("records_out", len(cleaned))
+        merge_stage.count("shards_retried", retried)
+        merge_stage.count("shards_failed", len(failed))
         if self.recorder.enabled:
             self.recorder.absorb(run_metrics)
             self.recorder.emit(
@@ -312,6 +517,7 @@ class ParallelCleaner:
         stats.timings = StageTimings.from_metrics(run_metrics)
         stats.wall_seconds = time.perf_counter() - started
         self.stats = stats
+        self.quarantine = quarantine
         return cleaned
 
 

@@ -20,6 +20,9 @@ solved.csv              one row per solved instance: label, replaced seqs,
 metrics.json            the run's observability ledger (per-stage counters,
                         antipatterns by label, wall times), when the run
                         carried one
+quarantine.json         everything the run set aside (count, per-reason
+                        breakdown, entries), when the run used the
+                        ``quarantine`` error policy or quarantined anything
 ======================  =====================================================
 """
 
@@ -162,4 +165,13 @@ def export_report(result: PipelineResult, directory: PathLike) -> Dict[str, Path
             encoding="utf-8",
         )
         written["metrics"] = path
+
+    if result.config.error_policy == "quarantine" or result.quarantine:
+        path = base / "quarantine.json"
+        payload = {"error_policy": result.config.error_policy}
+        payload.update(result.quarantine.as_dict())
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        written["quarantine"] = path
     return written

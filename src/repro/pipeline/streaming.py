@@ -30,6 +30,13 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..errors import (
+    NESTING_DEPTH,
+    PARSE_ERROR,
+    QuarantineChannel,
+    RecordFailure,
+    record_fault,
+)
 from ..log.dedup import normalize_statement_text
 from ..log.models import LogRecord, QueryLog
 from ..obs import Recorder
@@ -45,9 +52,11 @@ class StreamingStats:
 
     records_in: int = 0
     records_out: int = 0
+    records_invalid: int = 0
     duplicates_removed: int = 0
     syntax_errors: int = 0
     non_select: int = 0
+    parse_quarantined: int = 0
     blocks_closed: int = 0
     blocks_force_closed: int = 0
     instances_detected: int = 0
@@ -62,9 +71,11 @@ class StreamingStats:
         """
         self.records_in += other.records_in
         self.records_out += other.records_out
+        self.records_invalid += other.records_invalid
         self.duplicates_removed += other.duplicates_removed
         self.syntax_errors += other.syntax_errors
         self.non_select += other.non_select
+        self.parse_quarantined += other.parse_quarantined
         self.blocks_closed += other.blocks_closed
         self.blocks_force_closed += other.blocks_force_closed
         self.instances_detected += other.instances_detected
@@ -117,6 +128,8 @@ class StreamingCleaner:
             )
         self.max_block_queries = self.config.execution.max_block_queries
         self.stats = StreamingStats()
+        #: records set aside under the ``quarantine`` error policy.
+        self.quarantine = QuarantineChannel()
         self._open: Dict[str, List[ParsedQuery]] = {}
         self._last_seen: Dict[Tuple[str, str], float] = {}
         self._last_prune = 0.0
@@ -126,12 +139,29 @@ class StreamingCleaner:
     # ------------------------------------------------------------------
     # Stages
 
+    def _validate(self, record: LogRecord) -> bool:
+        """Intake validation: ``True`` when the record may enter the
+        stream.  Runs *before* the stream clock is consulted, so a
+        non-finite timestamp can never pollute idle-flush arithmetic."""
+        reason = record_fault(record)
+        if reason is None:
+            return True
+        if self.config.error_policy == "strict":
+            raise RecordFailure(record, reason, "validate")
+        self.stats.records_invalid += 1
+        if self.config.error_policy == "quarantine":
+            self.quarantine.add(record, reason, "validate")
+        return False
+
     def _is_duplicate(self, record: LogRecord) -> bool:
         threshold = self.config.dedup_threshold
         key = (record.user_key(), normalize_statement_text(record.sql))
         previous = self._last_seen.get(key)
         self._last_seen[key] = record.timestamp
-        if previous is not None and record.timestamp - previous <= threshold:
+        # The 0 <= guard matters for out-of-order streams: a record that
+        # arrives *before* its last-seen twin (negative delta) is clock
+        # skew, not a reload, and must not be swallowed as a duplicate.
+        if previous is not None and 0 <= record.timestamp - previous <= threshold:
             return True
         # periodically prune entries that can never match again
         if record.timestamp - self._last_prune > max(threshold, 1.0) * 64:
@@ -154,9 +184,23 @@ class StreamingCleaner:
         except UnsupportedStatementError:
             self.stats.non_select += 1
             return None
-        except (SqlError, RecursionError):
-            self.stats.syntax_errors += 1
+        except SqlError as error:
+            self._parse_reject(record, PARSE_ERROR, str(error))
             return None
+        except RecursionError:
+            self._parse_reject(
+                record,
+                NESTING_DEPTH,
+                "statement exceeds supported nesting depth",
+            )
+            return None
+
+    def _parse_reject(self, record: LogRecord, reason: str, detail: str) -> None:
+        if self.config.error_policy == "quarantine":
+            self.stats.parse_quarantined += 1
+            self.quarantine.add(record, reason, "parse", detail=detail)
+        else:
+            self.stats.syntax_errors += 1
 
     def _close_block(self, user: str) -> List[LogRecord]:
         queries = self._open.pop(user, [])
@@ -195,10 +239,19 @@ class StreamingCleaner:
         recorder = self.recorder
         timed = recorder.enabled
         clock = time.perf_counter
+        validate_seconds = 0.0
         dedup_seconds = 0.0
         parse_seconds = 0.0
         for record in records:
             self.stats.records_in += 1
+            if timed:
+                started = clock()
+                valid = self._validate(record)
+                validate_seconds += clock() - started
+            else:
+                valid = self._validate(record)
+            if not valid:
+                continue
             yield from self._flush_idle(record.timestamp)
 
             if timed:
@@ -231,6 +284,7 @@ class StreamingCleaner:
         for user in list(self._open):
             yield from self._emit(self._close_block(user))
         if timed:
+            recorder.add_seconds("validate", validate_seconds, calls=1)
             recorder.add_seconds("dedup", dedup_seconds, calls=1)
             recorder.add_seconds("parse", parse_seconds, calls=1)
         self._flush_counters()
@@ -250,19 +304,28 @@ class StreamingCleaner:
         recorder.ensure_counters()
         stats, flushed = self.stats, self._flushed
         records_in = stats.records_in - flushed.records_in
+        invalid = stats.records_invalid - flushed.records_invalid
         duplicates = stats.duplicates_removed - flushed.duplicates_removed
         syntax_errors = stats.syntax_errors - flushed.syntax_errors
         non_select = stats.non_select - flushed.non_select
-        recorder.count("dedup", "records_in", records_in)
-        recorder.count("dedup", "records_out", records_in - duplicates)
+        parse_quarantined = stats.parse_quarantined - flushed.parse_quarantined
+        recorder.count("validate", "records_in", records_in)
+        recorder.count("validate", "records_out", records_in - invalid)
+        recorder.count("validate", "records_quarantined", invalid)
+        dedup_in = records_in - invalid
+        recorder.count("dedup", "records_in", dedup_in)
+        recorder.count("dedup", "records_out", dedup_in - duplicates)
         recorder.count("dedup", "duplicates_removed", duplicates)
-        parse_in = records_in - duplicates
+        parse_in = dedup_in - duplicates
         recorder.count("parse", "records_in", parse_in)
         recorder.count(
-            "parse", "records_out", parse_in - syntax_errors - non_select
+            "parse",
+            "records_out",
+            parse_in - syntax_errors - non_select - parse_quarantined,
         )
         recorder.count("parse", "syntax_errors", syntax_errors)
         recorder.count("parse", "non_select", non_select)
+        recorder.count("parse", "records_quarantined", parse_quarantined)
         self._flushed = replace(stats)
 
     def run(self, log: QueryLog) -> QueryLog:

@@ -77,6 +77,35 @@ class TestDedupProperties:
         result = delete_duplicates(log, threshold)
         assert result.kept + result.removed == len(log)
 
+    @given(log_entries, thresholds, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_input_order_is_irrelevant(self, entries, threshold, rng):
+        # delete_duplicates must sort by timestamp itself: feeding the
+        # records shuffled (as raw iterables bypass QueryLog's sort)
+        # must remove exactly the same duplicates
+        records = [
+            LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+            for i, (sql, ts, user) in enumerate(entries)
+        ]
+        shuffled = list(records)
+        rng.shuffle(shuffled)
+        ordered = delete_duplicates(QueryLog(records), threshold)
+        unordered = delete_duplicates(shuffled, threshold)
+        assert unordered.log == ordered.log
+        assert unordered.removed == ordered.removed
+
+    def test_out_of_order_burst_regression(self):
+        # the exact shape that used to under-remove: a sub-threshold
+        # burst delivered newest-first slipped past the sliding window
+        records = [
+            LogRecord(seq=i, sql="SELECT a FROM t WHERE id = 1",
+                      timestamp=ts, user="u1")
+            for i, ts in enumerate([2.0, 1.0, 0.0])
+        ]
+        result = delete_duplicates(records, threshold=1.0)
+        assert result.removed == 2
+        assert [r.timestamp for r in result.log] == [0.0]
+
 
 class TestMinerProperties:
     @given(log_entries)

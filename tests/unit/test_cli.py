@@ -105,6 +105,22 @@ class TestCleanObservability:
             }
         assert ledgers["batch"] == ledgers["streaming"] == ledgers["parallel"]
 
+    def test_metrics_json_creates_parent_dirs(self, generated_csv, tmp_path):
+        metrics_path = tmp_path / "nested" / "deeper" / "metrics.json"
+        assert (
+            main(
+                [
+                    "clean",
+                    str(generated_csv),
+                    "--skyserver-schema",
+                    "--metrics-json",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        assert "stages" in json.loads(metrics_path.read_text(encoding="utf-8"))
+
     def test_trace_streams_jsonl_to_stderr(self, generated_csv, capsys):
         assert (
             main(["clean", str(generated_csv), "--skyserver-schema", "--trace"])
@@ -121,6 +137,65 @@ class TestCleanObservability:
         }
         assert events[-1]["event"] == "metrics"
         assert events[-1]["stages"]["dedup"]["counters"]["records_in"] > 0
+
+
+@pytest.fixture()
+def poisoned_csv(generated_csv):
+    # three failure classes: an unreadable row (io), a NaN timestamp
+    # (validate stage) and garbage SQL (parse stage)
+    with open(generated_csv, "a", encoding="utf-8", newline="") as handle:
+        handle.write("9001,nan,u1,,,,SELECT name FROM Employee\n")
+        handle.write("9002,notatime,u1,,,,SELECT name FROM Employee\n")
+        handle.write("9003,50.0,u1,,,,SELEKT garbage !!\n")
+    return generated_csv
+
+
+class TestCleanErrorPolicy:
+    def test_strict_raises_on_unreadable_row(self, poisoned_csv):
+        with pytest.raises(ValueError, match="malformed row"):
+            main(["clean", str(poisoned_csv), "--skyserver-schema"])
+
+    def test_quarantine_cleans_and_reports(self, poisoned_csv, tmp_path, capsys):
+        quarantine_path = tmp_path / "audit" / "quarantine.json"
+        assert (
+            main(
+                [
+                    "clean",
+                    str(poisoned_csv),
+                    "--skyserver-schema",
+                    "--error-policy",
+                    "quarantine",
+                    "--quarantine-json",
+                    str(quarantine_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quarantined" in out and "records" in out
+        payload = json.loads(quarantine_path.read_text(encoding="utf-8"))
+        assert payload["error_policy"] == "quarantine"
+        reasons = payload["by_reason"]
+        assert reasons["unreadable_record"] == 1
+        assert reasons["invalid_timestamp"] == 1
+        # ours plus whatever syntax errors the generator itself planted
+        assert reasons["parse_error"] >= 1
+        assert payload["count"] == sum(reasons.values())
+
+    def test_lenient_cleans_without_capture(self, poisoned_csv, capsys):
+        assert (
+            main(
+                [
+                    "clean",
+                    str(poisoned_csv),
+                    "--skyserver-schema",
+                    "--error-policy",
+                    "lenient",
+                ]
+            )
+            == 0
+        )
+        assert "quarantined" not in capsys.readouterr().out
 
 
 class TestPatterns:

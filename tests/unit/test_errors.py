@@ -1,0 +1,170 @@
+"""Unit tests for the fault-tolerance primitives (``repro.errors``)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import (
+    ERROR_POLICIES,
+    INVALID_STATEMENT,
+    INVALID_TIMESTAMP,
+    PARSE_ERROR,
+    UNREADABLE_RECORD,
+    QuarantineChannel,
+    QuarantinedRecord,
+    RecordFailure,
+    ShardFailure,
+    record_fault,
+    validate_error_policy,
+)
+from repro.log import LogRecord, read_csv, read_jsonl
+
+
+def make_record(**overrides):
+    defaults = dict(seq=7, sql="SELECT a FROM t", timestamp=1.0, user="u1")
+    defaults.update(overrides)
+    return LogRecord(**defaults)
+
+
+class TestPolicyValidation:
+    def test_all_policies_accepted(self):
+        for policy in ERROR_POLICIES:
+            assert validate_error_policy(policy) == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="error_policy"):
+            validate_error_policy("forgiving")
+
+
+class TestRecordFault:
+    def test_sound_record(self):
+        assert record_fault(make_record()) is None
+
+    @pytest.mark.parametrize(
+        "timestamp", [float("nan"), math.inf, -math.inf, "1.0", None]
+    )
+    def test_bad_timestamps(self, timestamp):
+        assert record_fault(make_record(timestamp=timestamp)) == INVALID_TIMESTAMP
+
+    @pytest.mark.parametrize("sql", [None, 42, b"SELECT 1"])
+    def test_non_string_sql(self, sql):
+        assert record_fault(make_record(sql=sql)) == INVALID_STATEMENT
+
+    def test_timestamp_checked_before_sql(self):
+        fault = record_fault(make_record(timestamp=float("nan"), sql=None))
+        assert fault == INVALID_TIMESTAMP
+
+
+class TestFailureExceptions:
+    def test_record_failure_message_and_pickle(self):
+        failure = RecordFailure(
+            make_record(), INVALID_TIMESTAMP, "validate", "NaN"
+        )
+        assert "invalid_timestamp in validate stage" in str(failure)
+        assert "seq=7" in str(failure)
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.reason == INVALID_TIMESTAMP
+        assert clone.record.seq == 7
+
+    def test_shard_failure_message_and_pickle(self):
+        failure = ShardFailure(3, 2, "worker died")
+        assert "shard 3 failed after 2 attempt(s)" in str(failure)
+        clone = pickle.loads(pickle.dumps(failure))
+        assert (clone.shard, clone.attempts) == (3, 2)
+
+
+class TestQuarantineChannel:
+    def test_add_and_views(self):
+        channel = QuarantineChannel()
+        assert not channel
+        channel.add(make_record(seq=2), PARSE_ERROR, "parse", "boom")
+        channel.add(make_record(seq=1), INVALID_TIMESTAMP, "validate")
+        assert len(channel) == 2
+        assert channel.seqs() == [1, 2]
+        assert channel.by_reason() == {PARSE_ERROR: 1, INVALID_TIMESTAMP: 1}
+        assert [entry.stage for entry in channel] == ["parse", "validate"]
+
+    def test_add_raw_truncates_long_lines(self):
+        channel = QuarantineChannel()
+        channel.add_raw("x" * 500, UNREADABLE_RECORD, "io")
+        (entry,) = channel.entries
+        assert entry.record is None
+        assert len(entry.detail) == 201
+        assert entry.detail.endswith("…")
+        assert channel.records() == []
+        assert channel.seqs() == []
+
+    def test_merge_preserves_order(self):
+        left, right = QuarantineChannel(), QuarantineChannel()
+        left.add(make_record(seq=1), PARSE_ERROR, "parse")
+        right.add(make_record(seq=2), PARSE_ERROR, "parse")
+        left.merge(right)
+        assert [e.record.seq for e in left] == [1, 2]
+
+    def test_as_dict_shape(self):
+        channel = QuarantineChannel()
+        channel.add(
+            make_record(sql=12345), INVALID_STATEMENT, "validate", "not a str"
+        )
+        data = channel.as_dict()
+        assert data["count"] == 1
+        assert data["by_reason"] == {INVALID_STATEMENT: 1}
+        (entry,) = data["entries"]
+        assert entry["record"]["sql"] == "12345"  # repr'd, JSON-safe
+        assert entry["detail"] == "not a str"
+
+    def test_pickles_across_workers(self):
+        channel = QuarantineChannel()
+        channel.add(make_record(), PARSE_ERROR, "parse", "boom")
+        clone = pickle.loads(pickle.dumps(channel))
+        assert clone.as_dict() == channel.as_dict()
+
+
+class TestIoErrorPolicies:
+    def write_bad_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "seq,timestamp,user,ip,session,rows,sql\n"
+            "0,1.0,u1,,,,SELECT a FROM t\n"
+            "1,notatime,u1,,,,SELECT b FROM t\n"
+            "2,3.0,u1,,,,SELECT c FROM t\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_csv_strict_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="malformed row"):
+            read_csv(self.write_bad_csv(tmp_path))
+
+    def test_csv_lenient_skips(self, tmp_path):
+        log = read_csv(self.write_bad_csv(tmp_path), errors="lenient")
+        assert [record.seq for record in log] == [0, 2]
+
+    def test_csv_quarantine_captures(self, tmp_path):
+        channel = QuarantineChannel()
+        log = read_csv(
+            self.write_bad_csv(tmp_path), errors="quarantine", channel=channel
+        )
+        assert len(log) == 2
+        assert channel.by_reason() == {UNREADABLE_RECORD: 1}
+        (entry,) = channel.entries
+        assert entry.stage == "io"
+        assert "notatime" in entry.detail
+
+    def test_jsonl_quarantine_captures(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"seq": 0, "timestamp": 1.0, "sql": "SELECT a FROM t"}\n'
+            "{not json}\n",
+            encoding="utf-8",
+        )
+        channel = QuarantineChannel()
+        log = read_jsonl(path, errors="quarantine", channel=channel)
+        assert len(log) == 1
+        assert channel.by_reason() == {UNREADABLE_RECORD: 1}
+
+    def test_readers_reject_unknown_policy(self, tmp_path):
+        path = self.write_bad_csv(tmp_path)
+        with pytest.raises(ValueError, match="error_policy"):
+            read_csv(path, errors="ignore")

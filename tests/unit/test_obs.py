@@ -119,6 +119,9 @@ class TestConservationLaws:
     def balanced(self):
         metrics = PipelineMetrics()
         metrics.ensure_counters()
+        validate = metrics.stage("validate")
+        validate.count("records_in", 10)
+        validate.count("records_out", 10)
         dedup = metrics.stage("dedup")
         dedup.count("records_in", 10)
         dedup.count("records_out", 8)
@@ -140,8 +143,10 @@ class TestConservationLaws:
 
     def test_each_law_detects_imbalance(self):
         for stage, counter in (
+            ("validate", "records_quarantined"),
             ("dedup", "duplicates_removed"),
             ("parse", "syntax_errors"),
+            ("parse", "records_quarantined"),
             ("solve", "queries_removed"),
             ("mine", "queries_in"),
         ):

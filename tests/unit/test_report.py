@@ -96,3 +96,35 @@ class TestExportReport:
         target = tmp_path / "deep" / "nested"
         export_report(small_result, target)
         assert target.exists()
+
+    def test_no_quarantine_file_for_clean_strict_run(
+        self, small_result, tmp_path
+    ):
+        written = export_report(small_result, tmp_path)
+        assert "quarantine" not in written
+        assert not (tmp_path / "quarantine.json").exists()
+
+    def test_quarantine_json_written_under_quarantine_policy(self, tmp_path):
+        statements = [
+            f"SELECT name FROM Employees WHERE id = {i}" for i in (12, 15, 16)
+        ]
+        records = [
+            LogRecord(seq=i, sql=sql, timestamp=float(i), user="u")
+            for i, sql in enumerate(statements)
+        ]
+        records.append(
+            LogRecord(seq=99, sql="SELEKT junk !!", timestamp=99.0, user="u")
+        )
+        config = PipelineConfig(
+            detection=DetectionContext(key_columns=KEYS),
+            error_policy="quarantine",
+        )
+        result = CleaningPipeline(config).run(QueryLog(records))
+        written = export_report(result, tmp_path)
+        payload = json.loads(written["quarantine"].read_text(encoding="utf-8"))
+        assert payload["error_policy"] == "quarantine"
+        assert payload["count"] == 1
+        assert payload["by_reason"] == {"parse_error": 1}
+        (entry,) = payload["entries"]
+        assert entry["stage"] == "parse"
+        assert entry["record"]["seq"] == 99
