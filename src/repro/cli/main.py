@@ -93,8 +93,13 @@ def cmd_clean(args: argparse.Namespace) -> int:
         print("choose one of --streaming / --parallel", file=sys.stderr)
         return 2
     mode = "streaming" if args.streaming else "parallel" if args.parallel else "batch"
+    execution_kwargs = {"mode": mode, "workers": args.workers}
+    if args.no_parse_cache:
+        execution_kwargs["parse_cache"] = False
+    if args.parse_cache_size is not None:
+        execution_kwargs["parse_cache_size"] = args.parse_cache_size
     try:
-        execution = ExecutionConfig(mode=mode, workers=args.workers)
+        execution = ExecutionConfig(**execution_kwargs)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -340,6 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="stream span-style stage trace events as JSON lines to stderr",
+    )
+    clean.add_argument(
+        "--no-parse-cache",
+        action="store_true",
+        help="disable the fingerprint-keyed parse fast path (every "
+        "statement takes the full parser; output is identical either way)",
+    )
+    clean.add_argument(
+        "--parse-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max cached statement templates per cache instance "
+        "(default 4096; one cache per run, per streaming instance, "
+        "or per parallel shard)",
     )
     clean.set_defaults(func=cmd_clean)
 

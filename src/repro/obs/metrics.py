@@ -60,6 +60,9 @@ STAGE_COUNTERS = {
         "syntax_errors",
         "non_select",
         "records_quarantined",
+        "parse_cache_hits",
+        "parse_cache_misses",
+        "parse_cache_evictions",
     ),
     "mine": ("queries_in", "blocks", "pattern_instances", "periodic_runs"),
     "detect": ("blocks_in", "instances_detected"),
@@ -71,6 +74,18 @@ STAGE_COUNTERS = {
         "skipped_conflicts",
         "not_applicable",
         "unsolvable",
+    ),
+}
+
+#: Counters that are *not* executor-independent and therefore excluded
+#: from :meth:`PipelineMetrics.comparable`.  The parse-cache traffic
+#: depends on how records are partitioned: a parallel run misses once
+#: per template per shard where batch misses once per template total.
+#: The cache conservation law still holds per ledger (hits + misses ==
+#: statements parsed), so correctness remains checkable.
+EXECUTOR_DEPENDENT_COUNTERS = {
+    "parse": frozenset(
+        {"parse_cache_hits", "parse_cache_misses", "parse_cache_evictions"}
     ),
 }
 
@@ -201,7 +216,16 @@ class PipelineMetrics:
             stage = self.stages.get(name)
             if stage is None:
                 continue
-            view[name] = stage.as_dict(include_timings=False)
+            data = stage.as_dict(include_timings=False)
+            dependent = EXECUTOR_DEPENDENT_COUNTERS.get(name)
+            if dependent:
+                counters = data["counters"]
+                data["counters"] = {
+                    key: value
+                    for key, value in counters.items()  # type: ignore[union-attr]
+                    if key not in dependent
+                }
+            view[name] = data
         return view
 
     # ------------------------------------------------------------------
@@ -217,6 +241,9 @@ class PipelineMetrics:
         * parse:  ``records_in == records_out + syntax_errors +
           non_select + records_quarantined``
         * solve:  ``records_in == records_out + queries_removed``
+        * parse cache (when enabled): ``parse_cache_hits +
+          parse_cache_misses == parse.records_in`` — every statement
+          entering the parse stage consults the cache exactly once.
         * hand-offs: validate out == dedup in, dedup out == parse in,
           parse out == mine in == solve in.
         """
@@ -267,6 +294,18 @@ class PipelineMetrics:
                 " + non_select + records_quarantined",
                 parse_in,
                 parse_out + syntax + non_select + parse_quarantined,
+            )
+
+        cache_hits = counter("parse", "parse_cache_hits") or 0
+        cache_misses = counter("parse", "parse_cache_misses") or 0
+        if cache_hits + cache_misses:
+            # Zero traffic means the cache was disabled (or a pre-cache
+            # ledger); the law only binds when the fast path ran.
+            check(
+                "parse-cache: parse_cache_hits + parse_cache_misses"
+                " == parse.records_in",
+                cache_hits + cache_misses,
+                parse_in,
             )
 
         solve_in = counter("solve", "records_in")

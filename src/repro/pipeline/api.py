@@ -39,6 +39,7 @@ def clean(
     *,
     execution: Optional[Union[ExecutionConfig, str]] = None,
     recorder: Optional[Recorder] = None,
+    parse_cache: Optional[bool] = None,
 ) -> PipelineResult:
     """Clean ``log`` and return the run's :class:`PipelineResult`.
 
@@ -49,6 +50,10 @@ def clean(
         :class:`ExecutionConfig`, or just a mode string (``"batch"``,
         ``"streaming"``, ``"parallel"``) to switch modes with default
         knobs.
+    :param parse_cache: overrides the execution config's ``parse_cache``
+        flag for this call — ``False`` forces every statement down the
+        full parse path (the clean log is identical either way; only
+        speed and the ``parse_cache_*`` counters change).
     :param recorder: observability recorder
         (:class:`repro.obs.Recorder`).  By default a fresh one is
         created, so ``result.metrics`` always carries the run's
@@ -63,6 +68,7 @@ def clean(
 
         result = repro.clean(log)                          # batch
         result = repro.clean(log, execution="parallel")    # all cores
+        result = repro.clean(log, parse_cache=False)       # full parses
         result = repro.clean(
             log,
             execution=repro.ExecutionConfig(mode="parallel", workers=4),
@@ -75,6 +81,11 @@ def clean(
         if isinstance(execution, str):
             execution = ExecutionConfig(mode=execution)
         effective = replace(effective, execution=execution)
+    if parse_cache is not None:
+        effective = replace(
+            effective,
+            execution=replace(effective.execution, parse_cache=parse_cache),
+        )
     active = Recorder() if recorder is None else recorder
     metrics = active.metrics if active.enabled else None
 

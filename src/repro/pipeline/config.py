@@ -47,6 +47,15 @@ class ExecutionConfig:
         parallel mode; ``None`` (the default) waits indefinitely.  A
         shard exceeding it is treated like a crashed worker: the pool is
         recycled and the shard re-queued.
+    :param parse_cache: enable the parse-stage fast path — a
+        fingerprint-keyed :class:`~repro.skeleton.cache.TemplateCache`
+        that instantiates repeated statement templates from interned
+        skeletons instead of re-parsing them.  Outputs are byte-identical
+        with the cache on or off (the cache falls back to the full
+        parser whenever a fingerprint is ambiguous).
+    :param parse_cache_size: maximum number of cached templates per
+        cache instance (batch keeps one cache per run; streaming one per
+        pipeline instance; parallel one per shard).
     """
 
     mode: str = "batch"
@@ -56,6 +65,8 @@ class ExecutionConfig:
     max_shard_retries: int = 2
     retry_backoff: float = 0.05
     task_timeout: Optional[float] = None
+    parse_cache: bool = True
+    parse_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -81,6 +92,10 @@ class ExecutionConfig:
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError(
                 f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.parse_cache_size < 1:
+            raise ValueError(
+                f"parse_cache_size must be >= 1, got {self.parse_cache_size}"
             )
 
     def resolved_workers(self) -> int:

@@ -47,6 +47,7 @@ from ..patterns.models import Block, ParsedQuery
 from ..patterns.registry import PatternRegistry
 from ..patterns.sws import SwsReport, detect_sws
 from ..rewrite.solver import SolveResult, remove, solve
+from ..skeleton.cache import TemplateCache
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
 from .statistics import Overview, census_by_label
@@ -148,6 +149,7 @@ def parse_log(
     recorder: Optional[Recorder] = None,
     policy: str = "strict",
     channel: Optional[QuarantineChannel] = None,
+    cache: Optional[TemplateCache] = None,
 ) -> ParseStageResult:
     """Parse every statement; classify failures (Fig. 1's parse stage).
 
@@ -155,6 +157,16 @@ def parse_log(
     paper), so parsing and feature extraction are cached per distinct
     statement text: a repeated statement reuses the immutable AST,
     template and clause features and only swaps in its own log record.
+
+    With a :class:`~repro.skeleton.cache.TemplateCache` the reuse goes
+    further: statements that differ *only in constants* are instantiated
+    from the cached template of their fingerprint class in one lexer
+    pass, skipping the parser entirely (the fast path).  The cache
+    object may outlive this call (streaming feeds one record at a time);
+    a given cache must only ever serve one ``(fold_variables,
+    strict_triple)`` combination, which holds because every caller
+    derives both from a single config.  Without a cache the classic
+    per-run dict keyed by exact text is used.
 
     Parse failures are part of the paper's accounting, not exceptions:
     under ``strict`` and ``lenient`` they keep the classic
@@ -165,11 +177,19 @@ def parse_log(
     """
     recorder = recorder or NULL
     result = ParseStageResult()
+    if cache is not None:
+        base_hits = cache.hits
+        base_misses = cache.misses
+        base_evictions = cache.evictions
     with recorder.span("parse"):
-        #: sql text -> prototype ParsedQuery, or an (error, reason) pair.
-        cache: dict = {}
+        #: sql text -> prototype ParsedQuery, or an (error, reason) pair
+        #: (only consulted when no TemplateCache was provided).
+        exact: dict = {}
         for record in log:
-            cached = cache.get(record.sql)
+            if cache is not None:
+                cached = cache.fetch(record)
+            else:
+                cached = exact.get(record.sql)
             if cached is None:
                 try:
                     statement = parse(record.sql)
@@ -190,7 +210,10 @@ def parse_log(
                         SqlError("statement exceeds supported nesting depth"),
                         NESTING_DEPTH,
                     )
-                cache[record.sql] = cached
+                if cache is not None:
+                    cache.store(record.sql, cached)
+                else:
+                    exact[record.sql] = cached
             if isinstance(cached, tuple):
                 error, reason = cached
                 if isinstance(error, UnsupportedStatementError):
@@ -220,6 +243,12 @@ def parse_log(
     recorder.count("parse", "syntax_errors", len(result.syntax_errors))
     recorder.count("parse", "non_select", len(result.non_select))
     recorder.count("parse", "records_quarantined", len(result.quarantined))
+    if cache is not None:
+        recorder.count("parse", "parse_cache_hits", cache.hits - base_hits)
+        recorder.count("parse", "parse_cache_misses", cache.misses - base_misses)
+        recorder.count(
+            "parse", "parse_cache_evictions", cache.evictions - base_evictions
+        )
     return result
 
 
@@ -228,8 +257,19 @@ def parse_stage(
     config: PipelineConfig,
     recorder: Optional[Recorder] = None,
     channel: Optional[QuarantineChannel] = None,
+    cache: Optional[TemplateCache] = None,
 ) -> ParseStageResult:
-    """Stage 2: :func:`parse_log` with the config's parsing knobs."""
+    """Stage 2: :func:`parse_log` with the config's parsing knobs.
+
+    When the execution config enables the parse cache and the caller did
+    not supply one, a fresh :class:`~repro.skeleton.cache.TemplateCache`
+    is created for this call — one cache per batch run, and (via the
+    explicit ``cache`` argument) one per streaming instance and one per
+    parallel shard.
+    """
+    execution = config.execution
+    if cache is None and execution.parse_cache:
+        cache = TemplateCache(execution.parse_cache_size)
     return parse_log(
         log,
         fold_variables=config.fold_variables,
@@ -237,6 +277,7 @@ def parse_stage(
         recorder=recorder,
         policy=config.error_policy,
         channel=channel,
+        cache=cache,
     )
 
 

@@ -251,6 +251,7 @@ def _clean_shard(
     timings = StageTimings.from_metrics(recorder.metrics)
 
     clean_records = solve_result.log.records()
+    parse_counters = recorder.metrics.stage("parse").counters
     stats = StreamingStats(
         records_in=len(records),
         records_out=len(clean_records),
@@ -264,6 +265,9 @@ def _clean_shard(
         instances_detected=len(antipatterns),
         instances_solved=len(solve_result.solved),
         max_open_queries=len(parsed.queries),  # the shard is resident at once
+        parse_cache_hits=parse_counters.get("parse_cache_hits", 0),
+        parse_cache_misses=parse_counters.get("parse_cache_misses", 0),
+        parse_cache_evictions=parse_counters.get("parse_cache_evictions", 0),
     )
     return ShardReport(
         shard=shard,

@@ -41,6 +41,7 @@ from ..log.dedup import normalize_statement_text
 from ..log.models import LogRecord, QueryLog
 from ..obs import Recorder
 from ..patterns.models import Block, ParsedQuery
+from ..skeleton.cache import TemplateCache
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
 from .framework import clean_block
@@ -48,7 +49,13 @@ from .framework import clean_block
 
 @dataclass
 class StreamingStats:
-    """Counters of one streaming run."""
+    """Counters of one streaming run.
+
+    The ``parse_cache_*`` trio mirrors the instance's
+    :class:`~repro.skeleton.cache.TemplateCache` totals (all zero when
+    the fast path is disabled); they are synchronised from the cache
+    whenever counters are flushed to the recorder.
+    """
 
     records_in: int = 0
     records_out: int = 0
@@ -62,6 +69,9 @@ class StreamingStats:
     instances_detected: int = 0
     instances_solved: int = 0
     max_open_queries: int = 0
+    parse_cache_hits: int = 0
+    parse_cache_misses: int = 0
+    parse_cache_evictions: int = 0
 
     def merge(self, other: "StreamingStats") -> None:
         """Fold another run's counters into this one (sharded runs).
@@ -81,6 +91,9 @@ class StreamingStats:
         self.instances_detected += other.instances_detected
         self.instances_solved += other.instances_solved
         self.max_open_queries += other.max_open_queries
+        self.parse_cache_hits += other.parse_cache_hits
+        self.parse_cache_misses += other.parse_cache_misses
+        self.parse_cache_evictions += other.parse_cache_evictions
 
 
 class StreamingCleaner:
@@ -135,6 +148,24 @@ class StreamingCleaner:
         self._last_prune = 0.0
         #: counters already flushed to the recorder (delta bookkeeping).
         self._flushed = StreamingStats()
+        # Per-record hot-path state: config knobs hoisted to attributes
+        # (a dataclass-field chain costs two attribute loads per record),
+        # a running open-query total, and the earliest stream time at
+        # which any open block could go idle — _flush_idle only scans the
+        # open table when the clock actually passes that deadline.
+        execution = self.config.execution
+        self._parse_cache: Optional[TemplateCache] = (
+            TemplateCache(execution.parse_cache_size)
+            if execution.parse_cache
+            else None
+        )
+        self._error_policy = self.config.error_policy
+        self._fold_variables = self.config.fold_variables
+        self._strict_triple = self.config.strict_triple
+        self._dedup_threshold = self.config.dedup_threshold
+        self._block_gap = self.config.miner.block_gap
+        self._open_count = 0
+        self._oldest_open = float("inf")
 
     # ------------------------------------------------------------------
     # Stages
@@ -146,15 +177,15 @@ class StreamingCleaner:
         reason = record_fault(record)
         if reason is None:
             return True
-        if self.config.error_policy == "strict":
+        if self._error_policy == "strict":
             raise RecordFailure(record, reason, "validate")
         self.stats.records_invalid += 1
-        if self.config.error_policy == "quarantine":
+        if self._error_policy == "quarantine":
             self.quarantine.add(record, reason, "validate")
         return False
 
     def _is_duplicate(self, record: LogRecord) -> bool:
-        threshold = self.config.dedup_threshold
+        threshold = self._dedup_threshold
         key = (record.user_key(), normalize_statement_text(record.sql))
         previous = self._last_seen.get(key)
         self._last_seen[key] = record.timestamp
@@ -173,30 +204,46 @@ class StreamingCleaner:
         return False
 
     def _parse(self, record: LogRecord) -> Optional[ParsedQuery]:
+        cache = self._parse_cache
+        if cache is not None:
+            cached = cache.fetch(record)
+            if cached is None:
+                cached = self._full_parse(record)
+                cache.store(record.sql, cached)
+        else:
+            cached = self._full_parse(record)
+        if type(cached) is tuple:
+            error, reason = cached
+            if isinstance(error, UnsupportedStatementError):
+                self.stats.non_select += 1
+            else:
+                self._parse_reject(record, reason, str(error))
+            return None
+        return cached
+
+    def _full_parse(self, record: LogRecord):
+        """Full parse of one record: a bound ParsedQuery, or the
+        (error, reason) pair of a failure — the cacheable outcome shape
+        shared with :func:`~repro.pipeline.framework.parse_log`."""
         try:
             statement = parse(record.sql)
             return ParsedQuery.from_statement(
                 record,
                 statement,
-                fold_variables=self.config.fold_variables,
-                strict_triple=self.config.strict_triple,
+                fold_variables=self._fold_variables,
+                strict_triple=self._strict_triple,
             )
-        except UnsupportedStatementError:
-            self.stats.non_select += 1
-            return None
         except SqlError as error:
-            self._parse_reject(record, PARSE_ERROR, str(error))
-            return None
+            # Includes UnsupportedStatementError — classified at use.
+            return (error, PARSE_ERROR)
         except RecursionError:
-            self._parse_reject(
-                record,
+            return (
+                SqlError("statement exceeds supported nesting depth"),
                 NESTING_DEPTH,
-                "statement exceeds supported nesting depth",
             )
-            return None
 
     def _parse_reject(self, record: LogRecord, reason: str, detail: str) -> None:
-        if self.config.error_policy == "quarantine":
+        if self._error_policy == "quarantine":
             self.stats.parse_quarantined += 1
             self.quarantine.add(record, reason, "parse", detail=detail)
         else:
@@ -206,6 +253,7 @@ class StreamingCleaner:
         queries = self._open.pop(user, [])
         if not queries:
             return []
+        self._open_count -= len(queries)
         self.stats.blocks_closed += 1
         block = Block(user=user, queries=tuple(queries))
         result = clean_block(block, self.config, self.recorder)
@@ -214,11 +262,28 @@ class StreamingCleaner:
         return result.records
 
     def _flush_idle(self, now: float) -> Iterator[LogRecord]:
-        gap = self.config.miner.block_gap
+        """Close every block idle at stream time ``now``; remember the
+        oldest last-activity timestamp among the blocks that stay open.
+
+        ``_oldest_open`` lets :meth:`process` skip this scan entirely
+        until a record's timestamp could actually expire something.  It
+        is a *lower bound* (appends to existing blocks don't raise it),
+        so a stale value only causes a harmless extra scan — and the
+        skip test uses the same ``now - last > gap`` expression as the
+        close test here, so a skipped scan provably had nothing to do.
+        """
+        gap = self._block_gap
+        oldest = float("inf")
         for user in list(self._open):
             queries = self._open[user]
-            if queries and now - queries[-1].timestamp > gap:
+            if not queries:
+                continue
+            last = queries[-1].timestamp
+            if now - last > gap:
                 yield from self._emit(self._close_block(user))
+            elif last < oldest:
+                oldest = last
+        self._oldest_open = oldest
 
     def _emit(self, records: List[LogRecord]) -> Iterator[LogRecord]:
         # records_out is counted here, at the single emission point, so
@@ -242,44 +307,55 @@ class StreamingCleaner:
         validate_seconds = 0.0
         dedup_seconds = 0.0
         parse_seconds = 0.0
+        stats = self.stats
+        gap = self._block_gap
+        max_block = self.max_block_queries
         for record in records:
-            self.stats.records_in += 1
+            stats.records_in += 1
             if timed:
                 started = clock()
                 valid = self._validate(record)
-                validate_seconds += clock() - started
+                after_validate = clock()
+                validate_seconds += after_validate - started
             else:
                 valid = self._validate(record)
             if not valid:
                 continue
-            yield from self._flush_idle(record.timestamp)
+            # Only scan the open-block table when this record's stream
+            # time can actually expire the *oldest* open block — the
+            # common case is a cheap subtraction instead of a full scan.
+            if record.timestamp - self._oldest_open > gap:
+                yield from self._flush_idle(record.timestamp)
+                if timed:
+                    # Block cleaning ran untimed in between (clean_block
+                    # books its own spans); rebaseline the dedup timer.
+                    after_validate = clock()
 
+            duplicate = self._is_duplicate(record)
             if timed:
-                started = clock()
-                duplicate = self._is_duplicate(record)
-                dedup_seconds += clock() - started
-            else:
-                duplicate = self._is_duplicate(record)
+                after_dedup = clock()
+                dedup_seconds += after_dedup - after_validate
             if duplicate:
-                self.stats.duplicates_removed += 1
+                stats.duplicates_removed += 1
                 continue
+            parsed = self._parse(record)
             if timed:
-                started = clock()
-                parsed = self._parse(record)
-                parse_seconds += clock() - started
-            else:
-                parsed = self._parse(record)
+                parse_seconds += clock() - after_dedup
             if parsed is None:
                 continue
-            bucket = self._open.setdefault(record.user_key(), [])
+            user = record.user_key()
+            bucket = self._open.get(user)
+            if bucket is None:
+                bucket = self._open[user] = []
             bucket.append(parsed)
-            open_count = sum(len(q) for q in self._open.values())
-            self.stats.max_open_queries = max(
-                self.stats.max_open_queries, open_count
-            )
-            if len(bucket) >= self.max_block_queries:
-                self.stats.blocks_force_closed += 1
-                yield from self._emit(self._close_block(record.user_key()))
+            self._open_count += 1
+            if record.timestamp < self._oldest_open:
+                self._oldest_open = record.timestamp
+            if self._open_count > stats.max_open_queries:
+                stats.max_open_queries = self._open_count
+            if len(bucket) >= max_block:
+                stats.blocks_force_closed += 1
+                yield from self._emit(self._close_block(user))
 
         for user in list(self._open):
             yield from self._emit(self._close_block(user))
@@ -299,6 +375,13 @@ class StreamingCleaner:
         :func:`~repro.pipeline.framework.clean_block`.
         """
         recorder = self.recorder
+        cache = self._parse_cache
+        if cache is not None:
+            # The cache keeps the authoritative totals; mirror them into
+            # the public stats so both views agree at every flush point.
+            self.stats.parse_cache_hits = cache.hits
+            self.stats.parse_cache_misses = cache.misses
+            self.stats.parse_cache_evictions = cache.evictions
         if not recorder.enabled:
             return
         recorder.ensure_counters()
@@ -326,6 +409,21 @@ class StreamingCleaner:
         recorder.count("parse", "syntax_errors", syntax_errors)
         recorder.count("parse", "non_select", non_select)
         recorder.count("parse", "records_quarantined", parse_quarantined)
+        recorder.count(
+            "parse",
+            "parse_cache_hits",
+            stats.parse_cache_hits - flushed.parse_cache_hits,
+        )
+        recorder.count(
+            "parse",
+            "parse_cache_misses",
+            stats.parse_cache_misses - flushed.parse_cache_misses,
+        )
+        recorder.count(
+            "parse",
+            "parse_cache_evictions",
+            stats.parse_cache_evictions - flushed.parse_cache_evictions,
+        )
         self._flushed = replace(stats)
 
     def run(self, log: QueryLog) -> QueryLog:

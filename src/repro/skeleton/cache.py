@@ -1,0 +1,398 @@
+"""The parse fast path's template cache.
+
+SkyServer-style logs are dominated by machine-generated statements that
+repeat a small set of templates with different constants (the premise of
+the paper's Section 3).  The full parse path re-derives the same
+skeleton, template and clause features thousands of times; this module
+short-circuits that with a two-level bounded LRU keyed by the lexer's
+:func:`~repro.sqlparser.lexer.fingerprint_statement`:
+
+* **L1 (exact text)** — statement text → prototype
+  :class:`~repro.patterns.models.ParsedQuery` *or* a cached parse
+  failure.  A hit costs one dict probe plus a ``dataclasses.replace`` to
+  swap in the new log record.  Failures live only here: parser error
+  messages carry line/column positions that depend on the exact
+  whitespace, so they are never shared across texts.
+* **L2 (fingerprint key)** — canonical-token-stream key → an interned
+  :class:`_Entry` holding the prototype and precomputed *splice
+  templates* of its clause texts.  A hit costs one scanner pass plus a
+  literal-substitution rebuild of the AST; the template, template id,
+  predicate count and output set are shared (interned) from the
+  prototype, because they are functions of the token structure alone.
+
+Correctness rests on one invariant and one escape hatch:
+
+* Two statements with the same fingerprint key tokenize identically up
+  to number/string literal *values*, and the recursive-descent parser's
+  decisions never look at literal values — so their parses are
+  isomorphic, differing only in :class:`~repro.sqlparser.ast_nodes.Literal`
+  values at corresponding positions.
+* The parser is not a pure token-stream echo: it folds unary minus into
+  number literals, consumes ``CAST`` type sizes into the type name, and
+  accepts string-literal aliases.  Instead of enumerating those cases,
+  :func:`_build_entry` *verifies* at entry-build time that the
+  prototype's source-order literal vector equals the scanner's constant
+  vector and that the splice templates reproduce the prototype's clause
+  texts exactly.  Any mismatch marks the key **unsafe**: every statement
+  with that key permanently takes the full parse path.  Ambiguity can
+  therefore only ever cost speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..patterns.models import ParsedQuery
+from ..sqlparser import ast_nodes as ast
+from ..sqlparser.lexer import StatementFingerprint, fingerprint_statement
+from .features import single_equality_filter
+from .template import ClauseTexts, _clause_strings, _leading_select, normalize_case
+
+#: Default bound of each cache level (distinct texts / distinct keys).
+DEFAULT_PARSE_CACHE_SIZE = 4096
+
+# ----------------------------------------------------------------------
+# Source-order literal traversal
+#
+# The scanner's constant vector is in *token* order.  For almost every
+# node class, dataclass field order equals source order; the two
+# exceptions are overridden here (TOP precedes the select list, a simple
+# CASE operand precedes its WHEN arms).  Non-node fields are harmless to
+# visit, so overrides only need the fields that can contain nodes.
+
+_SOURCE_ORDER_OVERRIDES = {
+    ast.SelectStatement: (
+        "top",
+        "items",
+        "from_sources",
+        "where",
+        "group_by",
+        "having",
+        "order_by",
+    ),
+    ast.CaseExpression: ("operand", "whens", "else_result"),
+}
+
+_FIELD_ORDER_CACHE: Dict[type, Tuple[str, ...]] = {}
+
+
+def _source_fields(cls: type) -> Tuple[str, ...]:
+    order = _FIELD_ORDER_CACHE.get(cls)
+    if order is None:
+        order = _SOURCE_ORDER_OVERRIDES.get(cls)
+        if order is None:
+            order = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_ORDER_CACHE[cls] = order
+    return order
+
+
+def _collect_value(value: object, out: List[Tuple[str, str]]) -> None:
+    """Append the subtree's number/string literals in source order."""
+    if isinstance(value, ast.Literal):
+        if value.kind == "number" or value.kind == "string":
+            out.append((value.kind, value.value))
+    elif isinstance(value, ast.Node):
+        for name in _source_fields(type(value)):
+            _collect_value(getattr(value, name), out)
+    elif type(value) is tuple:
+        for item in value:
+            if isinstance(item, ast.Node):
+                _collect_value(item, out)
+
+
+def _substitute_value(
+    value: object, values: Tuple[Tuple[str, str], ...], state: List[int]
+) -> object:
+    """Rebuild ``value`` with the i-th literal replaced by ``values[i]``.
+
+    Subtrees without substituted literals are returned unchanged, so the
+    rebuilt statement structurally shares every literal-free branch with
+    the prototype.
+    """
+    if isinstance(value, ast.Literal):
+        kind = value.kind
+        if kind == "number" or kind == "string":
+            index = state[0]
+            state[0] = index + 1
+            new_kind, new_text = values[index]
+            if new_text != value.value or new_kind != kind:
+                return ast.Literal(new_text, new_kind)
+        return value
+    if isinstance(value, ast.Node):
+        changes = None
+        for name in _source_fields(type(value)):
+            old = getattr(value, name)
+            new = _substitute_value(old, values, state)
+            if new is not old:
+                if changes is None:
+                    changes = {}
+                changes[name] = new
+        if changes is None:
+            return value
+        return dataclasses.replace(value, **changes)
+    if type(value) is tuple and value:
+        items = [_substitute_value(item, values, state) for item in value]
+        for new, old in zip(items, value):
+            if new is not old:
+                return tuple(items)
+        return value
+    return value
+
+
+# ----------------------------------------------------------------------
+# Clause-text splice templates
+#
+# Clause texts (SC/FC/WC with constants preserved) are reproduced on a
+# hit without any formatting pass: at entry-build time the prototype is
+# re-rendered once with marker literals, the rendered strings are split
+# on the markers, and a hit just interleaves the statics with the
+# member's rendered constants.
+
+_MARKER = re.compile("\x00(\\d+)\x01")
+
+#: (static text parts, constant indices between them)
+_Splice = Tuple[Tuple[str, ...], Tuple[int, ...]]
+
+
+def _make_splice(text: str) -> _Splice:
+    parts = _MARKER.split(text)
+    return tuple(parts[0::2]), tuple(int(slot) for slot in parts[1::2])
+
+
+def _render_splice(splice: _Splice, rendered: List[str]) -> str:
+    statics, slots = splice
+    if not slots:
+        return statics[0]
+    pieces = [statics[0]]
+    for position, slot in enumerate(slots):
+        pieces.append(rendered[slot])
+        pieces.append(statics[position + 1])
+    return "".join(pieces)
+
+
+def _render_constant(kind: str, value: str) -> str:
+    """Render a constant exactly as the SQL formatter would."""
+    if kind == "number":
+        return value
+    return "'" + value.replace("'", "''") + "'"
+
+
+class _Entry:
+    """One interned fingerprint-key class: prototype + splice templates."""
+
+    __slots__ = ("proto", "constants", "splices")
+
+    def __init__(
+        self,
+        proto: ParsedQuery,
+        constants: Tuple[Tuple[str, str], ...],
+        splices: Tuple[_Splice, _Splice, _Splice],
+    ) -> None:
+        self.proto = proto
+        self.constants = constants
+        self.splices = splices
+
+    def __getstate__(self):
+        return (self.proto, self.constants, self.splices)
+
+    def __setstate__(self, state):
+        self.proto, self.constants, self.splices = state
+
+
+class _UnsafeMarker:
+    """Permanent full-parse marker for an ambiguous fingerprint key."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unsafe fingerprint key>"
+
+    def __reduce__(self):
+        return (_unsafe_marker, ())
+
+
+def _unsafe_marker() -> "_UnsafeMarker":
+    return _UNSAFE
+
+
+_UNSAFE = _UnsafeMarker()
+
+
+def _build_entry(
+    proto: ParsedQuery, fingerprint: StatementFingerprint
+) -> Optional[_Entry]:
+    """Intern ``proto`` for its fingerprint key, or ``None`` if unsafe.
+
+    The safety checks compare what the scanner *predicted* against what
+    the parser actually *built*; any divergence (unary-minus edge cases,
+    CAST type sizes, string aliases, formatter surprises) disqualifies
+    the whole key class rather than risking a wrong instantiation.
+    """
+    statement = proto.statement
+    literals: List[Tuple[str, str]] = []
+    _collect_value(statement, literals)
+    if tuple(literals) != fingerprint.constants:
+        return None
+    markers = tuple(
+        ("number", "\x00%d\x01" % index) for index in range(len(literals))
+    )
+    state = [0]
+    sentinel_statement = _substitute_value(statement, markers, state)
+    if state[0] != len(literals):
+        return None
+    canonical = normalize_case(sentinel_statement)  # type: ignore[arg-type]
+    select = _leading_select(canonical)  # type: ignore[arg-type]
+    sc, fc, wc, _, _ = _clause_strings(select)
+    splices = (_make_splice(sc), _make_splice(fc), _make_splice(wc))
+    # End-to-end self-check: splicing the prototype's own constants must
+    # reproduce its true clause texts byte for byte.
+    rendered = [_render_constant(kind, value) for kind, value in literals]
+    clauses = proto.clauses
+    if (
+        _render_splice(splices[0], rendered) != clauses.sc
+        or _render_splice(splices[1], rendered) != clauses.fc
+        or _render_splice(splices[2], rendered) != clauses.wc
+    ):
+        return None
+    return _Entry(proto, fingerprint.constants, splices)
+
+
+def _instantiate(
+    entry: _Entry, fingerprint: StatementFingerprint, record
+) -> ParsedQuery:
+    """Materialise the key class's parse for ``record``'s constants."""
+    proto = entry.proto
+    constants = fingerprint.constants
+    if constants == entry.constants:
+        return dataclasses.replace(proto, record=record)
+    state = [0]
+    statement = _substitute_value(proto.statement, constants, state)
+    select = statement
+    while isinstance(select, ast.Union):
+        select = select.left
+    rendered = [_render_constant(kind, value) for kind, value in constants]
+    clauses = ClauseTexts(
+        sc=_render_splice(entry.splices[0], rendered),
+        fc=_render_splice(entry.splices[1], rendered),
+        wc=_render_splice(entry.splices[2], rendered),
+    )
+    equality = (
+        single_equality_filter(select)
+        if proto.equality_filter is not None
+        else None
+    )
+    return ParsedQuery(
+        record=record,
+        statement=statement,  # type: ignore[arg-type]
+        select=select,  # type: ignore[arg-type]
+        template=proto.template,
+        template_id=proto.template_id,
+        clauses=clauses,
+        predicate_count=proto.predicate_count,
+        equality_filter=equality,
+        outputs=proto.outputs,
+    )
+
+
+#: What the parse loop caches for one statement text: a prototype
+#: ParsedQuery on success, or the (error, reason) pair of a failure.
+CacheResult = Union[ParsedQuery, Tuple[BaseException, str]]
+
+
+class TemplateCache:
+    """Bounded two-level LRU for the parse fast path.
+
+    One instance serves one executor run (batch), one cleaner instance
+    (streaming) or one worker shard (parallel) — instances are picklable
+    so prewarmed caches can cross process boundaries, but they are never
+    shared concurrently.
+
+    :param max_entries: LRU bound applied to each level independently.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_PARSE_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive integer, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._exact: "OrderedDict[str, CacheResult]" = OrderedDict()
+        self._by_key: "OrderedDict[str, object]" = OrderedDict()
+        #: (sql, fingerprint) remembered from the last miss so that the
+        #: store() that follows does not rescan the text.
+        self._pending: Optional[Tuple[str, Optional[StatementFingerprint]]] = None
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    @property
+    def key_entries(self) -> int:
+        """Number of interned fingerprint-key entries (L2)."""
+        return len(self._by_key)
+
+    def fetch(self, record) -> Optional[CacheResult]:
+        """Return the cached parse outcome for ``record``, or ``None``.
+
+        A returned :class:`~repro.patterns.models.ParsedQuery` is already
+        bound to ``record``; a returned tuple is the shared parse
+        failure of this exact statement text.  ``None`` means miss — the
+        caller must full-parse and :meth:`store` the outcome.
+        """
+        sql = record.sql
+        exact = self._exact
+        cached = exact.get(sql)
+        if cached is not None:
+            exact.move_to_end(sql)
+            self.hits += 1
+            if type(cached) is tuple:
+                return cached
+            if cached.record is record:
+                return cached
+            return dataclasses.replace(cached, record=record)
+        fingerprint = fingerprint_statement(sql)
+        if fingerprint is not None:
+            entry = self._by_key.get(fingerprint.key)
+            if type(entry) is _Entry:
+                self._by_key.move_to_end(fingerprint.key)
+                result = _instantiate(entry, fingerprint, record)
+                self.hits += 1
+                # Promote into L1 so an exact repeat skips the scanner.
+                self._remember_exact(sql, result)
+                return result
+        self.misses += 1
+        self._pending = (sql, fingerprint)
+        return None
+
+    def store(self, sql: str, result: CacheResult) -> None:
+        """Admit a full-parse outcome produced after a :meth:`fetch` miss."""
+        pending = self._pending
+        self._pending = None
+        if pending is not None and pending[0] == sql:
+            fingerprint = pending[1]
+        else:
+            fingerprint = fingerprint_statement(sql)
+        self._remember_exact(sql, result)
+        if fingerprint is None or type(result) is tuple:
+            # No usable key, or a failure: failures stay L1-only because
+            # their messages carry text-specific line/column positions.
+            return
+        by_key = self._by_key
+        if fingerprint.key in by_key:
+            return
+        entry = _build_entry(result, fingerprint)
+        by_key[fingerprint.key] = _UNSAFE if entry is None else entry
+        if len(by_key) > self.max_entries:
+            by_key.popitem(last=False)
+            self.evictions += 1
+
+    def _remember_exact(self, sql: str, result: CacheResult) -> None:
+        exact = self._exact
+        exact[sql] = result
+        exact.move_to_end(sql)
+        if len(exact) > self.max_entries:
+            exact.popitem(last=False)
+            self.evictions += 1

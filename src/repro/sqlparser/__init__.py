@@ -9,7 +9,7 @@ Typical use::
 """
 
 from .errors import LexerError, ParseError, SqlError, UnsupportedStatementError
-from .lexer import tokenize
+from .lexer import StatementFingerprint, fingerprint_statement, tokenize
 from .parser import parse, parse_select
 from .formatter import format_expression, format_sql
 from . import ast_nodes as ast
@@ -19,6 +19,8 @@ __all__ = [
     "ParseError",
     "SqlError",
     "UnsupportedStatementError",
+    "StatementFingerprint",
+    "fingerprint_statement",
     "tokenize",
     "parse",
     "parse_select",

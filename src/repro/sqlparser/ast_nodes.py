@@ -21,11 +21,21 @@ dataclass fields so new node types participate automatically.
 from __future__ import annotations
 
 import dataclasses
+import sys as _sys
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+if _sys.version_info >= (3, 11):
+    # __slots__ on every node class: smaller trees and faster attribute
+    # access for the traversal-heavy skeleton/feature passes.  Gated to
+    # 3.11+ because pickling frozen slotted dataclasses is only
+    # supported from 3.11 (bpo-45520).
+    _node_dataclass = dataclass(frozen=True, slots=True)
+else:  # pragma: no cover - exercised only on the 3.10 CI leg
+    _node_dataclass = dataclass(frozen=True)
 
-@dataclass(frozen=True)
+
+@_node_dataclass
 class Node:
     """Base class of every AST node."""
 
@@ -51,12 +61,12 @@ class Node:
 # Expressions
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Expression(Node):
     """Base class of value-producing nodes."""
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Literal(Expression):
     """A constant.
 
@@ -81,7 +91,7 @@ class Literal(Expression):
         return self.value
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Placeholder(Expression):
     """A skeleton placeholder standing in for a constant (Section 4.1.2).
 
@@ -93,14 +103,14 @@ class Placeholder(Expression):
     kind: str
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Variable(Expression):
     """A T-SQL ``@name`` variable (SkyServer templates use these)."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class ColumnRef(Expression):
     """A possibly qualified column reference ``[table.]column``."""
 
@@ -112,14 +122,14 @@ class ColumnRef(Expression):
         return (self.table.lower() if self.table else None, self.name.lower())
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Star(Expression):
     """``*`` or ``table.*`` in a SELECT list or in ``count(*)``."""
 
     table: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class FunctionCall(Expression):
     """A function invocation, possibly schema-qualified (``dbo.fGetNearbyObjEq``).
 
@@ -135,7 +145,7 @@ class FunctionCall(Expression):
     distinct: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class UnaryOp(Expression):
     """Unary ``-``/``+`` applied to an expression."""
 
@@ -143,7 +153,7 @@ class UnaryOp(Expression):
     operand: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class BinaryOp(Expression):
     """Arithmetic/string operator: ``+ - * / % ||``."""
 
@@ -152,7 +162,7 @@ class BinaryOp(Expression):
     right: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Comparison(Expression):
     """A comparison predicate: ``= <> != < <= > >=``.
 
@@ -165,7 +175,7 @@ class Comparison(Expression):
     right: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class And(Expression):
     """Logical conjunction."""
 
@@ -173,7 +183,7 @@ class And(Expression):
     right: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Or(Expression):
     """Logical disjunction."""
 
@@ -181,14 +191,14 @@ class Or(Expression):
     right: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Not(Expression):
     """Logical negation."""
 
     operand: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class InList(Expression):
     """``expr [NOT] IN (item, …)`` with literal/expression items.
 
@@ -202,7 +212,7 @@ class InList(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class InSubquery(Expression):
     """``expr [NOT] IN (SELECT …)``."""
 
@@ -211,7 +221,7 @@ class InSubquery(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Between(Expression):
     """``expr [NOT] BETWEEN low AND high``."""
 
@@ -221,7 +231,7 @@ class Between(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class IsNull(Expression):
     """``expr IS [NOT] NULL`` — the *correct* form the SNC rewrite emits."""
 
@@ -229,7 +239,7 @@ class IsNull(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Like(Expression):
     """``expr [NOT] LIKE pattern``."""
 
@@ -238,7 +248,7 @@ class Like(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Exists(Expression):
     """``[NOT] EXISTS (SELECT …)``."""
 
@@ -246,7 +256,7 @@ class Exists(Expression):
     negated: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class WhenClause(Node):
     """One ``WHEN condition THEN result`` arm of a CASE expression."""
 
@@ -254,7 +264,7 @@ class WhenClause(Node):
     result: Expression
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class CaseExpression(Expression):
     """Searched or simple CASE expression."""
 
@@ -263,7 +273,7 @@ class CaseExpression(Expression):
     else_result: Optional[Expression] = None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Cast(Expression):
     """``CAST(expr AS type)``."""
 
@@ -271,7 +281,7 @@ class Cast(Expression):
     type_name: str
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class ScalarSubquery(Expression):
     """A parenthesised SELECT used as a scalar value."""
 
@@ -282,7 +292,7 @@ class ScalarSubquery(Expression):
 # FROM sources
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class TableSource(Node):
     """Base class of everything that can appear in a FROM clause."""
 
@@ -291,7 +301,7 @@ class TableSource(Node):
         return getattr(self, "alias", None)
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class TableName(TableSource):
     """A base table, possibly schema-qualified, with optional alias."""
 
@@ -306,7 +316,7 @@ class TableName(TableSource):
         return self.name.lower()
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class FunctionTable(TableSource):
     """A table-valued function in FROM (``fGetNearbyObjEq(@ra,@dec,@r) n``)."""
 
@@ -314,7 +324,7 @@ class FunctionTable(TableSource):
     alias: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class DerivedTable(TableSource):
     """A subquery in FROM with a correlation name."""
 
@@ -322,7 +332,7 @@ class DerivedTable(TableSource):
     alias: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Join(TableSource):
     """A join of two table sources.
 
@@ -342,7 +352,7 @@ class Join(TableSource):
 # Statements
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class SelectItem(Node):
     """One element of the SELECT list."""
 
@@ -358,7 +368,7 @@ class SelectItem(Node):
         return None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class OrderItem(Node):
     """One element of the ORDER BY list."""
 
@@ -366,12 +376,12 @@ class OrderItem(Node):
     descending: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Statement(Node):
     """Base class for parsed statements."""
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class TopClause(Node):
     """T-SQL ``TOP n [PERCENT]``."""
 
@@ -379,7 +389,7 @@ class TopClause(Node):
     percent: bool = False
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class SelectStatement(Statement):
     """A full SELECT statement.
 
@@ -399,7 +409,7 @@ class SelectStatement(Statement):
     top: Optional[TopClause] = None
 
 
-@dataclass(frozen=True)
+@_node_dataclass
 class Union(Statement):
     """``left UNION [ALL] right``."""
 

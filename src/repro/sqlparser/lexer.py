@@ -14,11 +14,25 @@ It understands:
 
 Anything else raises :class:`~repro.sqlparser.errors.LexerError` with a
 source position, which the pipeline records as a syntax error.
+
+This module also hosts the parse fast path's *statement fingerprint*
+(:func:`fingerprint_statement`): a single regex-driven pass that
+canonicalizes whitespace, comments and keyword case, replaces number and
+string literals with typed placeholders, and captures the constant
+vector — without building tokens or an AST.  Two statements with the
+same fingerprint key tokenize to the same token sequence up to literal
+values, which is what the :class:`~repro.skeleton.cache.TemplateCache`
+keys on.  The scanner is deliberately conservative: on anything it
+cannot prove it mirrors exactly (unterminated comments, malformed
+numbers, characters the lexer rejects, control characters that could
+break key injectivity) it returns ``None`` and the caller takes the full
+parse path.
 """
 
 from __future__ import annotations
 
-from typing import List
+import re
+from typing import List, NamedTuple, Optional, Tuple
 
 from .errors import LexerError
 from .tokens import (
@@ -36,6 +50,28 @@ _IDENT_CONT = _IDENT_START | frozenset("0123456789$")
 _DIGITS = frozenset("0123456789")
 _WHITESPACE = frozenset(" \t\r\n\f\v")
 
+# Precompiled lookup tables (module import time, not per statement):
+# common keyword spellings resolved with one dict probe instead of an
+# upper-case + set-membership pair, multi-character operators bucketed
+# by first character, punctuation mapped straight to its token kind.
+_KEYWORD_CASES = {}
+for _kw in KEYWORDS:
+    for _spelling in (_kw, _kw.lower(), _kw.capitalize()):
+        _KEYWORD_CASES[_spelling] = _kw
+
+_MULTI_BY_FIRST: dict = {}
+for _op in MULTI_CHAR_OPERATORS:
+    _MULTI_BY_FIRST.setdefault(_op[0], []).append(_op)
+_MULTI_BY_FIRST = {first: tuple(ops) for first, ops in _MULTI_BY_FIRST.items()}
+
+_PUNCT_KINDS = {
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMICOLON,
+}
+
 
 class Lexer:
     """Single-use tokenizer over one SQL statement string."""
@@ -49,12 +85,14 @@ class Lexer:
     def tokenize(self) -> List[Token]:
         """Tokenize the whole input, appending a trailing EOF token."""
         tokens: List[Token] = []
+        append = tokens.append
+        length = len(self._text)
         while True:
             self._skip_trivia()
-            if self._pos >= len(self._text):
-                tokens.append(Token(TokenKind.EOF, "", self._line, self._column))
+            if self._pos >= length:
+                append(Token(TokenKind.EOF, "", self._line, self._column))
                 return tokens
-            tokens.append(self._next_token())
+            append(self._next_token())
 
     # ------------------------------------------------------------------
     # Character helpers
@@ -74,27 +112,43 @@ class Lexer:
                 self._column += 1
             self._pos += 1
 
+    def _jump(self, new_pos: int) -> None:
+        """Move to ``new_pos``, updating line/column over the skipped run."""
+        text = self._text
+        pos = self._pos
+        chunk = text[pos:new_pos]
+        newlines = chunk.count("\n")
+        if newlines:
+            self._line += newlines
+            self._column = new_pos - (pos + chunk.rfind("\n"))
+        else:
+            self._column += new_pos - pos
+        self._pos = new_pos
+
     def _skip_trivia(self) -> None:
         """Skip whitespace and comments (both styles)."""
-        while self._pos < len(self._text):
-            char = self._peek()
+        text = self._text
+        length = len(text)
+        while True:
+            pos = self._pos
+            if pos >= length:
+                return
+            char = text[pos]
             if char in _WHITESPACE:
-                self._advance()
-            elif char == "-" and self._peek(1) == "-":
-                while self._pos < len(self._text) and self._peek() != "\n":
-                    self._advance()
-            elif char == "/" and self._peek(1) == "*":
-                start_line, start_col = self._line, self._column
-                self._advance(2)
-                while self._pos < len(self._text):
-                    if self._peek() == "*" and self._peek(1) == "/":
-                        self._advance(2)
-                        break
-                    self._advance()
-                else:
+                end = pos + 1
+                while end < length and text[end] in _WHITESPACE:
+                    end += 1
+                self._jump(end)
+            elif char == "-" and text.startswith("--", pos):
+                end = text.find("\n", pos)
+                self._jump(length if end == -1 else end)
+            elif char == "/" and text.startswith("/*", pos):
+                end = text.find("*/", pos + 2)
+                if end == -1:
                     raise LexerError(
-                        "unterminated block comment", start_line, start_col
+                        "unterminated block comment", self._line, self._column
                     )
+                self._jump(end + 2)
             else:
                 return
 
@@ -102,11 +156,26 @@ class Lexer:
     # Token producers
 
     def _next_token(self) -> Token:
-        char = self._peek()
+        text = self._text
+        pos = self._pos
+        char = text[pos]
         line, column = self._line, self._column
 
         if char in _IDENT_START:
-            return self._lex_word(line, column)
+            length = len(text)
+            end = pos + 1
+            while end < length and text[end] in _IDENT_CONT:
+                end += 1
+            word = text[pos:end]
+            self._column += end - pos
+            self._pos = end
+            keyword = _KEYWORD_CASES.get(word)
+            if keyword is not None:
+                return Token(TokenKind.KEYWORD, keyword, line, column)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                return Token(TokenKind.KEYWORD, upper, line, column)
+            return Token(TokenKind.IDENTIFIER, word, line, column)
         if char in _DIGITS or (char == "." and self._peek(1) in _DIGITS):
             return self._lex_number(line, column)
         if char == "'":
@@ -117,85 +186,74 @@ class Lexer:
             return self._lex_quoted_identifier(line, column)
         if char == "@":
             return self._lex_variable(line, column)
-        if char == ",":
-            self._advance()
-            return Token(TokenKind.COMMA, ",", line, column)
-        if char == ".":
-            self._advance()
-            return Token(TokenKind.DOT, ".", line, column)
-        if char == "(":
-            self._advance()
-            return Token(TokenKind.LPAREN, "(", line, column)
-        if char == ")":
-            self._advance()
-            return Token(TokenKind.RPAREN, ")", line, column)
-        if char == ";":
-            self._advance()
-            return Token(TokenKind.SEMICOLON, ";", line, column)
 
-        for operator in MULTI_CHAR_OPERATORS:
-            if self._text.startswith(operator, self._pos):
-                self._advance(len(operator))
-                return Token(TokenKind.OPERATOR, operator, line, column)
+        punct = _PUNCT_KINDS.get(char)
+        if punct is not None:
+            self._pos = pos + 1
+            self._column += 1
+            return Token(punct, char, line, column)
+
+        multi = _MULTI_BY_FIRST.get(char)
+        if multi is not None:
+            for operator in multi:
+                if text.startswith(operator, pos):
+                    self._pos = pos + len(operator)
+                    self._column += len(operator)
+                    return Token(TokenKind.OPERATOR, operator, line, column)
         if char in SINGLE_CHAR_OPERATORS:
-            self._advance()
+            self._pos = pos + 1
+            self._column += 1
             return Token(TokenKind.OPERATOR, char, line, column)
 
         raise LexerError(f"unexpected character {char!r}", line, column)
 
-    def _lex_word(self, line: int, column: int) -> Token:
-        start = self._pos
-        while self._peek() in _IDENT_CONT:
-            self._advance()
-        word = self._text[start : self._pos]
-        upper = word.upper()
-        if upper in KEYWORDS:
-            return Token(TokenKind.KEYWORD, upper, line, column)
-        return Token(TokenKind.IDENTIFIER, word, line, column)
-
     def _lex_number(self, line: int, column: int) -> Token:
-        start = self._pos
-        while self._peek() in _DIGITS:
-            self._advance()
-        if self._peek() == "." and self._peek(1) != ".":
-            self._advance()
-            while self._peek() in _DIGITS:
-                self._advance()
-        if self._peek() in ("e", "E"):
-            lookahead = 1
-            if self._peek(1) in ("+", "-"):
-                lookahead = 2
-            if self._peek(lookahead) in _DIGITS:
-                self._advance(lookahead)
-                while self._peek() in _DIGITS:
-                    self._advance()
-        text = self._text[start : self._pos]
+        text = self._text
+        length = len(text)
+        start = pos = self._pos
+        while pos < length and text[pos] in _DIGITS:
+            pos += 1
+        if pos < length and text[pos] == "." and not text.startswith("..", pos):
+            pos += 1
+            while pos < length and text[pos] in _DIGITS:
+                pos += 1
+        if pos < length and text[pos] in "eE":
+            lookahead = pos + 1
+            if lookahead < length and text[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < length and text[lookahead] in _DIGITS:
+                pos = lookahead + 1
+                while pos < length and text[pos] in _DIGITS:
+                    pos += 1
+        value = text[start:pos]
+        self._column += pos - start
+        self._pos = pos
         # `1abc` is a malformed literal, not a number followed by an
         # identifier; reject it here for a clear error position.
-        if self._peek() in _IDENT_START:
+        if pos < length and text[pos] in _IDENT_START:
             raise LexerError(
-                f"malformed numeric literal {text + self._peek()!r}",
+                f"malformed numeric literal {value + text[pos]!r}",
                 line,
                 column,
             )
-        return Token(TokenKind.NUMBER, text, line, column)
+        return Token(TokenKind.NUMBER, value, line, column)
 
     def _lex_string(self, line: int, column: int) -> Token:
-        self._advance()  # opening quote
+        text = self._text
+        length = len(text)
+        pos = self._pos + 1  # past the opening quote
         pieces: List[str] = []
         while True:
-            if self._pos >= len(self._text):
+            quote = text.find("'", pos)
+            if quote == -1:
                 raise LexerError("unterminated string literal", line, column)
-            char = self._peek()
-            if char == "'":
-                if self._peek(1) == "'":  # escaped quote
-                    pieces.append("'")
-                    self._advance(2)
-                    continue
-                self._advance()
-                return Token(TokenKind.STRING, "".join(pieces), line, column)
-            pieces.append(char)
-            self._advance()
+            pieces.append(text[pos:quote])
+            if quote + 1 < length and text[quote + 1] == "'":  # escaped quote
+                pieces.append("'")
+                pos = quote + 2
+                continue
+            self._jump(quote + 1)
+            return Token(TokenKind.STRING, "".join(pieces), line, column)
 
     def _lex_bracket_identifier(self, line: int, column: int) -> Token:
         self._advance()  # opening bracket
@@ -236,3 +294,166 @@ class Lexer:
 def tokenize(text: str) -> List[Token]:
     """Tokenize ``text`` and return its tokens (EOF-terminated)."""
     return Lexer(text).tokenize()
+
+
+# ----------------------------------------------------------------------
+# Statement fingerprint (parse fast path)
+
+#: Placeholder / tag bytes used inside fingerprint keys.  They can never
+#: collide with statement content because :func:`fingerprint_statement`
+#: bails out on any non-whitespace control character in the input.
+_FP_NUMBER = "\x03"
+_FP_STRING = "\x04"
+_FP_IDENT = "\x02"
+_FP_VARIABLE = "\x05"
+_FP_SEP = "\x1f"
+
+#: Non-whitespace control characters.  \t\n\v\f\r (0x09-0x0d) are legal
+#: whitespace; everything else below 0x20 would threaten the injectivity
+#: of the join-based key, so the scanner refuses such statements.
+_FP_UNSAFE = re.compile("[\x00-\x08\x0e-\x1f]")
+
+#: One alternative per lexeme class, mirroring the hand-written lexer
+#: exactly.  Order matters: words before numbers (`` abc1``), numbers
+#: before DOT (``.5``), comments before operators (``--``, ``/*``).
+_FP_TOKEN = re.compile(
+    r"""
+      (?P<ws>[ \t\r\n\f\v]+)
+    | (?P<lc>--[^\n]*)
+    | (?P<bc>/\*.*?\*/)
+    | (?P<word>[A-Za-z_\#][A-Za-z0-9_\#\$]*)
+    | (?P<num>(?:[0-9]+(?:\.(?!\.)[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)
+    | (?P<str>'(?:[^']|'')*')
+    | (?P<bracket>\[[^\]]*\])
+    | (?P<dquote>"[^"]*")
+    | (?P<var>@@?[A-Za-z_\#][A-Za-z0-9_\#\$]*)
+    | (?P<op><>|!=|<=|>=|\|\||[=<>+\-*/%])
+    | (?P<punct>[,.();])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+#: Keywords that *end* an operand, so a following ``-`` is binary
+#: subtraction; after any other keyword a ``-`` starts a negative number.
+_OPERAND_END_KEYWORDS = frozenset({"NULL", "END"})
+
+
+class StatementFingerprint(NamedTuple):
+    """The raw-statement fingerprint captured by one scanner pass.
+
+    :param key: canonical token-stream key — whitespace/comments dropped,
+        keyword case folded, literals replaced by typed placeholders.
+        Identifiers and variables are kept verbatim (their case survives
+        into formatted output, so folding them would break byte-identical
+        clean logs).
+    :param constants: the literal vector, in token order, as
+        ``(kind, value)`` pairs with ``kind`` in ``{'number', 'string'}``
+        and ``value`` exactly what the parser's :class:`Literal` would
+        carry (numbers keep source text, a folded unary minus included;
+        strings are unquoted with ``''`` collapsed).
+    """
+
+    key: str
+    constants: Tuple[Tuple[str, str], ...]
+
+
+def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
+    """Fingerprint ``text`` in one pass, or return ``None`` to punt.
+
+    ``None`` means "take the full parse path": the input contains
+    something the scanner cannot prove it mirrors the lexer on
+    (unexpected characters, unterminated comments/strings, malformed
+    numbers, non-whitespace control characters).  Never raises.
+    """
+    if _FP_UNSAFE.search(text):
+        return None
+    parts: List[str] = []
+    constants: List[Tuple[str, str]] = []
+    append = parts.append
+    add_constant = constants.append
+    match = _FP_TOKEN.match
+    keyword_cases = _KEYWORD_CASES
+    pos = 0
+    length = len(text)
+    # ``-`` in operand position is held back: if a number follows it is
+    # folded into the constant (mirroring the parser, which folds unary
+    # minus into the Literal), otherwise it is emitted as an operator.
+    pending_minus = False
+    # True when the *next* token sits in operand position, i.e. a ``-``
+    # here would be unary.  Any disagreement with the parser is caught
+    # by the cache's build-time literal check and falls back per key.
+    unary_next = True
+    while pos < length:
+        m = match(text, pos)
+        if m is None:
+            return None  # character the lexer would reject
+        group = m.lastgroup
+        end = m.end()
+        if group == "ws" or group == "lc" or group == "bc":
+            pos = end
+            continue
+        token_text = m.group()
+        if group == "num":
+            if end < length and text[end] in _IDENT_START:
+                return None  # `1abc` — malformed literal in the lexer
+            if pending_minus:
+                add_constant(("number", "-" + token_text))
+                pending_minus = False
+            else:
+                add_constant(("number", token_text))
+            append(_FP_NUMBER)
+            unary_next = False
+        elif group == "word":
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            keyword = keyword_cases.get(token_text)
+            if keyword is None:
+                upper = token_text.upper()
+                keyword = upper if upper in KEYWORDS else None
+            if keyword is not None:
+                append(keyword)
+                unary_next = keyword not in _OPERAND_END_KEYWORDS
+            else:
+                append(_FP_IDENT + token_text)
+                unary_next = False
+        elif group == "op":
+            if token_text == "/" and text.startswith("/*", m.start()):
+                return None  # unterminated block comment
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            if token_text == "-" and unary_next:
+                pending_minus = True
+            else:
+                append(token_text)
+                unary_next = True
+        elif group == "punct":
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            append(token_text)
+            unary_next = token_text == "(" or token_text == ","
+        elif group == "str":
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            add_constant(("string", token_text[1:-1].replace("''", "'")))
+            append(_FP_STRING)
+            unary_next = False
+        elif group == "var":
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            append(_FP_VARIABLE + token_text[1:])
+            unary_next = False
+        else:  # bracket / dquote identifiers — same token as a bare word
+            if pending_minus:
+                append("-")
+                pending_minus = False
+            append(_FP_IDENT + token_text[1:-1])
+            unary_next = False
+        pos = end
+    if pending_minus:
+        append("-")
+    return StatementFingerprint(_FP_SEP.join(parts), tuple(constants))

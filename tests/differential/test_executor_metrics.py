@@ -183,6 +183,40 @@ class TestEdgeCaseLogs:
         assert detect["counters"]["instances_detected"] >= 5
 
 
+class TestParseCacheDifferential:
+    """The parse fast path must be invisible in every output: same clean
+    records, same comparable ledger, zero conservation violations —
+    with the cache on (default) and off, on every executor."""
+
+    def test_cache_off_matches_cache_on(self):
+        log = workload_log("seed2018")
+        reference = repro.clean(log, config(), parse_cache=False)
+        assert reference.metrics.conservation_violations() == []
+        ref_counters = reference.metrics.comparable()["parse"]["counters"]
+        # The executor-dependent cache counters are excluded from the
+        # comparable view entirely.
+        assert "parse_cache_hits" not in ref_counters
+        for name, execution in EXECUTIONS:
+            result = repro.clean(log, config(), execution=execution)
+            assert result.clean_log.records() == reference.clean_log.records(), name
+            assert result.metrics.comparable() == reference.metrics.comparable(), name
+            assert result.metrics.conservation_violations() == [], name
+            raw = result.metrics.stages["parse"].counters
+            assert raw["parse_cache_hits"] > 0, name
+            assert (
+                raw["parse_cache_hits"] + raw["parse_cache_misses"]
+                == raw["records_in"]
+            ), name
+
+    def test_cache_disabled_books_zero_traffic(self):
+        log = workload_log("seed7")
+        result = repro.clean(log, config(), parse_cache=False)
+        raw = result.metrics.stages["parse"].counters
+        assert raw["parse_cache_hits"] == 0
+        assert raw["parse_cache_misses"] == 0
+        assert raw["parse_cache_evictions"] == 0
+
+
 class TestRecorderOverhead:
     def test_batch_overhead_is_small(self):
         """The acceptance bar is ≤5% batch overhead; asserting that

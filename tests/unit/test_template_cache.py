@@ -1,0 +1,315 @@
+"""Unit tests for the parse fast path's TemplateCache.
+
+The cache's contract is absolute: a fetched ParsedQuery must equal what
+the full parse path would have produced, byte for byte, for *every*
+statement — correctness comes from build-time verification (literal
+vector + splice round-trip), and anything the verifier cannot prove
+falls back to the full parser.  These tests pin the LRU mechanics, the
+fallback behaviour, picklability, and the cached==uncached equivalence,
+plus a Hypothesis property tying fingerprint equality to template
+identity.
+"""
+
+import pickle
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.log import LogRecord
+from repro.obs import Recorder
+from repro.patterns.models import ParsedQuery
+from repro.pipeline.config import ExecutionConfig
+from repro.pipeline.framework import parse_log
+from repro.skeleton import build_template
+from repro.skeleton.cache import TemplateCache
+from repro.sqlparser import parse
+from repro.sqlparser.lexer import fingerprint_statement
+
+
+def record(sql, seq=0, user="u"):
+    return LogRecord(seq=seq, sql=sql, timestamp=float(seq), user=user)
+
+
+def full_parse(rec):
+    return ParsedQuery.from_statement(rec, parse(rec.sql))
+
+
+def records(statements):
+    return [record(sql, seq=i) for i, sql in enumerate(statements)]
+
+
+class TestFingerprintScanner:
+    def test_constants_extracted_in_order(self):
+        fp = fingerprint_statement(
+            "SELECT a FROM t WHERE b = 12 AND name = 'bob' AND c = -3.5"
+        )
+        assert fp is not None
+        assert fp.constants == (
+            ("number", "12"),
+            ("string", "bob"),
+            ("number", "-3.5"),
+        )
+
+    def test_same_template_same_key(self):
+        a = fingerprint_statement("SELECT a FROM t WHERE b = 1")
+        b = fingerprint_statement("select  A from T where B = 99")
+        assert a is not None and b is not None
+        # keywords fold case; identifiers keep verbatim spelling, so the
+        # case-changed variant is a *different* key (its formatted AST
+        # differs too) — but equal-case, different-constant is the same.
+        c = fingerprint_statement("SELECT a FROM t WHERE b = 99")
+        assert a.key == c.key
+        assert a.key != b.key
+
+    def test_escaped_quotes_unescaped_in_constants(self):
+        fp = fingerprint_statement("SELECT a FROM t WHERE n = 'o''brien'")
+        assert fp is not None
+        assert fp.constants == (("string", "o'brien"),)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t WHERE b = 'unterminated",
+            "SELECT 1abc FROM t",  # number glued to a word → LexerError
+            "SELECT a FROM t /* unterminated comment",
+            "SELECT\xa0a FROM t",  # unicode whitespace the lexer rejects
+            "SELECT [we\x1fird] FROM t",  # control char breaks key injectivity
+        ],
+    )
+    def test_scanner_bails_on_lexer_disagreements(self, sql):
+        assert fingerprint_statement(sql) is None
+
+
+class TestTemplateCacheMechanics:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TemplateCache(0)
+
+    def test_hit_equals_full_parse(self):
+        cache = TemplateCache()
+        proto = record("SELECT a FROM t WHERE b = 1", seq=0)
+        assert cache.fetch(proto) is None
+        cache.store(proto.sql, full_parse(proto))
+        member = record("SELECT a FROM t WHERE b = 22", seq=1)
+        hit = cache.fetch(member)
+        assert hit is not None
+        assert hit == full_parse(member)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_exact_text_hit_rebinds_record(self):
+        cache = TemplateCache()
+        first = record("SELECT a FROM t WHERE b = 1", seq=0)
+        cache.fetch(first)
+        cache.store(first.sql, full_parse(first))
+        second = record(first.sql, seq=7)
+        hit = cache.fetch(second)
+        assert hit.record is second
+        assert hit == full_parse(second)
+
+    def test_lru_evicts_oldest_key(self):
+        cache = TemplateCache(2)
+        statements = [
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT c FROM u WHERE d = 2",
+            "SELECT e FROM v WHERE f = 3",
+        ]
+        for rec in records(statements):
+            assert cache.fetch(rec) is None
+            cache.store(rec.sql, full_parse(rec))
+        assert len(cache) == 2
+        assert cache.key_entries == 2
+        assert cache.evictions >= 2  # one per level for the oldest entry
+        # The first statement was evicted: a same-template probe misses.
+        assert cache.fetch(record("SELECT a FROM t WHERE b = 9")) is None
+        # The most recent one is still resident.
+        assert cache.fetch(record("SELECT e FROM v WHERE f = 9")) is not None
+
+    def test_failures_stay_l1_only(self):
+        cache = TemplateCache()
+        bad = record("SELECT FROM WHERE ((", seq=0)
+        assert cache.fetch(bad) is None
+        try:
+            parse(bad.sql)
+        except Exception as error:
+            cache.store(bad.sql, (error, "parse_error"))
+        assert cache.key_entries == 0
+        again = cache.fetch(record(bad.sql, seq=1))
+        assert isinstance(again, tuple)
+
+
+class TestUnsafeFallback:
+    @pytest.mark.parametrize(
+        "proto_sql, member_sql",
+        [
+            # CAST consumes the type size into type_name; the scanner
+            # sees it as a constant → literal vectors disagree.
+            (
+                "SELECT CAST(x AS varchar(10)) FROM t",
+                "SELECT CAST(x AS varchar(20)) FROM t",
+            ),
+            # A string-literal alias is not a Literal node in the AST.
+            ("SELECT a AS 'label' FROM t", "SELECT a AS 'other' FROM t"),
+            # Double unary minus folds differently in parser vs scanner.
+            ("SELECT - -5 FROM t", "SELECT - -7 FROM t"),
+        ],
+    )
+    def test_ambiguous_keys_always_full_parse(self, proto_sql, member_sql):
+        cache = TemplateCache()
+        proto = record(proto_sql, seq=0)
+        assert cache.fetch(proto) is None
+        cache.store(proto.sql, full_parse(proto))
+        member = record(member_sql, seq=1)
+        assert cache.fetch(member) is None  # unsafe key → full parse
+        cache.store(member.sql, full_parse(member))
+        # The exact texts still hit through L1, with correct rebinding.
+        repeat = record(member_sql, seq=2)
+        hit = cache.fetch(repeat)
+        assert hit is not None
+        assert hit == full_parse(repeat)
+
+    def test_unsafe_marker_survives_pickling(self):
+        cache = TemplateCache()
+        proto = record("SELECT - -5 FROM t", seq=0)
+        cache.fetch(proto)
+        cache.store(proto.sql, full_parse(proto))
+        clone = pickle.loads(pickle.dumps(cache))
+        fresh = record("SELECT - -9 FROM t", seq=1)
+        assert clone.fetch(fresh) is None  # still treated as unsafe
+
+    def test_pickled_cache_still_hits(self):
+        cache = TemplateCache()
+        proto = record("SELECT a FROM t WHERE b = 1", seq=0)
+        cache.fetch(proto)
+        cache.store(proto.sql, full_parse(proto))
+        clone = pickle.loads(pickle.dumps(cache))
+        member = record("SELECT a FROM t WHERE b = 5", seq=1)
+        hit = clone.fetch(member)
+        assert hit == full_parse(member)
+        assert clone.hits == cache.hits + 1
+
+
+STATEMENTS = [
+    "SELECT a, b FROM t WHERE a = 0 AND b >= 3",
+    "SELECT a, b FROM t WHERE a = 7 AND b >= 900",
+    "SELECT name FROM employee WHERE empid = 8",
+    "SELECT TOP 10 a FROM t WHERE b BETWEEN 1 AND 2 ORDER BY a DESC",
+    "SELECT TOP 10 a FROM t WHERE b BETWEEN 30 AND 40 ORDER BY a DESC",
+    "SELECT x FROM t WHERE name = 'abc' AND k IN (1, 2, 3)",
+    "SELECT x FROM t WHERE name = 'o''hara' AND k IN (9, 8, 7)",
+    "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 5)",
+    "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+    "SELECT CAST(x AS varchar(10)) FROM t",
+    "SELECT a AS 'label' FROM t",
+    "SELECT - -5 FROM t",
+    "SELECT a FROM t WHERE b = -2.5e3",
+    "SELECT count(*) FROM t GROUP BY a HAVING count(*) > 3",
+    "SELECT a FROM t UNION ALL SELECT b FROM u WHERE c = 1",
+    "DROP TABLE t",
+    "INSERT INTO t VALUES (1)",
+    "SELECT broken FROM WHERE ((",
+]
+
+
+class TestCachedParseLogDifferential:
+    def test_cached_equals_uncached(self):
+        # Repeat the statement set so hits genuinely occur.
+        log = records(STATEMENTS * 3)
+        uncached = parse_log(log)
+        recorder = Recorder()
+        cached = parse_log(log, cache=TemplateCache(), recorder=recorder)
+        assert cached.queries == uncached.queries
+        assert cached.non_select == uncached.non_select
+        assert [r for r, _ in cached.syntax_errors] == [
+            r for r, _ in uncached.syntax_errors
+        ]
+        counters = recorder.metrics.stage("parse").counters
+        assert counters["parse_cache_hits"] > 0
+        assert (
+            counters["parse_cache_hits"] + counters["parse_cache_misses"]
+            == counters["records_in"]
+        )
+        assert recorder.metrics.conservation_violations() == []
+
+    def test_constant_variants_share_interned_template(self):
+        cache = TemplateCache()
+        a = record("SELECT a, b FROM t WHERE a = 0 AND b >= 3", seq=0)
+        b = record("SELECT a, b FROM t WHERE a = 7 AND b >= 900", seq=1)
+        cache.fetch(a)
+        cache.store(a.sql, full_parse(a))
+        hit = cache.fetch(b)
+        assert hit is not None
+        proto = cache.fetch(record(a.sql, seq=2))
+        # Template / outputs are the *same objects*, not just equal.
+        assert hit.template is proto.template
+        assert hit.outputs is proto.outputs
+        assert hit.template_id == proto.template_id
+
+
+class TestExecutionConfigKnobs:
+    def test_parse_cache_size_validated(self):
+        with pytest.raises(ValueError, match="parse_cache_size"):
+            ExecutionConfig(parse_cache_size=0)
+
+    def test_defaults(self):
+        execution = ExecutionConfig()
+        assert execution.parse_cache is True
+        assert execution.parse_cache_size == 4096
+
+
+numbers = st.integers(min_value=0, max_value=10**9)
+strings = st.text(alphabet="abcXYZ 019", max_size=10)
+
+
+@given(
+    template=st.sampled_from(
+        [
+            "SELECT a, b FROM t WHERE a = {n} AND name = '{s}'",
+            "SELECT name FROM employee WHERE empid = {n}",
+            "SELECT TOP 5 a FROM t WHERE b BETWEEN {n} AND {n2} ORDER BY a",
+            "SELECT x FROM t WHERE k IN ({n}, {n2}) AND name = '{s}'",
+        ]
+    ),
+    n=numbers,
+    n2=numbers,
+    s=strings,
+)
+@settings(max_examples=150, deadline=None)
+def test_fingerprint_equality_implies_identical_skeleton(template, n, n2, s):
+    """The invariant the whole fast path rests on: statements with equal
+    fingerprint keys derive the identical template (hence identical
+    SSC/SFC/SWC skeletons)."""
+    base = template.format(n=1, n2=2, s="zz")
+    variant = template.format(n=n, n2=n2, s=s)
+    fp_base = fingerprint_statement(base)
+    fp_variant = fingerprint_statement(variant)
+    assert fp_base is not None and fp_variant is not None
+    assert fp_base.key == fp_variant.key
+    assert build_template(parse(base)) == build_template(parse(variant))
+
+
+@given(
+    template=st.sampled_from(
+        [
+            "SELECT a FROM t WHERE b = {n}",
+            "SELECT a FROM t WHERE name = '{s}' AND b <= {n}",
+            "SELECT count(*) FROM t WHERE b IN ({n}, {n2})",
+        ]
+    ),
+    n=numbers,
+    n2=numbers,
+    s=strings,
+)
+@settings(max_examples=150, deadline=None)
+def test_cache_hit_equals_full_parse_property(template, n, n2, s):
+    """Differential property: whatever constants appear, instantiating
+    from the cached prototype equals the full parse."""
+    cache = TemplateCache()
+    proto = record(template.format(n=0, n2=1, s="seed"), seq=0)
+    cache.fetch(proto)
+    cache.store(proto.sql, full_parse(proto))
+    member = record(template.format(n=n, n2=n2, s=s), seq=1)
+    result = cache.fetch(member)
+    if result is None:  # unsafe/bail fallback is allowed, wrongness is not
+        return
+    assert result == full_parse(member)
