@@ -51,7 +51,7 @@ from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
 from .pipeline.parallel import ParallelCleaner, ParallelStats
 from .pipeline.streaming import StreamingCleaner, StreamingStats
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "LogRecord",

@@ -32,8 +32,17 @@ def _followup_matches(first: ParsedQuery, follow: ParsedQuery) -> bool:
     predicate = follow.equality_filter
     if predicate is None or predicate.column is None:
         return False
-    if follow.template_id == first.template_id:
-        return False  # SQ1 ≠ SQ2 (Definition 15's first axiom)
+    # SQ1 ≠ SQ2 (Definition 15's first axiom).  Template identity is an
+    # int compare when both queries carry run-scoped interned ids (the
+    # pipeline always interns); the fingerprint strings are the fallback
+    # for hand-built queries.
+    first_id = first.interned_id
+    follow_id = follow.interned_id
+    if first_id >= 0 and follow_id >= 0:
+        if follow_id == first_id:
+            return False
+    elif follow.template_id == first.template_id:
+        return False
     column = predicate.column.name.lower()
     return column in first.outputs or "*" in first.outputs
 

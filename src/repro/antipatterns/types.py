@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, TypeVar
 
 from ..patterns.models import ParsedQuery
 
@@ -18,12 +18,16 @@ SNC = "SNC"
 SOLVABLE_LABELS = frozenset({DW_STIFLE, DS_STIFLE, DF_STIFLE, SNC})
 
 
-def minimal_period(sequence: Sequence[str]) -> Tuple[str, ...]:
+_T = TypeVar("_T")
+
+
+def minimal_period(sequence: Sequence[_T]) -> Tuple[_T, ...]:
     """The shortest unit whose repetition spells ``sequence``.
 
     ``("a","b","a","b")`` → ``("a","b")``; non-periodic sequences return
     themselves.  Used to map an antipattern instance back to the pattern
-    identity the miner registered.
+    identity the miner registered.  Works on any equality-comparable
+    elements — fingerprint strings and interned ints alike.
     """
     length = len(sequence)
     for period in range(1, length + 1):
@@ -63,6 +67,17 @@ class AntipatternInstance:
     def unit(self) -> Tuple[str, ...]:
         """Pattern identity: minimal period of the template sequence."""
         return minimal_period([query.template_id for query in self.queries])
+
+    @property
+    def unit_ids(self) -> Optional[Tuple[int, ...]]:
+        """Pattern identity over the run's interned template ids — the
+        representation the registry keys on — or ``None`` when any query
+        was built outside a pipeline run (no shared interner, so int
+        identity would be meaningless)."""
+        ids = [query.interned_id for query in self.queries]
+        if min(ids) < 0:
+            return None
+        return minimal_period(ids)
 
     @property
     def user(self) -> str:

@@ -20,6 +20,30 @@ from typing import Dict, Iterable, Tuple, Union
 from .models import LogRecord, QueryLog, record_order_key
 
 
+def _in_log_order(
+    log: Union[QueryLog, Iterable[LogRecord]]
+) -> Iterable[LogRecord]:
+    """``log`` in (timestamp, seq) order, sorting only when necessary.
+
+    A :class:`QueryLog` is sorted by construction and is returned as-is
+    (no copy).  Other iterables get a single-pass sortedness check over
+    :func:`~repro.log.models.record_order_key` — one key computation per
+    record, against the n·log(n) key *comparisons* plus full copy of an
+    unconditional ``sorted()`` — and are sorted (into a new list; the
+    caller's sequence is never mutated) only if actually out of order.
+    """
+    if isinstance(log, QueryLog):
+        return log
+    records = log if isinstance(log, (list, tuple)) else list(log)
+    previous = None
+    for record in records:
+        key = record_order_key(record)
+        if previous is not None and key < previous:
+            return sorted(records, key=record_order_key)
+        previous = key
+    return records
+
+
 def normalize_statement_text(sql: str) -> str:
     """Light textual normalisation used for duplicate *identity*.
 
@@ -64,10 +88,12 @@ def delete_duplicates(
 
     The single-pass rule assumes per-user timestamps are non-decreasing;
     an out-of-order input (clock skew, raw merged shards passed as a
-    plain list) would silently under-remove.  The records are therefore
-    stable-sorted into (timestamp, seq) order first — a no-op for the
-    usual already-sorted :class:`QueryLog` input, and the correctness
-    guarantee for everything else.
+    plain list) would silently under-remove.  Out-of-order records are
+    therefore stable-sorted into (timestamp, seq) order first — but only
+    when actually needed: a :class:`QueryLog` is sorted by construction,
+    and any other input gets a single sortedness pass before paying for
+    ``sorted()``'s O(n log n) comparison work plus full copy (see
+    :func:`_in_log_order`).
 
     :param threshold: seconds; use ``math.inf`` for the unrestricted
         variant of Table 4.
@@ -79,7 +105,7 @@ def delete_duplicates(
     last_seen: Dict[Tuple[str, str], float] = {}
     kept = []
     removed = 0
-    for record in sorted(log, key=record_order_key):
+    for record in _in_log_order(log):
         key = (record.user_key(), normalize_statement_text(record.sql))
         previous = last_seen.get(key)
         if previous is not None and record.timestamp - previous <= threshold:

@@ -63,6 +63,7 @@ STAGE_COUNTERS = {
         "parse_cache_hits",
         "parse_cache_misses",
         "parse_cache_evictions",
+        "interner_size",
     ),
     "mine": ("queries_in", "blocks", "pattern_instances", "periodic_runs"),
     "detect": ("blocks_in", "instances_detected"),
@@ -83,9 +84,18 @@ STAGE_COUNTERS = {
 #: per template per shard where batch misses once per template total.
 #: The cache conservation law still holds per ledger (hits + misses ==
 #: statements parsed), so correctness remains checkable.
+#: ``interner_size`` is excluded for the same partitioning reason: each
+#: parallel shard interns its own distinct templates, so the parse-stage
+#: sum exceeds the run-global dictionary size that batch and streaming
+#: book (the parallel merge stage carries the global count).
 EXECUTOR_DEPENDENT_COUNTERS = {
     "parse": frozenset(
-        {"parse_cache_hits", "parse_cache_misses", "parse_cache_evictions"}
+        {
+            "parse_cache_hits",
+            "parse_cache_misses",
+            "parse_cache_evictions",
+            "interner_size",
+        }
     ),
 }
 

@@ -22,7 +22,7 @@ pattern's frequency (3.35 M) roughly equals its query coverage (8.69 % of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .models import Block, ParsedQuery, PatternInstance, PeriodicRun
 
@@ -57,53 +57,89 @@ def build_blocks(
     stream each user's records are picked out preserving that order, so
     Definition 8's "no intervening query from the same user" holds for
     every consecutive slice of a block.
+
+    This runs once per query of the whole log, so the loops read the
+    record fields directly instead of through the ``ParsedQuery.user`` /
+    ``.timestamp`` property chain (two extra calls per record, ~15% of
+    the mining stage before the rewrite).  The inlined ``user`` default
+    mirrors :meth:`~repro.log.models.LogRecord.user_key`.
     """
     per_user: dict = {}
-    order: List[str] = []
+    get_bucket = per_user.get
     for query in queries:
-        key = query.user
-        if key not in per_user:
-            per_user[key] = []
-            order.append(key)
-        per_user[key].append(query)
+        user = query.record.user
+        if user is None:
+            user = "<anonymous>"
+        bucket = get_bucket(user)
+        if bucket is None:
+            bucket = per_user[user] = []
+        bucket.append(query)
 
+    gap = config.block_gap
     blocks: List[Block] = []
-    for user in order:
-        stream = per_user[user]
+    append = blocks.append
+    for user, stream in per_user.items():  # dicts preserve first-seen order
         start = 0
+        previous = stream[0].record.timestamp
         for index in range(1, len(stream)):
-            gap = stream[index].timestamp - stream[index - 1].timestamp
-            if gap > config.block_gap:
-                blocks.append(Block(user=user, queries=tuple(stream[start:index])))
+            timestamp = stream[index].record.timestamp
+            if timestamp - previous > gap:
+                append(Block(user=user, queries=tuple(stream[start:index])))
                 start = index
-        blocks.append(Block(user=user, queries=tuple(stream[start:])))
+            previous = timestamp
+        append(Block(user=user, queries=tuple(stream[start:])))
     return blocks
 
 
 def _best_period(
-    template_ids: Sequence[str], start: int, max_period: int
+    template_ids: Sequence[int], start: int, max_period: int
 ) -> Tuple[int, int]:
     """At ``start``, return (period, repeats) maximising covered queries.
 
     Ties are broken toward the smaller period.  A (p, 1) result means no
     repetition was found for any period — the caller emits a single
     length-``p``′ instance with p′=1.
+
+    This is the miner's innermost kernel, called once per emitted run; it
+    works on any equality-comparable id sequence but is tuned for the
+    interned-int tuples :func:`segment_block` feeds it: probes compare
+    window elements in place instead of building a tuple per probe (the
+    pre-interning implementation allocated ``remaining/period`` tuples
+    per candidate period).
     """
-    best_period, best_repeats, best_cover = 1, 1, 1
-    remaining = len(template_ids) - start
-    for period in range(1, min(max_period, remaining // 2) + 1):
-        unit = tuple(template_ids[start : start + period])
+    ids = template_ids
+    length = len(ids)
+    remaining = length - start
+
+    # Period 1 — a scalar run-length scan, the most common winner by far.
+    first = ids[start]
+    position = start + 1
+    while position < length and ids[position] == first:
+        position += 1
+    repeats = position - start
+    if repeats >= 2:
+        best_period, best_repeats, best_cover = 1, repeats, repeats
+        if repeats == remaining:
+            return 1, repeats  # the whole tail is one unit; nothing beats it
+    else:
+        best_period, best_repeats, best_cover = 1, 1, 1
+
+    for period in range(2, min(max_period, remaining // 2) + 1):
         repeats = 1
         position = start + period
-        while (
-            position + period <= len(template_ids)
-            and tuple(template_ids[position : position + period]) == unit
-        ):
+        while position + period <= length:
+            offset = 0
+            while offset < period and ids[position + offset] == ids[start + offset]:
+                offset += 1
+            if offset < period:
+                break
             repeats += 1
             position += period
         cover = period * repeats
         if repeats >= 2 and cover > best_cover:
             best_period, best_repeats, best_cover = period, repeats, cover
+            if cover == remaining:
+                break  # full coverage; longer periods cannot exceed it
     return best_period, best_repeats
 
 
@@ -112,44 +148,119 @@ class MiningResult:
     """Everything the segmentation produced.
 
     :param blocks: the same-user small-gap blocks.
-    :param instances: all pattern instances (one per cycle).
     :param runs: all periodic runs (repeats ≥ 2) — the stifle detectors'
         input — plus the singleton segments (repeats = 1), which CTH
         detection and coverage accounting still need.
+
+    The per-cycle :attr:`instances` view is *derived*: every instance is
+    one cycle of one run, so the list is materialised lazily on first
+    access and cached.  The pipeline's hot path never asks for it — the
+    registry aggregates whole runs and the detectors walk blocks — so a
+    cleaning run without SWS detection skips building one
+    :class:`PatternInstance` per cycle of the entire log.
     """
 
     blocks: List[Block] = field(default_factory=list)
-    instances: List[PatternInstance] = field(default_factory=list)
     runs: List[PeriodicRun] = field(default_factory=list)
+    _instances: Optional[List[PatternInstance]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def instance_count(self) -> int:
+        """Number of pattern instances (one per cycle), without
+        materialising :attr:`instances`."""
+        if self._instances is not None:
+            return len(self._instances)
+        return sum(run.repeats for run in self.runs)
+
+    @property
+    def instances(self) -> List[PatternInstance]:
+        """All pattern instances, one per cycle (built lazily, cached)."""
+        instances = self._instances
+        if instances is None:
+            instances = []
+            append = instances.append
+            for run in self.runs:
+                # Inlined run.cycles(): one instance per cycle without
+                # the intermediate list of slices.  Most runs have
+                # period 1, where each cycle is a plain 1-tuple.
+                unit = run.unit
+                unit_ids = run.unit_ids
+                queries = run.queries
+                period = len(unit)
+                if period == 1:
+                    for query in queries:
+                        append(PatternInstance(unit, (query,), unit_ids))
+                else:
+                    for index in range(0, len(queries), period):
+                        append(
+                            PatternInstance(
+                                unit,
+                                queries[index : index + period],
+                                unit_ids,
+                            )
+                        )
+            self._instances = instances
+        return instances
 
 
 def segment_block(block: Block, config: MinerConfig = MinerConfig()) -> List[PeriodicRun]:
-    """Greedy periodic segmentation of one block (see module docstring)."""
-    template_ids = block.template_ids()
+    """Greedy periodic segmentation of one block (see module docstring).
+
+    The scan runs on the block's interned int ids (block-local dense ids
+    when the queries were never interned — equality is identical either
+    way), and each run's string ``unit`` is rebuilt from its first cycle
+    only, so no whole-block string tuple is materialised.  ``unit_ids``
+    is filled only from *globally* interned ids: block-local ids from
+    different blocks must never meet in a registry key.
+    """
+    ids = block.interned_ids()
+    global_ids = ids is not None
+    if not global_ids:
+        ids = block.local_ids()
+    length = len(ids)
+    queries = block.queries
+    max_period = config.max_period
     runs: List[PeriodicRun] = []
+    append = runs.append
     position = 0
-    while position < len(template_ids):
-        period, repeats = _best_period(template_ids, position, config.max_period)
+    while position < length:
+        period, repeats = _best_period(ids, position, max_period)
         if repeats == 1:
             period = 1  # no repetition: emit the single query as its own unit
-        unit = tuple(template_ids[position : position + period])
-        queries = block.slice(position, position + period * repeats)
-        runs.append(PeriodicRun(unit=unit, queries=queries, repeats=repeats))
-        position += period * repeats
+        stop = position + period * repeats
+        run_queries = queries[position:stop]
+        if period == 1:
+            unit = (run_queries[0].template_id,)
+        else:
+            unit = tuple(
+                query.template_id for query in run_queries[:period]
+            )
+        append(
+            PeriodicRun(
+                unit,
+                run_queries,
+                repeats,
+                ids[position : position + period] if global_ids else None,
+            )
+        )
+        position = stop
     return runs
 
 
 def mine(
     queries: Iterable[ParsedQuery], config: MinerConfig = MinerConfig()
 ) -> MiningResult:
-    """Run the full mining stage over a parsed query stream."""
+    """Run the full mining stage over a parsed query stream.
+
+    The result's per-cycle instance list is *not* built here — it
+    derives from the runs on first access (see :class:`MiningResult`),
+    so callers that aggregate runs directly never pay for it.
+    """
     result = MiningResult()
     result.blocks = build_blocks(queries, config)
+    extend_runs = result.runs.extend
     for block in result.blocks:
-        for run in segment_block(block, config):
-            result.runs.append(run)
-            for cycle in run.cycles():
-                result.instances.append(
-                    PatternInstance(unit=run.unit, queries=cycle)
-                )
+        extend_runs(segment_block(block, config))
     return result

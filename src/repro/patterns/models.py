@@ -8,13 +8,15 @@ definitions quantify over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import List, Optional, Tuple
 
 from ..log.models import LogRecord
 from ..skeleton import (
     ClauseTexts,
     QueryTemplate,
+    TemplateInterner,
     build_clause_texts,
     build_template,
     template_fingerprint,
@@ -43,6 +45,11 @@ class ParsedQuery:
     :param equality_filter: the single ``column = constant`` predicate,
         when the WHERE clause consists of exactly that (else ``None``).
     :param outputs: lower-cased output column names (``'*'`` for stars).
+    :param interned_id: run-scoped dense int for :attr:`template_id`,
+        assigned by the executor's
+        :class:`~repro.skeleton.interner.TemplateInterner` (``-1`` when
+        the query was built outside a pipeline run).  Excluded from
+        equality: it is per-run bookkeeping, not parse semantics.
     """
 
     record: LogRecord
@@ -54,6 +61,7 @@ class ParsedQuery:
     predicate_count: int
     equality_filter: Optional[Predicate]
     outputs: frozenset
+    interned_id: int = field(default=-1, compare=False)
 
     @property
     def timestamp(self) -> float:
@@ -71,8 +79,13 @@ class ParsedQuery:
         *,
         fold_variables: bool = False,
         strict_triple: bool = False,
+        interner: Optional[TemplateInterner] = None,
     ) -> "ParsedQuery":
-        """Build a :class:`ParsedQuery`, computing template and features."""
+        """Build a :class:`ParsedQuery`, computing template and features.
+
+        With an ``interner`` the fingerprint is interned inline and the
+        query carries its run-scoped :attr:`interned_id`.
+        """
         select = statement
         while isinstance(select, ast.Union):
             select = select.left
@@ -82,16 +95,18 @@ class ParsedQuery:
             fold_variables=fold_variables,
             strict_triple=strict_triple,
         )
+        template_id = template_fingerprint(template)
         return cls(
             record=record,
             statement=statement,
             select=select,
             template=template,
-            template_id=template_fingerprint(template),
+            template_id=template_id,
             clauses=build_clause_texts(statement),
             predicate_count=count_predicates(select),
             equality_filter=single_equality_filter(select),
             outputs=frozenset(output_columns(select)),
+            interned_id=-1 if interner is None else interner.intern(template_id),
         )
 
 
@@ -112,11 +127,59 @@ class Block:
     def __len__(self) -> int:
         return len(self.queries)
 
+    # The id tuples below are memoised straight into ``__dict__`` — the
+    # one mutation a frozen dataclass allows — because the miner, the
+    # detectors and clean_block's re-segmentation all ask for the same
+    # block's ids.  ``__dict__`` entries pickle along with the block (the
+    # parallel executor's requirement) and never enter the generated
+    # ``__eq__``/``__repr__``, which only consult the declared fields.
+
     def template_ids(self) -> Tuple[str, ...]:
-        return tuple(query.template_id for query in self.queries)
+        """The queries' template fingerprints, in order (cached)."""
+        ids = self.__dict__.get("_template_ids")
+        if ids is None:
+            # map(attrgetter) keeps the extraction loop in C; blocks
+            # cover the whole log, so this runs once per parsed query.
+            ids = tuple(map(_template_id_of, self.queries))
+            self.__dict__["_template_ids"] = ids
+        return ids
+
+    def interned_ids(self) -> Optional[Tuple[int, ...]]:
+        """The queries' run-scoped interned template ids (cached), or
+        ``None`` when any query was built outside a pipeline run — such
+        ids would not share one interner, so they cannot be trusted as
+        global template identity (use :meth:`local_ids` then)."""
+        cached = self.__dict__.get("_interned_ids", -1)
+        if cached == -1:
+            ids = tuple(map(_interned_id_of, self.queries))
+            cached = ids if (not ids or min(ids) >= 0) else None
+            self.__dict__["_interned_ids"] = cached
+        return cached
+
+    def local_ids(self) -> Tuple[int, ...]:
+        """Block-local dense encoding of :meth:`template_ids` (cached).
+
+        Equality within this block matches fingerprint equality exactly,
+        so segmentation kernels can always run on ints; the ids carry no
+        meaning outside the block.
+        """
+        ids = self.__dict__.get("_local_ids")
+        if ids is None:
+            local: dict = {}
+            setdefault = local.setdefault
+            ids = tuple(
+                setdefault(template_id, len(local))
+                for template_id in self.template_ids()
+            )
+            self.__dict__["_local_ids"] = ids
+        return ids
 
     def slice(self, start: int, stop: int) -> Tuple[ParsedQuery, ...]:
         return self.queries[start:stop]
+
+
+_template_id_of = attrgetter("template_id")
+_interned_id_of = attrgetter("interned_id")
 
 
 @dataclass(frozen=True)
@@ -126,10 +189,14 @@ class PatternInstance:
     :param unit: the pattern identity — the sequence of template ids
         (SQ1, …, SQn) of Definition 7.
     :param queries: the instance's queries, one per unit position.
+    :param unit_ids: ``unit`` as run-scoped interned ints (``None`` when
+        the queries were not interned).  Excluded from equality: ids are
+        not comparable across runs.
     """
 
     unit: Tuple[str, ...]
     queries: Tuple[ParsedQuery, ...]
+    unit_ids: Optional[Tuple[int, ...]] = field(default=None, compare=False)
 
     @property
     def user(self) -> str:
@@ -151,6 +218,9 @@ class PeriodicRun:
     unit: Tuple[str, ...]
     queries: Tuple[ParsedQuery, ...]
     repeats: int
+    #: ``unit`` as run-scoped interned ints (``None`` when the queries
+    #: were not interned); excluded from equality like everywhere else.
+    unit_ids: Optional[Tuple[int, ...]] = field(default=None, compare=False)
 
     @property
     def user(self) -> str:

@@ -5,14 +5,32 @@ userPopularity, distinct IPs, query coverage, representative skeletons —
 and carries the antipattern classification the detectors attach.  This is
 the "Patterns" result box of Fig. 1 and the source of Tables 6 and 7 and
 of Fig. 2(a, b).
+
+Internally the registry keys its rows on the instances' *interned* unit
+ids (tuples of run-scoped dense ints) whenever the mining run interned
+its queries — one small-int tuple hash per instance instead of hashing
+16-char fingerprints, on the hottest aggregation loop of the pipeline.
+The public surface is unchanged: every row stores the string ``unit`` it
+was created with, lookups accept either representation, and
+:meth:`ranked` orders by the string unit, so reports are byte-identical
+to the pre-interning implementation.  One registry must only aggregate
+instances of a single mining run (interned ids are run-scoped); mixing
+runs is only safe for un-interned instances, which fall back to string
+keys.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
-from .models import ParsedQuery, PatternInstance
+from .models import ParsedQuery, PatternInstance, PeriodicRun
+
+_record_ip = attrgetter("record.ip")
+
+#: A registry key: the interned unit (fast path) or the string unit.
+UnitKey = Union[Tuple[int, ...], Tuple[str, ...]]
 
 
 @dataclass
@@ -27,6 +45,9 @@ class PatternStats:
     :param query_count: total queries covered by all instances.
     :param antipattern_types: detector labels attached later ("DW-Stifle",
         "CTH-candidate", …); empty for plain patterns.
+    :param unit_ids: ``unit`` as the run-scoped interned ids the registry
+        keyed this row on (``None`` when the row came from un-interned
+        instances).  Run-scoped — meaningless outside the run.
     """
 
     unit: Tuple[str, ...]
@@ -36,6 +57,7 @@ class PatternStats:
     ips: Set[str] = field(default_factory=set)
     query_count: int = 0
     antipattern_types: Set[str] = field(default_factory=set)
+    unit_ids: Optional[Tuple[int, ...]] = None
 
     @property
     def user_popularity(self) -> int:
@@ -56,10 +78,23 @@ class PatternStats:
 
 
 class PatternRegistry:
-    """Mapping from pattern unit to its :class:`PatternStats`."""
+    """Mapping from pattern unit to its :class:`PatternStats`.
+
+    Rows are keyed on interned unit ids internally (see the module
+    docstring); ``_by_unit`` is a string-keyed secondary index over the
+    same row objects, so the public lookups accept both representations.
+    The ``total_instances`` / ``total_queries`` / ``max_frequency``
+    aggregates are maintained incrementally in :meth:`add_instance` —
+    report and statistics code calls them repeatedly, and the old
+    full-scan implementations were rescanning every row each time.
+    """
 
     def __init__(self) -> None:
-        self._stats: Dict[Tuple[str, ...], PatternStats] = {}
+        self._stats: Dict[UnitKey, PatternStats] = {}
+        self._by_unit: Dict[Tuple[str, ...], PatternStats] = {}
+        self._total_instances = 0
+        self._total_queries = 0
+        self._max_frequency = 0
 
     def __len__(self) -> int:
         return len(self._stats)
@@ -67,32 +102,92 @@ class PatternRegistry:
     def __iter__(self):
         return iter(self._stats.values())
 
-    def __contains__(self, unit: Tuple[str, ...]) -> bool:
-        return unit in self._stats
+    def __contains__(self, unit: UnitKey) -> bool:
+        return unit in self._stats or unit in self._by_unit
 
-    def get(self, unit: Tuple[str, ...]) -> Optional[PatternStats]:
-        return self._stats.get(unit)
+    def get(self, unit: UnitKey) -> Optional[PatternStats]:
+        """The row for ``unit`` — interned ids or fingerprint strings."""
+        stats = self._stats.get(unit)
+        if stats is None:
+            stats = self._by_unit.get(unit)  # type: ignore[arg-type]
+        return stats
 
     # ------------------------------------------------------------------
     # Building
 
     def add_instance(self, instance: PatternInstance) -> PatternStats:
         """Count one pattern instance into the registry."""
-        stats = self._stats.get(instance.unit)
+        key: UnitKey = instance.unit_ids or instance.unit
+        stats = self._stats.get(key)
+        queries = instance.queries
         if stats is None:
+            unit = instance.unit
             stats = PatternStats(
-                unit=instance.unit,
+                unit=unit,
                 skeletons=tuple(
-                    query.template.skeleton_sql for query in instance.queries
+                    query.template.skeleton_sql for query in queries
                 ),
+                unit_ids=instance.unit_ids,
             )
-            self._stats[instance.unit] = stats
-        stats.frequency += 1
-        stats.query_count += len(instance.queries)
-        stats.users.add(instance.user)
-        for query in instance.queries:
-            if query.record.ip:
-                stats.ips.add(query.record.ip)
+            self._stats[key] = stats
+            self._by_unit[unit] = stats
+        frequency = stats.frequency + 1
+        stats.frequency = frequency
+        if frequency > self._max_frequency:
+            self._max_frequency = frequency
+        count = len(queries)
+        stats.query_count += count
+        self._total_instances += 1
+        self._total_queries += count
+        # Inlined instance.user / record.user_key() — this loop runs once
+        # per instance of the whole log.
+        user = queries[0].record.user
+        stats.users.add(user if user is not None else "<anonymous>")
+        ips = stats.ips
+        for query in queries:
+            ip = query.record.ip
+            if ip:
+                ips.add(ip)
+        return stats
+
+    def add_run(self, run: PeriodicRun) -> PatternStats:
+        """Count one periodic run — all ``run.repeats`` instances at once.
+
+        Every cycle of a run shares the unit, the user and the run's
+        query span, so the whole run aggregates in one dictionary probe:
+        frequency grows by ``repeats``, coverage by the run length, and
+        the ip union runs at C speed over the span.  ``from_runs`` over
+        a mining result is therefore row-for-row identical to
+        ``from_instances`` over its instances (E23 asserts the
+        equivalence) at roughly a tenth of the dictionary traffic.
+        """
+        key: UnitKey = run.unit_ids or run.unit
+        stats = self._stats.get(key)
+        queries = run.queries
+        if stats is None:
+            unit = run.unit
+            stats = PatternStats(
+                unit=unit,
+                skeletons=tuple(
+                    query.template.skeleton_sql
+                    for query in queries[: len(unit)]
+                ),
+                unit_ids=run.unit_ids,
+            )
+            self._stats[key] = stats
+            self._by_unit[unit] = stats
+        repeats = run.repeats
+        frequency = stats.frequency + repeats
+        stats.frequency = frequency
+        if frequency > self._max_frequency:
+            self._max_frequency = frequency
+        count = len(queries)
+        stats.query_count += count
+        self._total_instances += repeats
+        self._total_queries += count
+        user = queries[0].record.user
+        stats.users.add(user if user is not None else "<anonymous>")
+        stats.ips.update(filter(None, map(_record_ip, queries)))
         return stats
 
     @classmethod
@@ -100,17 +195,28 @@ class PatternRegistry:
         cls, instances: Iterable[PatternInstance]
     ) -> "PatternRegistry":
         registry = cls()
+        add_instance = registry.add_instance
         for instance in instances:
-            registry.add_instance(instance)
+            add_instance(instance)
         return registry
 
-    def mark_antipattern(self, unit: Tuple[str, ...], label: str) -> None:
+    @classmethod
+    def from_runs(cls, runs: Iterable[PeriodicRun]) -> "PatternRegistry":
+        """Aggregate a mining run's periodic runs (see :meth:`add_run`)."""
+        registry = cls()
+        add_run = registry.add_run
+        for run in runs:
+            add_run(run)
+        return registry
+
+    def mark_antipattern(self, unit: UnitKey, label: str) -> None:
         """Attach an antipattern label to a pattern (detector callback).
 
-        Unknown units are ignored: a detector may label a sub-sequence the
-        miner did not materialise as its own pattern.
+        ``unit`` may be interned ids or fingerprint strings.  Unknown
+        units are ignored: a detector may label a sub-sequence the miner
+        did not materialise as its own pattern.
         """
-        stats = self._stats.get(unit)
+        stats = self.get(unit)
         if stats is not None:
             stats.antipattern_types.add(label)
 
@@ -136,10 +242,10 @@ class PatternRegistry:
         return self.ranked(**kwargs)[:count]
 
     def total_instances(self) -> int:
-        return sum(stats.frequency for stats in self._stats.values())
+        return self._total_instances
 
     def total_queries(self) -> int:
-        return sum(stats.query_count for stats in self._stats.values())
+        return self._total_queries
 
     def max_frequency(self) -> int:
-        return max((stats.frequency for stats in self._stats.values()), default=0)
+        return self._max_frequency

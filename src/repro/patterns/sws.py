@@ -96,27 +96,32 @@ def detect_sws(
     total_queries = registry.total_queries()
     min_frequency = max(1.0, config.min_frequency_share * total_instances)
 
-    candidates: Dict[Tuple[str, ...], PatternStats] = {}
+    # Candidates are keyed the way the registry keys its rows: interned
+    # unit ids when the mining run interned its queries (int-tuple
+    # hashing on the per-instance loop below), string units otherwise.
+    candidates: Dict[Tuple, PatternStats] = {}
     for stats in registry:
         if config.skip_antipatterns and stats.is_antipattern:
             continue
         if stats.frequency >= min_frequency and (
             0 < stats.user_popularity <= config.max_popularity
         ):
-            candidates[stats.unit] = stats
+            key = stats.unit_ids if stats.unit_ids is not None else stats.unit
+            candidates[key] = stats
 
     if config.check_disjoint_windows and candidates:
-        seen: Dict[Tuple[str, ...], Set[Tuple[str, ...]]] = {}
-        fresh: Dict[Tuple[str, ...], int] = {}
-        counted: Dict[Tuple[str, ...], int] = {}
+        seen: Dict[Tuple, Set[Tuple[str, ...]]] = {}
+        fresh: Dict[Tuple, int] = {}
+        counted: Dict[Tuple, int] = {}
         for instance in instances:
-            if instance.unit not in candidates:
+            key = instance.unit_ids or instance.unit
+            if key not in candidates:
                 continue
             constants = _instance_constants(instance)
-            counted[instance.unit] = counted.get(instance.unit, 0) + 1
-            bucket = seen.setdefault(instance.unit, set())
+            counted[key] = counted.get(key, 0) + 1
+            bucket = seen.setdefault(key, set())
             if constants not in bucket:
-                fresh[instance.unit] = fresh.get(instance.unit, 0) + 1
+                fresh[key] = fresh.get(key, 0) + 1
                 bucket.add(constants)
         for unit in list(candidates):
             total = counted.get(unit, 0)

@@ -48,6 +48,7 @@ from ..patterns.registry import PatternRegistry
 from ..patterns.sws import SwsReport, detect_sws
 from ..rewrite.solver import SolveResult, remove, solve
 from ..skeleton.cache import TemplateCache
+from ..skeleton.interner import TemplateInterner
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
 from .statistics import Overview, census_by_label
@@ -150,6 +151,7 @@ def parse_log(
     policy: str = "strict",
     channel: Optional[QuarantineChannel] = None,
     cache: Optional[TemplateCache] = None,
+    interner: Optional[TemplateInterner] = None,
 ) -> ParseStageResult:
     """Parse every statement; classify failures (Fig. 1's parse stage).
 
@@ -174,9 +176,19 @@ def parse_log(
     ``quarantine`` they are booked as ``records_quarantined`` and routed
     into ``channel`` with a :data:`~repro.errors.PARSE_ERROR` or
     :data:`~repro.errors.NESTING_DEPTH` reason instead.
+
+    Every emitted query carries the run-scoped ``interned_id`` of its
+    template fingerprint, assigned by ``interner`` (one is created for
+    this call when the caller has none).  Each record's id is verified
+    against the interner even on a cache hit — a prewarmed or pickled
+    :class:`~repro.skeleton.cache.TemplateCache` may carry ids from a
+    *previous* run's interner, which must never leak into this one.
     """
     recorder = recorder or NULL
     result = ParseStageResult()
+    if interner is None:
+        interner = TemplateInterner()
+    base_interned = len(interner)
     if cache is not None:
         base_hits = cache.hits
         base_misses = cache.misses
@@ -185,6 +197,8 @@ def parse_log(
         #: sql text -> prototype ParsedQuery, or an (error, reason) pair
         #: (only consulted when no TemplateCache was provided).
         exact: dict = {}
+        intern = interner.intern
+        append_query = result.queries.append
         for record in log:
             if cache is not None:
                 cached = cache.fetch(record)
@@ -198,6 +212,7 @@ def parse_log(
                         statement,
                         fold_variables=fold_variables,
                         strict_triple=strict_triple,
+                        interner=interner,
                     )
                 except SqlError as error:
                     cached = (error, PARSE_ERROR)
@@ -225,11 +240,20 @@ def parse_log(
                 else:
                     result.syntax_errors.append((record, str(error)))
                 continue
+            interned_id = intern(cached.template_id)
             if cached.record is record:
-                result.queries.append(cached)
+                if cached.interned_id != interned_id:
+                    cached = dataclasses.replace(
+                        cached, interned_id=interned_id
+                    )
+                append_query(cached)
+            elif cached.interned_id == interned_id:
+                append_query(dataclasses.replace(cached, record=record))
             else:
-                result.queries.append(
-                    dataclasses.replace(cached, record=record)
+                append_query(
+                    dataclasses.replace(
+                        cached, record=record, interned_id=interned_id
+                    )
                 )
     recorder.count(
         "parse",
@@ -243,6 +267,7 @@ def parse_log(
     recorder.count("parse", "syntax_errors", len(result.syntax_errors))
     recorder.count("parse", "non_select", len(result.non_select))
     recorder.count("parse", "records_quarantined", len(result.quarantined))
+    recorder.count("parse", "interner_size", len(interner) - base_interned)
     if cache is not None:
         recorder.count("parse", "parse_cache_hits", cache.hits - base_hits)
         recorder.count("parse", "parse_cache_misses", cache.misses - base_misses)
@@ -258,6 +283,7 @@ def parse_stage(
     recorder: Optional[Recorder] = None,
     channel: Optional[QuarantineChannel] = None,
     cache: Optional[TemplateCache] = None,
+    interner: Optional[TemplateInterner] = None,
 ) -> ParseStageResult:
     """Stage 2: :func:`parse_log` with the config's parsing knobs.
 
@@ -265,7 +291,8 @@ def parse_stage(
     not supply one, a fresh :class:`~repro.skeleton.cache.TemplateCache`
     is created for this call — one cache per batch run, and (via the
     explicit ``cache`` argument) one per streaming instance and one per
-    parallel shard.
+    parallel shard.  The ``interner`` travels the same way (created by
+    :func:`parse_log` itself when absent).
     """
     execution = config.execution
     if cache is None and execution.parse_cache:
@@ -278,6 +305,7 @@ def parse_stage(
         policy=config.error_policy,
         channel=channel,
         cache=cache,
+        interner=interner,
     )
 
 
@@ -292,7 +320,7 @@ def mine_stage(
         result = mine(queries, config.miner)
     recorder.count("mine", "queries_in", len(queries))
     recorder.count("mine", "blocks", len(result.blocks))
-    recorder.count("mine", "pattern_instances", len(result.instances))
+    recorder.count("mine", "pattern_instances", result.instance_count)
     recorder.count("mine", "periodic_runs", len(result.runs))
     return result
 
@@ -328,9 +356,17 @@ def registry_stage(
     """
     recorder = recorder or NULL
     with recorder.span("registry"):
-        registry = PatternRegistry.from_instances(mining.instances)
+        # Aggregate run-by-run: every cycle of a periodic run shares its
+        # unit and user, so add_run books a whole run in one probe —
+        # identical rows to from_instances(mining.instances) at a
+        # fraction of the dictionary traffic.
+        registry = PatternRegistry.from_runs(mining.runs)
         for instance in antipatterns:
-            registry.mark_antipattern(instance.unit, instance.label)
+            # Interned unit when available (the registry's fast keys);
+            # the string unit otherwise — mark_antipattern takes both.
+            registry.mark_antipattern(
+                instance.unit_ids or instance.unit, instance.label
+            )
         sws_report = None
         if config.sws is not None:
             sws_report = detect_sws(
@@ -437,6 +473,11 @@ class PipelineResult:
     #: the run's observability ledger (every execution mode fills it;
     #: ``None`` only when the run was driven with the null recorder).
     metrics: Optional[PipelineMetrics] = None
+    #: the run-scoped template interner (batch fills it directly; the
+    #: parallel path exposes the folded run-level interner through
+    #: ``parallel_stats.interner``).  Ids in any artifact of this result
+    #: resolve against exactly this dictionary.
+    interner: Optional[TemplateInterner] = None
     #: everything the run set aside under the ``quarantine`` error
     #: policy; empty under ``strict`` / ``lenient``.  Every execution
     #: mode fills it, so callers can audit degraded runs uniformly.
@@ -523,10 +564,13 @@ class CleaningPipeline:
         recorder = Recorder() if recorder is None else recorder
         recorder.ensure_counters()
         channel = QuarantineChannel()
+        interner = TemplateInterner()
 
         validated = validate_stage(log, config, recorder, channel)
         dedup = dedup_stage(validated, config, recorder)
-        parse_result = parse_stage(dedup.log, config, recorder, channel)
+        parse_result = parse_stage(
+            dedup.log, config, recorder, channel, interner=interner
+        )
         mining = mine_stage(parse_result.queries, config, recorder)
         antipatterns = detect_stage(mining.blocks, config, recorder)
         registry, sws_report = registry_stage(
@@ -548,6 +592,7 @@ class CleaningPipeline:
             sws_report=sws_report,
             execution_mode="batch",
             metrics=recorder.metrics if recorder.enabled else None,
+            interner=interner,
             quarantine=channel,
         )
 

@@ -58,6 +58,7 @@ from ..errors import (
 )
 from ..log.models import LogRecord, QueryLog
 from ..obs import PipelineMetrics, Recorder
+from ..skeleton.interner import TemplateInterner
 from .config import PipelineConfig
 from .framework import (
     dedup_stage,
@@ -137,6 +138,10 @@ class ShardReport:
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
     #: records this shard set aside under the ``quarantine`` policy.
     quarantine: QuarantineChannel = field(default_factory=QuarantineChannel)
+    #: the shard's template interner (picklable), folded by the parent
+    #: into the run-level dictionary — shard-local ids are meaningless
+    #: outside the worker, the fingerprints travel home with the report.
+    interner: TemplateInterner = field(default_factory=TemplateInterner)
 
 
 @dataclass
@@ -154,6 +159,10 @@ class ParallelStats:
     :param shards: the per-shard reports (clean records dropped).
     :param metrics: the run's merged observability ledger (all shards'
         counters and stage times folded together, plus the merge stage).
+    :param interner: the run-level template dictionary — every shard
+        interner folded in shard order, so its size is the run's global
+        distinct-template count (the per-shard sum lives in
+        ``stats.interner_size``, like the cache counters).
     :param shards_retried: how many shard re-submissions the run needed
         (worker crashes, timeouts, transient exceptions).
     :param shards_failed: shards that exhausted their retries and were
@@ -167,6 +176,7 @@ class ParallelStats:
     wall_seconds: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    interner: TemplateInterner = field(default_factory=TemplateInterner)
     shards_retried: int = 0
     shards_failed: int = 0
 
@@ -241,10 +251,11 @@ def _clean_shard(
     shard_log = QueryLog(records)
     recorder = Recorder()
     channel = QuarantineChannel()
+    interner = TemplateInterner()
 
     validated = validate_stage(shard_log, config, recorder, channel)
     dedup = dedup_stage(validated, config, recorder)
-    parsed = parse_stage(dedup.log, config, recorder, channel)
+    parsed = parse_stage(dedup.log, config, recorder, channel, interner=interner)
     mining = mine_stage(parsed.queries, config, recorder)
     antipatterns = detect_stage(mining.blocks, config, recorder)
     solve_result = solve_stage(parsed.parsed_log, antipatterns, recorder)
@@ -268,6 +279,7 @@ def _clean_shard(
         parse_cache_hits=parse_counters.get("parse_cache_hits", 0),
         parse_cache_misses=parse_counters.get("parse_cache_misses", 0),
         parse_cache_evictions=parse_counters.get("parse_cache_evictions", 0),
+        interner_size=len(interner),
     )
     return ShardReport(
         shard=shard,
@@ -279,6 +291,7 @@ def _clean_shard(
         wall_seconds=time.perf_counter() - started,
         metrics=recorder.metrics,
         quarantine=channel,
+        interner=interner,
     )
 
 
@@ -498,10 +511,15 @@ class ParallelCleaner:
         run_metrics = PipelineMetrics()
         run_metrics.ensure_counters()
         stats = ParallelStats(workers=workers, shard_count=len(shards))
+        run_interner = stats.interner
         for report in sorted(reports, key=lambda r: r.shard):
             stats.stats.merge(report.stats)
             run_metrics.merge(report.metrics)
             quarantine.merge(report.quarantine)
+            # Fold the shard's template dictionary into the run-level
+            # one (deterministic: shard order, then shard-local id
+            # order, so the run ids are reproducible across runs).
+            run_interner.merge(report.interner)
             report.clean_records = []  # keep the report, drop the payload
             stats.shards.append(report)
         stats.shards_retried = retried
@@ -512,6 +530,9 @@ class ParallelCleaner:
         merge_stage.count("records_out", len(cleaned))
         merge_stage.count("shards_retried", retried)
         merge_stage.count("shards_failed", len(failed))
+        # The run-level dictionary size: global distinct templates (the
+        # "parse" counter carries the per-shard sum, like cache misses).
+        merge_stage.count("interner_size", len(run_interner))
         if self.recorder.enabled:
             self.recorder.absorb(run_metrics)
             self.recorder.emit(

@@ -42,6 +42,7 @@ from ..log.models import LogRecord, QueryLog
 from ..obs import Recorder
 from ..patterns.models import Block, ParsedQuery
 from ..skeleton.cache import TemplateCache
+from ..skeleton.interner import TemplateInterner
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
 from .framework import clean_block
@@ -72,6 +73,10 @@ class StreamingStats:
     parse_cache_hits: int = 0
     parse_cache_misses: int = 0
     parse_cache_evictions: int = 0
+    #: distinct template fingerprints the run's interner assigned ids to
+    #: (mirrored from the :class:`~repro.skeleton.interner
+    #: .TemplateInterner` at every counter flush).
+    interner_size: int = 0
 
     def merge(self, other: "StreamingStats") -> None:
         """Fold another run's counters into this one (sharded runs).
@@ -94,6 +99,10 @@ class StreamingStats:
         self.parse_cache_hits += other.parse_cache_hits
         self.parse_cache_misses += other.parse_cache_misses
         self.parse_cache_evictions += other.parse_cache_evictions
+        # Like the cache counters this sums per-shard distinct counts
+        # (shards intern independently); the folded run-level dictionary
+        # lives in ParallelStats.interner.
+        self.interner_size += other.interner_size
 
 
 class StreamingCleaner:
@@ -159,6 +168,10 @@ class StreamingCleaner:
             if execution.parse_cache
             else None
         )
+        #: run-scoped template dictionary — one per cleaner instance,
+        #: exactly like the parse cache above.
+        self._interner = TemplateInterner()
+        self._intern = self._interner.intern
         self._error_policy = self.config.error_policy
         self._fold_variables = self.config.fold_variables
         self._strict_triple = self.config.strict_triple
@@ -219,6 +232,11 @@ class StreamingCleaner:
             else:
                 self._parse_reject(record, reason, str(error))
             return None
+        # Verify the id against *this* run's interner even on a cache
+        # hit — a prewarmed cache may carry another run's ids.
+        interned_id = self._intern(cached.template_id)
+        if cached.interned_id != interned_id:
+            cached = replace(cached, interned_id=interned_id)
         return cached
 
     def _full_parse(self, record: LogRecord):
@@ -232,6 +250,7 @@ class StreamingCleaner:
                 statement,
                 fold_variables=self._fold_variables,
                 strict_triple=self._strict_triple,
+                interner=self._interner,
             )
         except SqlError as error:
             # Includes UnsupportedStatementError — classified at use.
@@ -382,6 +401,8 @@ class StreamingCleaner:
             self.stats.parse_cache_hits = cache.hits
             self.stats.parse_cache_misses = cache.misses
             self.stats.parse_cache_evictions = cache.evictions
+        # Same mirroring for the interner's dictionary size.
+        self.stats.interner_size = len(self._interner)
         if not recorder.enabled:
             return
         recorder.ensure_counters()
@@ -423,6 +444,11 @@ class StreamingCleaner:
             "parse",
             "parse_cache_evictions",
             stats.parse_cache_evictions - flushed.parse_cache_evictions,
+        )
+        recorder.count(
+            "parse",
+            "interner_size",
+            stats.interner_size - flushed.interner_size,
         )
         self._flushed = replace(stats)
 

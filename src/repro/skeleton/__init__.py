@@ -9,6 +9,7 @@ from .template import (
     normalize_case,
 )
 from .fingerprint import pattern_fingerprint, template_fingerprint
+from .interner import TemplateInterner
 from . import features
 
 __all__ = [
@@ -21,5 +22,6 @@ __all__ = [
     "normalize_case",
     "pattern_fingerprint",
     "template_fingerprint",
+    "TemplateInterner",
     "features",
 ]

@@ -292,6 +292,7 @@ def _instantiate(
         predicate_count=proto.predicate_count,
         equality_filter=equality,
         outputs=proto.outputs,
+        interned_id=proto.interned_id,
     )
 
 

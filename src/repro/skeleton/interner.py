@@ -1,0 +1,128 @@
+"""Run-scoped interning of template fingerprints into dense ints.
+
+The post-parse stages — blocking, periodic segmentation, registry
+aggregation, detector unit checks — only ever need template *identity*,
+never the fingerprint text.  Comparing and hashing 16-char hex digests
+for every probe is measurable waste at SkyServer scale; dictionary
+encoding them into small ints is the standard fix (Ettu interns queries
+into skeleton classes before clustering, and Xie et al.'s query-log
+compression work rests on exactly this template dictionary).
+
+A :class:`TemplateInterner` lives for one executor run: one per batch
+run, one per streaming cleaner instance, one per parallel worker shard
+(folded into a run-level interner by the parent, mirroring how the
+parse-stage :class:`~repro.skeleton.cache.TemplateCache` travels).  Ids
+are dense — the n-th distinct fingerprint gets id ``n-1`` — so consumers
+may use them as list indices, and *stable within the run*: interning is
+append-only, an id never changes or disappears.
+
+Ids are **not** comparable across interners.  Two runs over the same log
+assign the same ids only because interning follows a deterministic
+stream order; anything that outlives a run (registry rows, reports,
+golden files) must store the fingerprint strings, which is why
+:class:`~repro.patterns.registry.PatternRegistry` resolves ids back to
+strings at its public surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TemplateInterner"]
+
+
+class TemplateInterner:
+    """Bijective fingerprint ↔ dense-int dictionary for one run."""
+
+    __slots__ = ("_ids", "_fingerprints")
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._fingerprints: List[str] = []
+        for fingerprint in fingerprints:
+            self.intern(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Core dictionary operations
+
+    def intern(self, fingerprint: str) -> int:
+        """The id of ``fingerprint``, assigning the next dense id on
+        first sight.  Idempotent: re-interning returns the same id."""
+        ids = self._ids
+        interned = ids.get(fingerprint)
+        if interned is None:
+            interned = ids[fingerprint] = len(ids)
+            self._fingerprints.append(fingerprint)
+        return interned
+
+    def id_of(self, fingerprint: str) -> Optional[int]:
+        """The id of ``fingerprint`` if already interned, else ``None``
+        (never assigns)."""
+        return self._ids.get(fingerprint)
+
+    def fingerprint(self, interned_id: int) -> str:
+        """Reverse lookup: the fingerprint string behind ``interned_id``.
+
+        :raises IndexError: for an id this interner never assigned.
+        """
+        if interned_id < 0:
+            raise IndexError(f"{interned_id} is not an interned id")
+        return self._fingerprints[interned_id]
+
+    def resolve_unit(self, unit_ids: Iterable[int]) -> Tuple[str, ...]:
+        """Map a unit of interned ids back to its fingerprint tuple."""
+        fingerprints = self._fingerprints
+        return tuple(fingerprints[interned] for interned in unit_ids)
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Snapshot of every interned fingerprint, in id order."""
+        return tuple(self._fingerprints)
+
+    # ------------------------------------------------------------------
+    # Shard folding
+
+    def merge(self, other: "TemplateInterner") -> Dict[int, int]:
+        """Fold another interner's dictionary into this one.
+
+        Returns the remap ``other_id -> self_id`` for every id of
+        ``other`` — shard-local ids are meaningless in the parent, so a
+        parent folding :class:`~repro.pipeline.parallel.ShardReport`
+        interners uses the remap to translate any shard-local encoded
+        data it wants to keep.  Fingerprints already known keep their
+        existing id here (interning is append-only).
+        """
+        intern = self.intern
+        return {
+            other_id: intern(fingerprint)
+            for other_id, fingerprint in enumerate(other._fingerprints)
+        }
+
+    # ------------------------------------------------------------------
+    # Protocols
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemplateInterner):
+            return NotImplemented
+        return self._fingerprints == other._fingerprints
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TemplateInterner({len(self._ids)} fingerprints)"
+
+    # __slots__ classes have no __dict__, so pickling (ShardReport
+    # crosses a process boundary) round-trips the id-ordered fingerprint
+    # list — the forward dict is derived state.
+    def __getstate__(self) -> List[str]:
+        return self._fingerprints
+
+    def __setstate__(self, state: List[str]) -> None:
+        self._fingerprints = list(state)
+        self._ids = {
+            fingerprint: interned
+            for interned, fingerprint in enumerate(self._fingerprints)
+        }

@@ -217,6 +217,53 @@ class TestParseCacheDifferential:
         assert raw["parse_cache_evictions"] == 0
 
 
+class TestInternerDifferential:
+    """Template interning must be invisible in the comparable ledger
+    while the raw per-executor counters stay inspectable: batch and
+    streaming book the run-global dictionary size, parallel shards each
+    intern their own templates (so the parse-stage sum can exceed the
+    global count) and the merge stage carries the folded global size."""
+
+    def test_interner_size_is_booked_and_excluded(self):
+        log = workload_log("seed2018")
+        results = run_all(log)
+        sizes = {}
+        for name, result in results.items():
+            raw = result.metrics.stages["parse"].counters
+            assert raw["interner_size"] > 0, name
+            view = result.metrics.comparable()["parse"]["counters"]
+            assert "interner_size" not in view, name
+            sizes[name] = raw["interner_size"]
+
+        # Batch and streaming intern one global dictionary; its size is
+        # the distinct template count of the parsed stream.
+        batch_result = CleaningPipeline(config()).run(log)
+        distinct = len(
+            {query.template_id for query in batch_result.parse_stage.queries}
+        )
+        assert sizes["batch"] == distinct
+        assert sizes["streaming"] == distinct
+        # Every shard re-interns templates the other shards also saw, so
+        # the per-shard sum is at least the global dictionary size...
+        for name in ("parallel-1", "parallel-2", "parallel-4"):
+            assert sizes[name] >= distinct, name
+        # ...while the merge stage folds the shard interners back into
+        # one run-global dictionary of exactly the batch size.
+        for name in ("parallel-1", "parallel-2", "parallel-4"):
+            merge = results[name].metrics.stages["merge"].counters
+            assert merge["interner_size"] == distinct, name
+
+    def test_batch_result_carries_run_interner(self):
+        log = workload_log("seed7")
+        result = CleaningPipeline(config()).run(log)
+        interner = result.interner
+        assert interner is not None
+        queries = result.parse_stage.queries
+        assert len(interner) == len({q.template_id for q in queries})
+        for query in queries:
+            assert interner.fingerprint(query.interned_id) == query.template_id
+
+
 class TestRecorderOverhead:
     def test_batch_overhead_is_small(self):
         """The acceptance bar is ≤5% batch overhead; asserting that

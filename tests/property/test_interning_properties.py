@@ -1,0 +1,136 @@
+"""Property-based tests: interned-int segmentation ≡ string segmentation.
+
+The mining kernels run on dense interned ids (or block-local ids as the
+fallback); the paper's definitions are stated over template *strings*.
+These properties pin the equivalence: for any log, segmenting over ints
+must produce exactly the runs and instances a string-based segmentation
+produces, and the interned unit ids must resolve back to the string
+unit.
+"""
+
+import dataclasses
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.log import LogRecord, QueryLog
+from repro.patterns import MinerConfig, build_blocks, mine, segment_block
+from repro.pipeline import parse_log
+from repro.skeleton import TemplateInterner
+
+statements = st.sampled_from(
+    [
+        "SELECT a FROM t WHERE id = 1",
+        "SELECT a FROM t WHERE id = 2",  # same template as the first
+        "SELECT b FROM t WHERE id = 1",
+        "SELECT a, b FROM t WHERE id = 3",
+        "SELECT c FROM u",
+    ]
+)
+users = st.sampled_from(["u1", "u2", None])
+
+log_entries = st.lists(
+    st.tuples(
+        statements,
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        users,
+    ),
+    max_size=40,
+)
+max_periods = st.integers(min_value=1, max_value=5)
+
+
+def build_log(entries):
+    return QueryLog(
+        LogRecord(seq=i, sql=sql, timestamp=ts, user=user)
+        for i, (sql, ts, user) in enumerate(entries)
+    )
+
+
+def strip_interning(queries):
+    """The same parsed queries as if no interner had seen them."""
+    return [
+        dataclasses.replace(query, interned_id=-1) for query in queries
+    ]
+
+
+def reference_segmentation(template_ids, max_period):
+    """String-tuple greedy segmentation — the pre-interning kernel,
+    kept here as the executable specification."""
+    segments = []
+    position = 0
+    length = len(template_ids)
+    while position < length:
+        best_period, best_repeats, best_cover = 1, 1, 1
+        remaining = length - position
+        for period in range(1, min(max_period, remaining // 2) + 1):
+            unit = tuple(template_ids[position : position + period])
+            repeats = 1
+            probe = position + period
+            while (
+                probe + period <= length
+                and tuple(template_ids[probe : probe + period]) == unit
+            ):
+                repeats += 1
+                probe += period
+            cover = period * repeats
+            if repeats >= 2 and cover > best_cover:
+                best_period, best_repeats, best_cover = (
+                    period,
+                    repeats,
+                    cover,
+                )
+        if best_repeats == 1:
+            best_period = 1
+        segments.append(
+            (
+                tuple(template_ids[position : position + best_period]),
+                best_repeats,
+            )
+        )
+        position += best_period * best_repeats
+    return segments
+
+
+class TestSegmentationEquivalence:
+    @given(log_entries, max_periods)
+    @settings(max_examples=150, deadline=None)
+    def test_int_kernel_matches_string_reference(self, entries, max_period):
+        """segment_block over interned ids reproduces the string-based
+        greedy segmentation segment for segment."""
+        queries = parse_log(build_log(entries)).queries
+        config = MinerConfig(max_period=max_period)
+        for block in build_blocks(queries, config):
+            runs = segment_block(block, config)
+            assert [
+                (run.unit, run.repeats) for run in runs
+            ] == reference_segmentation(block.template_ids(), max_period)
+
+    @given(log_entries, max_periods)
+    @settings(max_examples=150, deadline=None)
+    def test_interned_and_uninterned_mining_agree(self, entries, max_period):
+        """The local-ids fallback (un-interned queries) must mine the
+        exact same blocks, runs and instances as the interned path —
+        dataclass equality ignores the run-scoped id bookkeeping."""
+        config = MinerConfig(max_period=max_period)
+        queries = parse_log(build_log(entries)).queries
+        interned = mine(queries, config)
+        fallback = mine(strip_interning(queries), config)
+        assert fallback.blocks == interned.blocks
+        assert fallback.runs == interned.runs
+        assert fallback.instances == interned.instances
+
+    @given(log_entries, max_periods)
+    @settings(max_examples=150, deadline=None)
+    def test_unit_ids_resolve_to_unit(self, entries, max_period):
+        """Each run's interned unit resolves back to its string unit
+        through the run's interner; un-interned mining carries none."""
+        config = MinerConfig(max_period=max_period)
+        interner = TemplateInterner()
+        queries = parse_log(build_log(entries), interner=interner).queries
+
+        for run in mine(queries, config).runs:
+            assert run.unit_ids is not None
+            assert interner.resolve_unit(run.unit_ids) == run.unit
+        for run in mine(strip_interning(queries), config).runs:
+            assert run.unit_ids is None

@@ -1,0 +1,117 @@
+"""Unit tests for the run-scoped template interner."""
+
+import pickle
+
+import pytest
+
+from repro.skeleton import TemplateInterner
+
+
+class TestDenseIds:
+    def test_first_sight_assigns_next_dense_id(self):
+        interner = TemplateInterner()
+        assert interner.intern("aa") == 0
+        assert interner.intern("bb") == 1
+        assert interner.intern("cc") == 2
+
+    def test_intern_is_idempotent(self):
+        interner = TemplateInterner()
+        first = interner.intern("aa")
+        interner.intern("bb")
+        assert interner.intern("aa") == first
+        assert len(interner) == 2
+
+    def test_ids_cover_exactly_zero_to_n_minus_one(self):
+        interner = TemplateInterner()
+        fingerprints = [f"fp{i:02d}" for i in range(25)]
+        ids = [interner.intern(fp) for fp in fingerprints + fingerprints]
+        assert sorted(set(ids)) == list(range(25))
+
+    def test_constructor_interns_in_order(self):
+        interner = TemplateInterner(["x", "y", "x", "z"])
+        assert interner.fingerprints() == ("x", "y", "z")
+        assert interner.id_of("z") == 2
+
+
+class TestLookups:
+    def test_round_trip(self):
+        interner = TemplateInterner()
+        for fingerprint in ("aa", "bb", "cc"):
+            interned = interner.intern(fingerprint)
+            assert interner.fingerprint(interned) == fingerprint
+            assert interner.id_of(fingerprint) == interned
+
+    def test_id_of_never_assigns(self):
+        interner = TemplateInterner()
+        assert interner.id_of("ghost") is None
+        assert len(interner) == 0
+
+    def test_unknown_id_raises(self):
+        interner = TemplateInterner(["aa"])
+        with pytest.raises(IndexError):
+            interner.fingerprint(5)
+        with pytest.raises(IndexError):
+            interner.fingerprint(-1)
+
+    def test_contains(self):
+        interner = TemplateInterner(["aa"])
+        assert "aa" in interner
+        assert "bb" not in interner
+
+    def test_resolve_unit(self):
+        interner = TemplateInterner(["aa", "bb", "cc"])
+        assert interner.resolve_unit((2, 0, 2)) == ("cc", "aa", "cc")
+        assert interner.resolve_unit(()) == ()
+
+
+class TestEquality:
+    def test_equal_iff_same_dictionary_in_same_order(self):
+        assert TemplateInterner(["a", "b"]) == TemplateInterner(["a", "b"])
+        assert TemplateInterner(["a", "b"]) != TemplateInterner(["b", "a"])
+        assert TemplateInterner() != TemplateInterner(["a"])
+
+    def test_not_equal_to_other_types(self):
+        assert TemplateInterner(["a"]) != ["a"]
+
+
+class TestPickling:
+    def test_round_trip_preserves_ids(self):
+        interner = TemplateInterner([f"fp{i}" for i in range(10)])
+        clone = pickle.loads(pickle.dumps(interner))
+        assert clone == interner
+        assert clone.fingerprints() == interner.fingerprints()
+        # The forward dict must be rebuilt, not just the list.
+        assert clone.id_of("fp7") == 7
+        assert clone.intern("fresh") == 10
+
+
+class TestMerge:
+    def test_merge_returns_complete_remap(self):
+        parent = TemplateInterner(["a", "b"])
+        shard = TemplateInterner(["b", "c", "a"])
+        remap = parent.merge(shard)
+        # Every shard id is remapped, known fingerprints keep their
+        # parent id, new ones get the next dense ids.
+        assert remap == {0: 1, 1: 2, 2: 0}
+        assert parent.fingerprints() == ("a", "b", "c")
+
+    def test_merge_empty_shard_is_noop(self):
+        parent = TemplateInterner(["a"])
+        assert parent.merge(TemplateInterner()) == {}
+        assert parent.fingerprints() == ("a",)
+
+    def test_shard_fold_matches_sequential_interning(self):
+        """Folding shard interners in shard order must reproduce the
+        dictionary a single interner builds over the concatenated
+        stream — the parallel executor's merge-stage contract."""
+        stream = ["q1", "q2", "q1", "q3", "q2", "q4", "q5", "q3"]
+        shards = [stream[:3], stream[3:6], stream[6:]]
+
+        sequential = TemplateInterner(stream)
+        folded = TemplateInterner()
+        for shard_stream in shards:
+            shard = TemplateInterner(shard_stream)
+            remap = folded.merge(shard)
+            for local_id, fingerprint in enumerate(shard.fingerprints()):
+                assert folded.fingerprint(remap[local_id]) == fingerprint
+        assert folded == sequential

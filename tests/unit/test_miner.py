@@ -143,3 +143,81 @@ class TestMine:
         r1 = mine(queries)
         r2 = mine(queries)
         assert [i.unit for i in r1.instances] == [i.unit for i in r2.instances]
+
+
+class TestBlockCaches:
+    def _block(self, sqls):
+        queries = parsed([(sql, float(i), "u") for i, sql in enumerate(sqls)])
+        return build_blocks(queries)[0]
+
+    def test_template_ids_memoized(self):
+        block = self._block([A.format(1), B.format(1)])
+        first = block.template_ids()
+        assert block.template_ids() is first
+        assert first == tuple(q.template_id for q in block.queries)
+
+    def test_interned_ids_memoized(self):
+        block = self._block([A.format(1), B.format(1), A.format(2)])
+        first = block.interned_ids()
+        assert block.interned_ids() is first
+        assert first == tuple(q.interned_id for q in block.queries)
+
+    def test_interned_ids_rejects_uninterned_queries(self):
+        import dataclasses
+
+        block = self._block([A.format(1), B.format(1)])
+        stripped = Block(
+            user=block.user,
+            queries=tuple(
+                dataclasses.replace(q, interned_id=-1) for q in block.queries
+            ),
+        )
+        assert stripped.interned_ids() is None
+        # ...but the local-id fallback still yields a dense alphabet.
+        local = stripped.local_ids()
+        assert sorted(set(local)) == list(range(len(set(local))))
+        assert stripped.local_ids() is local
+
+    def test_caches_do_not_affect_equality_or_pickling(self):
+        import pickle
+
+        left = self._block([A.format(1), B.format(1)])
+        right = self._block([A.format(1), B.format(1)])
+        left.template_ids()
+        left.interned_ids()
+        left.local_ids()
+        assert left == right
+        clone = pickle.loads(pickle.dumps(left))
+        assert clone == left
+        assert clone.template_ids() == left.template_ids()
+
+
+class TestLazyInstances:
+    def test_instance_count_without_materialization(self):
+        queries = parsed([(A.format(i % 2), float(i), "u") for i in range(8)])
+        result = mine(queries)
+        assert result.instance_count == sum(run.repeats for run in result.runs)
+        assert result._instances is None  # count alone must stay lazy
+
+    def test_instances_are_cached(self):
+        queries = parsed([(A.format(i), float(i), "u") for i in range(4)])
+        result = mine(queries)
+        first = result.instances
+        assert result.instances is first
+        assert result.instance_count == len(first)
+
+    def test_instances_match_run_cycles(self):
+        queries = parsed(
+            [(A.format(1), 0.0, "u"), (B.format(1), 1.0, "u"),
+             (A.format(2), 2.0, "u"), (B.format(2), 3.0, "u"),
+             (C.format(9), 4.0, "u")]
+        )
+        result = mine(queries)
+        expected = [
+            (run.unit, tuple(cycle))
+            for run in result.runs
+            for cycle in run.cycles()
+        ]
+        assert [
+            (inst.unit, inst.queries) for inst in result.instances
+        ] == expected

@@ -5,12 +5,16 @@ from repro.patterns import PatternRegistry, mine
 from repro.pipeline import parse_log
 
 
-def instances_for(entries):
+def mining_for(entries):
     log = QueryLog(
         LogRecord(seq=i, sql=sql, timestamp=ts, user=user, ip=ip)
         for i, (sql, ts, user, ip) in enumerate(entries)
     )
-    return mine(parse_log(log).queries).instances
+    return mine(parse_log(log).queries)
+
+
+def instances_for(entries):
+    return mining_for(entries).instances
 
 
 Q = "SELECT a FROM t WHERE id = {}"
@@ -85,3 +89,117 @@ class TestRegistry:
         registry = PatternRegistry()
         assert registry.max_frequency() == 0
         assert registry.ranked() == []
+
+
+MIXED_ENTRIES = [
+    # Two users alternating two templates plus a burst of a third —
+    # several patterns, several runs, distinct ips.
+    (Q.format(1), 0.0, "u1", "1.1.1.1"),
+    (Q.format(2), 1.0, "u1", "1.1.1.1"),
+    (Q.format(3), 2.0, "u1", "1.1.1.2"),
+    (R.format(1), 3.0, "u1", "1.1.1.1"),
+    (Q.format(4), 0.5, "u2", "2.2.2.2"),
+    (R.format(2), 1.5, "u2", "2.2.2.2"),
+    (Q.format(5), 2.5, "u2", None),
+    (R.format(3), 3.5, "u2", "2.2.2.3"),
+    (Q.format(6), 5000.0, "u2", "2.2.2.2"),
+]
+
+
+def row_key(stats):
+    return (
+        stats.unit,
+        stats.skeletons,
+        stats.frequency,
+        frozenset(stats.users),
+        frozenset(stats.ips),
+        stats.query_count,
+    )
+
+
+class TestRunningAggregates:
+    """total_instances / total_queries / max_frequency are maintained
+    incrementally — they must always equal a full recomputation."""
+
+    def test_aggregates_match_recomputation(self):
+        registry = PatternRegistry()
+        for instance in instances_for(MIXED_ENTRIES):
+            registry.add_instance(instance)
+            rows = list(registry)
+            assert registry.total_instances() == sum(
+                row.frequency for row in rows
+            )
+            assert registry.total_queries() == sum(
+                row.query_count for row in rows
+            )
+            assert registry.max_frequency() == max(
+                row.frequency for row in rows
+            )
+
+
+class TestRunAggregation:
+    """add_run must be row-for-row identical to adding the run's cycles
+    one instance at a time (registry_stage aggregates runs)."""
+
+    def test_from_runs_equals_from_instances(self):
+        mining = mining_for(MIXED_ENTRIES)
+        by_runs = PatternRegistry.from_runs(mining.runs)
+        by_instances = PatternRegistry.from_instances(mining.instances)
+        assert [row_key(r) for r in by_runs.ranked()] == [
+            row_key(r) for r in by_instances.ranked()
+        ]
+        assert by_runs.total_instances() == by_instances.total_instances()
+        assert by_runs.total_queries() == by_instances.total_queries()
+        assert by_runs.max_frequency() == by_instances.max_frequency()
+
+    def test_add_run_updates_aggregates(self):
+        mining = mining_for(MIXED_ENTRIES)
+        registry = PatternRegistry()
+        for run in mining.runs:
+            registry.add_run(run)
+        assert registry.total_instances() == mining.instance_count
+        assert registry.total_queries() == sum(
+            len(run.queries) for run in mining.runs
+        )
+
+
+class TestInternedKeys:
+    """Rows are keyed on interned unit ids when available; the public
+    lookups must accept both the int and the string representation."""
+
+    def test_lookup_accepts_both_representations(self):
+        mining = mining_for(MIXED_ENTRIES)
+        registry = PatternRegistry.from_runs(mining.runs)
+        for stats in registry:
+            assert registry.get(stats.unit) is stats
+            assert stats.unit in registry
+            if stats.unit_ids is not None:
+                assert registry.get(stats.unit_ids) is stats
+                assert stats.unit_ids in registry
+
+    def test_mark_antipattern_by_interned_unit(self):
+        mining = mining_for(MIXED_ENTRIES)
+        registry = PatternRegistry.from_runs(mining.runs)
+        stats = registry.ranked()[0]
+        assert stats.unit_ids is not None
+        registry.mark_antipattern(stats.unit_ids, "DW-Stifle")
+        assert registry.get(stats.unit).is_antipattern
+
+    def test_uninterned_instances_fall_back_to_string_keys(self):
+        import dataclasses
+
+        instances = [
+            dataclasses.replace(
+                instance,
+                unit_ids=None,
+                queries=tuple(
+                    dataclasses.replace(query, interned_id=-1)
+                    for query in instance.queries
+                ),
+            )
+            for instance in instances_for(MIXED_ENTRIES)
+        ]
+        registry = PatternRegistry.from_instances(instances)
+        for stats in registry:
+            assert stats.unit_ids is None
+            assert registry.get(stats.unit) is stats
