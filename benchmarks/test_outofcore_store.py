@@ -1,0 +1,256 @@
+"""E24 — out-of-core store: bounded-memory cleaning with checkpoints.
+
+A synthetic log (~500k queries at the full scale of 29; see
+``REPRO_OUTOFCORE_BENCH_SCALE``) is written once to an on-disk columnar
+store, then cleaned by three subprocess children so each run's peak RSS
+is its own:
+
+* **batch** — ``repro.clean(store, execution="batch")``: materialises
+  the whole log in RAM, the reference for output bytes and ledger;
+* **streaming** — ``repro.clean(store, execution="streaming")``: reads
+  the store chunk by chunk, never holding the full input;
+* **kill + resume** — a checkpointed streaming run SIGKILLed mid-flight
+  (after ≥2 committed chunks, before completion), then resumed from the
+  half-written checkpoint directory.
+
+Acceptance bars: streaming output byte-identical to batch, equal
+``comparable()`` ledgers, zero conservation violations in every child,
+the resumed run byte-identical to the uninterrupted one, and — once the
+log is big enough for RSS to mean anything (≥200k queries) — streaming
+peak RSS at most 0.6× batch.  Results land in ``BENCH_outofcore.json``.
+
+This file avoids the pytest-benchmark fixture so the CI smoke step can
+run it with plain pytest at a reduced scale.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.store import store_size_bytes, write_columnar
+from repro.workload import WorkloadConfig, generate
+
+#: ~17.2k queries per unit of scale; 29 ≈ 500k queries (the full run).
+BENCH_SCALE = float(os.environ.get("REPRO_OUTOFCORE_BENCH_SCALE", "29"))
+BENCH_SEED = int(os.environ.get("REPRO_OUTOFCORE_BENCH_SEED", "2018"))
+OUTPUT_PATH = Path(__file__).parent / "BENCH_outofcore.json"
+STORE_CHUNK_RECORDS = 8192
+
+#: The RSS bar only means something once the input dwarfs the
+#: interpreter's own footprint.
+RSS_GATE_QUERIES = 200_000
+RSS_RATIO_BAR = 0.6
+
+#: Child program.  Cleans a columnar store and reports peak RSS plus the
+#: executor-independent ledger as JSON on stdout; the clean log goes to
+#: ``out`` as jsonl for byte comparison.  ``ckpt-slow`` sleeps after
+#: each chunk so the parent can SIGKILL it between two checkpoint
+#: commits; ``resume`` picks that run back up.
+CHILD = """
+import json, resource, sys, time
+import repro
+from repro.log import write_jsonl
+from repro.store import ColumnarSource
+
+store, out, mode, checkpoint_dir = sys.argv[1:5]
+
+
+class SlowSource(ColumnarSource):
+    def open_chunks(self, *, start_chunk=0):
+        for chunk in super().open_chunks(start_chunk=start_chunk):
+            yield chunk
+            time.sleep(float(sys.argv[5]))
+
+
+kwargs = {}
+if mode == "batch":
+    source = ColumnarSource(store)
+    kwargs["execution"] = "batch"
+elif mode == "streaming":
+    source = ColumnarSource(store)
+    kwargs["execution"] = "streaming"
+elif mode == "ckpt-slow":
+    source = SlowSource(store)
+    kwargs["execution"] = "streaming"
+    kwargs["checkpoint_dir"] = checkpoint_dir
+elif mode == "resume":
+    source = ColumnarSource(store)
+    kwargs["execution"] = "streaming"
+    kwargs["checkpoint_dir"] = checkpoint_dir
+    kwargs["resume"] = True
+else:
+    raise SystemExit(f"unknown mode {mode!r}")
+
+started = time.perf_counter()
+result = repro.clean(source, **kwargs)
+seconds = time.perf_counter() - started
+write_jsonl(result.clean_log, out)
+
+print(json.dumps({
+    "mode": mode,
+    "seconds": seconds,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "clean_records": len(result.clean_log),
+    "comparable": result.metrics.comparable(),
+    "conservation_violations": result.metrics.conservation_violations(),
+    "quarantined": len(result.quarantine),
+}))
+"""
+
+KILL_DEADLINE = 120.0
+
+
+def run_child(store, out, mode, checkpoint_dir="", sleep="0", *, wait=True):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-c", CHILD,
+            str(store), str(out), mode, str(checkpoint_dir), sleep,
+        ],
+        stdout=subprocess.PIPE,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=str(Path(__file__).resolve().parent.parent),
+        text=True,
+    )
+    if not wait:
+        return proc
+    stdout, _ = proc.communicate(timeout=1800)
+    assert proc.returncode == 0, f"{mode} child failed (rc={proc.returncode})"
+    return json.loads(stdout.strip().splitlines()[-1])
+
+
+def wait_for_partial_state(state_path, *, min_chunks=2):
+    deadline = time.monotonic() + KILL_DEADLINE
+    while time.monotonic() < deadline:
+        if state_path.exists():
+            try:
+                state = json.loads(state_path.read_text(encoding="utf-8"))
+            except ValueError:
+                continue
+            if state["complete"] or state["chunks_done"] >= min_chunks:
+                return state
+        time.sleep(0.02)
+    raise AssertionError("checkpointed child never committed a chunk")
+
+
+def test_outofcore_store(tmp_path):
+    workload = generate(WorkloadConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+    log = workload.log
+    queries = len(log)
+
+    store = tmp_path / "log.columnar"
+    started = time.perf_counter()
+    write_columnar(log, store, chunk_records=STORE_CHUNK_RECORDS)
+    write_seconds = time.perf_counter() - started
+    del workload, log  # the parent holds no copy while children run
+
+    # ------------------------------------------------------------------
+    # Batch (in-RAM reference) vs streaming (out-of-core), each in its
+    # own process so ru_maxrss is per-run.
+    batch_out = tmp_path / "batch.jsonl"
+    stream_out = tmp_path / "stream.jsonl"
+    batch = run_child(store, batch_out, "batch")
+    streaming = run_child(store, stream_out, "streaming")
+
+    identical = batch_out.read_bytes() == stream_out.read_bytes()
+    ledgers_match = batch["comparable"] == streaming["comparable"]
+    rss_ratio = streaming["ru_maxrss_kb"] / batch["ru_maxrss_kb"]
+
+    # ------------------------------------------------------------------
+    # Kill-and-resume: SIGKILL a checkpointed streaming run mid-flight,
+    # resume it, and demand the uninterrupted bytes.
+    checkpoint_dir = tmp_path / "ck"
+    victim_out = tmp_path / "victim.jsonl"
+    # Sleep long enough per chunk for the kill window, short enough to
+    # commit several chunks quickly even at smoke scale.
+    chunk_count = max(1, -(-queries // STORE_CHUNK_RECORDS))
+    victim = run_child(
+        store, victim_out, "ckpt-slow", checkpoint_dir, "0.2", wait=False
+    )
+    try:
+        partial = wait_for_partial_state(
+            checkpoint_dir / "state.json", min_chunks=min(2, chunk_count)
+        )
+        killed_mid_run = not partial["complete"]
+        victim.kill()
+    finally:
+        victim.wait(timeout=60)
+    assert victim.returncode == -signal.SIGKILL
+
+    resumed_out = tmp_path / "resumed.jsonl"
+    resumed = run_child(store, resumed_out, "resume", checkpoint_dir)
+    resume_identical = resumed_out.read_bytes() == stream_out.read_bytes()
+
+    report = {
+        "queries": queries,
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "store": {
+            "chunk_records": STORE_CHUNK_RECORDS,
+            "chunks": chunk_count,
+            "size_bytes": store_size_bytes(store),
+            "write_seconds": write_seconds,
+        },
+        "runs": [batch, streaming, resumed],
+        "streaming_identical_to_batch": identical,
+        "ledgers_match": ledgers_match,
+        "rss_ratio_streaming_vs_batch": rss_ratio,
+        "rss_gate_queries": RSS_GATE_QUERIES,
+        "kill_resume": {
+            "chunks_done_at_kill": partial["chunks_done"],
+            "killed_mid_run": killed_mid_run,
+            "resume_identical_to_uninterrupted": resume_identical,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print_table(
+        f"Out-of-core store — {queries:,} queries, "
+        f"{report['store']['size_bytes'] / 1e6:.1f} MB on disk, "
+        f"{chunk_count} chunks",
+        ["run", "seconds", "peak RSS (MB)", "clean records", "violations"],
+        [
+            (
+                run["mode"],
+                f"{run['seconds']:.2f}",
+                f"{run['ru_maxrss_kb'] / 1024:.0f}",
+                f"{run['clean_records']:,}",
+                len(run["conservation_violations"]),
+            )
+            for run in report["runs"]
+        ],
+    )
+    print_table(
+        "Contracts",
+        ["check", "result"],
+        [
+            ("streaming bytes == batch bytes", "yes" if identical else "NO"),
+            ("comparable ledgers equal", "yes" if ledgers_match else "NO"),
+            ("streaming/batch RSS", f"{rss_ratio:.2f}x"),
+            ("killed mid-run", "yes" if killed_mid_run else "no (outran kill)"),
+            (
+                "resume bytes == uninterrupted",
+                "yes" if resume_identical else "NO",
+            ),
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # Acceptance bars.
+    assert identical, "streaming output diverged from in-RAM batch"
+    assert ledgers_match, "comparable ledgers diverged"
+    for run in report["runs"]:
+        assert run["conservation_violations"] == [], run
+    assert resume_identical, "resumed run diverged from uninterrupted run"
+    assert resumed["comparable"] == streaming["comparable"]
+    if queries >= RSS_GATE_QUERIES:
+        assert rss_ratio <= RSS_RATIO_BAR, (
+            f"streaming peak RSS {streaming['ru_maxrss_kb']} kB is "
+            f"{rss_ratio:.2f}x batch's {batch['ru_maxrss_kb']} kB "
+            f"(bar: {RSS_RATIO_BAR}x)"
+        )

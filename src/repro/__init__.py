@@ -10,6 +10,8 @@ The package implements the paper's full stack:
 * :mod:`repro.antipatterns` — Stifle / CTH / SNC detection (Section 4.2);
 * :mod:`repro.rewrite` — solving rules + engine-backed validation;
 * :mod:`repro.pipeline` — the Fig. 1 cleaning framework, end to end;
+* :mod:`repro.store` — out-of-core log input: the :class:`LogSource`
+  protocol, the columnar store, run checkpoints;
 * :mod:`repro.obs` — pipeline observability (metrics, traces, recorders);
 * :mod:`repro.engine` — in-memory relational engine + cost model;
 * :mod:`repro.workload` — synthetic SkyServer log generator + ground truth;
@@ -19,14 +21,16 @@ Quick start::
 
     import repro
 
-    log = repro.QueryLog.from_statements([
-        "SELECT name FROM Employee WHERE empId = 8",
-        "SELECT name FROM Employee WHERE empId = 1",
-    ])
+    log = repro.open_log("queries.csv").read()       # any on-disk format
     result = repro.clean(log)                        # batch, full artifacts
     print(result.clean_log.statements())
 
-    result = repro.clean(log, execution="parallel")  # hash-sharded, all cores
+    result = repro.clean("queries.csv", execution="parallel")  # all cores
+    result = repro.clean(                            # out of core + resumable
+        "skyserver.columnar",
+        execution="streaming",
+        checkpoint_dir="run-ckpt",
+    )
 """
 
 from .errors import (
@@ -50,8 +54,19 @@ from .pipeline.config import ExecutionConfig, PipelineConfig
 from .pipeline.framework import CleaningPipeline, PipelineResult, clean_log
 from .pipeline.parallel import ParallelCleaner, ParallelStats
 from .pipeline.streaming import StreamingCleaner, StreamingStats
+from .store import (
+    CheckpointError,
+    ColumnarSource,
+    CsvSource,
+    InMemorySource,
+    JsonlSource,
+    LogSource,
+    RunCheckpoint,
+    open_log,
+    write_columnar,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "LogRecord",
@@ -76,6 +91,15 @@ __all__ = [
     "StageMetrics",
     "InMemorySink",
     "JsonlSink",
+    "open_log",
+    "LogSource",
+    "InMemorySource",
+    "CsvSource",
+    "JsonlSource",
+    "ColumnarSource",
+    "write_columnar",
+    "RunCheckpoint",
+    "CheckpointError",
     "clean_log",
     "__version__",
 ]

@@ -2,9 +2,11 @@
 
 Subcommands:
 
-* ``generate`` — synthesise a SkyServer-shaped log to CSV/JSONL;
-* ``clean``    — run the cleaning pipeline on a log file, write the clean
-  log and print the Table 5-style overview;
+* ``generate`` — synthesise a SkyServer-shaped log to CSV/JSONL/columnar;
+* ``clean``    — run the cleaning pipeline on a log file or columnar
+  store, write the clean log and print the Table 5-style overview;
+  ``--checkpoint-dir`` / ``--resume`` make streaming runs kill-resilient;
+* ``convert``  — convert a log between CSV, JSONL and the columnar store;
 * ``patterns`` — print the top patterns/antipatterns of a log;
 * ``cluster``  — run the downstream clustering comparison.
 """
@@ -14,16 +16,17 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from ..analysis.experiment import run_downstream_experiment
 from ..antipatterns.base import DetectionContext
 from ..errors import QuarantineChannel
-from ..log.io import read_csv, read_jsonl, write_csv, write_jsonl
-from ..log.models import QueryLog
+from ..log.io import write_csv, write_jsonl
+from ..log.models import LogRecord, QueryLog
 from ..patterns.sws import SwsConfig
 from ..pipeline.config import PipelineConfig
 from ..pipeline.framework import CleaningPipeline
+from ..store import CheckpointError, open_log
 from ..workload.generator import WorkloadConfig, generate
 from ..workload.schema import skyserver_catalog
 
@@ -33,16 +36,40 @@ def _read_log(
     errors: str = "strict",
     channel: Optional[QuarantineChannel] = None,
 ) -> QueryLog:
+    with open_log(path, errors=errors, channel=channel) as source:
+        return source.read()
+
+
+def _output_format(path: str) -> str:
+    """The format implied by an *output* path's extension.
+
+    Unlike input sniffing there is nothing on disk to inspect yet, so
+    anything that is not ``.csv`` / ``.jsonl`` becomes a columnar store
+    directory.
+    """
     if path.endswith(".jsonl"):
-        return read_jsonl(path, errors=errors, channel=channel)
-    return read_csv(path, errors=errors, channel=channel)
+        return "jsonl"
+    if path.endswith(".csv"):
+        return "csv"
+    return "columnar"
+
+
+def _write_records(
+    records: Iterable[LogRecord], path: str, fmt: Optional[str] = None
+) -> None:
+    from ..store.columnar import write_columnar
+
+    fmt = fmt or _output_format(path)
+    if fmt == "jsonl":
+        write_jsonl(records, path)
+    elif fmt == "csv":
+        write_csv(records, path)
+    else:
+        write_columnar(records, path)
 
 
 def _write_log(log: QueryLog, path: str) -> None:
-    if path.endswith(".jsonl"):
-        write_jsonl(log, path)
-    else:
-        write_csv(log, path)
+    _write_records(log, path)
 
 
 def _default_config(
@@ -81,8 +108,6 @@ def cmd_clean(args: argparse.Namespace) -> int:
     from ..pipeline.api import clean
     from ..pipeline.config import ExecutionConfig
 
-    io_channel = QuarantineChannel()
-    log = _read_log(args.input, args.error_policy, io_channel)
     config = _default_config(
         args.dedup_threshold,
         args.skyserver_schema,
@@ -103,8 +128,32 @@ def cmd_clean(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.checkpoint_dir and mode != "streaming":
+        print(
+            "--checkpoint-dir requires --streaming (batch and parallel "
+            "runs have no serialisable mid-run state)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     recorder = Recorder(sinks=[JsonlSink(sys.stderr)] if args.trace else [])
-    result = clean(log, config, execution=execution, recorder=recorder)
+    # The input path goes straight into clean(): the non-batch executors
+    # stream it out of core, and the checkpoint layer needs the source
+    # (not a materialised log) to fingerprint and to seek on resume.
+    try:
+        result = clean(
+            args.input,
+            config,
+            execution=execution,
+            recorder=recorder,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     recorder.close()  # flush the final metrics event to the trace sinks
     if args.metrics_json:
         metrics = result.metrics.as_dict()
@@ -117,9 +166,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
             json.dumps(metrics, indent=2) + "\n", encoding="utf-8"
         )
         print(f"wrote per-stage metrics to {args.metrics_json}")
-    quarantine = QuarantineChannel()
-    quarantine.merge(io_channel)
-    quarantine.merge(result.quarantine)
+    quarantine = result.quarantine
     if args.quarantine_json:
         payload = {"error_policy": args.error_policy}
         payload.update(quarantine.as_dict())
@@ -167,6 +214,21 @@ def cmd_clean(args: argparse.Namespace) -> int:
         )
         return 0
     print(result.overview().format())
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    count = 0
+
+    def counted(chunks: Iterable[List[LogRecord]]) -> Iterable[LogRecord]:
+        nonlocal count
+        for chunk in chunks:
+            count += len(chunk)
+            yield from chunk
+
+    with open_log(args.input) as source:
+        _write_records(counted(source.open_chunks()), args.output, args.to)
+    print(f"wrote {count:,} records to {args.output}")
     return 0
 
 
@@ -361,7 +423,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 4096; one cache per run, per streaming instance, "
         "or per parallel shard)",
     )
+    clean.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="persist per-chunk progress into PATH so a killed run can "
+        "be resumed (requires --streaming)",
+    )
+    clean.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the run recorded in --checkpoint-dir instead of "
+        "starting over",
+    )
     clean.set_defaults(func=cmd_clean)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a log between CSV, JSONL and the columnar store",
+    )
+    convert.add_argument(
+        "input", help="log input (.csv / .jsonl file or columnar store)"
+    )
+    convert.add_argument(
+        "output",
+        help="output path; .csv and .jsonl select those formats, "
+        "anything else becomes a columnar store directory",
+    )
+    convert.add_argument(
+        "--to",
+        choices=["csv", "jsonl", "columnar"],
+        default=None,
+        help="output format (default: inferred from the output path)",
+    )
+    convert.set_defaults(func=cmd_convert)
 
     patterns = sub.add_parser("patterns", help="print the top patterns")
     common(patterns)

@@ -23,6 +23,7 @@ The module is standalone (imports nothing from :mod:`repro.pipeline` or
 
 from __future__ import annotations
 
+import base64
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
@@ -159,6 +160,79 @@ class QuarantinedRecord:
             }
         return data
 
+    # ------------------------------------------------------------------
+    # Lossless round-trip (checkpoints)
+    #
+    # ``as_dict`` is the human-facing report shape and intentionally
+    # lossy (repr'd timestamps, dropped ip/session/rows).  Checkpoints
+    # need the *exact* entry back, including records whose whole problem
+    # is a non-JSON value: a NaN timestamp survives via ``allow_nan``
+    # (we control both ends of the serialisation), a bytes statement is
+    # tagged and base64-encoded, anything else unrepresentable falls
+    # back to its repr — at which point the entry is no longer exact,
+    # which :meth:`from_state` cannot detect; such values do not occur
+    # in practice (log IO only produces str/bytes/number fields).
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-ready rendering that :meth:`from_state` inverts."""
+        record_state = None
+        if self.record is not None:
+            record = self.record
+            record_state = {
+                "seq": _encode_value(record.seq),
+                "sql": _encode_value(record.sql),
+                "timestamp": _encode_value(record.timestamp),
+                "user": _encode_value(record.user),
+                "ip": _encode_value(record.ip),
+                "session": _encode_value(record.session),
+                "rows": _encode_value(record.rows),
+            }
+        return {
+            "record": record_state,
+            "reason": self.reason,
+            "stage": self.stage,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "QuarantinedRecord":
+        """Inverse of :meth:`to_state`."""
+        from .log.models import LogRecord
+
+        record = None
+        record_state = state["record"]
+        if record_state is not None:
+            record = LogRecord(
+                **{
+                    name: _decode_value(value)
+                    for name, value in record_state.items()  # type: ignore[union-attr]
+                }
+            )
+        return cls(
+            record=record,
+            reason=state["reason"],  # type: ignore[arg-type]
+            stage=state["stage"],  # type: ignore[arg-type]
+            detail=state["detail"],  # type: ignore[arg-type]
+        )
+
+
+def _encode_value(value: object) -> object:
+    """JSON-encode one record field, tagging the non-JSON types."""
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__repr__" in value:
+            return value["__repr__"]
+    return value
+
 
 @dataclass
 class QuarantineChannel:
@@ -226,3 +300,15 @@ class QuarantineChannel:
             "by_reason": dict(sorted(self.by_reason().items())),
             "entries": [entry.as_dict() for entry in self.entries],
         }
+
+    def to_state(self) -> List[Dict[str, object]]:
+        """Lossless JSON-ready rendering (checkpoints); see
+        :meth:`QuarantinedRecord.to_state`."""
+        return [entry.to_state() for entry in self.entries]
+
+    @classmethod
+    def from_state(cls, state: List[Dict[str, object]]) -> "QuarantineChannel":
+        """Inverse of :meth:`to_state`."""
+        return cls(
+            entries=[QuarantinedRecord.from_state(entry) for entry in state]
+        )

@@ -4,6 +4,19 @@ The CSV layout mirrors the SkyServer SQL-log export the paper points to
 (statement, timestamp, IP, session label, row count); JSONL is offered for
 lossless round-trips of synthetic logs with ground truth kept elsewhere.
 
+Since the :mod:`repro.store` input API landed, the one entry point for
+*reading* any log file is :func:`repro.open_log` — it sniffs the format,
+returns a streaming :class:`~repro.store.LogSource` and leaves
+materialisation (``.read()``) to the caller.  The historical
+:func:`read_csv` / :func:`read_jsonl` helpers are deprecated shims over
+it (warn once, behaviour kept).
+
+Writers take an ``errors``-free path: they create missing parent
+directories and write **atomically** (a temp file in the target directory
+followed by ``os.replace``), so a crash mid-write can never leave a
+truncated log behind — the same contract as the observability layer's
+``JsonlSink`` and the checkpoint store.
+
 Both readers take an ``errors`` policy (:data:`repro.errors
 .ERROR_POLICIES`): ``"strict"`` raises on the first malformed row (the
 historical behaviour), ``"lenient"`` skips it, and ``"quarantine"``
@@ -16,8 +29,11 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
+import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import IO, Callable, Dict, Iterable, Iterator, Optional, Union
 
 from ..errors import (
     UNREADABLE_RECORD,
@@ -31,9 +47,90 @@ PathLike = Union[str, Path]
 CSV_FIELDS = ("seq", "timestamp", "user", "ip", "session", "rows", "sql")
 
 
-def write_csv(log: QueryLog, path: PathLike) -> None:
-    """Write ``log`` to ``path`` as a UTF-8 CSV with header."""
-    with open(path, "w", newline="", encoding="utf-8") as handle:
+# ----------------------------------------------------------------------
+# Record codecs — one canonical dict shape, shared by JSONL files, the
+# checkpoint spill format and the columnar store's metadata columns.
+
+
+def record_as_dict(record: LogRecord) -> Dict[str, object]:
+    """The canonical JSON-ready rendering of one record (lossless)."""
+    return {
+        "seq": record.seq,
+        "timestamp": record.timestamp,
+        "user": record.user,
+        "ip": record.ip,
+        "session": record.session,
+        "rows": record.rows,
+        "sql": record.sql,
+    }
+
+
+def record_from_dict(data: Dict[str, object]) -> LogRecord:
+    """Inverse of :func:`record_as_dict` (raises on malformed input)."""
+    return LogRecord(
+        seq=int(data["seq"]),  # type: ignore[arg-type]
+        sql=data["sql"],  # type: ignore[arg-type]
+        timestamp=float(data["timestamp"]),  # type: ignore[arg-type]
+        user=data.get("user"),  # type: ignore[arg-type]
+        ip=data.get("ip"),  # type: ignore[arg-type]
+        session=data.get("session"),  # type: ignore[arg-type]
+        rows=data.get("rows"),  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Atomic file writing
+
+
+def atomic_text_writer(path: PathLike, newline: Optional[str] = None):
+    """Context manager: a UTF-8 text handle that lands on ``path`` only
+    if the ``with`` block completes.
+
+    The temp file lives in the target directory (so ``os.replace`` is an
+    atomic same-filesystem rename); missing parent directories are
+    created.  On an exception the temp file is removed and the previous
+    file content — if any — survives untouched.
+    """
+    return _AtomicTextFile(Path(path), newline)
+
+
+class _AtomicTextFile:
+    def __init__(self, path: Path, newline: Optional[str]) -> None:
+        self._path = path
+        self._newline = newline
+        self._handle: Optional[IO[str]] = None
+        self._tmp_name: Optional[str] = None
+
+    def __enter__(self) -> IO[str]:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fd, self._tmp_name = tempfile.mkstemp(
+            dir=str(self._path.parent), prefix=self._path.name + ".", suffix=".tmp"
+        )
+        self._handle = os.fdopen(
+            fd, "w", encoding="utf-8", newline=self._newline
+        )
+        return self._handle
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._handle is not None and self._tmp_name is not None
+        self._handle.close()
+        if exc_type is None:
+            os.replace(self._tmp_name, self._path)
+        else:
+            try:
+                os.unlink(self._tmp_name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+def write_csv(log: Iterable[LogRecord], path: PathLike) -> None:
+    """Write ``log`` to ``path`` as a UTF-8 CSV with header.
+
+    Accepts any iterable of records (a :class:`QueryLog`, a list, a
+    generator); missing parent directories are created and the file is
+    written atomically.
+    """
+    with atomic_text_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_FIELDS)
         for record in log:
@@ -50,22 +147,31 @@ def write_csv(log: QueryLog, path: PathLike) -> None:
             )
 
 
-def read_csv(
+def write_jsonl(log: Iterable[LogRecord], path: PathLike) -> None:
+    """Write ``log`` as one JSON object per line (atomically, creating
+    missing parent directories)."""
+    with atomic_text_writer(path) as handle:
+        for record in log:
+            handle.write(json.dumps(record_as_dict(record), ensure_ascii=False))
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Streaming row readers — the kernels behind CsvSource / JsonlSource.
+
+
+def iter_csv_records(
     path: PathLike,
     *,
     errors: str = "strict",
     channel: Optional[QuarantineChannel] = None,
-) -> QueryLog:
-    """Read a CSV written by :func:`write_csv` (or hand-made with the same
-    header).  Empty metadata cells become ``None``.
+) -> Iterator[LogRecord]:
+    """Yield the records of a CSV log one by one (file order).
 
-    :param errors: malformed-row policy (``strict`` raises, ``lenient``
-        skips, ``quarantine`` skips and records into ``channel``).
-    :param channel: quarantine channel for rejected rows; only consulted
-        under the ``quarantine`` policy.
+    Raises immediately on a missing header column; malformed rows follow
+    the ``errors`` policy exactly like the historical ``read_csv``.
     """
     validate_error_policy(errors)
-    records = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
@@ -75,16 +181,14 @@ def read_csv(
             )
         for row in reader:
             try:
-                records.append(
-                    LogRecord(
-                        seq=int(row["seq"]),
-                        sql=row["sql"],
-                        timestamp=float(row["timestamp"]),
-                        user=row["user"] or None,
-                        ip=row["ip"] or None,
-                        session=row["session"] or None,
-                        rows=int(row["rows"]) if row["rows"] else None,
-                    )
+                record = LogRecord(
+                    seq=int(row["seq"]),
+                    sql=row["sql"],
+                    timestamp=float(row["timestamp"]),
+                    user=row["user"] or None,
+                    ip=row["ip"] or None,
+                    session=row["session"] or None,
+                    rows=int(row["rows"]) if row["rows"] else None,
                 )
             except (TypeError, ValueError, KeyError) as exc:
                 if errors == "strict":
@@ -98,60 +202,28 @@ def read_csv(
                         "io",
                         detail=f"{path}:{reader.line_num}: {exc}",
                     )
-    return QueryLog(records)
+                continue
+            yield record
 
 
-def write_jsonl(log: QueryLog, path: PathLike) -> None:
-    """Write ``log`` as one JSON object per line."""
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in log:
-            handle.write(
-                json.dumps(
-                    {
-                        "seq": record.seq,
-                        "timestamp": record.timestamp,
-                        "user": record.user,
-                        "ip": record.ip,
-                        "session": record.session,
-                        "rows": record.rows,
-                        "sql": record.sql,
-                    },
-                    ensure_ascii=False,
-                )
-            )
-            handle.write("\n")
-
-
-def read_jsonl(
+def iter_jsonl_records(
     path: PathLike,
     *,
     errors: str = "strict",
     channel: Optional[QuarantineChannel] = None,
-) -> QueryLog:
-    """Read a JSONL log written by :func:`write_jsonl`.
+) -> Iterator[LogRecord]:
+    """Yield the records of a JSONL log one by one (file order).
 
-    ``errors`` / ``channel`` behave as in :func:`read_csv`.
+    ``errors`` / ``channel`` behave as in :func:`iter_csv_records`.
     """
     validate_error_policy(errors)
-    records = []
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                data = json.loads(line)
-                records.append(
-                    LogRecord(
-                        seq=int(data["seq"]),
-                        sql=data["sql"],
-                        timestamp=float(data["timestamp"]),
-                        user=data.get("user"),
-                        ip=data.get("ip"),
-                        session=data.get("session"),
-                        rows=data.get("rows"),
-                    )
-                )
+                record = record_from_dict(json.loads(line))
             except (
                 json.JSONDecodeError,
                 TypeError,
@@ -174,4 +246,60 @@ def read_jsonl(
                         "io",
                         detail=f"{path}:{line_number}: {exc}",
                     )
-    return QueryLog(records)
+                continue
+            yield record
+
+
+# ----------------------------------------------------------------------
+# Deprecated one-call readers
+
+
+def _forwarded_read(
+    path: PathLike,
+    fmt: str,
+    errors: str,
+    channel: Optional[QuarantineChannel],
+    shim: str,
+) -> QueryLog:
+    warnings.warn(
+        f"{shim}() is deprecated; use repro.open_log(path).read() "
+        "(or pass the path straight to repro.clean)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from ..store.sources import open_log
+
+    with open_log(path, format=fmt, errors=errors, channel=channel) as source:
+        return source.read()
+
+
+def read_csv(
+    path: PathLike,
+    *,
+    errors: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
+    """Deprecated one-call CSV reader — use :func:`repro.open_log`.
+
+    .. deprecated:: 1.6
+        ``repro.open_log(path, format="csv").read()`` returns the same
+        :class:`QueryLog` and also offers chunked, bounded-memory
+        iteration via ``open_chunks()``.
+    """
+    return _forwarded_read(path, "csv", errors, channel, "read_csv")
+
+
+def read_jsonl(
+    path: PathLike,
+    *,
+    errors: str = "strict",
+    channel: Optional[QuarantineChannel] = None,
+) -> QueryLog:
+    """Deprecated one-call JSONL reader — use :func:`repro.open_log`.
+
+    .. deprecated:: 1.6
+        ``repro.open_log(path, format="jsonl").read()`` returns the same
+        :class:`QueryLog` and also offers chunked, bounded-memory
+        iteration via ``open_chunks()``.
+    """
+    return _forwarded_read(path, "jsonl", errors, channel, "read_jsonl")

@@ -156,6 +156,20 @@ class StageMetrics:
             data["calls"] = self.calls
         return data
 
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, object]) -> "StageMetrics":
+        """Inverse of :meth:`as_dict` (checkpoint restore)."""
+        return cls(
+            name=name,
+            counters=dict(data.get("counters", {})),  # type: ignore[arg-type]
+            labels={
+                counter: dict(bucket)
+                for counter, bucket in data.get("labels", {}).items()  # type: ignore[union-attr]
+            },
+            wall_seconds=float(data.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            calls=int(data.get("calls", 0)),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class PipelineMetrics:
@@ -211,6 +225,18 @@ class PipelineMetrics:
                 for name in self._ordered_names()
             }
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PipelineMetrics":
+        """Inverse of :meth:`as_dict` (checkpoint restore).
+
+        A ledger serialised with ``include_timings=False`` restores with
+        zero wall times and call counts — counters round-trip exactly.
+        """
+        metrics = cls()
+        for name, stage_data in data.get("stages", {}).items():  # type: ignore[union-attr]
+            metrics.stages[name] = StageMetrics.from_dict(name, stage_data)
+        return metrics
 
     def comparable(self) -> Dict[str, Dict[str, object]]:
         """The executor-independent view: counters and labelled counters

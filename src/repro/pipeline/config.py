@@ -56,6 +56,12 @@ class ExecutionConfig:
     :param parse_cache_size: maximum number of cached templates per
         cache instance (batch keeps one cache per run; streaming one per
         pipeline instance; parallel one per shard).
+    :param source_chunk_records: records per chunk when a
+        :class:`~repro.store.sources.LogSource` is built from a path or
+        in-memory log (sources constructed explicitly carry their own
+        chunking; the columnar store streams its stored chunks).  Chunk
+        size bounds streaming-mode working memory and sets the
+        checkpoint granularity.
     """
 
     mode: str = "batch"
@@ -67,6 +73,7 @@ class ExecutionConfig:
     task_timeout: Optional[float] = None
     parse_cache: bool = True
     parse_cache_size: int = 4096
+    source_chunk_records: int = 8192
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -96,6 +103,11 @@ class ExecutionConfig:
         if self.parse_cache_size < 1:
             raise ValueError(
                 f"parse_cache_size must be >= 1, got {self.parse_cache_size}"
+            )
+        if self.source_chunk_records < 1:
+            raise ValueError(
+                "source_chunk_records must be >= 1, "
+                f"got {self.source_chunk_records}"
             )
 
     def resolved_workers(self) -> int:

@@ -456,7 +456,9 @@ class PipelineResult:
     """
 
     config: PipelineConfig
-    original: QueryLog
+    #: the input log — ``None`` for out-of-core runs (a streamed source
+    #: is never materialised; re-read it through the source if needed).
+    original: Optional[QueryLog] = None
     dedup: Optional[DedupResult] = None
     parse_stage: Optional[ParseStageResult] = None
     mining: Optional[MiningResult] = None

@@ -48,7 +48,7 @@ import zlib
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import (
     SHARD_FAILURE,
@@ -69,6 +69,9 @@ from .framework import (
     validate_stage,
 )
 from .streaming import StreamingStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.sources import LogSource
 
 #: Stage names in execution order (the keys of a timings report).
 STAGES = ("dedup", "parse", "mine", "detect", "solve", "merge")
@@ -207,7 +210,7 @@ def shard_index(user_key: str, shard_count: int) -> int:
 
 
 def shard_records(
-    log: QueryLog, workers: int, chunk_size: int
+    log: Iterable[LogRecord], workers: int, chunk_size: int
 ) -> List[List[LogRecord]]:
     """Split ``log`` into per-task record lists, never splitting a user.
 
@@ -216,6 +219,12 @@ def shard_records(
     buckets are packed in index order into tasks of at most
     ``chunk_size`` records — except that a single bucket larger than the
     chunk size stays one task, because a user's timeline is indivisible.
+
+    ``log`` only needs to be iterable — :meth:`ParallelCleaner
+    .run_source` feeds a chunk-flattening generator through here, and
+    the sharding is insensitive to how the records were chunked on the
+    way in: bucket membership is per user, task packing depends only on
+    bucket sizes, and each worker sorts its shard into time order.
     """
     bucket_count = max(32, workers * 8)
     buckets: Dict[int, List[LogRecord]] = {}
@@ -476,7 +485,19 @@ class ParallelCleaner:
             executor.shutdown(wait=False, cancel_futures=True)
         return reports, retried, failed
 
-    def run(self, log: QueryLog) -> QueryLog:
+    def run_source(self, source: "LogSource") -> QueryLog:
+        """Clean a :class:`~repro.store.sources.LogSource` end to end.
+
+        The source is drained chunk by chunk straight into the sharder,
+        so the input is never materialised as one list in the parent —
+        peak parent-side memory is the bucketed shard payloads.  The
+        clean log is identical to ``run(source.read())``.
+        """
+        return self.run(
+            record for chunk in source.open_chunks() for record in chunk
+        )
+
+    def run(self, log: Iterable[LogRecord]) -> QueryLog:
         """Shard, fan out, clean, and re-merge into global time order."""
         execution = self.config.execution
         workers = execution.resolved_workers()

@@ -25,6 +25,7 @@ out of scope here by design — they are downstream consumers.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
 from dataclasses import dataclass, replace
@@ -179,6 +180,12 @@ class StreamingCleaner:
         self._block_gap = self.config.miner.block_gap
         self._open_count = 0
         self._oldest_open = float("inf")
+        # Cache-counter baselines: a cleaner restored from a checkpoint
+        # starts with a *fresh* (empty) parse cache, so the public stats
+        # mirror the pre-restore totals plus the new cache's counters.
+        self._cache_base_hits = 0
+        self._cache_base_misses = 0
+        self._cache_base_evictions = 0
 
     # ------------------------------------------------------------------
     # Stages
@@ -318,7 +325,21 @@ class StreamingCleaner:
         """Consume a time-ordered record stream, yield clean records.
 
         Emission order is block-close order; feed the output into a
-        :class:`QueryLog` to restore global time order.
+        :class:`QueryLog` to restore global time order.  Equivalent to
+        :meth:`feed` followed by :meth:`finish` — drive those directly
+        to process a stream in checkpointable slices.
+        """
+        yield from self.feed(records)
+        yield from self.finish()
+
+    def feed(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        """Consume a slice of the stream *without* ending it.
+
+        Open blocks stay open across calls — a chunk boundary is not a
+        quiet period, so feeding a stream in arbitrary slices yields
+        exactly the records :meth:`process` would have yielded (modulo
+        the end-of-stream closes, which :meth:`finish` performs).  The
+        slices must jointly be time-ordered, like the stream itself.
         """
         recorder = self.recorder
         timed = recorder.enabled
@@ -375,13 +396,15 @@ class StreamingCleaner:
             if len(bucket) >= max_block:
                 stats.blocks_force_closed += 1
                 yield from self._emit(self._close_block(user))
-
-        for user in list(self._open):
-            yield from self._emit(self._close_block(user))
         if timed:
             recorder.add_seconds("validate", validate_seconds, calls=1)
             recorder.add_seconds("dedup", dedup_seconds, calls=1)
             recorder.add_seconds("parse", parse_seconds, calls=1)
+
+    def finish(self) -> Iterator[LogRecord]:
+        """End the stream: close every open block, flush the counters."""
+        for user in list(self._open):
+            yield from self._emit(self._close_block(user))
         self._flush_counters()
 
     def _flush_counters(self) -> None:
@@ -398,9 +421,15 @@ class StreamingCleaner:
         if cache is not None:
             # The cache keeps the authoritative totals; mirror them into
             # the public stats so both views agree at every flush point.
-            self.stats.parse_cache_hits = cache.hits
-            self.stats.parse_cache_misses = cache.misses
-            self.stats.parse_cache_evictions = cache.evictions
+            # The baselines are zero except after a checkpoint restore,
+            # where they carry the dead instance's cache totals.
+            self.stats.parse_cache_hits = self._cache_base_hits + cache.hits
+            self.stats.parse_cache_misses = (
+                self._cache_base_misses + cache.misses
+            )
+            self.stats.parse_cache_evictions = (
+                self._cache_base_evictions + cache.evictions
+            )
         # Same mirroring for the interner's dictionary size.
         self.stats.interner_size = len(self._interner)
         if not recorder.enabled:
@@ -455,6 +484,89 @@ class StreamingCleaner:
     def run(self, log: QueryLog) -> QueryLog:
         """Convenience: stream a whole log, return the clean log."""
         return QueryLog(self.process(log))
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see :mod:`repro.store.checkpoint`)
+
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot the cleaner's full mutable state as JSON-ready data.
+
+        Call between :meth:`feed` slices.  Counters are flushed first,
+        so a recorder serialised right after this call agrees with the
+        snapshot.  Open blocks are stored as their *source records* —
+        :meth:`restore_state` re-parses them, which is cheaper than
+        serialising parsed ASTs and provably equivalent (parsing is
+        deterministic).
+        """
+        from ..log.io import record_as_dict
+
+        self._flush_counters()
+        oldest = self._oldest_open
+        return {
+            "stats": dataclasses.asdict(self.stats),
+            "flushed": dataclasses.asdict(self._flushed),
+            "interner": list(self._interner.fingerprints()),
+            "last_seen": [
+                [user, text, timestamp]
+                for (user, text), timestamp in self._last_seen.items()
+            ],
+            "last_prune": self._last_prune,
+            "open": [
+                [user, [record_as_dict(query.record) for query in queries]]
+                for user, queries in self._open.items()
+            ],
+            "oldest_open": None if oldest == float("inf") else oldest,
+            "cache_baseline": [
+                self.stats.parse_cache_hits,
+                self.stats.parse_cache_misses,
+                self.stats.parse_cache_evictions,
+            ],
+            "quarantine": self.quarantine.to_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a freshly constructed cleaner from :meth:`export_state`.
+
+        The interner is rebuilt first (its id order *is* its state), so
+        re-parsing the open-block records reassigns exactly the interned
+        ids the dead run had handed out.  The parse cache starts empty —
+        its counter baselines carry the dead run's totals, keeping the
+        ``hits + misses == parse.records_in`` conservation law additive
+        across the restore.
+        """
+        from ..log.io import record_from_dict
+
+        self.stats = StreamingStats(**state["stats"])  # type: ignore[arg-type]
+        self._flushed = StreamingStats(**state["flushed"])  # type: ignore[arg-type]
+        self._interner = TemplateInterner(state["interner"])  # type: ignore[arg-type]
+        self._intern = self._interner.intern
+        self._last_seen = {
+            (user, text): timestamp
+            for user, text, timestamp in state["last_seen"]  # type: ignore[union-attr]
+        }
+        self._last_prune = state["last_prune"]  # type: ignore[assignment]
+        baseline = state["cache_baseline"]
+        self._cache_base_hits = baseline[0]  # type: ignore[index]
+        self._cache_base_misses = baseline[1]  # type: ignore[index]
+        self._cache_base_evictions = baseline[2]  # type: ignore[index]
+        self.quarantine = QuarantineChannel.from_state(state["quarantine"])  # type: ignore[arg-type]
+        self._open = {}
+        self._open_count = 0
+        for user, record_dicts in state["open"]:  # type: ignore[union-attr]
+            queries: List[ParsedQuery] = []
+            for data in record_dicts:
+                record = record_from_dict(data)
+                parsed = self._full_parse(record)
+                if type(parsed) is tuple:
+                    raise ValueError(
+                        "checkpoint is inconsistent: open-block record "
+                        f"seq={record.seq} no longer parses"
+                    )
+                queries.append(parsed)
+            self._open[user] = queries
+            self._open_count += len(queries)
+        oldest = state["oldest_open"]
+        self._oldest_open = float("inf") if oldest is None else oldest  # type: ignore[assignment]
 
 
 def clean_log_streaming(

@@ -1,0 +1,167 @@
+"""Kill-and-resume fault test for the checkpoint layer.
+
+A child process runs a checkpointed streaming clean over a columnar
+store through a deliberately slowed source.  The parent watches the
+checkpoint's ``state.json`` and SIGKILLs the child mid-run — after at
+least two chunks are committed but before the run completes — exactly
+like an OOM kill or a pre-empted spot instance.  A second child then
+resumes from the half-written checkpoint and must reproduce the
+uninterrupted result byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.log import write_jsonl
+from repro.store import write_columnar
+from repro.workload import generate_log
+
+#: Child program: clean a store with checkpointing, write the clean log.
+#: ``slow`` mode sleeps after every chunk so the parent can kill it
+#: between two checkpoint commits; ``resume`` mode picks the run back up.
+CHILD = """
+import sys, time
+import repro
+from repro.log import write_jsonl
+from repro.store import ColumnarSource
+
+store, checkpoint_dir, out, mode = sys.argv[1:5]
+
+
+class SlowSource(ColumnarSource):
+    # Same fingerprint as ColumnarSource, so the resume run can use the
+    # plain class; the sleep sits AFTER the yield so every chunk is fed
+    # and checkpointed before the window in which the parent kills us.
+    def open_chunks(self, *, start_chunk=0):
+        for chunk in super().open_chunks(start_chunk=start_chunk):
+            yield chunk
+            time.sleep(0.15)
+
+
+source = SlowSource(store) if mode == "slow" else ColumnarSource(store)
+result = repro.clean(
+    source,
+    execution="streaming",
+    checkpoint_dir=checkpoint_dir,
+    resume=(mode == "resume"),
+)
+write_jsonl(result.clean_log, out)
+"""
+
+KILL_DEADLINE = 60.0
+
+
+def run_child(tmp_path, store, checkpoint_dir, out, mode):
+    return subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(store), str(checkpoint_dir),
+         str(out), mode],
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd="/root/repo",
+    )
+
+
+def wait_for_partial_state(state_path, *, min_chunks=2):
+    """Block until ``state.json`` shows a mid-run checkpoint; return it."""
+    deadline = time.monotonic() + KILL_DEADLINE
+    while time.monotonic() < deadline:
+        if state_path.exists():
+            try:
+                state = json.loads(state_path.read_text(encoding="utf-8"))
+            except ValueError:  # pragma: no cover - torn read, retry
+                continue
+            if state["complete"]:  # pragma: no cover - child outran us
+                return state
+            if state["chunks_done"] >= min_chunks:
+                return state
+        time.sleep(0.01)
+    raise AssertionError("child never reached a mid-run checkpoint")
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_run_then_resume_reproduces_result(self, tmp_path):
+        log = generate_log(seed=2018, scale=0.03)
+        store = tmp_path / "log.columnar"
+        # Small chunks => many checkpoint commits => a wide kill window.
+        write_columnar(log, store, chunk_records=40)
+
+        reference = tmp_path / "reference.jsonl"
+        result = repro.clean(str(store), execution="streaming")
+        write_jsonl(result.clean_log, reference)
+
+        checkpoint_dir = tmp_path / "ck"
+        victim_out = tmp_path / "victim.jsonl"
+        victim = run_child(tmp_path, store, checkpoint_dir, victim_out, "slow")
+        try:
+            state = wait_for_partial_state(checkpoint_dir / "state.json")
+            assert not state["complete"], "child finished before the kill"
+            victim.kill()
+        finally:
+            victim.wait(timeout=30)
+        assert victim.returncode == -signal.SIGKILL
+        assert not victim_out.exists(), "killed child must not have output"
+
+        resumed_out = tmp_path / "resumed.jsonl"
+        resumer = run_child(tmp_path, store, checkpoint_dir, resumed_out,
+                            "resume")
+        assert resumer.wait(timeout=120) == 0
+        assert resumed_out.read_bytes() == reference.read_bytes()
+
+        final = json.loads(
+            (checkpoint_dir / "state.json").read_text(encoding="utf-8")
+        )
+        assert final["complete"] is True
+        assert final["chunks_done"] >= state["chunks_done"]
+
+    def test_resume_in_process_matches_after_simulated_kill(self, tmp_path):
+        """Same contract without subprocesses: abandon a run mid-loop."""
+        from repro.obs import Recorder
+        from repro.pipeline.config import ExecutionConfig, PipelineConfig
+        from repro.store import ColumnarSource, clean_streaming_source
+        from repro.store.checkpoint import (
+            STATE_VERSION,
+            RunCheckpoint,
+            config_digest,
+        )
+        from repro.pipeline.streaming import StreamingCleaner
+
+        log = generate_log(seed=7, scale=0.03)
+        store = tmp_path / "log.columnar"
+        write_columnar(log, store, chunk_records=60)
+        config = PipelineConfig(execution=ExecutionConfig(mode="streaming"))
+
+        source = ColumnarSource(store)
+        reference, _ = clean_streaming_source(source, config, Recorder())
+
+        # Replay the driver's own loop for two chunks, then walk away —
+        # the moral equivalent of a kill between two commits.
+        checkpoint = RunCheckpoint(tmp_path / "ck")
+        recorder = Recorder()
+        cleaner = StreamingCleaner(config, recorder=recorder)
+        for index, chunk in enumerate(source.open_chunks()):
+            if index >= 2:
+                break
+            checkpoint.spill_chunk(index, list(cleaner.feed(chunk)))
+            checkpoint.save_state({
+                "version": STATE_VERSION,
+                "source_fingerprint": source.fingerprint(),
+                "config_digest": config_digest(config),
+                "chunks_done": index + 1,
+                "complete": False,
+                "cleaner": cleaner.export_state(),
+                "metrics": recorder.metrics.as_dict(),
+            })
+
+        resumed, _ = clean_streaming_source(
+            source, config, Recorder(),
+            checkpoint_dir=tmp_path / "ck", resume=True,
+        )
+        assert resumed.records() == reference.records()

@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro.cli.main import main
-from repro.log import read_csv, read_jsonl
+from repro import open_log
+
+
+def read_log(path):
+    return open_log(path).read()
 
 
 @pytest.fixture()
@@ -20,12 +24,12 @@ class TestGenerate:
         path = tmp_path / "log.csv"
         assert main(["generate", str(path), "--scale", "0.03"]) == 0
         assert "wrote" in capsys.readouterr().out
-        assert len(read_csv(path)) > 50
+        assert len(read_log(path)) > 50
 
     def test_generate_jsonl(self, tmp_path):
         path = tmp_path / "log.jsonl"
         assert main(["generate", str(path), "--scale", "0.03"]) == 0
-        assert len(read_jsonl(path)) > 50
+        assert len(read_log(path)) > 50
 
 
 class TestClean:
@@ -48,8 +52,8 @@ class TestClean:
             )
             == 0
         )
-        cleaned = read_csv(out_path)
-        original = read_csv(generated_csv)
+        cleaned = read_log(out_path)
+        original = read_log(generated_csv)
         assert 0 < len(cleaned) <= len(original)
 
 
@@ -73,7 +77,7 @@ class TestCleanObservability:
         stages = metrics["stages"]
         assert set(stages) >= {"dedup", "parse", "mine", "detect", "solve"}
         assert stages["dedup"]["counters"]["records_in"] == len(
-            read_csv(generated_csv)
+            read_log(generated_csv)
         )
         assert "conservation_violations" not in metrics
 
@@ -260,7 +264,99 @@ class TestStreamingClean:
                 str(stream_path),
             ]
         )
-        assert read_csv(batch_path).statements() == read_csv(stream_path).statements()
+        assert read_log(batch_path).statements() == read_log(stream_path).statements()
+
+
+class TestConvert:
+    def test_round_trip_chain(self, generated_csv, tmp_path, capsys):
+        """csv -> columnar -> jsonl -> csv preserves every record."""
+        store = tmp_path / "log.columnar"
+        jsonl = tmp_path / "log.jsonl"
+        back = tmp_path / "back.csv"
+        assert main(["convert", str(generated_csv), str(store)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["convert", str(store), str(jsonl)]) == 0
+        assert main(["convert", str(jsonl), str(back)]) == 0
+        assert read_log(back) == read_log(generated_csv)
+
+    def test_explicit_to_overrides_extension(self, generated_csv, tmp_path):
+        odd = tmp_path / "log.dat"
+        assert main(["convert", str(generated_csv), str(odd), "--to", "jsonl"]) == 0
+        assert open_log(odd, format="jsonl").read() == read_log(generated_csv)
+
+    def test_clean_reads_columnar_store(self, generated_csv, tmp_path, capsys):
+        store = tmp_path / "log.columnar"
+        out_path = tmp_path / "clean.jsonl"
+        main(["convert", str(generated_csv), str(store)])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "clean",
+                    str(store),
+                    "--skyserver-schema",
+                    "--streaming",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        batch_path = tmp_path / "batch.jsonl"
+        main(
+            ["clean", str(generated_csv), "--skyserver-schema", "-o", str(batch_path)]
+        )
+        assert read_log(out_path) == read_log(batch_path)
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_and_resume_round_trip(self, generated_csv, tmp_path):
+        direct = tmp_path / "direct.jsonl"
+        resumed = tmp_path / "resumed.jsonl"
+        ck = tmp_path / "ck"
+        args = ["clean", str(generated_csv), "--skyserver-schema", "--streaming"]
+        assert main(args + ["-o", str(direct)]) == 0
+        assert main(args + ["--checkpoint-dir", str(ck), "-o", str(direct)]) == 0
+        assert (ck / "state.json").exists()
+        assert (
+            main(
+                args
+                + ["--checkpoint-dir", str(ck), "--resume", "-o", str(resumed)]
+            )
+            == 0
+        )
+        assert resumed.read_bytes() == direct.read_bytes()
+
+    def test_checkpoint_dir_requires_streaming(self, generated_csv, tmp_path, capsys):
+        rc = main(
+            [
+                "clean",
+                str(generated_csv),
+                "--checkpoint-dir",
+                str(tmp_path / "ck"),
+            ]
+        )
+        assert rc == 2
+        assert "--streaming" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, generated_csv, capsys):
+        rc = main(["clean", str(generated_csv), "--streaming", "--resume"])
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_without_state_fails_cleanly(self, generated_csv, tmp_path, capsys):
+        rc = main(
+            [
+                "clean",
+                str(generated_csv),
+                "--streaming",
+                "--checkpoint-dir",
+                str(tmp_path / "empty"),
+                "--resume",
+            ]
+        )
+        assert rc == 2
+        assert "nothing to resume" in capsys.readouterr().err
 
 
 class TestTraffic:

@@ -18,7 +18,8 @@ from repro.errors import (
     record_fault,
     validate_error_policy,
 )
-from repro.log import LogRecord, read_csv, read_jsonl
+from repro import open_log
+from repro.log import LogRecord
 
 
 def make_record(**overrides):
@@ -135,17 +136,17 @@ class TestIoErrorPolicies:
 
     def test_csv_strict_raises(self, tmp_path):
         with pytest.raises(ValueError, match="malformed row"):
-            read_csv(self.write_bad_csv(tmp_path))
+            open_log(self.write_bad_csv(tmp_path)).read()
 
     def test_csv_lenient_skips(self, tmp_path):
-        log = read_csv(self.write_bad_csv(tmp_path), errors="lenient")
+        log = open_log(self.write_bad_csv(tmp_path), errors="lenient").read()
         assert [record.seq for record in log] == [0, 2]
 
     def test_csv_quarantine_captures(self, tmp_path):
         channel = QuarantineChannel()
-        log = read_csv(
+        log = open_log(
             self.write_bad_csv(tmp_path), errors="quarantine", channel=channel
-        )
+        ).read()
         assert len(log) == 2
         assert channel.by_reason() == {UNREADABLE_RECORD: 1}
         (entry,) = channel.entries
@@ -160,11 +161,11 @@ class TestIoErrorPolicies:
             encoding="utf-8",
         )
         channel = QuarantineChannel()
-        log = read_jsonl(path, errors="quarantine", channel=channel)
+        log = open_log(path, errors="quarantine", channel=channel).read()
         assert len(log) == 1
         assert channel.by_reason() == {UNREADABLE_RECORD: 1}
 
     def test_readers_reject_unknown_policy(self, tmp_path):
         path = self.write_bad_csv(tmp_path)
         with pytest.raises(ValueError, match="error_policy"):
-            read_csv(path, errors="ignore")
+            open_log(path, errors="ignore")

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro import open_log
 from repro.log import (
     LogRecord,
     QueryLog,
@@ -11,8 +12,6 @@ from repro.log import (
     delete_duplicates,
     derive_users_from_ip,
     normalize_statement_text,
-    read_csv,
-    read_jsonl,
     sessionize_by_gap,
     threshold_sweep,
     write_csv,
@@ -145,30 +144,53 @@ class TestIO:
     def test_csv_round_trip(self, tmp_path):
         path = tmp_path / "log.csv"
         write_csv(self._sample(), path)
-        assert read_csv(path) == self._sample()
+        assert open_log(path).read() == self._sample()
 
     def test_jsonl_round_trip(self, tmp_path):
         path = tmp_path / "log.jsonl"
         write_jsonl(self._sample(), path)
-        assert read_jsonl(path) == self._sample()
+        assert open_log(path).read() == self._sample()
 
     def test_csv_missing_columns_raises(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("a,b\n1,2\n")
         with pytest.raises(ValueError, match="missing columns"):
-            read_csv(path)
+            open_log(path).read()
 
     def test_jsonl_invalid_json_raises(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("{not json}\n")
         with pytest.raises(ValueError, match="invalid JSON"):
-            read_jsonl(path)
+            open_log(path).read()
 
     def test_jsonl_skips_blank_lines(self, tmp_path):
         path = tmp_path / "log.jsonl"
         write_jsonl(self._sample(), path)
         path.write_text(path.read_text() + "\n\n")
-        assert len(read_jsonl(path)) == 2
+        assert len(open_log(path).read()) == 2
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "log.csv"
+        write_csv(self._sample(), path)
+        assert open_log(path).read() == self._sample()
+
+    def test_write_is_atomic_on_failure(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(self._sample(), path)
+        before = path.read_text()
+
+        class Boom(Exception):
+            pass
+
+        def exploding():
+            yield self._sample().records()[0]
+            raise Boom
+
+        with pytest.raises(Boom):
+            write_jsonl(exploding(), path)
+        # the original file is untouched and no temp litter remains
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["log.jsonl"]
 
 
 class TestSessions:
