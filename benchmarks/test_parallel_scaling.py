@@ -149,7 +149,17 @@ def test_parallel_scaling(benchmark, bench_config):
         return report
 
     report = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    # BENCH_parallel.json is a shared trajectory: E25 (zero-copy data
+    # plane) keeps its section under the "zerocopy" key — update ours,
+    # preserve theirs.
+    merged = {}
+    if OUTPUT_PATH.exists():
+        try:
+            merged = json.loads(OUTPUT_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(report)
+    OUTPUT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
     print_table(
         f"Parallel scaling — {report['queries']:,} queries, "

@@ -99,6 +99,24 @@ EXECUTOR_DEPENDENT_COUNTERS = {
     ),
 }
 
+#: Counters the parallel executor books on its parent-side ``merge``
+#: stage.  The merge stage is deliberately *not* part of
+#: :data:`STAGE_COUNTERS` (and hence never of :meth:`PipelineMetrics
+#: .comparable`): it exists only under the parallel executor, so these
+#: are observability for the data plane, not cross-executor contracts.
+#: ``bytes_shipped`` is the total encoded shard-buffer bytes handed to
+#: workers (each shard's buffer counted once; retries reuse it);
+#: ``shm_segments`` counts shared-memory segments created under
+#: ``transfer="shm"`` (0 under ``"pickle"``).
+MERGE_COUNTERS = (
+    "records_out",
+    "shards_retried",
+    "shards_failed",
+    "bytes_shipped",
+    "shm_segments",
+    "interner_size",
+)
+
 
 @dataclass
 class StageMetrics:

@@ -43,9 +43,13 @@ from .parallel import (
     ParallelStats,
     ShardReport,
     StageTimings,
+    WorkerPool,
     clean_log_parallel,
+    get_worker_pool,
+    set_worker_seed,
     shard_index,
     shard_records,
+    shutdown_worker_pools,
 )
 from .report import export_report
 from .statistics import AntipatternCensus, Overview, census_by_label
@@ -86,9 +90,13 @@ __all__ = [
     "ParallelStats",
     "ShardReport",
     "StageTimings",
+    "WorkerPool",
     "clean_log_parallel",
+    "get_worker_pool",
+    "set_worker_seed",
     "shard_index",
     "shard_records",
+    "shutdown_worker_pools",
     # statistics / report
     "export_report",
     "AntipatternCensus",

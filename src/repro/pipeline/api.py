@@ -55,6 +55,7 @@ def clean(
     execution: Optional[Union[ExecutionConfig, str]] = None,
     recorder: Optional[Recorder] = None,
     parse_cache: Optional[bool] = None,
+    transfer: Optional[str] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
 ) -> PipelineResult:
@@ -75,6 +76,13 @@ def clean(
         flag for this call — ``False`` forces every statement down the
         full parse path (the clean log is identical either way; only
         speed and the ``parse_cache_*`` counters change).
+    :param transfer: overrides the execution config's ``transfer`` mode
+        for this call — how parallel shards reach the workers:
+        ``"pickle"`` ships each shard's columnar buffer as one pickle-5
+        bytes object, ``"shm"`` hands workers a shared-memory segment
+        to attach to.  Byte-identical output either way; only transfer
+        cost and the merge-stage ``bytes_shipped`` / ``shm_segments``
+        counters change.  Ignored by batch and streaming runs.
     :param recorder: observability recorder
         (:class:`repro.obs.Recorder`).  By default a fresh one is
         created, so ``result.metrics`` always carries the run's
@@ -122,6 +130,11 @@ def clean(
         effective = replace(
             effective,
             execution=replace(effective.execution, parse_cache=parse_cache),
+        )
+    if transfer is not None:
+        effective = replace(
+            effective,
+            execution=replace(effective.execution, transfer=transfer),
         )
     active = Recorder() if recorder is None else recorder
     metrics = active.metrics if active.enabled else None

@@ -16,6 +16,9 @@ from ..patterns.sws import SwsConfig
 #: Execution modes understood by :func:`repro.clean`.
 EXECUTION_MODES = ("batch", "streaming", "parallel")
 
+#: Shard transfer modes of the parallel executor's data plane.
+TRANSFER_MODES = ("pickle", "shm")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -35,8 +38,28 @@ class ExecutionConfig:
         max_block_queries``.  Ignored by batch and parallel modes (they
         hold whole blocks by construction).
     :param chunk_size: target number of records per worker task in
-        parallel mode.  Smaller chunks balance skewed users better but
-        cost more inter-process traffic; a chunk never splits a user.
+        parallel mode.  ``0`` (the default) sizes shards adaptively —
+        about ``2 × workers`` tasks, rebalanced by per-shard record
+        counts, which amortises per-task overhead while still riding out
+        one slow shard.  An explicit positive value pins the classic
+        fixed-size packing.  Smaller chunks balance skewed users better
+        but cost more inter-process traffic; a chunk never splits a
+        user.
+    :param transfer: how parallel shards travel to the workers.
+        ``"pickle"`` (the default) encodes each shard into one
+        contiguous columnar buffer and ships it as a single pickle-5
+        bytes object; ``"shm"`` places the same buffer in a
+        ``multiprocessing.shared_memory`` segment that workers attach to
+        without copying.  The clean log is byte-identical either way —
+        only transfer cost and the merge-stage ``bytes_shipped`` /
+        ``shm_segments`` counters change.
+    :param pool_reuse: keep the worker process pool warm between runs.
+        ``True`` (the default) parks the pool in a process-wide registry
+        (see :func:`repro.pipeline.parallel.get_worker_pool`) so
+        subsequent :func:`repro.clean` calls skip worker start-up and
+        reuse each worker's persistent parse cache; pools are shut down
+        atexit and rebuilt transparently after a crash.  ``False`` gives
+        the run a private pool torn down when it finishes.
     :param max_shard_retries: how many times a failed parallel shard is
         re-submitted (worker crash, timeout, transient stage exception)
         before it is declared terminally failed and handed to the error
@@ -67,7 +90,9 @@ class ExecutionConfig:
     mode: str = "batch"
     workers: int = 0
     max_block_queries: int = 10_000
-    chunk_size: int = 4096
+    chunk_size: int = 0
+    transfer: str = "pickle"
+    pool_reuse: bool = True
     max_shard_retries: int = 2
     retry_backoff: float = 0.05
     task_timeout: Optional[float] = None
@@ -86,8 +111,15 @@ class ExecutionConfig:
             raise ValueError(
                 f"max_block_queries must be >= 2, got {self.max_block_queries}"
             )
-        if self.chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.chunk_size < 0:
+            raise ValueError(
+                f"chunk_size must be >= 0 (0 = adaptive), got {self.chunk_size}"
+            )
+        if self.transfer not in TRANSFER_MODES:
+            raise ValueError(
+                f"transfer must be one of {TRANSFER_MODES}, "
+                f"got {self.transfer!r}"
+            )
         if self.max_shard_retries < 0:
             raise ValueError(
                 f"max_shard_retries must be >= 0, got {self.max_shard_retries}"

@@ -6,16 +6,23 @@ parallel *by user*.  The :class:`ParallelCleaner` exploits that:
 
 1. **Shard** — records are hash-sharded by ``user_key()`` (a stable
    CRC-32, so shard assignment is identical across processes and runs)
-   into tasks of roughly ``execution.chunk_size`` records; a user's
-   whole timeline always lands in exactly one task.
-2. **Fan out** — each task goes to a ``multiprocessing`` worker that
-   runs the batch pipeline's own stage functions
+   into per-task record lists; a user's whole timeline always lands in
+   exactly one task.  With the default ``chunk_size=0`` the shard count
+   adapts to the fan-out (≈ ``2 × workers`` tasks, rebalanced by record
+   counts); an explicit ``chunk_size`` pins the classic fixed packing.
+2. **Fan out** — each shard is packed into one contiguous columnar
+   buffer (:func:`repro.store.columnar.encode_shard`) and handed to a
+   worker either as a single pickle-5 bytes object
+   (``transfer="pickle"``) or as a ``multiprocessing.shared_memory``
+   segment the worker attaches to without copying
+   (``transfer="shm"``).  The worker decodes lazily straight into the
+   batch pipeline's own stage functions
    (:func:`~repro.pipeline.framework.dedup_stage` →
    :func:`~repro.pipeline.framework.parse_stage` →
    :func:`~repro.pipeline.framework.mine_stage` →
    :func:`~repro.pipeline.framework.detect_stage` →
-   :func:`~repro.pipeline.framework.solve_stage`) over its shard, with
-   its own per-distinct-statement parse cache, and times every stage.
+   :func:`~repro.pipeline.framework.solve_stage`), with a
+   process-persistent parse cache, and times every stage.
 3. **Merge** — clean records from all shards are re-merged into global
    (timestamp, seq) order; per-worker counters and stage timings are
    folded into one :class:`ParallelStats` report.
@@ -25,13 +32,38 @@ record-for-record identical to the batch pipeline's.  Global artifacts
 (pattern registry, SWS, Table-5 overview) need the whole log and are out
 of scope here, exactly as in the streaming path.
 
+**Warm worker pools.**  Forking and tearing down a process pool per run
+dominates small runs, so pools are reusable: :func:`get_worker_pool`
+parks one :class:`WorkerPool` per worker count in a process-wide
+registry, reused across :func:`repro.clean` calls (disable per run with
+``execution.pool_reuse=False``).  Each worker keeps a persistent
+:class:`~repro.skeleton.cache.TemplateCache` across shards *and* runs,
+optionally pre-seeded with interned prototypes via
+:func:`set_worker_seed` — outputs stay byte-identical because the cache
+is correctness-checked per hit, only the ``parse_cache_*`` counters
+(executor-dependent by contract) change.  All registry pools are shut
+down atexit; a raising run discards its pool rather than leaving queued
+shards running behind the caller's back.
+
+**Shared-memory lifecycle.**  The parent owns every segment: it
+creates, fills and — once the shard has completed, terminally failed,
+or the run is over — closes *and unlinks* it.  Workers attach without
+registering with the resource tracker (the parent's unlink is the
+single point of truth), read the buffer eagerly during decode, and
+close their mapping before the report returns.  A worker SIGKILLed
+mid-shard therefore leaks nothing: the kernel drops its mapping, the
+segment survives for the retried worker, and the parent unlinks it on
+the way out.
+
 **Fault tolerance.**  The fan-out runs on
 :class:`concurrent.futures.ProcessPoolExecutor` rather than
 ``multiprocessing.Pool`` because a killed worker surfaces promptly as
 ``BrokenProcessPool`` instead of hanging the parent forever.  A shard
 whose worker crashed, timed out (``execution.task_timeout``) or raised a
 transient exception is re-queued up to ``execution.max_shard_retries``
-times with exponential backoff; a shard that exhausts its retries is
+times with exponential backoff (the encoded buffer is reused across
+retries); a crashed or timed-out pool is rebuilt in place
+(:meth:`WorkerPool.rebuild`).  A shard that exhausts its retries is
 handed to the config's ``error_policy`` — ``strict`` raises
 :class:`~repro.errors.ShardFailure`, ``lenient`` drops its records,
 ``quarantine`` sets them aside whole with a
@@ -42,13 +74,24 @@ fault, and is re-raised immediately without retrying.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
 import zlib
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import (
     SHARD_FAILURE,
@@ -58,7 +101,9 @@ from ..errors import (
 )
 from ..log.models import LogRecord, QueryLog
 from ..obs import PipelineMetrics, Recorder
+from ..skeleton.cache import TemplateCache
 from ..skeleton.interner import TemplateInterner
+from ..store.columnar import decode_shard, encode_shard
 from .config import PipelineConfig
 from .framework import (
     dedup_stage,
@@ -145,6 +190,12 @@ class ShardReport:
     #: into the run-level dictionary — shard-local ids are meaningless
     #: outside the worker, the fingerprints travel home with the report.
     interner: TemplateInterner = field(default_factory=TemplateInterner)
+    #: how the shard reached its worker — ``"pickle"`` / ``"shm"`` for
+    #: pool runs, ``"inline"`` when it never left the parent (both
+    #: annotated by the parent, not the worker).
+    transfer: str = "inline"
+    #: encoded payload size shipped for this shard (0 when inline).
+    bytes_shipped: int = 0
 
 
 @dataclass
@@ -152,8 +203,8 @@ class ParallelStats:
     """Merged report of one parallel run.
 
     :param workers: worker processes used.
-    :param shard_count: tasks the log was sharded into (≥ workers when
-        the log is big enough; a task never splits a user).
+    :param shard_count: tasks the log was sharded into (a task never
+        splits a user; adaptive sizing targets ≈ ``2 × workers`` tasks).
     :param stats: all shards' counters folded into one
         :class:`~repro.pipeline.streaming.StreamingStats`.
     :param timings: per-stage wall clock summed across shards, plus the
@@ -170,6 +221,11 @@ class ParallelStats:
         (worker crashes, timeouts, transient exceptions).
     :param shards_failed: shards that exhausted their retries and were
         handed to the error policy.
+    :param bytes_shipped: total encoded shard-buffer bytes the run
+        shipped to workers (each shard's buffer counted once — retries
+        reuse it); also on the merge stage as ``bytes_shipped``.
+    :param shm_segments: shared-memory segments the run created (0 under
+        ``transfer="pickle"``); also on the merge stage.
     """
 
     workers: int
@@ -182,6 +238,8 @@ class ParallelStats:
     interner: TemplateInterner = field(default_factory=TemplateInterner)
     shards_retried: int = 0
     shards_failed: int = 0
+    bytes_shipped: int = 0
+    shm_segments: int = 0
 
     @property
     def records_in(self) -> int:
@@ -216,27 +274,50 @@ def shard_records(
 
     Records are first hashed into fine-grained buckets (several per
     worker, so one heavy user cannot serialise the whole run), then the
-    buckets are packed in index order into tasks of at most
-    ``chunk_size`` records — except that a single bucket larger than the
-    chunk size stays one task, because a user's timeline is indivisible.
+    buckets are packed in index order into tasks.  ``chunk_size == 0``
+    sizes the tasks adaptively: the packing budget is chosen so the run
+    yields about ``2 × workers`` shards balanced by record count —
+    enough tasks that one slow shard cannot straggle the run, few
+    enough that per-task overhead (encode, submit, report) stays
+    amortised.  A positive ``chunk_size`` bounds every task at that many
+    records instead — except that a single bucket larger than the
+    budget stays one task, because a user's timeline is indivisible.
 
     ``log`` only needs to be iterable — :meth:`ParallelCleaner
     .run_source` feeds a chunk-flattening generator through here, and
     the sharding is insensitive to how the records were chunked on the
     way in: bucket membership is per user, task packing depends only on
     bucket sizes, and each worker sorts its shard into time order.
+    Bucket membership is independent of ``chunk_size`` entirely and, by
+    the CRC invariant, deterministic per user — changing the worker or
+    shard count only repacks buckets, it never splits a user's records
+    across tasks.
     """
-    bucket_count = max(32, workers * 8)
+    adaptive = chunk_size == 0
+    bucket_count = max(64, workers * 16) if adaptive else max(32, workers * 8)
     buckets: Dict[int, List[LogRecord]] = {}
+    total = 0
     for record in log:
         index = shard_index(record.user_key(), bucket_count)
         buckets.setdefault(index, []).append(record)
+        total += 1
+    if not buckets:
+        return []
+
+    if adaptive:
+        # One shard per worker would stall the run on its slowest shard;
+        # 2× gives the pool a second wave to rebalance into.  A single
+        # worker gets a single shard (the fan-out runs inline anyway).
+        target = 2 * workers if workers > 1 else 1
+        budget = -(-total // max(1, min(target, len(buckets))))
+    else:
+        budget = chunk_size
 
     shards: List[List[LogRecord]] = []
     current: List[LogRecord] = []
     for index in sorted(buckets):
         records = buckets[index]
-        if current and len(current) + len(records) > chunk_size:
+        if current and len(current) + len(records) > budget:
             shards.append(current)
             current = []
         current.extend(records)
@@ -245,26 +326,100 @@ def shard_records(
     return shards
 
 
-def _clean_shard(
-    payload: Tuple[int, Sequence[LogRecord], PipelineConfig]
-) -> ShardReport:
-    """Worker body: run the batch stage functions over one shard.
+# ----------------------------------------------------------------------
+# Worker-side machinery
+#
+# Everything here is module-level (not closures) so it pickles under
+# every ``multiprocessing`` start method.  The three globals below live
+# in the *worker* processes: the seed is handed to ``_worker_init`` when
+# the pool spawns, the cache persists across shards and runs.
 
-    Module-level (not a closure) so it pickles under every
-    ``multiprocessing`` start method; each worker process gets its own
-    parse cache by construction, because :func:`parse_stage` builds one
-    per call.
+_WORKER_SEED: Optional[Tuple[Tuple[bool, bool], bytes]] = None
+_WORKER_CACHE: Optional[TemplateCache] = None
+_WORKER_CACHE_KEY: Optional[Tuple[int, bool, bool]] = None
+
+
+def _worker_init(seed: Optional[Tuple[Tuple[bool, bool], bytes]] = None) -> None:
+    """Pool initializer: remember the template-cache seed, if any."""
+    global _WORKER_SEED
+    _WORKER_SEED = seed
+
+
+def _process_parse_cache(config: PipelineConfig) -> Optional[TemplateCache]:
+    """This worker's persistent parse cache (or ``None`` if disabled).
+
+    The cache is keyed by the parse knobs it may legally serve — a
+    config change mid-pool resets it rather than risking a stale
+    skeleton (see the invariant on
+    :func:`~repro.pipeline.framework.parse_log`).  When a seed matching
+    the knobs is available the first cache of this process starts warm.
     """
-    shard, records, config = payload
+    execution = config.execution
+    if not execution.parse_cache:
+        return None
+    global _WORKER_CACHE, _WORKER_CACHE_KEY
+    key = (
+        execution.parse_cache_size,
+        config.fold_variables,
+        config.strict_triple,
+    )
+    if _WORKER_CACHE is None or _WORKER_CACHE_KEY != key:
+        cache: Optional[TemplateCache] = None
+        if _WORKER_SEED is not None and _WORKER_SEED[0] == key[1:]:
+            try:
+                cache = TemplateCache.from_seed(
+                    _WORKER_SEED[1], max_entries=execution.parse_cache_size
+                )
+            except Exception:  # a bad seed must never fail a shard
+                cache = None
+        if cache is None:
+            cache = TemplateCache(execution.parse_cache_size)
+        _WORKER_CACHE = cache
+        _WORKER_CACHE_KEY = key
+    return _WORKER_CACHE
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without tracker registration.
+
+    The parent is the single owner: it created the segment and will
+    unlink it.  Registering the attachment with this process's resource
+    tracker would make the tracker try to clean up (or warn about) a
+    segment it does not own — ``track=False`` exists for exactly this
+    on Python 3.13+; older interpreters get the same effect by muting
+    ``register`` for the duration of the attach (bpo-39959).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _clean_shard_log(
+    shard: int,
+    shard_log: QueryLog,
+    config: PipelineConfig,
+    cache: Optional[TemplateCache] = None,
+) -> ShardReport:
+    """Run the batch stage functions over one shard's records."""
     started = time.perf_counter()
-    shard_log = QueryLog(records)
     recorder = Recorder()
     channel = QuarantineChannel()
     interner = TemplateInterner()
 
     validated = validate_stage(shard_log, config, recorder, channel)
     dedup = dedup_stage(validated, config, recorder)
-    parsed = parse_stage(dedup.log, config, recorder, channel, interner=interner)
+    parsed = parse_stage(
+        dedup.log, config, recorder, channel, cache=cache, interner=interner
+    )
     mining = mine_stage(parsed.queries, config, recorder)
     antipatterns = detect_stage(mining.blocks, config, recorder)
     solve_result = solve_stage(parsed.parsed_log, antipatterns, recorder)
@@ -273,7 +428,7 @@ def _clean_shard(
     clean_records = solve_result.log.records()
     parse_counters = recorder.metrics.stage("parse").counters
     stats = StreamingStats(
-        records_in=len(records),
+        records_in=len(shard_log),
         records_out=len(clean_records),
         records_invalid=len(shard_log) - len(validated),
         duplicates_removed=dedup.removed,
@@ -292,7 +447,7 @@ def _clean_shard(
     )
     return ShardReport(
         shard=shard,
-        records_in=len(records),
+        records_in=len(shard_log),
         records_out=len(clean_records),
         clean_records=clean_records,
         stats=stats,
@@ -302,6 +457,229 @@ def _clean_shard(
         quarantine=channel,
         interner=interner,
     )
+
+
+def _clean_shard(
+    payload: Tuple[int, Sequence[LogRecord], PipelineConfig]
+) -> ShardReport:
+    """Worker body over plain records (the in-process/inline path).
+
+    Each call gets a fresh per-call parse cache by construction, because
+    :func:`parse_stage` builds one when none is passed.
+    """
+    shard, records, config = payload
+    return _clean_shard_log(shard, QueryLog(records), config)
+
+
+def _clean_shard_encoded(
+    payload: Tuple[int, str, Union[bytes, str], int, PipelineConfig]
+) -> ShardReport:
+    """Worker body over an encoded shard buffer (the pool path).
+
+    ``data`` is the contiguous :func:`~repro.store.columnar
+    .encode_shard` buffer itself (``transfer="pickle"``) or the name of
+    the shared-memory segment holding it (``transfer="shm"``).  Decoding
+    reads the buffer eagerly, so the shm mapping is closed before any
+    stage runs — a crash after this point cannot pin the segment.
+    """
+    shard, kind, data, nbytes, config = payload
+    cache = _process_parse_cache(config)
+    if kind == "shm":
+        segment = _attach_shm(data)  # type: ignore[arg-type]
+        try:
+            view = segment.buf[:nbytes]
+            try:
+                records = decode_shard(view)
+            finally:
+                view.release()
+        finally:
+            segment.close()
+    else:
+        records = decode_shard(data)
+    return _clean_shard_log(shard, QueryLog(records), config, cache=cache)
+
+
+# ----------------------------------------------------------------------
+# Warm worker pools
+
+#: The template-cache seed handed to newly spawned workers, as
+#: ``((fold_variables, strict_triple), TemplateCache.export_seed())``.
+_POOL_SEED: Optional[Tuple[Tuple[bool, bool], bytes]] = None
+
+#: Process-wide registry of reusable pools, keyed by worker count.
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+class WorkerPool:
+    """A reusable :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    The executor is created lazily on first :meth:`submit` and kept warm
+    until :meth:`shutdown` — the whole point is to pay the fork +
+    interpreter + seed cost once, not per ``repro.clean()`` call.
+    :meth:`rebuild` retires a broken executor (crashed or hung workers)
+    and provisions a fresh one in place; :attr:`generation` counts how
+    many executors this pool has provisioned, so tests can assert a
+    rebuild actually happened.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        seed: Optional[Tuple[Tuple[bool, bool], bytes]] = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.seed = seed
+        self._mp_context = mp_context or multiprocessing.get_context()
+        self._executor: Optional[futures.ProcessPoolExecutor] = None
+        #: executors provisioned over this pool's lifetime.
+        self.generation = 0
+
+    @property
+    def executor(self) -> futures.ProcessPoolExecutor:
+        """The live executor, provisioning one if needed."""
+        if self._executor is None:
+            self._executor = futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context,
+                initializer=_worker_init,
+                initargs=(self.seed,),
+            )
+            self.generation += 1
+        return self._executor
+
+    @property
+    def alive(self) -> bool:
+        """Whether an executor is currently provisioned."""
+        return self._executor is not None
+
+    def submit(self, fn, /, *args, **kwargs) -> "futures.Future":
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def rebuild(self) -> futures.ProcessPoolExecutor:
+        """Retire the current executor (if any) and provision a new one."""
+        self.shutdown(wait=False)
+        return self.executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the executor down; the pool can be reused afterwards."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+
+def get_worker_pool(workers: int) -> WorkerPool:
+    """The process-wide reusable pool for ``workers`` worker processes.
+
+    Created (with the current :func:`set_worker_seed` seed) on first
+    request, then returned as-is — callers share the warm workers.  All
+    registry pools are shut down atexit.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = WorkerPool(workers, seed=_POOL_SEED)
+        _POOLS[workers] = pool
+    return pool
+
+
+def discard_worker_pool(workers: int) -> None:
+    """Drop (and shut down) the registry pool for ``workers``, if any."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False)
+
+
+def shutdown_worker_pools(wait: bool = True) -> None:
+    """Shut down every registry pool (also runs atexit)."""
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def set_worker_seed(
+    cache: Optional[TemplateCache],
+    *,
+    fold_variables: bool = False,
+    strict_triple: bool = False,
+) -> None:
+    """Pre-seed future pool workers with ``cache``'s interned templates.
+
+    Newly spawned workers start their persistent parse cache from
+    ``cache.export_seed()`` instead of cold, provided the run's
+    ``(fold_variables, strict_triple)`` knobs match the ones declared
+    here (a mismatched seed is ignored — the invariant on
+    :func:`~repro.pipeline.framework.parse_log` forbids sharing caches
+    across knob combinations).  Existing registry pools were spawned
+    under the previous seed and are retired.  ``set_worker_seed(None)``
+    clears the seed.
+    """
+    global _POOL_SEED
+    if cache is None:
+        _POOL_SEED = None
+    else:
+        _POOL_SEED = ((fold_variables, strict_triple), cache.export_seed())
+    shutdown_worker_pools(wait=False)
+
+
+# ----------------------------------------------------------------------
+# Shard transfer (parent side)
+
+
+@dataclass
+class _ShardTransfer:
+    """One shard's encoded buffer en route to a worker."""
+
+    kind: str  # "pickle" | "shm"
+    data: Union[bytes, str]  # the buffer itself, or the segment name
+    nbytes: int
+    segment: Optional[shared_memory.SharedMemory] = None
+
+
+def _encode_transfer(
+    records: Sequence[LogRecord], kind: str
+) -> _ShardTransfer:
+    blob = encode_shard(records)
+    if kind == "shm":
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, len(blob))
+        )
+        segment.buf[:len(blob)] = blob
+        return _ShardTransfer("shm", segment.name, len(blob), segment)
+    return _ShardTransfer("pickle", blob, len(blob))
+
+
+def _release_transfer(transfer: Optional[_ShardTransfer]) -> None:
+    """Close and unlink a transfer's segment (idempotent, crash-safe)."""
+    if transfer is None or transfer.segment is None:
+        return
+    segment, transfer.segment = transfer.segment, None
+    try:
+        segment.close()
+    finally:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+@dataclass
+class _TransferStats:
+    """Parent-side transfer accounting for one run."""
+
+    bytes_shipped: int = 0
+    shm_segments: int = 0
+
+    def add(self, transfer: _ShardTransfer) -> None:
+        self.bytes_shipped += transfer.nbytes
+        if transfer.kind == "shm":
+            self.shm_segments += 1
 
 
 class ParallelCleaner:
@@ -351,11 +729,13 @@ class ParallelCleaner:
         self,
         payloads: Dict[int, Tuple[int, List[LogRecord], PipelineConfig]],
         quarantine: QuarantineChannel,
-    ) -> Tuple[List[ShardReport], int, List[int]]:
+    ) -> Tuple[List[ShardReport], int, List[int], _TransferStats]:
         """Run shards in-process (one worker, or nothing to fan out).
 
         Same retry and error-policy contract as the pool path, minus the
-        timeout (there is no separate process to abandon).
+        timeout (there is no separate process to abandon) and minus the
+        codec — the records never leave the parent, so encoding them
+        would be pure overhead.
         """
         execution = self.config.execution
         max_attempts = execution.max_shard_retries + 1
@@ -383,37 +763,41 @@ class ParallelCleaner:
                         time.sleep(
                             execution.retry_backoff * 2 ** (attempt - 1)
                         )
-        return reports, retried, failed
+        return reports, retried, failed, _TransferStats()
 
     def _run_pool(
         self,
         payloads: Dict[int, Tuple[int, List[LogRecord], PipelineConfig]],
         workers: int,
         quarantine: QuarantineChannel,
-    ) -> Tuple[List[ShardReport], int, List[int]]:
+    ) -> Tuple[List[ShardReport], int, List[int], _TransferStats]:
         """Fan the shards out over a process pool, re-queueing failures.
 
         Each round submits every still-pending shard and waits for the
         wave to finish.  A crashed worker poisons the whole pool
-        (``BrokenProcessPool`` fails every in-flight future), so the pool
-        is rebuilt and *all* pending shards get one attempt charged —
-        innocents succeed on the next round, and the accounting stays
-        bounded: no shard is ever submitted more than
-        ``max_shard_retries + 1`` times.
+        (``BrokenProcessPool`` fails every in-flight future), so the
+        pool is rebuilt and *all* pending shards get one attempt
+        charged — innocents succeed on the next round, and the
+        accounting stays bounded: no shard is ever submitted more than
+        ``max_shard_retries + 1`` times.  Each shard is encoded exactly
+        once; its buffer (or shm segment) is reused across retries and
+        released the moment the shard completes or terminally fails.
         """
         execution = self.config.execution
         max_attempts = execution.max_shard_retries + 1
-        pending = dict(payloads)
+        pending = {shard: payload[1] for shard, payload in payloads.items()}
         attempts = {shard: 0 for shard in payloads}
         errors: Dict[int, str] = {}
         reports: List[ShardReport] = []
         retried = 0
         failed: List[int] = []
-        pool_size = min(workers, len(payloads))
-        mp_context = multiprocessing.get_context()
-        executor = futures.ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=mp_context
-        )
+        transfers: Dict[int, _ShardTransfer] = {}
+        transfer_stats = _TransferStats()
+        reuse = execution.pool_reuse
+        if reuse:
+            pool = get_worker_pool(workers)
+        else:
+            pool = WorkerPool(min(workers, len(payloads)), seed=_POOL_SEED)
         round_number = 0
         try:
             while pending:
@@ -422,13 +806,14 @@ class ParallelCleaner:
                 ]:
                     self._terminal_failure(
                         shard,
-                        pending[shard][1],
+                        pending[shard],
                         attempts[shard],
                         errors.get(shard, "exhausted retries"),
                         quarantine,
                     )
                     failed.append(shard)
                     del pending[shard]
+                    _release_transfer(transfers.pop(shard, None))
                 if not pending:
                     break
                 round_number += 1
@@ -438,18 +823,45 @@ class ParallelCleaner:
                         time.sleep(
                             execution.retry_backoff * 2 ** (round_number - 2)
                         )
-                submitted = {
-                    executor.submit(_clean_shard, payload): shard
-                    for shard, payload in sorted(pending.items())
-                }
+                submitted: Dict[futures.Future, int] = {}
+                broken = False
+                for shard, records in sorted(pending.items()):
+                    transfer = transfers.get(shard)
+                    if transfer is None:
+                        transfer = _encode_transfer(
+                            records, execution.transfer
+                        )
+                        transfers[shard] = transfer
+                        transfer_stats.add(transfer)
+                    try:
+                        future = pool.submit(
+                            _clean_shard_encoded,
+                            (
+                                shard,
+                                transfer.kind,
+                                transfer.data,
+                                transfer.nbytes,
+                                self.config,
+                            ),
+                        )
+                    except BrokenProcessPool as exc:
+                        # A warm worker died while the wave was still
+                        # being submitted (cold pools never see this —
+                        # their workers are still forking).  Stop
+                        # submitting; already-submitted futures surface
+                        # the same crash below.
+                        broken = True
+                        attempts[shard] += 1
+                        errors[shard] = f"worker crashed: {exc!r}"
+                        break
+                    submitted[future] = shard
                 timeout = None
                 if execution.task_timeout is not None:
                     # The budget is per shard; a wave wider than the pool
                     # runs its shards in several passes.
-                    waves = -(-len(submitted) // pool_size)
+                    waves = -(-len(submitted) // pool.workers)
                     timeout = execution.task_timeout * waves
                 done, not_done = futures.wait(set(submitted), timeout=timeout)
-                broken = False
                 for future in done:
                     shard = submitted[future]
                     try:
@@ -464,6 +876,11 @@ class ParallelCleaner:
                         attempts[shard] += 1
                         errors[shard] = repr(exc)
                     else:
+                        transfer = transfers.pop(shard, None)
+                        if transfer is not None:
+                            report.transfer = transfer.kind
+                            report.bytes_shipped = transfer.nbytes
+                            _release_transfer(transfer)
                         reports.append(report)
                         del pending[shard]
                 for future in not_done:
@@ -476,14 +893,24 @@ class ParallelCleaner:
                     )
                 if broken:
                     # The pool may hold dead or still-busy workers;
-                    # abandon it and start fresh for the next round.
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    executor = futures.ProcessPoolExecutor(
-                        max_workers=pool_size, mp_context=mp_context
-                    )
+                    # retire its executor and provision a fresh one for
+                    # the next round (the warm pool object survives).
+                    pool.rebuild()
+        except BaseException:
+            # A raising run must not leave shards queued in a warm pool
+            # behind the caller's back: discard the pool (workers exit
+            # once their current task drains); the registry re-provisions
+            # lazily on the next run.
+            if reuse:
+                discard_worker_pool(workers)
+            raise
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        return reports, retried, failed
+            for transfer in transfers.values():
+                _release_transfer(transfer)
+            transfers.clear()
+            if not reuse:
+                pool.shutdown(wait=False)
+        return reports, retried, failed, transfer_stats
 
     def run_source(self, source: "LogSource") -> QueryLog:
         """Clean a :class:`~repro.store.sources.LogSource` end to end.
@@ -515,9 +942,11 @@ class ParallelCleaner:
         # a zero/one-process pool — and one worker gains nothing from
         # the fork+pickle tax.
         if workers == 1 or len(payloads) <= 1:
-            reports, retried, failed = self._run_inline(payloads, quarantine)
+            reports, retried, failed, transfer_stats = self._run_inline(
+                payloads, quarantine
+            )
         else:
-            reports, retried, failed = self._run_pool(
+            reports, retried, failed, transfer_stats = self._run_pool(
                 payloads, workers, quarantine
             )
 
@@ -545,12 +974,16 @@ class ParallelCleaner:
             stats.shards.append(report)
         stats.shards_retried = retried
         stats.shards_failed = len(failed)
+        stats.bytes_shipped = transfer_stats.bytes_shipped
+        stats.shm_segments = transfer_stats.shm_segments
         merge_stage = run_metrics.stage("merge")
         merge_stage.wall_seconds += merge_seconds
         merge_stage.calls += 1
         merge_stage.count("records_out", len(cleaned))
         merge_stage.count("shards_retried", retried)
         merge_stage.count("shards_failed", len(failed))
+        merge_stage.count("bytes_shipped", transfer_stats.bytes_shipped)
+        merge_stage.count("shm_segments", transfer_stats.shm_segments)
         # The run-level dictionary size: global distinct templates (the
         # "parse" counter carries the per-shard sum, like cache misses).
         merge_stage.count("interner_size", len(run_interner))

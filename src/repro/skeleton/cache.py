@@ -41,6 +41,7 @@ Correctness rests on one invariant and one escape hatch:
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import re
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
@@ -397,3 +398,52 @@ class TemplateCache:
         if len(exact) > self.max_entries:
             exact.popitem(last=False)
             self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Pre-seeding (warm worker pools)
+
+    def export_seed(self) -> bytes:
+        """Snapshot the cache's interned entries as a portable seed.
+
+        The seed is a pickled copy of this cache with its counters
+        zeroed and its pending-miss state cleared — ship it to worker
+        processes (:func:`repro.pipeline.parallel.set_worker_seed`) so
+        their first shard already hits on every template this cache has
+        interned.  The caller owns the correctness contract documented
+        on :func:`~repro.pipeline.framework.parse_log`: a seed must only
+        ever warm caches serving the same ``(fold_variables,
+        strict_triple)`` parse knobs it was built under.
+        """
+        clone = TemplateCache(self.max_entries)
+        clone._exact = OrderedDict(self._exact)
+        clone._by_key = OrderedDict(self._by_key)
+        return pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_seed(
+        cls, seed: bytes, max_entries: Optional[int] = None
+    ) -> "TemplateCache":
+        """Rebuild a cache from an :meth:`export_seed` blob.
+
+        ``max_entries`` overrides the seed's bound; a smaller bound
+        evicts the seed's least-recently-admitted entries immediately
+        (without charging the eviction counters — the new cache starts
+        with all counters at zero).
+        """
+        cache = pickle.loads(seed)
+        if not isinstance(cache, cls):
+            raise TypeError(
+                f"seed does not contain a {cls.__name__} "
+                f"(got {type(cache).__name__})"
+            )
+        cache.hits = 0
+        cache.misses = 0
+        cache.evictions = 0
+        cache._pending = None
+        if max_entries is not None and max_entries >= 1:
+            cache.max_entries = max_entries
+            while len(cache._exact) > max_entries:
+                cache._exact.popitem(last=False)
+            while len(cache._by_key) > max_entries:
+                cache._by_key.popitem(last=False)
+        return cache

@@ -6,7 +6,9 @@ and run checkpoints.
   :class:`JsonlSource`, :class:`ColumnarSource`), plus :func:`open_log`,
   the single entry point for reading any on-disk log.
 * :mod:`~repro.store.columnar` — the ``repro-columnar`` on-disk format:
-  a template dictionary plus zlib-compressed per-record column chunks.
+  a template dictionary plus zlib-compressed per-record column chunks —
+  and the in-memory shard codec (:func:`encode_shard` /
+  :func:`decode_shard`) the parallel executor ships to workers.
 * :mod:`~repro.store.checkpoint` — :class:`RunCheckpoint` and the
   chunked streaming driver behind ``repro.clean(source,
   checkpoint_dir=...)`` / ``--resume``.
@@ -20,10 +22,13 @@ from .checkpoint import (
 )
 from .columnar import (
     ColumnarWriter,
+    decode_shard,
     decode_sql,
+    encode_shard,
     encode_sql,
     is_columnar_store,
     read_manifest,
+    shard_record_count,
     store_size_bytes,
     write_columnar,
 )
@@ -56,6 +61,9 @@ __all__ = [
     "store_size_bytes",
     "encode_sql",
     "decode_sql",
+    "encode_shard",
+    "decode_shard",
+    "shard_record_count",
     "RunCheckpoint",
     "CheckpointError",
     "clean_streaming_source",

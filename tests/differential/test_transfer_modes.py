@@ -1,0 +1,146 @@
+"""Differential suite: shared-memory transfer tells the same story.
+
+``transfer="shm"`` changes *how* shard buffers reach the workers, and
+nothing else.  For a generated workload and a poisoned log this suite
+pins every ``transfer × workers × error-policy`` combination to the
+batch reference: identical clean records, an equal ``comparable()``
+ledger counter for counter, and zero conservation violations — the
+same contract the executor matrix already enforces for the default
+pickle transfer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.antipatterns import DetectionContext
+from repro.log import LogRecord, QueryLog
+from repro.pipeline import ExecutionConfig, PipelineConfig
+from repro.workload import WorkloadConfig, generate, skyserver_catalog
+
+KEYS = frozenset(skyserver_catalog().key_column_names())
+
+WORKER_COUNTS = (1, 2, 4)
+TRANSFERS = ("pickle", "shm")
+
+
+def _execution(transfer, workers):
+    # chunk_size=0: the adaptive sharder, so the matrix also exercises
+    # the default shard plan rather than only the fixed legacy packing.
+    return ExecutionConfig(
+        mode="parallel", workers=workers, chunk_size=0, transfer=transfer
+    )
+
+
+@pytest.fixture(scope="module")
+def workload_log():
+    return generate(WorkloadConfig(seed=2018, scale=0.05)).log
+
+
+@pytest.fixture(scope="module")
+def workload_reference(workload_log):
+    return repro.clean(
+        workload_log, PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+    )
+
+
+class TestTransferMatrix:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("transfer", TRANSFERS)
+    def test_pinned_to_batch(
+        self, transfer, workers, workload_log, workload_reference
+    ):
+        config = PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        result = repro.clean(
+            workload_log, config, execution=_execution(transfer, workers)
+        )
+        assert result.clean_log.records() == (
+            workload_reference.clean_log.records()
+        )
+        assert result.metrics.comparable() == (
+            workload_reference.metrics.comparable()
+        )
+        assert result.metrics.conservation_violations() == []
+
+    def test_transfer_accounting_matches_the_channel(self, workload_log):
+        """Same payload bytes either way; segments only under shm."""
+        config = PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        stats = {
+            transfer: repro.clean(
+                workload_log, config, execution=_execution(transfer, 2)
+            ).parallel_stats
+            for transfer in TRANSFERS
+        }
+        for transfer, pstats in stats.items():
+            assert pstats.bytes_shipped > 0, transfer
+            merge = pstats.metrics.stages["merge"].counters
+            assert merge["bytes_shipped"] == pstats.bytes_shipped, transfer
+            assert merge["shm_segments"] == pstats.shm_segments, transfer
+        assert stats["pickle"].bytes_shipped == stats["shm"].bytes_shipped
+        assert stats["pickle"].shm_segments == 0
+        assert stats["shm"].shm_segments == stats["shm"].shard_count
+
+    def test_transfer_override_on_clean(self, workload_log, workload_reference):
+        """The ``repro.clean(..., transfer=...)`` kwarg reaches the run."""
+        config = PipelineConfig(detection=DetectionContext(key_columns=KEYS))
+        result = repro.clean(
+            workload_log,
+            config,
+            execution=ExecutionConfig(mode="parallel", workers=2),
+            transfer="shm",
+        )
+        assert result.parallel_stats.shm_segments > 0
+        assert result.clean_log.records() == (
+            workload_reference.clean_log.records()
+        )
+
+
+# ----------------------------------------------------------------------
+# Poisoned log over shm: the error policies survive the new channel
+
+
+def _poisoned_log():
+    records = []
+    seq = 0
+    for step in range(15):
+        for user in range(6):
+            records.append(
+                LogRecord(
+                    seq=seq,
+                    sql=(
+                        "SELECT name FROM Employee "
+                        f"WHERE empId = {step % 4 + user}"
+                    ),
+                    timestamp=float(step * 10 + user),
+                    user=f"user{user}",
+                )
+            )
+            seq += 1
+    poison = [
+        LogRecord(seq=900, sql="SELECT 1 FROM T", timestamp=float("nan"),
+                  user="user1"),
+        LogRecord(seq=901, sql=None, timestamp=42.0, user="user2"),
+        LogRecord(seq=902, sql=12345, timestamp=43.0, user="user3"),
+    ]
+    return QueryLog(records), QueryLog(records + poison), poison
+
+
+class TestPoisonedLogOverShm:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("policy", ("lenient", "quarantine"))
+    def test_policies_match_batch(self, policy, workers):
+        valid, poisoned, poison = _poisoned_log()
+        reference = repro.clean(valid, PipelineConfig())
+        config = PipelineConfig(error_policy=policy)
+        result = repro.clean(
+            poisoned, config, execution=_execution("shm", workers)
+        )
+        assert result.clean_log == reference.clean_log
+        if policy == "quarantine":
+            assert result.quarantine.seqs() == [r.seq for r in poison]
+        else:
+            assert not result.quarantine
+        assert result.metrics.conservation_violations() == []
+        batch = repro.clean(poisoned, config)
+        assert result.metrics.comparable() == batch.metrics.comparable()

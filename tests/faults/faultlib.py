@@ -78,6 +78,17 @@ class KillOnceDetector(_FaultDetector):
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+class ExitOnceDetector(_FaultDetector):
+    """Dies via ``os._exit`` the first time it runs in a worker — an
+    abnormal exit *without* a signal (no atexit hooks, no cleanup), the
+    way a worker hitting a C-level abort or a container limit dies."""
+
+    label = "faultExit"
+
+    def _fire(self) -> None:
+        os._exit(17)
+
+
 class SleepOnceDetector(_FaultDetector):
     """Sleeps long enough to blow a ``task_timeout`` budget, once."""
 

@@ -1,0 +1,170 @@
+"""Shared-memory transfer under worker crashes: no leaked segments.
+
+The acceptance contract for ``transfer="shm"``: the parent owns every
+segment, so a worker SIGKILLed (or ``os._exit``-ed) mid-shard must leak
+nothing — ``/dev/shm`` holds exactly the same ``psm_*`` entries after
+the run as before it, the pool is rebuilt in place, the shard is
+retried, and the output stays byte-identical to the strict batch run
+over the valid subset.  A follow-up run over the same warm pool must
+then succeed cleanly, still without leaks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.antipatterns import default_detectors
+from repro.pipeline import ExecutionConfig, PipelineConfig
+from repro.pipeline.parallel import get_worker_pool
+
+from .faultlib import ExitOnceDetector, KillOnceDetector
+from .test_fault_injection import (  # noqa: F401 - fixtures travel by import
+    poison_records,
+    poisoned_log,
+    reference,
+    valid_log,
+)
+
+
+def shm_segments():
+    """The ``psm_*`` entries currently present in ``/dev/shm``.
+
+    ``multiprocessing.shared_memory`` names all its segments ``psm_…``;
+    comparing the set before and after a run detects leaks without
+    being confused by unrelated shm users.
+    """
+    try:
+        names = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        pytest.skip("/dev/shm not available on this platform")
+    return {name for name in names if name.startswith("psm_")}
+
+
+def _shm_parallel(workers, **knobs):
+    return ExecutionConfig(
+        mode="parallel",
+        workers=workers,
+        chunk_size=40,
+        transfer="shm",
+        retry_backoff=0.01,
+        **knobs,
+    )
+
+
+class TestCrashedWorkerLeaksNothing:
+    def test_sigkilled_worker_retries_without_leaking_segments(
+        self, poisoned_log, reference, tmp_path
+    ):
+        baseline = shm_segments()
+        detectors = [
+            KillOnceDetector(str(tmp_path / "kill"), os.getpid())
+        ] + default_detectors()
+        config = PipelineConfig(error_policy="quarantine", detectors=detectors)
+        generation_before = get_worker_pool(2).generation
+
+        result = repro.clean(poisoned_log, config, execution=_shm_parallel(2))
+
+        assert (tmp_path / "kill").exists(), "the kill fault never fired"
+        pstats = result.parallel_stats
+        assert pstats.shards_retried >= 1
+        assert pstats.shards_failed == 0
+        # every shard travelled through exactly one segment, created once
+        # and reused across the retry
+        assert pstats.shm_segments == pstats.shard_count
+        assert pstats.bytes_shipped > 0
+        # the crash forced a pool rebuild (a fresh executor generation)
+        assert get_worker_pool(2).generation > generation_before
+        # ...and the output contract held regardless
+        assert result.clean_log == reference.clean_log
+        assert result.quarantine.seqs() == [
+            record.seq for record in poison_records()
+        ]
+        assert result.metrics.conservation_violations() == []
+        # the core assertion: nothing new in /dev/shm
+        assert shm_segments() == baseline, "run leaked shared-memory segments"
+
+        # a follow-up run over the rebuilt warm pool succeeds cleanly
+        again = repro.clean(poisoned_log, config, execution=_shm_parallel(2))
+        assert again.parallel_stats.shards_retried == 0
+        assert again.clean_log == reference.clean_log
+        assert again.metrics.comparable() == result.metrics.comparable()
+        assert shm_segments() == baseline
+
+    def test_abrupt_exit_worker_retries_without_leaking_segments(
+        self, valid_log, reference, tmp_path
+    ):
+        # os._exit skips every cleanup hook the worker might have —
+        # closest stand-in for a C-level abort.
+        baseline = shm_segments()
+        detectors = [
+            ExitOnceDetector(str(tmp_path / "exit"), os.getpid())
+        ] + default_detectors()
+        config = PipelineConfig(detectors=detectors)
+
+        result = repro.clean(valid_log, config, execution=_shm_parallel(2))
+
+        assert (tmp_path / "exit").exists(), "the exit fault never fired"
+        assert result.parallel_stats.shards_retried >= 1
+        assert result.parallel_stats.shards_failed == 0
+        assert result.clean_log == reference.clean_log
+        assert shm_segments() == baseline, "run leaked shared-memory segments"
+
+    def test_terminally_failing_shard_releases_its_segment(self, valid_log):
+        # A shard that exhausts its retries must still have its segment
+        # unlinked on the way to the error policy.
+        from .faultlib import AlwaysFailDetector
+
+        baseline = shm_segments()
+        config = PipelineConfig(
+            error_policy="lenient",
+            detectors=[AlwaysFailDetector(main_pid=os.getpid())]
+            + default_detectors(),
+        )
+        result = repro.clean(
+            valid_log,
+            config,
+            execution=_shm_parallel(2, max_shard_retries=0),
+        )
+        assert result.parallel_stats.shards_failed >= 1
+        assert shm_segments() == baseline, "failed shard leaked its segment"
+
+
+class TestShmEqualsPickleUnderFaults:
+    def test_kill_recovery_is_transfer_mode_agnostic(
+        self, poisoned_log, reference, tmp_path
+    ):
+        results = {}
+        for kind in ("pickle", "shm"):
+            detectors = [
+                KillOnceDetector(str(tmp_path / f"kill-{kind}"), os.getpid())
+            ] + default_detectors()
+            config = PipelineConfig(
+                error_policy="quarantine", detectors=detectors
+            )
+            execution = ExecutionConfig(
+                mode="parallel",
+                workers=2,
+                chunk_size=40,
+                transfer=kind,
+                retry_backoff=0.01,
+            )
+            results[kind] = repro.clean(
+                poisoned_log, config, execution=execution
+            )
+        for kind, result in results.items():
+            assert result.clean_log == reference.clean_log, kind
+            assert result.parallel_stats.shards_retried >= 1, kind
+        assert (
+            results["pickle"].metrics.comparable()
+            == results["shm"].metrics.comparable()
+        )
+        # identical payloads shipped, only the channel differs
+        assert (
+            results["pickle"].parallel_stats.bytes_shipped
+            == results["shm"].parallel_stats.bytes_shipped
+        )
+        assert results["pickle"].parallel_stats.shm_segments == 0
+        assert results["shm"].parallel_stats.shm_segments > 0
