@@ -1,0 +1,195 @@
+"""E26 — Parse engine v2: lazy-bound templates.
+
+Measures the warm parse stage with the lazy fast path against the
+eager PR 4 path (warm :class:`~repro.skeleton.cache.TemplateCache`
+with ``lazy=False``) on the seed-2018 synthetic workload.  Both caches
+are fully warmed by a first pass, then timed on a second pass over the
+same records — the steady-state cost the paper's 42M-query scale is
+dominated by.  The lazy pass must additionally materialise *nothing*:
+the parse stage only ever touches skeleton facts.
+
+It then re-cleans the log end to end on every executor with
+``lazy_parse`` on against an eager batch reference, asserting
+byte-identical clean logs, equal comparable ledgers and zero
+conservation violations — the lazy path must be invisible in every
+output.  Results land in ``BENCH_parse_v2.json`` next to this file.
+
+Acceptance bars asserted here: warm lazy parse ≥3× the warm eager
+parse at full scale (``REPRO_PARSEV2_BENCH_SCALE`` ≥ 5.8 ≈ 100k
+queries; the bar relaxes to ≥1.3× below, where fixed overheads
+dominate), zero materialisations during the lazy parse pass, and the
+executor matrix contracts above.  This file deliberately avoids the
+pytest-benchmark fixture so the CI benchmark-smoke step can run it
+with plain pytest.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import print_table
+
+import repro
+from repro.obs import Recorder
+from repro.pipeline import ExecutionConfig
+from repro.pipeline.framework import parse_log
+from repro.skeleton.cache import TemplateCache
+from repro.workload import WorkloadConfig, generate
+
+#: ~17.2k queries per unit of scale; 5.8 ≈ the 100k-query full scale.
+BENCH_SCALE = float(os.environ.get("REPRO_PARSEV2_BENCH_SCALE", "5.8"))
+BENCH_SEED = int(os.environ.get("REPRO_PARSEV2_BENCH_SEED", "2018"))
+FULL_SCALE = 5.8
+OUTPUT_PATH = Path(__file__).parent / "BENCH_parse_v2.json"
+
+#: The executor matrix for the lazy-vs-eager differential.
+EXECUTIONS = (
+    ("batch", "batch"),
+    ("streaming", "streaming"),
+    ("parallel-1", ExecutionConfig(mode="parallel", workers=1, chunk_size=2048)),
+    ("parallel-2", ExecutionConfig(mode="parallel", workers=2, chunk_size=2048)),
+    ("parallel-4", ExecutionConfig(mode="parallel", workers=4, chunk_size=2048)),
+)
+
+
+def _timed_parse(records, cache):
+    started = time.perf_counter()
+    result = parse_log(records, cache=cache)
+    return result, time.perf_counter() - started
+
+
+def test_parse_v2(bench_config):
+    workload = generate(WorkloadConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+    log = workload.log
+    records = log.records()
+    shared_config = replace(bench_config, sws=None)
+
+    # ------------------------------------------------------------------
+    # Warm-parse microbenchmark: eager PR 4 path vs lazy skeleton binds.
+    parse_log(records[:200])  # warm imports before timing
+
+    eager_cache = TemplateCache(lazy=False)
+    parse_log(records, cache=eager_cache)  # warm-up pass
+    eager_result, eager_seconds = _timed_parse(records, eager_cache)
+
+    lazy_cache = TemplateCache(lazy=True)
+    parse_log(records, cache=lazy_cache)  # warm-up pass
+    base_materialised = lazy_cache.materialised
+    lazy_result, lazy_seconds = _timed_parse(records, lazy_cache)
+    parse_pass_materialised = lazy_cache.materialised - base_materialised
+
+    # The parse stage itself must never force a splice...
+    assert parse_pass_materialised == 0, parse_pass_materialised
+    # ...and once forced (the equality check below walks every field),
+    # the lazy queries must be indistinguishable from the eager ones.
+    assert lazy_result.queries == eager_result.queries
+    assert lazy_result.non_select == eager_result.non_select
+
+    report = {
+        "queries": len(records),
+        "scale": BENCH_SCALE,
+        "full_scale": FULL_SCALE,
+        "seed": BENCH_SEED,
+        "warm_parse": {
+            "eager_seconds": eager_seconds,
+            "lazy_seconds": lazy_seconds,
+            "eager_throughput": len(records) / eager_seconds,
+            "lazy_throughput": len(records) / lazy_seconds,
+            "lazy_speedup": eager_seconds / lazy_seconds,
+            "materialised_during_parse": parse_pass_materialised,
+        },
+    }
+
+    # ------------------------------------------------------------------
+    # End-to-end differential: lazy executors vs an eager batch
+    # reference — identical clean logs, equal comparable ledgers.
+    reference = repro.clean(log, shared_config, lazy_parse=False)
+    assert reference.metrics.conservation_violations() == []
+    reference_records = reference.clean_log.records()
+    reference_view = reference.metrics.comparable()
+    assert (
+        reference.metrics.stages["parse"].counters["parse_lazy_hits"] == 0
+    )
+
+    runs = []
+    for name, execution in EXECUTIONS:
+        recorder = Recorder()
+        started = time.perf_counter()
+        result = repro.clean(
+            log, shared_config, execution=execution, recorder=recorder
+        )
+        seconds = time.perf_counter() - started
+        counters = result.metrics.stages["parse"].counters
+        runs.append(
+            {
+                "mode": name,
+                "seconds": seconds,
+                "parse_seconds": result.metrics.stages["parse"].wall_seconds,
+                "lazy_hits": counters["parse_lazy_hits"],
+                "eager": counters["parse_eager"],
+                "materialised": counters["parse_materialised"],
+                "records_out": counters["records_out"],
+                "identical_to_reference": result.clean_log.records()
+                == reference_records,
+                "metrics_match_reference": result.metrics.comparable()
+                == reference_view,
+                "conservation_violations": result.metrics.conservation_violations(),
+            }
+        )
+    report["clean_runs"] = runs
+
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    stage = report["warm_parse"]
+    print_table(
+        f"Parse engine v2, warm parse — {report['queries']:,} queries "
+        f"(scale {BENCH_SCALE})",
+        ["configuration", "seconds", "stmts/s", "speedup"],
+        [
+            (
+                "eager (PR 4 path)",
+                f"{stage['eager_seconds']:.2f}",
+                f"{stage['eager_throughput']:,.0f}",
+                "1.00x",
+            ),
+            (
+                "lazy skeleton bind",
+                f"{stage['lazy_seconds']:.2f}",
+                f"{stage['lazy_throughput']:,.0f}",
+                f"{stage['lazy_speedup']:.2f}x",
+            ),
+        ],
+    )
+    print_table(
+        "End-to-end, lazy_parse on vs eager batch reference",
+        ["mode", "seconds", "lazy", "materialised", "identical", "metrics"],
+        [
+            (
+                run["mode"],
+                f"{run['seconds']:.2f}",
+                f"{run['lazy_hits']:,}",
+                f"{run['materialised']:,}",
+                "yes" if run["identical_to_reference"] else "NO",
+                "match" if run["metrics_match_reference"] else "DIVERGED",
+            )
+            for run in runs
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # Acceptance bars.
+    bar = 3.0 if BENCH_SCALE >= FULL_SCALE else 1.3
+    assert stage["lazy_speedup"] >= bar, (
+        f"warm lazy parse only {stage['lazy_speedup']:.2f}x over the "
+        f"eager path at scale {BENCH_SCALE} (bar {bar}x; eager "
+        f"{eager_seconds:.2f}s, lazy {lazy_seconds:.2f}s)"
+    )
+    assert all(run["identical_to_reference"] for run in runs)
+    assert all(run["metrics_match_reference"] for run in runs)
+    assert all(run["conservation_violations"] == [] for run in runs)
+    for run in runs:
+        assert run["lazy_hits"] + run["eager"] == run["records_out"], run
+        assert run["lazy_hits"] > 0, run
+        assert run["materialised"] <= run["lazy_hits"], run

@@ -12,14 +12,18 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..patterns.models import Block, ParsedQuery
-from ..skeleton.features import null_comparison_predicates
 from .base import DetectionContext
 from .types import SNC, AntipatternInstance
 
 
 def has_snc_shape(query: ParsedQuery) -> bool:
-    """True when any predicate compares against NULL using = or <>."""
-    return bool(null_comparison_predicates(query.select))
+    """True when any predicate compares against NULL using = or <>.
+
+    Answered through :meth:`ParsedQuery.null_predicate_count` — a
+    skeleton-level fact, so the lazy parse path never has to build an
+    AST just to rule a query out.
+    """
+    return query.null_predicate_count() > 0
 
 
 class SncDetector:
@@ -40,9 +44,7 @@ class SncDetector:
                             queries=(query,),
                             solvable=True,
                             details={
-                                "predicates": len(
-                                    null_comparison_predicates(query.select)
-                                )
+                                "predicates": query.null_predicate_count()
                             },
                         )
                     )

@@ -63,6 +63,9 @@ STAGE_COUNTERS = {
         "parse_cache_hits",
         "parse_cache_misses",
         "parse_cache_evictions",
+        "parse_lazy_hits",
+        "parse_eager",
+        "parse_materialised",
         "interner_size",
     ),
     "mine": ("queries_in", "blocks", "pattern_instances", "periodic_runs"),
@@ -88,12 +91,19 @@ STAGE_COUNTERS = {
 #: parallel shard interns its own distinct templates, so the parse-stage
 #: sum exceeds the run-global dictionary size that batch and streaming
 #: book (the parallel merge stage carries the global count).
+#: The lazy-parse trio follows the cache traffic: how many queries go
+#: out lazy (and how many of those later materialise) depends on which
+#: records each cache instance saw first, so only the ledger-local law
+#: ``parse_lazy_hits + parse_eager == records_out`` is portable.
 EXECUTOR_DEPENDENT_COUNTERS = {
     "parse": frozenset(
         {
             "parse_cache_hits",
             "parse_cache_misses",
             "parse_cache_evictions",
+            "parse_lazy_hits",
+            "parse_eager",
+            "parse_materialised",
             "interner_size",
         }
     ),
@@ -298,6 +308,9 @@ class PipelineMetrics:
         * parse cache (when enabled): ``parse_cache_hits +
           parse_cache_misses == parse.records_in`` — every statement
           entering the parse stage consults the cache exactly once.
+        * lazy parse (when the counters exist): ``parse_lazy_hits +
+          parse_eager == parse.records_out`` — every emitted query is
+          either a lazy skeleton bind or a fully materialised parse.
         * hand-offs: validate out == dedup in, dedup out == parse in,
           parse out == mine in == solve in.
         """
@@ -360,6 +373,19 @@ class PipelineMetrics:
                 " == parse.records_in",
                 cache_hits + cache_misses,
                 parse_in,
+            )
+
+        lazy_hits = counter("parse", "parse_lazy_hits") or 0
+        eager = counter("parse", "parse_eager") or 0
+        if lazy_hits + eager:
+            # Like the cache law: zero traffic means a ledger from
+            # before the lazy fast path (or one assembled by hand) —
+            # the law only binds when the parse stage booked emissions.
+            check(
+                "lazy-parse: parse_lazy_hits + parse_eager"
+                " == parse.records_out",
+                lazy_hits + eager,
+                parse_out,
             )
 
         solve_in = counter("solve", "records_in")

@@ -24,6 +24,7 @@ from ..skeleton import (
 from ..skeleton.features import (
     Predicate,
     count_predicates,
+    null_comparison_predicates,
     output_columns,
     single_equality_filter,
 )
@@ -70,6 +71,20 @@ class ParsedQuery:
     @property
     def user(self) -> str:
         return self.record.user_key()
+
+    def null_predicate_count(self) -> int:
+        """Number of ``= NULL`` / ``<> NULL`` predicates (the SNC shape).
+
+        Memoised into ``__dict__`` (like :class:`Block`'s id tuples) —
+        the SNC detector asks for every query of every block.  The lazy
+        subclass answers from its interned entry without building the
+        AST; this eager default derives it from :attr:`select`.
+        """
+        count = self.__dict__.get("_null_predicates")
+        if count is None:
+            count = len(null_comparison_predicates(self.select))
+            self.__dict__["_null_predicates"] = count
+        return count
 
     @classmethod
     def from_statement(

@@ -24,7 +24,6 @@ live on the returned :class:`PipelineResult`.
 
 from __future__ import annotations
 
-import dataclasses
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
@@ -47,7 +46,7 @@ from ..patterns.models import Block, ParsedQuery
 from ..patterns.registry import PatternRegistry
 from ..patterns.sws import SwsReport, detect_sws
 from ..rewrite.solver import SolveResult, remove, solve
-from ..skeleton.cache import TemplateCache
+from ..skeleton.cache import LazyParsedQuery, TemplateCache, rebind_query
 from ..skeleton.interner import TemplateInterner
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
@@ -56,6 +55,14 @@ from .statistics import Overview, census_by_label
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from .parallel import ParallelStats
     from .streaming import StreamingStats
+
+
+#: Records per memo window in :func:`parse_log` — repeated statement
+#: texts inside a window resolve through one dict probe instead of a
+#: cache fetch + interner check.  Matches the shard codec's chunk-memo
+#: scale; cleared (not LRU-evicted) at the boundary so the dict never
+#: grows past the window.
+_PARSE_MEMO_CHUNK = 4096
 
 
 @dataclass
@@ -183,6 +190,18 @@ def parse_log(
     against the interner even on a cache hit — a prewarmed or pickled
     :class:`~repro.skeleton.cache.TemplateCache` may carry ids from a
     *previous* run's interner, which must never leak into this one.
+    (Exception: a per-chunk memo of *emitted* outcomes lets records that
+    repeat a statement text within the chunk skip the cache probe and
+    the interner check — the first occurrence in the chunk already
+    verified its id against this run's interner, and an interner never
+    forgets an id within a run.)
+
+    A *lazy* cache (``TemplateCache(lazy=True)``) makes fingerprint hits
+    emit :class:`~repro.skeleton.cache.LazyParsedQuery` objects that
+    defer the splice and the AST until a downstream consumer actually
+    touches them; the count of lazy emissions is booked as
+    ``parse_lazy_hits`` (with ``parse_eager`` its complement, so
+    ``parse_lazy_hits + parse_eager == records_out`` is a ledger law).
     """
     recorder = recorder or NULL
     result = ParseStageResult()
@@ -193,43 +212,66 @@ def parse_log(
         base_hits = cache.hits
         base_misses = cache.misses
         base_evictions = cache.evictions
+    lazy_emitted = 0
     with recorder.span("parse"):
         #: sql text -> prototype ParsedQuery, or an (error, reason) pair
         #: (only consulted when no TemplateCache was provided).
         exact: dict = {}
+        #: sql text -> this run's emitted outcome (query with verified
+        #: interned_id, or failure tuple); bounded by clearing whenever
+        #: it reaches the chunk size, so it stays hot-loop small while
+        #: still short-circuiting the heavy repetition real logs show.
+        memo: dict = {}
+        memo_get = memo.get
         intern = interner.intern
         append_query = result.queries.append
         for record in log:
-            if cache is not None:
-                cached = cache.fetch(record)
-            else:
-                cached = exact.get(record.sql)
-            if cached is None:
-                try:
-                    statement = parse(record.sql)
-                    cached = ParsedQuery.from_statement(
-                        record,
-                        statement,
-                        fold_variables=fold_variables,
-                        strict_triple=strict_triple,
-                        interner=interner,
-                    )
-                except SqlError as error:
-                    cached = (error, PARSE_ERROR)
-                except RecursionError:
-                    # Pathologically deep expressions (hundreds of nested
-                    # conjuncts) exceed the tree-walker capacity; classify
-                    # them like any other unprocessable statement instead
-                    # of crashing the run.
-                    cached = (
-                        SqlError("statement exceeds supported nesting depth"),
-                        NESTING_DEPTH,
-                    )
+            sql = record.sql
+            cached = memo_get(sql)
+            memo_hit = cached is not None
+            if memo_hit:
                 if cache is not None:
-                    cache.store(record.sql, cached)
+                    # The memo shortcut stands in for a cache probe that
+                    # would have hit; book it so the cache's
+                    # hits + misses == records_in ledger law survives.
+                    cache.hits += 1
+            else:
+                if cache is not None:
+                    cached = cache.fetch(record)
                 else:
-                    exact[record.sql] = cached
+                    cached = exact.get(sql)
+                if cached is None:
+                    try:
+                        statement = parse(sql)
+                        cached = ParsedQuery.from_statement(
+                            record,
+                            statement,
+                            fold_variables=fold_variables,
+                            strict_triple=strict_triple,
+                            interner=interner,
+                        )
+                    except SqlError as error:
+                        cached = (error, PARSE_ERROR)
+                    except RecursionError:
+                        # Pathologically deep expressions (hundreds of
+                        # nested conjuncts) exceed the tree-walker
+                        # capacity; classify them like any other
+                        # unprocessable statement instead of crashing.
+                        cached = (
+                            SqlError(
+                                "statement exceeds supported nesting depth"
+                            ),
+                            NESTING_DEPTH,
+                        )
+                    if cache is not None:
+                        cache.store(sql, cached)
+                    else:
+                        exact[sql] = cached
+                if len(memo) >= _PARSE_MEMO_CHUNK:
+                    memo.clear()
             if isinstance(cached, tuple):
+                if not memo_hit:
+                    memo[sql] = cached
                 error, reason = cached
                 if isinstance(error, UnsupportedStatementError):
                     result.non_select.append(record)
@@ -240,21 +282,14 @@ def parse_log(
                 else:
                     result.syntax_errors.append((record, str(error)))
                 continue
-            interned_id = intern(cached.template_id)
-            if cached.record is record:
-                if cached.interned_id != interned_id:
-                    cached = dataclasses.replace(
-                        cached, interned_id=interned_id
-                    )
-                append_query(cached)
-            elif cached.interned_id == interned_id:
-                append_query(dataclasses.replace(cached, record=record))
+            if memo_hit:
+                query = rebind_query(cached, record, cached.interned_id)
             else:
-                append_query(
-                    dataclasses.replace(
-                        cached, record=record, interned_id=interned_id
-                    )
-                )
+                query = rebind_query(cached, record, intern(cached.template_id))
+                memo[sql] = query
+            if type(query) is LazyParsedQuery:
+                lazy_emitted += 1
+            append_query(query)
     recorder.count(
         "parse",
         "records_in",
@@ -264,6 +299,8 @@ def parse_log(
         + len(result.quarantined),
     )
     recorder.count("parse", "records_out", len(result.queries))
+    recorder.count("parse", "parse_lazy_hits", lazy_emitted)
+    recorder.count("parse", "parse_eager", len(result.queries) - lazy_emitted)
     recorder.count("parse", "syntax_errors", len(result.syntax_errors))
     recorder.count("parse", "non_select", len(result.non_select))
     recorder.count("parse", "records_quarantined", len(result.quarantined))
@@ -296,7 +333,9 @@ def parse_stage(
     """
     execution = config.execution
     if cache is None and execution.parse_cache:
-        cache = TemplateCache(execution.parse_cache_size)
+        cache = TemplateCache(
+            execution.parse_cache_size, lazy=execution.lazy_parse
+        )
     return parse_log(
         log,
         fold_variables=config.fold_variables,
@@ -567,11 +606,20 @@ class CleaningPipeline:
         recorder.ensure_counters()
         channel = QuarantineChannel()
         interner = TemplateInterner()
+        execution = config.execution
+        # The cache is created here (not inside parse_stage) so the run
+        # can read back how many lazy queries the *downstream* stages
+        # forced to materialise, once they have all executed.
+        cache = (
+            TemplateCache(execution.parse_cache_size, lazy=execution.lazy_parse)
+            if execution.parse_cache
+            else None
+        )
 
         validated = validate_stage(log, config, recorder, channel)
         dedup = dedup_stage(validated, config, recorder)
         parse_result = parse_stage(
-            dedup.log, config, recorder, channel, interner=interner
+            dedup.log, config, recorder, channel, cache=cache, interner=interner
         )
         mining = mine_stage(parse_result.queries, config, recorder)
         antipatterns = detect_stage(mining.blocks, config, recorder)
@@ -581,6 +629,8 @@ class CleaningPipeline:
         solve_result = solve_stage(
             parse_result.parsed_log, antipatterns, recorder
         )
+        if cache is not None:
+            recorder.count("parse", "parse_materialised", cache.materialised)
 
         return PipelineResult(
             config=config,

@@ -376,6 +376,11 @@ def _process_parse_cache(config: PipelineConfig) -> Optional[TemplateCache]:
             cache = TemplateCache(execution.parse_cache_size)
         _WORKER_CACHE = cache
         _WORKER_CACHE_KEY = key
+    # The lazy knob is not part of the cache key — the same entries
+    # serve both modes — but a persistent cache must follow the current
+    # run's setting (set_lazy also purges lazily-bound L1 values when
+    # turning the fast path off).
+    _WORKER_CACHE.set_lazy(execution.lazy_parse)
     return _WORKER_CACHE
 
 
@@ -414,6 +419,16 @@ def _clean_shard_log(
     recorder = Recorder()
     channel = QuarantineChannel()
     interner = TemplateInterner()
+    execution = config.execution
+    # Create the cache here (not inside parse_stage) so this shard can
+    # book how many of its lazy queries the downstream stages forced to
+    # materialise.  A passed-in cache is the worker's persistent one —
+    # its materialised counter spans runs, hence the baseline delta.
+    if cache is None and execution.parse_cache:
+        cache = TemplateCache(
+            execution.parse_cache_size, lazy=execution.lazy_parse
+        )
+    base_materialised = cache.materialised if cache is not None else 0
 
     validated = validate_stage(shard_log, config, recorder, channel)
     dedup = dedup_stage(validated, config, recorder)
@@ -423,6 +438,12 @@ def _clean_shard_log(
     mining = mine_stage(parsed.queries, config, recorder)
     antipatterns = detect_stage(mining.blocks, config, recorder)
     solve_result = solve_stage(parsed.parsed_log, antipatterns, recorder)
+    if cache is not None:
+        recorder.count(
+            "parse",
+            "parse_materialised",
+            cache.materialised - base_materialised,
+        )
     timings = StageTimings.from_metrics(recorder.metrics)
 
     clean_records = solve_result.log.records()
@@ -443,6 +464,8 @@ def _clean_shard_log(
         parse_cache_hits=parse_counters.get("parse_cache_hits", 0),
         parse_cache_misses=parse_counters.get("parse_cache_misses", 0),
         parse_cache_evictions=parse_counters.get("parse_cache_evictions", 0),
+        parse_lazy_hits=parse_counters.get("parse_lazy_hits", 0),
+        parse_materialised=parse_counters.get("parse_materialised", 0),
         interner_size=len(interner),
     )
     return ShardReport(

@@ -42,7 +42,7 @@ from ..log.dedup import normalize_statement_text
 from ..log.models import LogRecord, QueryLog
 from ..obs import Recorder
 from ..patterns.models import Block, ParsedQuery
-from ..skeleton.cache import TemplateCache
+from ..skeleton.cache import LazyParsedQuery, TemplateCache, rebind_query
 from ..skeleton.interner import TemplateInterner
 from ..sqlparser import SqlError, UnsupportedStatementError, parse
 from .config import PipelineConfig
@@ -74,6 +74,11 @@ class StreamingStats:
     parse_cache_hits: int = 0
     parse_cache_misses: int = 0
     parse_cache_evictions: int = 0
+    #: queries emitted as lazy skeleton binds (``lazy_parse`` fast path).
+    parse_lazy_hits: int = 0
+    #: lazy queries a downstream consumer forced to materialise
+    #: (mirrored from the cache's counter at every flush).
+    parse_materialised: int = 0
     #: distinct template fingerprints the run's interner assigned ids to
     #: (mirrored from the :class:`~repro.skeleton.interner
     #: .TemplateInterner` at every counter flush).
@@ -100,6 +105,8 @@ class StreamingStats:
         self.parse_cache_hits += other.parse_cache_hits
         self.parse_cache_misses += other.parse_cache_misses
         self.parse_cache_evictions += other.parse_cache_evictions
+        self.parse_lazy_hits += other.parse_lazy_hits
+        self.parse_materialised += other.parse_materialised
         # Like the cache counters this sums per-shard distinct counts
         # (shards intern independently); the folded run-level dictionary
         # lives in ParallelStats.interner.
@@ -165,7 +172,9 @@ class StreamingCleaner:
         # open table when the clock actually passes that deadline.
         execution = self.config.execution
         self._parse_cache: Optional[TemplateCache] = (
-            TemplateCache(execution.parse_cache_size)
+            TemplateCache(
+                execution.parse_cache_size, lazy=execution.lazy_parse
+            )
             if execution.parse_cache
             else None
         )
@@ -186,6 +195,7 @@ class StreamingCleaner:
         self._cache_base_hits = 0
         self._cache_base_misses = 0
         self._cache_base_evictions = 0
+        self._cache_base_materialised = 0
 
     # ------------------------------------------------------------------
     # Stages
@@ -241,10 +251,12 @@ class StreamingCleaner:
             return None
         # Verify the id against *this* run's interner even on a cache
         # hit — a prewarmed cache may carry another run's ids.
-        interned_id = self._intern(cached.template_id)
-        if cached.interned_id != interned_id:
-            cached = replace(cached, interned_id=interned_id)
-        return cached
+        query = rebind_query(
+            cached, record, self._intern(cached.template_id)
+        )
+        if type(query) is LazyParsedQuery:
+            self.stats.parse_lazy_hits += 1
+        return query
 
     def _full_parse(self, record: LogRecord):
         """Full parse of one record: a bound ParsedQuery, or the
@@ -430,6 +442,9 @@ class StreamingCleaner:
             self.stats.parse_cache_evictions = (
                 self._cache_base_evictions + cache.evictions
             )
+            self.stats.parse_materialised = (
+                self._cache_base_materialised + cache.materialised
+            )
         # Same mirroring for the interner's dictionary size.
         self.stats.interner_size = len(self._interner)
         if not recorder.enabled:
@@ -450,11 +465,16 @@ class StreamingCleaner:
         recorder.count("dedup", "records_out", dedup_in - duplicates)
         recorder.count("dedup", "duplicates_removed", duplicates)
         parse_in = dedup_in - duplicates
+        parse_out = parse_in - syntax_errors - non_select - parse_quarantined
+        lazy_hits = stats.parse_lazy_hits - flushed.parse_lazy_hits
         recorder.count("parse", "records_in", parse_in)
+        recorder.count("parse", "records_out", parse_out)
+        recorder.count("parse", "parse_lazy_hits", lazy_hits)
+        recorder.count("parse", "parse_eager", parse_out - lazy_hits)
         recorder.count(
             "parse",
-            "records_out",
-            parse_in - syntax_errors - non_select - parse_quarantined,
+            "parse_materialised",
+            stats.parse_materialised - flushed.parse_materialised,
         )
         recorder.count("parse", "syntax_errors", syntax_errors)
         recorder.count("parse", "non_select", non_select)
@@ -520,6 +540,7 @@ class StreamingCleaner:
                 self.stats.parse_cache_hits,
                 self.stats.parse_cache_misses,
                 self.stats.parse_cache_evictions,
+                self.stats.parse_materialised,
             ],
             "quarantine": self.quarantine.to_state(),
         }
@@ -549,6 +570,11 @@ class StreamingCleaner:
         self._cache_base_hits = baseline[0]  # type: ignore[index]
         self._cache_base_misses = baseline[1]  # type: ignore[index]
         self._cache_base_evictions = baseline[2]  # type: ignore[index]
+        # Checkpoints written before the lazy fast path carry a
+        # 3-element baseline; those runs never materialised anything.
+        self._cache_base_materialised = (
+            baseline[3] if len(baseline) > 3 else 0  # type: ignore[index, arg-type]
+        )
         self.quarantine = QuarantineChannel.from_state(state["quarantine"])  # type: ignore[arg-type]
         self._open = {}
         self._open_count = 0

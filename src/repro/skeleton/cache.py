@@ -19,6 +19,23 @@ short-circuits that with a two-level bounded LRU keyed by the lexer's
   literal-substitution rebuild of the AST; the template, template id,
   predicate count and output set are shared (interned) from the
   prototype, because they are functions of the token structure alone.
+* **Raw-template memo (L1.5)** — constant-stripped raw text → a
+  *witness-verified* L2 entry.  Workloads like SkyServer's collapse to
+  a few dozen raw templates, so once a template's first member has paid
+  for a full fingerprint scan, later members skip the scanner entirely:
+  a single cheap regex pass strips the literals and one dict probe
+  binds them to the interned entry.  Admission is per raw key and only
+  happens when the regex strip provably reproduced the scanner — the
+  witness's literal spans must equal the scanner's token spans
+  position for position (see :func:`_raw_scan`); anything else marks
+  the raw key unsafe and members keep taking the scanner path.
+
+In **lazy mode** (``TemplateCache(lazy=True)`` — parse engine v2) an L2
+hit skips even the AST rebuild: it emits a :class:`LazyParsedQuery`
+carrying only the interned skeleton and the member's constant vector,
+and the AST / clause texts / equality filter materialise on first
+access.  Mining, registry and detection run on the shared skeleton
+fields, so a typical run never builds most members' ASTs at all.
 
 Correctness rests on one invariant and one escape hatch:
 
@@ -48,8 +65,18 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..patterns.models import ParsedQuery
 from ..sqlparser import ast_nodes as ast
-from ..sqlparser.lexer import StatementFingerprint, fingerprint_statement
-from .features import single_equality_filter
+from ..sqlparser.lexer import (
+    _FP_NUMBER,
+    _FP_STRING,
+    _FP_UNSAFE,
+    StatementFingerprint,
+    fingerprint_statement,
+)
+from .features import (
+    Predicate,
+    null_comparison_predicates,
+    single_equality_filter,
+)
 from .template import ClauseTexts, _clause_strings, _leading_select, normalize_case
 
 #: Default bound of each cache level (distinct texts / distinct keys).
@@ -181,26 +208,271 @@ def _render_constant(kind: str, value: str) -> str:
     return "'" + value.replace("'", "''") + "'"
 
 
-class _Entry:
-    """One interned fingerprint-key class: prototype + splice templates."""
+def _collect_literal_nodes(value: object, out: List[ast.Literal]) -> None:
+    """Append the subtree's number/string literal *nodes* in source order.
 
-    __slots__ = ("proto", "constants", "splices")
+    Same traversal as :func:`_collect_value`, but keeping the node
+    objects so positions can be matched by identity.
+    """
+    if isinstance(value, ast.Literal):
+        if value.kind == "number" or value.kind == "string":
+            out.append(value)
+    elif isinstance(value, ast.Node):
+        for name in _source_fields(type(value)):
+            _collect_literal_nodes(getattr(value, name), out)
+    elif type(value) is tuple:
+        for item in value:
+            if isinstance(item, ast.Node):
+                _collect_literal_nodes(item, out)
+
+
+class _LazyStats:
+    """Shared mutable materialisation counter of one cache.
+
+    Lazy queries outlive their ``fetch`` call, so the count of on-demand
+    AST builds cannot live on the cache's hot counters alone — each lazy
+    query carries a reference to this object and bumps it whenever its
+    statement is materialised, wherever in the pipeline that happens.
+    """
+
+    __slots__ = ("materialised",)
+
+    def __init__(self) -> None:
+        self.materialised = 0
+
+
+#: Predicate-binding descriptors precomputed per entry (see
+#: :func:`_equality_binding`).
+_EQ_SHARED = "shared"
+_EQ_INDEXED = "indexed"
+_EQ_MATERIALISE = "materialise"
+
+
+class LazyParsedQuery(ParsedQuery):
+    """A skeleton-only :class:`ParsedQuery` bound to an interned entry.
+
+    Emitted by the cache on an L2 hit in lazy mode: only the fields the
+    post-parse stages actually touch (record, template, template id,
+    predicate count, outputs, interned id) are populated eagerly — the
+    AST (``statement`` / ``select``), the clause texts and the equality
+    filter materialise on first access via :meth:`__getattr__`:
+
+    * ``clauses`` renders from the entry's splice templates — no AST;
+    * ``equality_filter`` rebinds the prototype's predicate to this
+      query's constant — no AST;
+    * ``statement`` / ``select`` run the full literal substitution over
+      the prototype AST and bump the cache's ``materialised`` counter.
+
+    Instances compare equal (both directions) and hash identically to
+    the eager :class:`ParsedQuery` they stand in for; comparing forces
+    materialisation.  They are built by :meth:`_Entry.bind` via
+    ``object.__new__`` — never through the dataclass ``__init__`` — so a
+    bind is one dict copy, cheaper even than ``dataclasses.replace``.
+    """
+
+    __eq_fields__ = (
+        "record",
+        "statement",
+        "select",
+        "template",
+        "template_id",
+        "clauses",
+        "predicate_count",
+        "equality_filter",
+        "outputs",
+    )
+
+    def __getattr__(self, name: str):
+        if name == "statement" or name == "select":
+            self._materialise()
+            return self.__dict__[name]
+        if name == "clauses":
+            return self._bind_clauses()
+        if name == "equality_filter":
+            return self._bind_equality_filter()
+        raise AttributeError(name)
+
+    # ------------------------------------------------------------------
+    # On-demand binds (cached straight into ``__dict__`` — the one
+    # mutation a frozen dataclass allows, exactly like Block's memos)
+
+    def _materialise(self) -> None:
+        d = self.__dict__
+        entry: _Entry = d["_entry"]
+        constants = d["_constants"]
+        proto = entry.proto
+        if constants == entry.constants:
+            statement = proto.statement
+            select = proto.select
+        else:
+            state = [0]
+            statement = _substitute_value(proto.statement, constants, state)
+            select = statement
+            while isinstance(select, ast.Union):
+                select = select.left
+        d["statement"] = statement
+        d["select"] = select
+        d["_stats"].materialised += 1
+
+    def _bind_clauses(self) -> ClauseTexts:
+        d = self.__dict__
+        entry: _Entry = d["_entry"]
+        constants = d["_constants"]
+        if constants == entry.constants:
+            clauses = entry.proto.clauses
+        else:
+            rendered = [_render_constant(k, v) for k, v in constants]
+            splices = entry.splices
+            clauses = ClauseTexts(
+                sc=_render_splice(splices[0], rendered),
+                fc=_render_splice(splices[1], rendered),
+                wc=_render_splice(splices[2], rendered),
+            )
+        d["clauses"] = clauses
+        return clauses
+
+    def _bind_equality_filter(self) -> Optional[Predicate]:
+        d = self.__dict__
+        entry: _Entry = d["_entry"]
+        binding = entry.eq
+        proto_pred = entry.proto.equality_filter
+        if binding is None:
+            result: Optional[Predicate] = None
+        elif binding[0] == _EQ_SHARED:
+            result = proto_pred
+        elif binding[0] == _EQ_INDEXED:
+            index, on_left = binding[1], binding[2]
+            constants = d["_constants"]
+            kind, text = constants[index]
+            if constants[index] == entry.constants[index]:
+                result = proto_pred
+            else:
+                literal = ast.Literal(text, kind)
+                if on_left:
+                    node = dataclasses.replace(proto_pred.node, left=literal)
+                else:
+                    node = dataclasses.replace(proto_pred.node, right=literal)
+                result = Predicate(
+                    theta=proto_pred.theta,
+                    column=proto_pred.column,
+                    value=literal,
+                    node=node,
+                    compares_null=proto_pred.compares_null,
+                )
+        else:  # _EQ_MATERIALISE — paranoia fallback: build the AST
+            result = single_equality_filter(self.select)
+        d["equality_filter"] = result
+        return result
+
+    def null_predicate_count(self) -> int:
+        # Constant-independent (NULL is a keyword literal, never a
+        # number/string constant), so the entry's precompute is exact.
+        return self.__dict__["_entry"].nulls
+
+    # ------------------------------------------------------------------
+    # Equality across the lazy/eager divide.  The generated dataclass
+    # __eq__ requires identical classes; here any ParsedQuery with equal
+    # parse semantics must compare equal (Python tries the subclass's
+    # reflected operator first, so eager == lazy routes here too).
+
+    def __eq__(self, other: object):
+        if isinstance(other, ParsedQuery):
+            for name in self.__eq_fields__:
+                if getattr(self, name) != getattr(other, name):
+                    return False
+            return True
+        return NotImplemented
+
+    def __ne__(self, other: object):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        return hash(tuple(getattr(self, name) for name in self.__eq_fields__))
+
+
+def rebind_query(
+    query: ParsedQuery, record, interned_id: int
+) -> ParsedQuery:
+    """Bind a cached query to a new record / interned id.
+
+    The lazy path's replacement for ``dataclasses.replace``: a
+    cache-built :class:`LazyParsedQuery` is cloned by copying its
+    ``__dict__`` (unmaterialised fields stay unmaterialised — neither
+    depends on the record); anything else takes the classic dataclass
+    copy.
+    """
+    if type(query) is LazyParsedQuery and "_entry" in query.__dict__:
+        state = query.__dict__
+        if state["record"] is record and state["interned_id"] == interned_id:
+            return query
+        clone = object.__new__(LazyParsedQuery)
+        state = dict(state)
+        state["record"] = record
+        state["interned_id"] = interned_id
+        object.__setattr__(clone, "__dict__", state)
+        return clone
+    if query.record is record:
+        if query.interned_id == interned_id:
+            return query
+        return dataclasses.replace(query, interned_id=interned_id)
+    if query.interned_id == interned_id:
+        return dataclasses.replace(query, record=record)
+    return dataclasses.replace(query, record=record, interned_id=interned_id)
+
+
+class _Entry:
+    """One interned fingerprint-key class: prototype + splice templates.
+
+    Beyond the prototype itself the entry precomputes everything a lazy
+    bind needs without touching the AST: the shared eager-field dict
+    (:attr:`shared`), the equality-filter binding descriptor
+    (:attr:`eq`) and the NULL-comparison predicate count
+    (:attr:`nulls`).
+    """
+
+    __slots__ = ("proto", "constants", "splices", "eq", "nulls", "shared")
 
     def __init__(
         self,
         proto: ParsedQuery,
         constants: Tuple[Tuple[str, str], ...],
         splices: Tuple[_Splice, _Splice, _Splice],
+        eq: Optional[tuple],
+        nulls: int,
     ) -> None:
         self.proto = proto
         self.constants = constants
         self.splices = splices
+        self.eq = eq
+        self.nulls = nulls
+        self.shared = {
+            "template": proto.template,
+            "template_id": proto.template_id,
+            "predicate_count": proto.predicate_count,
+            "outputs": proto.outputs,
+            "interned_id": proto.interned_id,
+        }
+
+    def bind(self, record, constants, stats: _LazyStats) -> LazyParsedQuery:
+        """One lazy bind: a dict copy, no AST, no splice render."""
+        query = object.__new__(LazyParsedQuery)
+        state = self.shared.copy()
+        state["record"] = record
+        state["_entry"] = self
+        state["_constants"] = constants
+        state["_stats"] = stats
+        object.__setattr__(query, "__dict__", state)
+        return query
 
     def __getstate__(self):
-        return (self.proto, self.constants, self.splices)
+        return (self.proto, self.constants, self.splices, self.eq, self.nulls)
 
     def __setstate__(self, state):
-        self.proto, self.constants, self.splices = state
+        proto, constants, splices, eq, nulls = state
+        self.__init__(proto, constants, splices, eq, nulls)
 
 
 class _UnsafeMarker:
@@ -218,6 +490,39 @@ def _unsafe_marker() -> "_UnsafeMarker":
 
 
 _UNSAFE = _UnsafeMarker()
+
+
+def _equality_binding(proto: ParsedQuery) -> Optional[tuple]:
+    """Describe how a member's equality filter derives from the proto's.
+
+    The filter's *shape* is a function of the fingerprint key alone
+    (substitution never changes which nodes are literals), so per member
+    only the constant value can differ:
+
+    * ``None`` — the prototype has no single-equality filter, so no
+      member of the key class does either;
+    * ``(_EQ_SHARED,)`` — the filter's value is not a substituted
+      literal kind (e.g. ``= NULL``): the prototype's predicate is
+      every member's predicate;
+    * ``(_EQ_INDEXED, i, on_left)`` — the value is the ``i``-th
+      source-order constant; a member rebinds just that literal;
+    * ``(_EQ_MATERIALISE,)`` — identity lookup failed (should not
+      happen); members fall back to building the AST.
+    """
+    pred = proto.equality_filter
+    if pred is None:
+        return None
+    value = pred.value
+    if value is None or value.kind not in ("number", "string"):
+        return (_EQ_SHARED,)
+    if not isinstance(pred.node, ast.Comparison):
+        return (_EQ_MATERIALISE,)
+    nodes: List[ast.Literal] = []
+    _collect_literal_nodes(proto.statement, nodes)
+    for index, node in enumerate(nodes):
+        if node is value:
+            return (_EQ_INDEXED, index, pred.node.left is value)
+    return (_EQ_MATERIALISE,)
 
 
 def _build_entry(
@@ -256,15 +561,20 @@ def _build_entry(
         or _render_splice(splices[2], rendered) != clauses.wc
     ):
         return None
-    return _Entry(proto, fingerprint.constants, splices)
+    return _Entry(
+        proto,
+        fingerprint.constants,
+        splices,
+        _equality_binding(proto),
+        len(null_comparison_predicates(proto.select)),
+    )
 
 
 def _instantiate(
-    entry: _Entry, fingerprint: StatementFingerprint, record
+    entry: _Entry, constants: Tuple[Tuple[str, str], ...], record
 ) -> ParsedQuery:
     """Materialise the key class's parse for ``record``'s constants."""
     proto = entry.proto
-    constants = fingerprint.constants
     if constants == entry.constants:
         return dataclasses.replace(proto, record=record)
     state = [0]
@@ -297,6 +607,70 @@ def _instantiate(
     )
 
 
+# ----------------------------------------------------------------------
+# Raw-template memo (L1.5): skip the scanner for known raw templates
+#
+# One regex strips number/string literals straight out of the raw text.
+# It deliberately knows nothing about comments, delimited identifiers or
+# variables — instead, admission into the memo requires that the spans
+# it stripped from a witness text equal the fingerprint scanner's
+# literal-token spans *positionally*.  Raw-key equality preserves every
+# non-literal byte, so when the witness aligns, every other member of
+# the raw key tokenizes the same way and the strip is a faithful stand-
+# in for the scan.  A literal the regex sees but the scanner does not
+# (inside a comment or a bracketed identifier), or vice versa (a folded
+# ``- -5``, an ``a.5`` member access), shifts or changes the spans and
+# the raw key is marked unsafe: its members simply keep paying for the
+# full scanner pass.  The guards mirror the scanner's punt conditions —
+# no literal is stripped where the hand lexer would merge it into a
+# word (``abc1``) or reject it (``1abc``).
+_RAW_LITERAL = re.compile(
+    r"'(?:[^']|'')*'"
+    r"|(?<![0-9A-Za-z_\#\$])(?:[0-9]+(?:\.(?!\.)[0-9]*)?|\.[0-9]+)"
+    r"(?:[eE][+-]?[0-9]+)?(?![A-Za-z0-9_\#\$])"
+)
+
+#: ``(raw_key, spans, constants)`` for one statement text, or ``None``
+#: when the text contains control characters the scanner refuses.
+RawTemplate = Tuple[str, Tuple[Tuple[int, int], ...], List[Tuple[str, str]]]
+
+
+def _raw_scan(text: str) -> Optional[RawTemplate]:
+    """Strip literals out of ``text`` in one regex pass.
+
+    The raw key is the text with each stripped literal replaced by its
+    typed placeholder byte (injective: the scanner's control-character
+    refusal, mirrored here, keeps placeholders out of the input).  The
+    constants come back already in the scanner's ``(kind, value)``
+    format — same unquoting, same ``''`` collapse — so a verified raw
+    key can feed :meth:`_Entry.bind` and :func:`_instantiate` directly.
+    """
+    if _FP_UNSAFE.search(text):
+        return None
+    spans: List[Tuple[int, int]] = []
+    constants: List[Tuple[str, str]] = []
+    parts: List[str] = []
+    append = parts.append
+    last = 0
+    for m in _RAW_LITERAL.finditer(text):
+        start, end = m.span()
+        token = text[start:end]
+        if token[0] == "'":
+            constants.append(("string", token[1:-1].replace("''", "'")))
+            append(text[last:start])
+            append(_FP_STRING)
+        else:
+            constants.append(("number", token))
+            append(text[last:start])
+            append(_FP_NUMBER)
+        spans.append((start, end))
+        last = end
+    if not spans:
+        return (text, (), constants)
+    append(text[last:])
+    return ("".join(parts), tuple(spans), constants)
+
+
 #: What the parse loop caches for one statement text: a prototype
 #: ParsedQuery on success, or the (error, reason) pair of a failure.
 CacheResult = Union[ParsedQuery, Tuple[BaseException, str]]
@@ -311,22 +685,68 @@ class TemplateCache:
     shared concurrently.
 
     :param max_entries: LRU bound applied to each level independently.
+    :param lazy: emit :class:`LazyParsedQuery` on L2 hits instead of
+        materialising the AST eagerly (the parse engine v2 fast path).
+        Byte-identical output either way — laziness only changes *when*
+        the AST is built, and :attr:`materialised` counts those deferred
+        builds.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_PARSE_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_PARSE_CACHE_SIZE,
+        lazy: bool = False,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(
                 f"max_entries must be a positive integer, got {max_entries!r}"
             )
         self.max_entries = max_entries
+        self.lazy = lazy
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lazy_stats = _LazyStats()
         self._exact: "OrderedDict[str, CacheResult]" = OrderedDict()
         self._by_key: "OrderedDict[str, object]" = OrderedDict()
-        #: (sql, fingerprint) remembered from the last miss so that the
-        #: store() that follows does not rescan the text.
-        self._pending: Optional[Tuple[str, Optional[StatementFingerprint]]] = None
+        #: raw template key → (entry, fold indexes) once witness-verified,
+        #: or _UNSAFE when the regex strip provably disagrees with the
+        #: scanner for this raw key.
+        self._by_raw: "OrderedDict[str, object]" = OrderedDict()
+        #: (sql, fingerprint, raw) remembered from the last miss so that
+        #: the store() that follows does not rescan the text.
+        self._pending: Optional[
+            Tuple[str, Optional[StatementFingerprint], Optional[RawTemplate]]
+        ] = None
+
+    @property
+    def materialised(self) -> int:
+        """On-demand AST builds performed by lazy queries of this cache.
+
+        A snapshot: lazy queries keep the counter reference, so touching
+        a query's ``statement`` after a run still bumps it.
+        """
+        return self._lazy_stats.materialised
+
+    def set_lazy(self, lazy: bool) -> None:
+        """Switch the emission mode of subsequent fetches.
+
+        Turning laziness *off* also drops lazy values promoted into L1,
+        so an eager run served by a reused (worker-persistent) cache
+        never emits a lazy query.
+        """
+        lazy = bool(lazy)
+        if lazy == self.lazy:
+            return
+        self.lazy = lazy
+        if not lazy:
+            exact = self._exact
+            for sql in [
+                sql
+                for sql, value in exact.items()
+                if type(value) is LazyParsedQuery
+            ]:
+                del exact[sql]
 
     def __len__(self) -> int:
         return len(self._exact)
@@ -354,19 +774,44 @@ class TemplateCache:
                 return cached
             if cached.record is record:
                 return cached
+            if type(cached) is LazyParsedQuery:
+                return rebind_query(cached, record, cached.interned_id)
             return dataclasses.replace(cached, record=record)
+        raw = _raw_scan(sql)
+        if raw is not None:
+            memo = self._by_raw.get(raw[0])
+            if type(memo) is tuple:
+                # Verified raw template: the regex strip stands in for
+                # the scanner.  No L1 promotion — this path is already
+                # one probe, and distinct-text workloads would only
+                # churn the exact level.
+                self._by_raw.move_to_end(raw[0])
+                entry, folds = memo
+                constants = raw[2]
+                for index in folds:
+                    constants[index] = ("number", "-" + constants[index][1])
+                self.hits += 1
+                if self.lazy:
+                    return entry.bind(record, tuple(constants), self._lazy_stats)
+                return _instantiate(entry, tuple(constants), record)
         fingerprint = fingerprint_statement(sql)
         if fingerprint is not None:
             entry = self._by_key.get(fingerprint.key)
             if type(entry) is _Entry:
                 self._by_key.move_to_end(fingerprint.key)
-                result = _instantiate(entry, fingerprint, record)
+                if self.lazy:
+                    result: CacheResult = entry.bind(
+                        record, fingerprint.constants, self._lazy_stats
+                    )
+                else:
+                    result = _instantiate(entry, fingerprint.constants, record)
                 self.hits += 1
+                self._admit_raw(raw, fingerprint, entry)
                 # Promote into L1 so an exact repeat skips the scanner.
                 self._remember_exact(sql, result)
                 return result
         self.misses += 1
-        self._pending = (sql, fingerprint)
+        self._pending = (sql, fingerprint, raw)
         return None
 
     def store(self, sql: str, result: CacheResult) -> None:
@@ -374,22 +819,70 @@ class TemplateCache:
         pending = self._pending
         self._pending = None
         if pending is not None and pending[0] == sql:
-            fingerprint = pending[1]
+            fingerprint, raw = pending[1], pending[2]
         else:
             fingerprint = fingerprint_statement(sql)
+            raw = _raw_scan(sql)
         self._remember_exact(sql, result)
         if fingerprint is None or type(result) is tuple:
             # No usable key, or a failure: failures stay L1-only because
             # their messages carry text-specific line/column positions.
             return
         by_key = self._by_key
-        if fingerprint.key in by_key:
+        entry = by_key.get(fingerprint.key)
+        if entry is None:
+            entry = _build_entry(result, fingerprint)
+            entry = _UNSAFE if entry is None else entry
+            by_key[fingerprint.key] = entry
+            if len(by_key) > self.max_entries:
+                by_key.popitem(last=False)
+                self.evictions += 1
+        self._admit_raw(raw, fingerprint, entry)
+
+    def _admit_raw(
+        self,
+        raw: Optional[RawTemplate],
+        fingerprint: StatementFingerprint,
+        entry: object,
+    ) -> None:
+        """Witness-verify ``raw`` against the scanner and memoise it.
+
+        Admission requires the regex strip and the scanner to have seen
+        exactly the same literals at exactly the same source positions;
+        the only tolerated difference is a unary minus the scanner
+        folded into a number's *value* (its span stays the literal
+        alone), which is recorded as a fold index and replayed on every
+        later bind.  Any other disagreement — or an unsafe L2 entry —
+        pins the raw key to the full scanner path.
+        """
+        if raw is None:
             return
-        entry = _build_entry(result, fingerprint)
-        by_key[fingerprint.key] = _UNSAFE if entry is None else entry
-        if len(by_key) > self.max_entries:
-            by_key.popitem(last=False)
-            self.evictions += 1
+        raw_key, spans, constants = raw
+        by_raw = self._by_raw
+        if raw_key in by_raw:
+            return
+        memo: object = _UNSAFE
+        if type(entry) is _Entry and spans == fingerprint.spans:
+            folds: List[int] = []
+            for index, (pair, scanned) in enumerate(
+                zip(constants, fingerprint.constants)
+            ):
+                if pair == scanned:
+                    continue
+                if (
+                    pair[0] == "number"
+                    and scanned[0] == "number"
+                    and scanned[1] == "-" + pair[1]
+                ):
+                    folds.append(index)
+                    continue
+                folds = None  # type: ignore[assignment]
+                break
+            if folds is not None:
+                memo = (entry, tuple(folds))
+        by_raw[raw_key] = memo
+        if len(by_raw) > self.max_entries:
+            by_raw.popitem(last=False)
 
     def _remember_exact(self, sql: str, result: CacheResult) -> None:
         exact = self._exact
@@ -414,9 +907,17 @@ class TemplateCache:
         ever warm caches serving the same ``(fold_variables,
         strict_triple)`` parse knobs it was built under.
         """
-        clone = TemplateCache(self.max_entries)
-        clone._exact = OrderedDict(self._exact)
+        clone = TemplateCache(self.max_entries, lazy=self.lazy)
+        # Lazy L1 values hold this cache's materialisation counter; a
+        # seeded cache must count its own, so they stay behind (the
+        # interned L2 entry regenerates them on the first key hit).
+        clone._exact = OrderedDict(
+            (sql, value)
+            for sql, value in self._exact.items()
+            if type(value) is not LazyParsedQuery
+        )
         clone._by_key = OrderedDict(self._by_key)
+        clone._by_raw = OrderedDict(self._by_raw)
         return pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
@@ -439,6 +940,7 @@ class TemplateCache:
         cache.hits = 0
         cache.misses = 0
         cache.evictions = 0
+        cache._lazy_stats = _LazyStats()
         cache._pending = None
         if max_entries is not None and max_entries >= 1:
             cache.max_entries = max_entries
@@ -446,4 +948,6 @@ class TemplateCache:
                 cache._exact.popitem(last=False)
             while len(cache._by_key) > max_entries:
                 cache._by_key.popitem(last=False)
+            while len(cache._by_raw) > max_entries:
+                cache._by_raw.popitem(last=False)
         return cache

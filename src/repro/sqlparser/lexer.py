@@ -345,16 +345,24 @@ class StatementFingerprint(NamedTuple):
         keyword case folded, literals replaced by typed placeholders.
         Identifiers and variables are kept verbatim (their case survives
         into formatted output, so folding them would break byte-identical
-        clean logs).
+        clean logs), and delimited identifiers additionally keep their
+        opening delimiter so ``[objid]``, ``"objid"`` and ``objid`` can
+        never share a key.
     :param constants: the literal vector, in token order, as
         ``(kind, value)`` pairs with ``kind`` in ``{'number', 'string'}``
         and ``value`` exactly what the parser's :class:`Literal` would
         carry (numbers keep source text, a folded unary minus included;
         strings are unquoted with ``''`` collapsed).
+    :param spans: the ``(start, end)`` source position of each literal
+        token, parallel to ``constants``.  A folded unary minus is *not*
+        part of its number's span — the span is the literal token alone,
+        which lets the cache's raw-template memo prove positionally that
+        a cheap regex strip extracted exactly the scanner's literals.
     """
 
     key: str
     constants: Tuple[Tuple[str, str], ...]
+    spans: Tuple[Tuple[int, int], ...] = ()
 
 
 def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
@@ -369,8 +377,10 @@ def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
         return None
     parts: List[str] = []
     constants: List[Tuple[str, str]] = []
+    spans: List[Tuple[int, int]] = []
     append = parts.append
     add_constant = constants.append
+    add_span = spans.append
     match = _FP_TOKEN.match
     keyword_cases = _KEYWORD_CASES
     pos = 0
@@ -401,6 +411,7 @@ def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
                 pending_minus = False
             else:
                 add_constant(("number", token_text))
+            add_span((m.start(), end))
             append(_FP_NUMBER)
             unary_next = False
         elif group == "word":
@@ -439,6 +450,7 @@ def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
                 append("-")
                 pending_minus = False
             add_constant(("string", token_text[1:-1].replace("''", "'")))
+            add_span((m.start(), end))
             append(_FP_STRING)
             unary_next = False
         elif group == "var":
@@ -451,9 +463,17 @@ def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
             if pending_minus:
                 append("-")
                 pending_minus = False
-            append(_FP_IDENT + token_text[1:-1])
+            # The delimiter kind is part of the key: ``[objid]``,
+            # ``"objid"`` and ``objid`` parse to the same AST today, but
+            # folding them onto one key would splice one form's text
+            # against another form's prototype.  Keeping the opening
+            # delimiter is injective — a bare word can never start with
+            # ``[`` or ``"``, so the three forms occupy disjoint keys.
+            append(_FP_IDENT + token_text[0] + token_text[1:-1])
             unary_next = False
         pos = end
     if pending_minus:
         append("-")
-    return StatementFingerprint(_FP_SEP.join(parts), tuple(constants))
+    return StatementFingerprint(
+        _FP_SEP.join(parts), tuple(constants), tuple(spans)
+    )

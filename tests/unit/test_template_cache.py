@@ -189,6 +189,58 @@ class TestUnsafeFallback:
         assert clone.hits == cache.hits + 1
 
 
+class TestRawTemplateMemo:
+    """The L1.5 raw-template memo: scanner-free binds, verified once."""
+
+    def warmed(self, proto_sql):
+        cache = TemplateCache()
+        proto = record(proto_sql, seq=0)
+        assert cache.fetch(proto) is None
+        cache.store(proto.sql, full_parse(proto))
+        return cache
+
+    def test_members_bind_without_the_scanner(self):
+        cache = self.warmed("SELECT a FROM t WHERE b = 1 AND n = 'x'")
+        # Admission happened at store time: one verified raw template.
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is tuple
+        member = record("SELECT a FROM t WHERE b = 972 AND n = 'o''k'", seq=1)
+        hit = cache.fetch(member)
+        assert hit == full_parse(member)
+        assert hit.clauses == full_parse(member).clauses
+        assert cache.hits == 1
+
+    def test_folded_unary_minus_is_replayed(self):
+        cache = self.warmed("SELECT a FROM t WHERE dec > -5.5 AND ra < 2")
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is tuple and memo[1] == (0,)  # fold at index 0
+        member = record("SELECT a FROM t WHERE dec > -7e-1 AND ra < 9", seq=1)
+        assert cache.fetch(member) == full_parse(member)
+
+    def test_literal_in_comment_marks_raw_key_unsafe(self):
+        # The strip regex sees `5` inside the comment; the scanner does
+        # not — the spans disagree, so the raw key must never be served.
+        cache = self.warmed("SELECT a FROM t WHERE b = 1 /* top 5 */")
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is not tuple
+        member = record("SELECT a FROM t WHERE b = 2 /* top 5 */", seq=1)
+        assert cache.fetch(member) == full_parse(member)
+
+    def test_raw_memo_respects_the_lru_bound(self):
+        cache = TemplateCache(2)
+        for i, sql in enumerate(
+            [
+                "SELECT a FROM t WHERE b = 1",
+                "SELECT c FROM u WHERE d = 2",
+                "SELECT e FROM v WHERE f = 3",
+            ]
+        ):
+            rec = record(sql, seq=i)
+            assert cache.fetch(rec) is None
+            cache.store(rec.sql, full_parse(rec))
+        assert len(cache._by_raw) == 2
+
+
 STATEMENTS = [
     "SELECT a, b FROM t WHERE a = 0 AND b >= 3",
     "SELECT a, b FROM t WHERE a = 7 AND b >= 900",
