@@ -66,6 +66,8 @@ STAGE_COUNTERS = {
         "parse_lazy_hits",
         "parse_eager",
         "parse_materialised",
+        "parse_cold",
+        "parse_dict_preloaded",
         "interner_size",
     ),
     "mine": ("queries_in", "blocks", "pattern_instances", "periodic_runs"),
@@ -95,6 +97,10 @@ STAGE_COUNTERS = {
 #: out lazy (and how many of those later materialise) depends on which
 #: records each cache instance saw first, so only the ledger-local law
 #: ``parse_lazy_hits + parse_eager == records_out`` is portable.
+#: ``parse_cold`` rides with the cache misses it mirrors, and
+#: ``parse_dict_preloaded`` with how many cache instances a dictionary
+#: was preloaded into (one for batch/streaming, one per worker for
+#: parallel).
 EXECUTOR_DEPENDENT_COUNTERS = {
     "parse": frozenset(
         {
@@ -104,6 +110,8 @@ EXECUTOR_DEPENDENT_COUNTERS = {
             "parse_lazy_hits",
             "parse_eager",
             "parse_materialised",
+            "parse_cold",
+            "parse_dict_preloaded",
             "interner_size",
         }
     ),
@@ -311,6 +319,9 @@ class PipelineMetrics:
         * lazy parse (when the counters exist): ``parse_lazy_hits +
           parse_eager == parse.records_out`` — every emitted query is
           either a lazy skeleton bind or a fully materialised parse.
+        * cold parse (when the cache ran and the counter exists):
+          ``parse_cold == parse_cache_misses`` — every cache miss goes
+          through the full parser exactly once.
         * hand-offs: validate out == dedup in, dedup out == parse in,
           parse out == mine in == solve in.
         """
@@ -373,6 +384,16 @@ class PipelineMetrics:
                 " == parse.records_in",
                 cache_hits + cache_misses,
                 parse_in,
+            )
+
+        cold = counter("parse", "parse_cold")
+        if cache_hits + cache_misses and cold is not None:
+            # Ledgers from before parse engine v3 have no parse_cold
+            # counter; the law binds only when both sides were booked.
+            check(
+                "cold-parse: parse_cold == parse_cache_misses",
+                cold,
+                cache_misses,
             )
 
         lazy_hits = counter("parse", "parse_lazy_hits") or 0

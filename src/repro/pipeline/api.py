@@ -57,6 +57,7 @@ def clean(
     parse_cache: Optional[bool] = None,
     lazy_parse: Optional[bool] = None,
     transfer: Optional[str] = None,
+    template_dict: Optional[Union[str, Path]] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
 ) -> PipelineResult:
@@ -90,6 +91,15 @@ def clean(
         to attach to.  Byte-identical output either way; only transfer
         cost and the merge-stage ``bytes_shipped`` / ``shm_segments``
         counters change.  Ignored by batch and streaming runs.
+    :param template_dict: overrides the execution config's
+        ``template_dict`` path for this call — a persistent template
+        dictionary sidecar the run preloads its parse cache from and
+        (batch / streaming) re-saves on finish.  Witnesses are
+        re-parsed through the run's own cold path, so a stale or
+        corrupt dictionary can only cost speed, never output.  When no
+        dictionary is configured and ``log`` is a columnar store, the
+        store's own template witnesses warm the run instead (stores
+        remember every template they have interned).
     :param recorder: observability recorder
         (:class:`repro.obs.Recorder`).  By default a fresh one is
         created, so ``result.metrics`` always carries the run's
@@ -126,7 +136,7 @@ def clean(
         clean_log = result.clean_log
         result.metrics.as_dict()          # per-stage counters + timings
     """
-    from ..store.sources import LogSource, as_source
+    from ..store.sources import ColumnarSource, LogSource, as_source
 
     effective = config or PipelineConfig()
     if execution is not None:
@@ -147,6 +157,13 @@ def clean(
         effective = replace(
             effective,
             execution=replace(effective.execution, transfer=transfer),
+        )
+    if template_dict is not None:
+        effective = replace(
+            effective,
+            execution=replace(
+                effective.execution, template_dict=str(template_dict)
+            ),
         )
     active = Recorder() if recorder is None else recorder
     metrics = active.metrics if active.enabled else None
@@ -177,11 +194,25 @@ def clean(
             channel=io_channel,
         )
 
+    # Store-auto-warm: a columnar store carries one witness statement
+    # per template it has interned; without an explicit dictionary
+    # those warm this run's parse caches (witnesses re-parse through
+    # the cold path, so this can only ever change speed, not output).
+    template_witnesses: Optional[Sequence[str]] = None
+    if (
+        effective.execution.parse_cache
+        and effective.execution.template_dict is None
+        and isinstance(source, ColumnarSource)
+    ):
+        template_witnesses = source.template_witnesses() or None
+
     try:
         if mode == "batch":
             if source is not None:
                 log = source.read()
-            result = CleaningPipeline(effective).run(log, recorder=active)
+            result = CleaningPipeline(effective).run(
+                log, recorder=active, template_witnesses=template_witnesses
+            )
             if io_channel is not None and io_channel:
                 # Raw-input rejects (rows that never became records)
                 # surface on the result next to the pipeline's own.
@@ -197,7 +228,11 @@ def clean(
 
             if source is None and checkpoint_dir is None:
                 # The classic in-memory streaming path, untouched.
-                cleaner = StreamingCleaner(effective, recorder=active)
+                cleaner = StreamingCleaner(
+                    effective,
+                    recorder=active,
+                    template_witnesses=template_witnesses,
+                )
                 cleaned = cleaner.run(log)
                 return PipelineResult(
                     config=effective,
@@ -220,6 +255,7 @@ def clean(
                 active,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                template_witnesses=template_witnesses,
             )
             quarantine = QuarantineChannel()
             if io_channel is not None:
@@ -237,7 +273,11 @@ def clean(
         if mode == "parallel":
             from .parallel import ParallelCleaner
 
-            parallel_cleaner = ParallelCleaner(effective, recorder=active)
+            parallel_cleaner = ParallelCleaner(
+                effective,
+                recorder=active,
+                template_witnesses=template_witnesses,
+            )
             if source is None:
                 cleaned = parallel_cleaner.run(log)
             else:

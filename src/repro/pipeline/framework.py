@@ -24,6 +24,7 @@ live on the returned :class:`PipelineResult`.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
@@ -202,6 +203,11 @@ def parse_log(
     touches them; the count of lazy emissions is booked as
     ``parse_lazy_hits`` (with ``parse_eager`` its complement, so
     ``parse_lazy_hits + parse_eager == records_out`` is a ledger law).
+
+    Every statement that reaches the full parser — a cache miss's
+    one-shot :meth:`~repro.skeleton.cache.TemplateCache.build`, or a
+    cacheless full parse — is booked as ``parse_cold``, so with a cache
+    in play ``parse_cold == parse_cache_misses`` is another ledger law.
     """
     recorder = recorder or NULL
     result = ParseStageResult()
@@ -213,6 +219,7 @@ def parse_log(
         base_misses = cache.misses
         base_evictions = cache.evictions
     lazy_emitted = 0
+    cold_parses = 0
     with recorder.span("parse"):
         #: sql text -> prototype ParsedQuery, or an (error, reason) pair
         #: (only consulted when no TemplateCache was provided).
@@ -241,15 +248,28 @@ def parse_log(
                 else:
                     cached = exact.get(sql)
                 if cached is None:
+                    cold_parses += 1
                     try:
-                        statement = parse(sql)
-                        cached = ParsedQuery.from_statement(
-                            record,
-                            statement,
-                            fold_variables=fold_variables,
-                            strict_triple=strict_triple,
-                            interner=interner,
-                        )
+                        if cache is not None:
+                            # One-shot cold path: the scanner pass the
+                            # miss already paid for feeds the parser,
+                            # and template/clauses/splice come from a
+                            # single normalisation (parse engine v3).
+                            cached = cache.build(
+                                record,
+                                fold_variables=fold_variables,
+                                strict_triple=strict_triple,
+                                interner=interner,
+                            )
+                        else:
+                            statement = parse(sql)
+                            cached = ParsedQuery.from_statement(
+                                record,
+                                statement,
+                                fold_variables=fold_variables,
+                                strict_triple=strict_triple,
+                                interner=interner,
+                            )
                     except SqlError as error:
                         cached = (error, PARSE_ERROR)
                     except RecursionError:
@@ -264,7 +284,10 @@ def parse_log(
                             NESTING_DEPTH,
                         )
                     if cache is not None:
-                        cache.store(sql, cached)
+                        # build() admits successes itself; only failures
+                        # still need the explicit store.
+                        if type(cached) is tuple:
+                            cache.store(sql, cached)
                     else:
                         exact[sql] = cached
                 if len(memo) >= _PARSE_MEMO_CHUNK:
@@ -301,6 +324,7 @@ def parse_log(
     recorder.count("parse", "records_out", len(result.queries))
     recorder.count("parse", "parse_lazy_hits", lazy_emitted)
     recorder.count("parse", "parse_eager", len(result.queries) - lazy_emitted)
+    recorder.count("parse", "parse_cold", cold_parses)
     recorder.count("parse", "syntax_errors", len(result.syntax_errors))
     recorder.count("parse", "non_select", len(result.non_select))
     recorder.count("parse", "records_quarantined", len(result.quarantined))
@@ -592,7 +616,11 @@ class CleaningPipeline:
         self.config = config or PipelineConfig()
 
     def run(
-        self, log: QueryLog, recorder: Optional[Recorder] = None
+        self,
+        log: QueryLog,
+        recorder: Optional[Recorder] = None,
+        *,
+        template_witnesses: Optional[Sequence[str]] = None,
     ) -> PipelineResult:
         """Execute all stages of Fig. 1 on ``log``.
 
@@ -600,6 +628,14 @@ class CleaningPipeline:
         default a fresh :class:`~repro.obs.Recorder` is created so the
         result's :attr:`~PipelineResult.metrics` ledger is always
         available (pass :data:`repro.obs.NULL` to opt out entirely).
+
+        ``template_witnesses`` pre-warms the parse cache from the given
+        witness statement texts (see
+        :meth:`~repro.skeleton.cache.TemplateCache.preload`); when
+        absent, the execution config's ``template_dict`` sidecar is
+        loaded instead.  Preloaded template counts are booked as
+        ``parse_dict_preloaded``; the sidecar (if configured) is
+        re-saved when the run finishes.
         """
         config = self.config
         recorder = Recorder() if recorder is None else recorder
@@ -615,6 +651,21 @@ class CleaningPipeline:
             if execution.parse_cache
             else None
         )
+        dict_preloaded = 0
+        if cache is not None:
+            witnesses = template_witnesses
+            if witnesses is None and execution.template_dict is not None:
+                witnesses = TemplateCache.load_dict(
+                    execution.template_dict,
+                    fold_variables=config.fold_variables,
+                    strict_triple=config.strict_triple,
+                )
+            if witnesses:
+                dict_preloaded = cache.preload(
+                    witnesses,
+                    fold_variables=config.fold_variables,
+                    strict_triple=config.strict_triple,
+                )
 
         validated = validate_stage(log, config, recorder, channel)
         dedup = dedup_stage(validated, config, recorder)
@@ -631,6 +682,19 @@ class CleaningPipeline:
         )
         if cache is not None:
             recorder.count("parse", "parse_materialised", cache.materialised)
+            recorder.count("parse", "parse_dict_preloaded", dict_preloaded)
+            if execution.template_dict is not None:
+                try:
+                    cache.save_dict(
+                        execution.template_dict,
+                        fold_variables=config.fold_variables,
+                        strict_triple=config.strict_triple,
+                    )
+                except OSError as exc:
+                    warnings.warn(
+                        "could not save template dict "
+                        f"{os.fspath(execution.template_dict)!r}: {exc}"
+                    )
 
         return PipelineResult(
             config=config,

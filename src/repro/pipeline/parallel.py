@@ -466,6 +466,8 @@ def _clean_shard_log(
         parse_cache_evictions=parse_counters.get("parse_cache_evictions", 0),
         parse_lazy_hits=parse_counters.get("parse_lazy_hits", 0),
         parse_materialised=parse_counters.get("parse_materialised", 0),
+        parse_cold=parse_counters.get("parse_cold", 0),
+        parse_dict_preloaded=parse_counters.get("parse_dict_preloaded", 0),
         interner_size=len(interner),
     )
     return ShardReport(
@@ -483,15 +485,19 @@ def _clean_shard_log(
 
 
 def _clean_shard(
-    payload: Tuple[int, Sequence[LogRecord], PipelineConfig]
+    payload: Tuple[int, Sequence[LogRecord], PipelineConfig],
+    cache: Optional[TemplateCache] = None,
 ) -> ShardReport:
     """Worker body over plain records (the in-process/inline path).
 
-    Each call gets a fresh per-call parse cache by construction, because
-    :func:`parse_stage` builds one when none is passed.
+    Without an explicit ``cache`` each call gets a fresh per-call parse
+    cache by construction, because :func:`parse_stage` builds one when
+    none is passed.  The inline path hands the run's dictionary-warmed
+    cache through here — shared serially across the shards, mirroring
+    the pool path's persistent per-worker cache.
     """
     shard, records, config = payload
-    return _clean_shard_log(shard, QueryLog(records), config)
+    return _clean_shard_log(shard, QueryLog(records), config, cache=cache)
 
 
 def _clean_shard_encoded(
@@ -719,6 +725,7 @@ class ParallelCleaner:
         config: Optional[PipelineConfig] = None,
         *,
         recorder: Optional[Recorder] = None,
+        template_witnesses: Optional[Sequence[str]] = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.recorder = Recorder() if recorder is None else recorder
@@ -727,6 +734,10 @@ class ParallelCleaner:
         )
         #: everything the last run set aside (quarantine policy only).
         self.quarantine = QuarantineChannel()
+        #: witness texts to pre-warm the run's parse caches with; when
+        #: ``None``, the execution config's ``template_dict`` sidecar is
+        #: loaded at :meth:`run` time instead.
+        self._template_witnesses = template_witnesses
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -752,6 +763,7 @@ class ParallelCleaner:
         self,
         payloads: Dict[int, Tuple[int, List[LogRecord], PipelineConfig]],
         quarantine: QuarantineChannel,
+        cache: Optional[TemplateCache] = None,
     ) -> Tuple[List[ShardReport], int, List[int], _TransferStats]:
         """Run shards in-process (one worker, or nothing to fan out).
 
@@ -770,7 +782,7 @@ class ParallelCleaner:
             while True:
                 attempt += 1
                 try:
-                    reports.append(_clean_shard(payload))
+                    reports.append(_clean_shard(payload, cache))
                     break
                 except RecordFailure:
                     raise  # strict-policy verdict, not a fault — no retry
@@ -948,10 +960,42 @@ class ParallelCleaner:
         )
 
     def run(self, log: Iterable[LogRecord]) -> QueryLog:
-        """Shard, fan out, clean, and re-merge into global time order."""
+        """Shard, fan out, clean, and re-merge into global time order.
+
+        With a template dictionary (explicit witnesses or the execution
+        config's ``template_dict`` sidecar) the run preloads one warmed
+        cache and routes it to the shards: inline runs share it
+        serially, pool runs ship it as the worker seed
+        (:func:`set_worker_seed`), so freshly spawned workers start
+        their persistent cache warm.  The parallel executor never saves
+        the sidecar back — per-worker caches each hold a partition of
+        the run's templates, and merging them would be a second
+        cross-process collection pass; re-save from a batch or
+        streaming run instead.
+        """
         execution = self.config.execution
         workers = execution.resolved_workers()
         started = time.perf_counter()
+
+        dict_cache: Optional[TemplateCache] = None
+        dict_preloaded = 0
+        if execution.parse_cache:
+            witnesses = self._template_witnesses
+            if witnesses is None and execution.template_dict is not None:
+                witnesses = TemplateCache.load_dict(
+                    execution.template_dict,
+                    fold_variables=self.config.fold_variables,
+                    strict_triple=self.config.strict_triple,
+                )
+            if witnesses:
+                dict_cache = TemplateCache(
+                    execution.parse_cache_size, lazy=execution.lazy_parse
+                )
+                dict_preloaded = dict_cache.preload(
+                    witnesses,
+                    fold_variables=self.config.fold_variables,
+                    strict_triple=self.config.strict_triple,
+                )
 
         shards = shard_records(log, workers, execution.chunk_size)
         payloads = {
@@ -966,9 +1010,18 @@ class ParallelCleaner:
         # the fork+pickle tax.
         if workers == 1 or len(payloads) <= 1:
             reports, retried, failed, transfer_stats = self._run_inline(
-                payloads, quarantine
+                payloads, quarantine, dict_cache
             )
         else:
+            if dict_cache is not None:
+                # Replaces any previous seed and retires existing pools
+                # (they were spawned under the old seed); the new pool's
+                # workers start their persistent caches dictionary-warm.
+                set_worker_seed(
+                    dict_cache,
+                    fold_variables=self.config.fold_variables,
+                    strict_triple=self.config.strict_triple,
+                )
             reports, retried, failed, transfer_stats = self._run_pool(
                 payloads, workers, quarantine
             )
@@ -999,6 +1052,14 @@ class ParallelCleaner:
         stats.shards_failed = len(failed)
         stats.bytes_shipped = transfer_stats.bytes_shipped
         stats.shm_segments = transfer_stats.shm_segments
+        if dict_preloaded:
+            # One preload event for the run's dictionary-warmed cache
+            # (the shards' ledgers never see the preload — it happens
+            # before any record flows).
+            stats.stats.parse_dict_preloaded += dict_preloaded
+            run_metrics.stage("parse").count(
+                "parse_dict_preloaded", dict_preloaded
+            )
         merge_stage = run_metrics.stage("merge")
         merge_stage.wall_seconds += merge_seconds
         merge_stage.calls += 1

@@ -58,29 +58,55 @@ Correctness rests on one invariant and one escape hatch:
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import pickle
 import re
+import struct
+import warnings
+import zlib
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..log.models import LogRecord
 from ..patterns.models import ParsedQuery
 from ..sqlparser import ast_nodes as ast
-from ..sqlparser.lexer import (
+from ..sqlparser.errors import SqlError
+from ..sqlparser.formatter import _Formatter, _quote_identifier
+from ..sqlparser.parser import Parser
+from ..sqlparser.scanner import (
     _FP_NUMBER,
     _FP_STRING,
     _FP_UNSAFE,
+    Scan,
     StatementFingerprint,
-    fingerprint_statement,
+    scan,
 )
 from .features import (
     Predicate,
+    count_predicates,
     null_comparison_predicates,
+    output_columns,
     single_equality_filter,
 )
-from .template import ClauseTexts, _clause_strings, _leading_select, normalize_case
+from .fingerprint import template_fingerprint
+from .template import (
+    ClauseTexts,
+    QueryTemplate,
+    _clause_strings,
+    _leading_select,
+    build_template_canonical,
+    normalize_case,
+)
 
 #: Default bound of each cache level (distinct texts / distinct keys).
 DEFAULT_PARSE_CACHE_SIZE = 4096
+
+#: Magic prefix + format version of the persistent template-dictionary
+#: sidecar (:meth:`TemplateCache.save_dict`).  Bump the version on any
+#: payload change: :meth:`TemplateCache.load_dict` rejects mismatches.
+_DICT_MAGIC = b"RTD1"
+TEMPLATE_DICT_VERSION = 1
 
 # ----------------------------------------------------------------------
 # Source-order literal traversal
@@ -206,6 +232,170 @@ def _render_constant(kind: str, value: str) -> str:
     if kind == "number":
         return value
     return "'" + value.replace("'", "''") + "'"
+
+
+# ----------------------------------------------------------------------
+# Marker-formatter fusion (parse engine v3 cold path)
+#
+# The cold path needs three renderings of the same statement: the clause
+# texts (constants preserved), the template (constants replaced by typed
+# placeholders) and the splice sentinel (constants replaced by indexed
+# markers).  All three differ only at constant leaves, and the
+# formatter's parenthesisation is purely type-driven — Literal,
+# Placeholder and Variable all render as primaries (precedence 10,
+# never parenthesised) — so ONE pass with indexed markers at the leaves
+# replaces the skeletonize+format pass and the substitute+format pass at
+# once: the template is the marker string with markers swapped for
+# placeholders, the splices fall out of a split on the markers, and the
+# clause texts are one splice-render with the statement's own constants.
+#
+# Two further fusions ride on the same pass:
+#
+# * :class:`_CanonFormatter` folds :func:`normalize_case` into the
+#   render — it lower-cases exactly the identifier fields that function
+#   rewrites, at the point they are emitted — so the cold path never
+#   materialises the canonical tree at all.
+# * The formatter records each constant's ``(kind, value)`` in render
+#   order.  Requiring that sequence to equal the scanner's constant
+#   vector is the entry-safety check in its strongest form: it ties
+#   render order to token order *by value* (the splice slots depend on
+#   that correspondence), and any parser divergence from the token
+#   stream — a folded ``- -5``, a CAST size, a consumed alias — breaks
+#   the equality and marks the key unsafe, exactly as the legacy
+#   source-order traversal check did.
+#
+# NULL literals and (under ``fold_variables``) variables render
+# differently in the template (``<null>`` / ``<var>``) than in the
+# clause texts (``NULL`` / ``@name``), so they get a second marker
+# family carrying both spellings.  Marker injectivity is guaranteed by
+# the caller: the fused path runs only when a fingerprint exists, and
+# the scanner refuses control characters wherever they appear.
+
+_EXTRA_MARKER = re.compile("\x00x(\\d+)\x01")
+
+_TEMPLATE_PLACEHOLDER = {"number": "<num>", "string": "<str>"}
+
+
+class _CanonFormatter(_Formatter):
+    """Render a raw parse tree as :class:`_Formatter` renders its
+    :func:`normalize_case` image — without building the canonical tree.
+
+    Overrides exactly the emission points of the identifier fields that
+    ``normalize_case`` lower-cases (column/table/function/variable names,
+    schemas, aliases); everything else — keywords, operators, CAST type
+    names, literals — is untouched, matching the rewrite's behaviour.
+    """
+
+    def select_item(self, item: ast.SelectItem) -> str:
+        text = self.expression(item.expr)
+        if item.alias:
+            return f"{text} AS {_quote_identifier(item.alias.lower())}"
+        return text
+
+    def source(self, node: ast.TableSource) -> str:
+        if isinstance(node, ast.TableName):
+            name = _quote_identifier(node.name.lower())
+            if node.schema:
+                name = f"{node.schema.lower()}.{name}"
+            if node.alias:
+                return f"{name} AS {_quote_identifier(node.alias.lower())}"
+            return name
+        if isinstance(node, ast.FunctionTable):
+            text = self.expression(node.call)
+            if node.alias:
+                return f"{text} AS {_quote_identifier(node.alias.lower())}"
+            return text
+        if isinstance(node, ast.DerivedTable):
+            text = f"({self.select(node.select)})"
+            if node.alias:
+                return f"{text} AS {_quote_identifier(node.alias.lower())}"
+            return text
+        if isinstance(node, ast.Join):
+            return self.join(node)
+        raise TypeError(f"cannot format {type(node).__name__}")
+
+    def _expr_ColumnRef(self, node: ast.ColumnRef) -> str:
+        name = _quote_identifier(node.name.lower())
+        if node.table:
+            return f"{node.table.lower()}.{name}"
+        return name
+
+    def _expr_Star(self, node: ast.Star) -> str:
+        return f"{node.table.lower()}.*" if node.table else "*"
+
+    def _expr_FunctionCall(self, node: ast.FunctionCall) -> str:
+        name = node.name.lower()
+        if node.schema is not None:
+            name = f"{node.schema.lower()}.{name}"
+        inner = ", ".join(self.expression(arg) for arg in node.args)
+        if node.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{name}({inner})"
+
+    def _expr_Variable(self, node: ast.Variable) -> str:
+        return f"@{node.name.lower()}"
+
+
+class _MarkerFormatter(_CanonFormatter):
+    """One case-normalising pass serving template, splices and clauses.
+
+    Number/string literals render as indexed constant markers
+    (``\\x00i\\x01`` — the splice alphabet) with their ``(kind, value)``
+    recorded in render order; NULL literals and folded variables render
+    as indexed *extra* markers (``\\x00xi\\x01``) whose template/source
+    spellings are recorded side-band.  Everything else renders exactly
+    as :class:`_CanonFormatter` would.
+    """
+
+    def __init__(self, fold_variables: bool) -> None:
+        #: (kind, value) of the i-th constant marker, in render order.
+        self.consts: List[Tuple[str, str]] = []
+        #: (template spelling, source spelling) of the i-th extra marker.
+        self.extras: List[Tuple[str, str]] = []
+        self._fold_variables = fold_variables
+
+    def _expr_Literal(self, node: ast.Literal) -> str:
+        kind = node.kind
+        if kind == "number" or kind == "string":
+            marker = "\x00%d\x01" % len(self.consts)
+            self.consts.append((kind, node.value))
+            return marker
+        if kind == "null":
+            marker = "\x00x%d\x01" % len(self.extras)
+            self.extras.append(("<null>", "NULL"))
+            return marker
+        return _Formatter._expr_Literal(self, node)
+
+    def _expr_Variable(self, node: ast.Variable) -> str:
+        if self._fold_variables:
+            marker = "\x00x%d\x01" % len(self.extras)
+            self.extras.append(("<var>", "@" + node.name.lower()))
+            return marker
+        return f"@{node.name.lower()}"
+
+    def template_text(self, text: str) -> str:
+        """The template spelling: markers become typed placeholders."""
+        if "\x00" not in text:
+            return text
+        consts = self.consts
+        text = _MARKER.sub(
+            lambda m: _TEMPLATE_PLACEHOLDER[consts[int(m.group(1))][0]], text
+        )
+        if self.extras:
+            extras = self.extras
+            text = _EXTRA_MARKER.sub(
+                lambda m: extras[int(m.group(1))][0], text
+            )
+        return text
+
+    def splice_text(self, text: str) -> str:
+        """The splice source: extras become real text, constants stay."""
+        if self.extras and "\x00" in text:
+            extras = self.extras
+            return _EXTRA_MARKER.sub(
+                lambda m: extras[int(m.group(1))][1], text
+            )
+        return text
 
 
 def _collect_literal_nodes(value: object, out: List[ast.Literal]) -> None:
@@ -535,20 +725,37 @@ def _build_entry(
     CAST type sizes, string aliases, formatter surprises) disqualifies
     the whole key class rather than risking a wrong instantiation.
     """
-    statement = proto.statement
+    return _build_entry_canonical(
+        proto, fingerprint, normalize_case(proto.statement)
+    )
+
+
+def _build_entry_canonical(
+    proto: ParsedQuery,
+    fingerprint: StatementFingerprint,
+    canonical: ast.Node,
+) -> Optional[_Entry]:
+    """:func:`_build_entry` given the already-normalised statement.
+
+    Substituting markers into the canonical tree commutes with case
+    normalisation (:func:`normalize_case` never rewrites literal nodes
+    and preserves structure), so the one-shot build path shares a single
+    normalisation pass between the template, the clause texts and this
+    sentinel — and the splice self-check below independently verifies
+    the result either way.
+    """
     literals: List[Tuple[str, str]] = []
-    _collect_value(statement, literals)
+    _collect_value(proto.statement, literals)
     if tuple(literals) != fingerprint.constants:
         return None
     markers = tuple(
         ("number", "\x00%d\x01" % index) for index in range(len(literals))
     )
     state = [0]
-    sentinel_statement = _substitute_value(statement, markers, state)
+    sentinel_statement = _substitute_value(canonical, markers, state)
     if state[0] != len(literals):
         return None
-    canonical = normalize_case(sentinel_statement)  # type: ignore[arg-type]
-    select = _leading_select(canonical)  # type: ignore[arg-type]
+    select = _leading_select(sentinel_statement)  # type: ignore[arg-type]
     sc, fc, wc, _, _ = _clause_strings(select)
     splices = (_make_splice(sc), _make_splice(fc), _make_splice(wc))
     # End-to-end self-check: splicing the prototype's own constants must
@@ -560,6 +767,37 @@ def _build_entry(
         or _render_splice(splices[1], rendered) != clauses.fc
         or _render_splice(splices[2], rendered) != clauses.wc
     ):
+        return None
+    return _Entry(
+        proto,
+        fingerprint.constants,
+        splices,
+        _equality_binding(proto),
+        len(null_comparison_predicates(proto.select)),
+    )
+
+
+def _entry_from_markers(
+    proto: ParsedQuery,
+    fingerprint: StatementFingerprint,
+    splices: Tuple[_Splice, _Splice, _Splice],
+    marker: _MarkerFormatter,
+) -> Optional[_Entry]:
+    """:func:`_build_entry_canonical` from an existing marker rendering.
+
+    The fused cold path already rendered the statement once with indexed
+    markers at the constant leaves, so the splices are given; admission
+    reduces to the safety check.  The marker formatter recorded each
+    constant's ``(kind, value)`` at the moment it was emitted, so one
+    sequence equality against the scanner's constant vector verifies
+    everything the legacy checks did: that the parser built exactly the
+    literals the scanner predicted (folded ``- -5``, CAST sizes and
+    consumed aliases all break it) *and* that render order — which the
+    splice slots encode — is token order, value for value.  Two
+    identical constants transposed would pass, and splice identical
+    bytes either way.
+    """
+    if tuple(marker.consts) != fingerprint.constants:
         return None
     return _Entry(
         proto,
@@ -713,10 +951,16 @@ class TemplateCache:
         #: or _UNSAFE when the regex strip provably disagrees with the
         #: scanner for this raw key.
         self._by_raw: "OrderedDict[str, object]" = OrderedDict()
-        #: (sql, fingerprint, raw) remembered from the last miss so that
-        #: the store() that follows does not rescan the text.
+        #: (sql, fingerprint, raw, scan) remembered from the last miss so
+        #: that the build()/store() that follows does not rescan the text
+        #: (the scan carries the token stream the parser consumes).
         self._pending: Optional[
-            Tuple[str, Optional[StatementFingerprint], Optional[RawTemplate]]
+            Tuple[
+                str,
+                Optional[StatementFingerprint],
+                Optional[RawTemplate],
+                Optional[Scan],
+            ]
         ] = None
 
     @property
@@ -794,7 +1038,8 @@ class TemplateCache:
                 if self.lazy:
                     return entry.bind(record, tuple(constants), self._lazy_stats)
                 return _instantiate(entry, tuple(constants), record)
-        fingerprint = fingerprint_statement(sql)
+        scanned = scan(sql)
+        fingerprint = scanned.fingerprint
         if fingerprint is not None:
             entry = self._by_key.get(fingerprint.key)
             if type(entry) is _Entry:
@@ -811,7 +1056,7 @@ class TemplateCache:
                 self._remember_exact(sql, result)
                 return result
         self.misses += 1
-        self._pending = (sql, fingerprint, raw)
+        self._pending = (sql, fingerprint, raw, scanned)
         return None
 
     def store(self, sql: str, result: CacheResult) -> None:
@@ -821,7 +1066,7 @@ class TemplateCache:
         if pending is not None and pending[0] == sql:
             fingerprint, raw = pending[1], pending[2]
         else:
-            fingerprint = fingerprint_statement(sql)
+            fingerprint = scan(sql).fingerprint
             raw = _raw_scan(sql)
         self._remember_exact(sql, result)
         if fingerprint is None or type(result) is tuple:
@@ -838,6 +1083,131 @@ class TemplateCache:
                 by_key.popitem(last=False)
                 self.evictions += 1
         self._admit_raw(raw, fingerprint, entry)
+
+    def build(
+        self,
+        record,
+        *,
+        fold_variables: bool = False,
+        strict_triple: bool = False,
+        interner=None,
+    ) -> ParsedQuery:
+        """Full-parse ``record`` after a :meth:`fetch` miss — in one shot.
+
+        Parse engine v3's cold path.  The scanner pass the miss already
+        paid for feeds the parser directly (no second tokenization), and
+        one case-normalising marker rendering of the raw parse tree
+        (:class:`_MarkerFormatter`) yields the template, the clause
+        texts and the interned splice :class:`_Entry` together — the
+        legacy parse-then-re-derive path case-normalised the tree three
+        times and formatted it four.  On success the prototype is
+        admitted into L1/L2/raw exactly as a fetch-miss followed by
+        :meth:`store` would admit it.
+
+        Failures (:class:`~repro.sqlparser.errors.SqlError` subclasses,
+        ``RecursionError``) propagate to the caller; the pending scan
+        state is kept so the caller's :meth:`store` of the failure tuple
+        does not rescan the text.
+        """
+        sql = record.sql
+        pending = self._pending
+        if pending is not None and pending[0] == sql and pending[3] is not None:
+            fingerprint, raw, scanned = pending[1], pending[2], pending[3]
+        else:
+            scanned = scan(sql)
+            fingerprint = scanned.fingerprint
+            raw = _raw_scan(sql)
+            self._pending = (sql, fingerprint, raw, scanned)
+        if scanned.error is not None:
+            raise scanned.error
+        statement = Parser(scanned.tokens).parse_statement()
+        self._pending = None
+        select = statement
+        while isinstance(select, ast.Union):
+            select = select.left
+        assert isinstance(select, ast.SelectStatement)
+        marker = None
+        if fingerprint is not None and not isinstance(statement, ast.Union):
+            # Fused derivation: one marker-rendering of the raw parse
+            # tree yields the template (markers → placeholders), the
+            # splices (split on the markers) and the clause texts (one
+            # splice-render with the statement's own constants) — and
+            # the case-normalising formatter makes the canonical tree
+            # itself unnecessary.  The fingerprint's existence
+            # guarantees the text is free of the marker alphabet's
+            # control characters.  Unions fall back: their template
+            # folds a full statement rendering into the suffix, which
+            # isn't worth a marker variant for how rarely they appear.
+            marker = _MarkerFormatter(fold_variables)
+            msc, mfc, mwc, mprefix, msuffix = _clause_strings(
+                select, marker
+            )
+            template = QueryTemplate(
+                ssc=marker.template_text(msc),
+                sfc=marker.template_text(mfc),
+                swc=marker.template_text(mwc),
+                rest_prefix=(
+                    "" if strict_triple else marker.template_text(mprefix)
+                ),
+                rest_suffix=(
+                    "" if strict_triple else marker.template_text(msuffix)
+                ),
+            )
+            splices = (
+                _make_splice(marker.splice_text(msc)),
+                _make_splice(marker.splice_text(mfc)),
+                _make_splice(marker.splice_text(mwc)),
+            )
+            rendered = [
+                _render_constant(kind, value) for kind, value in marker.consts
+            ]
+            sc = _render_splice(splices[0], rendered)
+            fc = _render_splice(splices[1], rendered)
+            wc = _render_splice(splices[2], rendered)
+        else:
+            canonical = normalize_case(statement)
+            canonical_select = _leading_select(canonical)  # type: ignore[arg-type]
+            sc, fc, wc, _, _ = _clause_strings(canonical_select)
+            template = build_template_canonical(
+                canonical,  # type: ignore[arg-type]
+                fold_variables=fold_variables,
+                strict_triple=strict_triple,
+            )
+        template_id = template_fingerprint(template)
+        proto = ParsedQuery(
+            record=record,
+            statement=statement,
+            select=select,
+            template=template,
+            template_id=template_id,
+            clauses=ClauseTexts(sc=sc, fc=fc, wc=wc),
+            predicate_count=count_predicates(select),
+            equality_filter=single_equality_filter(select),
+            outputs=frozenset(output_columns(select)),
+            interned_id=(
+                -1 if interner is None else interner.intern(template_id)
+            ),
+        )
+        self._remember_exact(sql, proto)
+        if fingerprint is not None:
+            by_key = self._by_key
+            entry = by_key.get(fingerprint.key)
+            if entry is None:
+                if marker is not None:
+                    entry = _entry_from_markers(
+                        proto, fingerprint, splices, marker
+                    )
+                else:
+                    entry = _build_entry_canonical(
+                        proto, fingerprint, canonical
+                    )
+                entry = _UNSAFE if entry is None else entry
+                by_key[fingerprint.key] = entry
+                if len(by_key) > self.max_entries:
+                    by_key.popitem(last=False)
+                    self.evictions += 1
+            self._admit_raw(raw, fingerprint, entry)
+        return proto
 
     def _admit_raw(
         self,
@@ -891,6 +1261,164 @@ class TemplateCache:
         if len(exact) > self.max_entries:
             exact.popitem(last=False)
             self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Persistent template dictionary (warm-start re-runs)
+    #
+    # The interned template dictionary is a durable artifact of the log:
+    # it is persisted as *witness texts* — one raw prototype SQL string
+    # per interned L2 entry — not as pickled entries.  Loading re-parses
+    # every witness through this cache's own cold path under the current
+    # run's knobs, which IS the witness verification: nothing from the
+    # sidecar is trusted beyond the SQL text, so a stale, corrupt or
+    # even adversarial dictionary can only cost speed, never output.
+
+    def dict_witnesses(self) -> List[str]:
+        """One witness statement text per interned L2 entry."""
+        return [
+            entry.proto.record.sql
+            for entry in self._by_key.values()
+            if type(entry) is _Entry
+        ]
+
+    def save_dict(
+        self,
+        path,
+        *,
+        fold_variables: bool = False,
+        strict_triple: bool = False,
+    ) -> int:
+        """Persist the template dictionary to ``path``; return its size.
+
+        The sidecar is keyed by the cache knobs it was built under plus
+        a format version; :meth:`load_dict` rejects any mismatch.  The
+        write is atomic (tmp file + ``os.replace``), so a crash — even a
+        SIGKILL — mid-save leaves any prior dictionary intact.
+        """
+        witnesses = self.dict_witnesses()
+        payload = {
+            "version": TEMPLATE_DICT_VERSION,
+            "fold_variables": bool(fold_variables),
+            "strict_triple": bool(strict_triple),
+            "witnesses": witnesses,
+        }
+        body = zlib.compress(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        blob = _DICT_MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+        target = os.fspath(path)
+        tmp = target + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return len(witnesses)
+
+    @staticmethod
+    def load_dict(
+        path,
+        *,
+        fold_variables: bool = False,
+        strict_triple: bool = False,
+    ) -> Optional[List[str]]:
+        """Load witness texts saved by :meth:`save_dict`, or ``None``.
+
+        ``None`` means "start cold".  A missing file is silent (a first
+        run is normal); a knob or version mismatch is rejected cleanly
+        with a warning; a truncated or corrupt sidecar falls back with a
+        warning.  Never raises.
+        """
+        target = os.fspath(path)
+        try:
+            with open(target, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            warnings.warn(
+                f"template dict {target!r} unreadable ({exc}); starting cold"
+            )
+            return None
+        if len(blob) < 8 or blob[:4] != _DICT_MAGIC:
+            warnings.warn(
+                f"template dict {target!r} is not a template dictionary "
+                "(bad magic); starting cold"
+            )
+            return None
+        (crc,) = struct.unpack("<I", blob[4:8])
+        body = blob[8:]
+        if zlib.crc32(body) != crc:
+            warnings.warn(
+                f"template dict {target!r} is truncated or corrupt "
+                "(checksum mismatch); starting cold"
+            )
+            return None
+        try:
+            payload = json.loads(zlib.decompress(body).decode("utf-8"))
+        except (zlib.error, UnicodeDecodeError, ValueError):
+            warnings.warn(
+                f"template dict {target!r} is corrupt (undecodable "
+                "payload); starting cold"
+            )
+            return None
+        version = payload.get("version") if isinstance(payload, dict) else None
+        if version != TEMPLATE_DICT_VERSION:
+            warnings.warn(
+                f"template dict {target!r} has format version {version!r}, "
+                f"expected {TEMPLATE_DICT_VERSION}; starting cold"
+            )
+            return None
+        if payload.get("fold_variables") != bool(fold_variables) or payload.get(
+            "strict_triple"
+        ) != bool(strict_triple):
+            warnings.warn(
+                f"template dict {target!r} was built under different parse "
+                "knobs (fold_variables/strict_triple); starting cold"
+            )
+            return None
+        witnesses = payload.get("witnesses")
+        if not isinstance(witnesses, list) or any(
+            not isinstance(sql, str) for sql in witnesses
+        ):
+            warnings.warn(
+                f"template dict {target!r} carries a malformed witness "
+                "list; starting cold"
+            )
+            return None
+        return witnesses
+
+    def preload(
+        self,
+        witnesses: Iterable[str],
+        *,
+        fold_variables: bool = False,
+        strict_triple: bool = False,
+    ) -> int:
+        """Warm L1/L2/raw by re-parsing ``witnesses`` through the cold path.
+
+        Returns the number of witnesses admitted.  Unparsable witnesses
+        (a dictionary from another corpus, say) are skipped.  Counter
+        neutral: hit/miss/eviction totals are restored afterwards, so
+        the pipeline's conservation laws only ever see real traffic.
+        """
+        hits, misses, evictions = self.hits, self.misses, self.evictions
+        loaded = 0
+        for index, sql in enumerate(witnesses):
+            record = LogRecord(seq=-1 - index, sql=sql, timestamp=0.0)
+            try:
+                if self.fetch(record) is None:
+                    self.build(
+                        record,
+                        fold_variables=fold_variables,
+                        strict_triple=strict_triple,
+                    )
+            except (SqlError, RecursionError):
+                continue
+            loaded += 1
+        self._pending = None
+        self.hits, self.misses, self.evictions = hits, misses, evictions
+        return loaded
 
     # ------------------------------------------------------------------
     # Pre-seeding (warm worker pools)

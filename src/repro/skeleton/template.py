@@ -132,11 +132,15 @@ class ClauseTexts:
 
 def _clause_strings(
     statement: ast.SelectStatement,
+    formatter: Optional[_Formatter] = None,
 ) -> Tuple[str, str, str, str, str]:
-    formatter = _Formatter()
-    ssc = ", ".join(formatter.select_item(item) for item in statement.items)
-    sfc = ", ".join(formatter.source(source) for source in statement.from_sources)
-    swc = formatter.expression(statement.where) if statement.where is not None else ""
+    if formatter is None:
+        formatter = _Formatter()
+    # Clauses are rendered in *source* order (TOP before the item list)
+    # so that a stateful formatter — the cache's marker formatter, which
+    # numbers constants as it meets them — sees constants in the same
+    # order as the scanner.  The default formatter is stateless, so the
+    # ordering is free for every other caller.
     prefix_parts = []
     if statement.distinct:
         prefix_parts.append("DISTINCT")
@@ -145,6 +149,9 @@ def _clause_strings(
         if statement.top.percent:
             top += " PERCENT"
         prefix_parts.append(top)
+    ssc = ", ".join(formatter.select_item(item) for item in statement.items)
+    sfc = ", ".join(formatter.source(source) for source in statement.from_sources)
+    swc = formatter.expression(statement.where) if statement.where is not None else ""
     suffix_parts = []
     if statement.group_by:
         suffix_parts.append(
@@ -179,7 +186,26 @@ def build_template(
     :param strict_triple: use the paper-verbatim identity (drop the
         ``rest`` component) — used by the E14 ablation.
     """
-    canonical = normalize_case(statement)
+    return build_template_canonical(
+        normalize_case(statement),
+        fold_variables=fold_variables,
+        strict_triple=strict_triple,
+    )
+
+
+def build_template_canonical(
+    canonical: ast.Statement,
+    *,
+    fold_variables: bool = False,
+    strict_triple: bool = False,
+) -> QueryTemplate:
+    """:func:`build_template` for an already case-normalised tree.
+
+    The cache's one-shot entry build (parse engine v3) normalises a
+    statement once and derives the template, the clause texts and the
+    splice sentinel all from that single canonical tree; this variant
+    lets it skip the redundant second normalisation pass.
+    """
     skeleton = skeletonize_statement(
         canonical, fold_variables=fold_variables  # type: ignore[arg-type]
     )

@@ -15,26 +15,36 @@ It understands:
 Anything else raises :class:`~repro.sqlparser.errors.LexerError` with a
 source position, which the pipeline records as a syntax error.
 
-This module also hosts the parse fast path's *statement fingerprint*
-(:func:`fingerprint_statement`): a single regex-driven pass that
-canonicalizes whitespace, comments and keyword case, replaces number and
-string literals with typed placeholders, and captures the constant
-vector — without building tokens or an AST.  Two statements with the
-same fingerprint key tokenize to the same token sequence up to literal
-values, which is what the :class:`~repro.skeleton.cache.TemplateCache`
-keys on.  The scanner is deliberately conservative: on anything it
-cannot prove it mirrors exactly (unterminated comments, malformed
-numbers, characters the lexer rejects, control characters that could
-break key injectivity) it returns ``None`` and the caller takes the full
-parse path.
+Since parse engine v3 the production tokenizer lives in
+:mod:`repro.sqlparser.scanner`: a single table-driven pass that emits
+tokens *and* the statement fingerprint together.  :func:`tokenize`
+forwards there; the per-character :class:`Lexer` below is the pinned
+reference implementation the scanner is differentially fuzzed against,
+and remains selectable for one release via ``REPRO_LEGACY_LEXER=1``
+(the legacy path emits a :class:`DeprecationWarning`).  The fingerprint
+types (:class:`StatementFingerprint`, :func:`fingerprint_statement`)
+are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import re
-from typing import List, NamedTuple, Optional, Tuple
+import os
+import warnings
+from typing import List
 
+from . import scanner as _scanner
 from .errors import LexerError
+from .scanner import (  # noqa: F401  (compatibility re-exports)
+    _FP_IDENT,
+    _FP_NUMBER,
+    _FP_SEP,
+    _FP_STRING,
+    _FP_UNSAFE,
+    _FP_VARIABLE,
+    _OPERAND_END_KEYWORDS,
+    StatementFingerprint,
+    fingerprint_statement,
+)
 from .tokens import (
     KEYWORDS,
     MULTI_CHAR_OPERATORS,
@@ -291,189 +301,25 @@ class Lexer:
         )
 
 
+#: Read once at import: flipping the escape hatch mid-process would let
+#: two halves of one run tokenize differently.
+_USE_LEGACY = os.environ.get("REPRO_LEGACY_LEXER") == "1"
+
+
 def tokenize(text: str) -> List[Token]:
-    """Tokenize ``text`` and return its tokens (EOF-terminated)."""
-    return Lexer(text).tokenize()
+    """Tokenize ``text`` and return its tokens (EOF-terminated).
 
-
-# ----------------------------------------------------------------------
-# Statement fingerprint (parse fast path)
-
-#: Placeholder / tag bytes used inside fingerprint keys.  They can never
-#: collide with statement content because :func:`fingerprint_statement`
-#: bails out on any non-whitespace control character in the input.
-_FP_NUMBER = "\x03"
-_FP_STRING = "\x04"
-_FP_IDENT = "\x02"
-_FP_VARIABLE = "\x05"
-_FP_SEP = "\x1f"
-
-#: Non-whitespace control characters.  \t\n\v\f\r (0x09-0x0d) are legal
-#: whitespace; everything else below 0x20 would threaten the injectivity
-#: of the join-based key, so the scanner refuses such statements.
-_FP_UNSAFE = re.compile("[\x00-\x08\x0e-\x1f]")
-
-#: One alternative per lexeme class, mirroring the hand-written lexer
-#: exactly.  Order matters: words before numbers (`` abc1``), numbers
-#: before DOT (``.5``), comments before operators (``--``, ``/*``).
-_FP_TOKEN = re.compile(
-    r"""
-      (?P<ws>[ \t\r\n\f\v]+)
-    | (?P<lc>--[^\n]*)
-    | (?P<bc>/\*.*?\*/)
-    | (?P<word>[A-Za-z_\#][A-Za-z0-9_\#\$]*)
-    | (?P<num>(?:[0-9]+(?:\.(?!\.)[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)
-    | (?P<str>'(?:[^']|'')*')
-    | (?P<bracket>\[[^\]]*\])
-    | (?P<dquote>"[^"]*")
-    | (?P<var>@@?[A-Za-z_\#][A-Za-z0-9_\#\$]*)
-    | (?P<op><>|!=|<=|>=|\|\||[=<>+\-*/%])
-    | (?P<punct>[,.();])
-    """,
-    re.VERBOSE | re.DOTALL,
-)
-
-#: Keywords that *end* an operand, so a following ``-`` is binary
-#: subtraction; after any other keyword a ``-`` starts a negative number.
-_OPERAND_END_KEYWORDS = frozenset({"NULL", "END"})
-
-
-class StatementFingerprint(NamedTuple):
-    """The raw-statement fingerprint captured by one scanner pass.
-
-    :param key: canonical token-stream key — whitespace/comments dropped,
-        keyword case folded, literals replaced by typed placeholders.
-        Identifiers and variables are kept verbatim (their case survives
-        into formatted output, so folding them would break byte-identical
-        clean logs), and delimited identifiers additionally keep their
-        opening delimiter so ``[objid]``, ``"objid"`` and ``objid`` can
-        never share a key.
-    :param constants: the literal vector, in token order, as
-        ``(kind, value)`` pairs with ``kind`` in ``{'number', 'string'}``
-        and ``value`` exactly what the parser's :class:`Literal` would
-        carry (numbers keep source text, a folded unary minus included;
-        strings are unquoted with ``''`` collapsed).
-    :param spans: the ``(start, end)`` source position of each literal
-        token, parallel to ``constants``.  A folded unary minus is *not*
-        part of its number's span — the span is the literal token alone,
-        which lets the cache's raw-template memo prove positionally that
-        a cheap regex strip extracted exactly the scanner's literals.
+    Forwards to the one-pass table-driven scanner.  Set
+    ``REPRO_LEGACY_LEXER=1`` (deprecated, removed next release) to run
+    the per-character reference lexer instead.
     """
+    if _USE_LEGACY:
+        warnings.warn(
+            "REPRO_LEGACY_LEXER=1 selects the deprecated per-character "
+            "lexer; the escape hatch will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Lexer(text).tokenize()
+    return _scanner.tokenize(text)
 
-    key: str
-    constants: Tuple[Tuple[str, str], ...]
-    spans: Tuple[Tuple[int, int], ...] = ()
-
-
-def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
-    """Fingerprint ``text`` in one pass, or return ``None`` to punt.
-
-    ``None`` means "take the full parse path": the input contains
-    something the scanner cannot prove it mirrors the lexer on
-    (unexpected characters, unterminated comments/strings, malformed
-    numbers, non-whitespace control characters).  Never raises.
-    """
-    if _FP_UNSAFE.search(text):
-        return None
-    parts: List[str] = []
-    constants: List[Tuple[str, str]] = []
-    spans: List[Tuple[int, int]] = []
-    append = parts.append
-    add_constant = constants.append
-    add_span = spans.append
-    match = _FP_TOKEN.match
-    keyword_cases = _KEYWORD_CASES
-    pos = 0
-    length = len(text)
-    # ``-`` in operand position is held back: if a number follows it is
-    # folded into the constant (mirroring the parser, which folds unary
-    # minus into the Literal), otherwise it is emitted as an operator.
-    pending_minus = False
-    # True when the *next* token sits in operand position, i.e. a ``-``
-    # here would be unary.  Any disagreement with the parser is caught
-    # by the cache's build-time literal check and falls back per key.
-    unary_next = True
-    while pos < length:
-        m = match(text, pos)
-        if m is None:
-            return None  # character the lexer would reject
-        group = m.lastgroup
-        end = m.end()
-        if group == "ws" or group == "lc" or group == "bc":
-            pos = end
-            continue
-        token_text = m.group()
-        if group == "num":
-            if end < length and text[end] in _IDENT_START:
-                return None  # `1abc` — malformed literal in the lexer
-            if pending_minus:
-                add_constant(("number", "-" + token_text))
-                pending_minus = False
-            else:
-                add_constant(("number", token_text))
-            add_span((m.start(), end))
-            append(_FP_NUMBER)
-            unary_next = False
-        elif group == "word":
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            keyword = keyword_cases.get(token_text)
-            if keyword is None:
-                upper = token_text.upper()
-                keyword = upper if upper in KEYWORDS else None
-            if keyword is not None:
-                append(keyword)
-                unary_next = keyword not in _OPERAND_END_KEYWORDS
-            else:
-                append(_FP_IDENT + token_text)
-                unary_next = False
-        elif group == "op":
-            if token_text == "/" and text.startswith("/*", m.start()):
-                return None  # unterminated block comment
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            if token_text == "-" and unary_next:
-                pending_minus = True
-            else:
-                append(token_text)
-                unary_next = True
-        elif group == "punct":
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            append(token_text)
-            unary_next = token_text == "(" or token_text == ","
-        elif group == "str":
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            add_constant(("string", token_text[1:-1].replace("''", "'")))
-            add_span((m.start(), end))
-            append(_FP_STRING)
-            unary_next = False
-        elif group == "var":
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            append(_FP_VARIABLE + token_text[1:])
-            unary_next = False
-        else:  # bracket / dquote identifiers — same token as a bare word
-            if pending_minus:
-                append("-")
-                pending_minus = False
-            # The delimiter kind is part of the key: ``[objid]``,
-            # ``"objid"`` and ``objid`` parse to the same AST today, but
-            # folding them onto one key would splice one form's text
-            # against another form's prototype.  Keeping the opening
-            # delimiter is injective — a bare word can never start with
-            # ``[`` or ``"``, so the three forms occupy disjoint keys.
-            append(_FP_IDENT + token_text[0] + token_text[1:-1])
-            unary_next = False
-        pos = end
-    if pending_minus:
-        append("-")
-    return StatementFingerprint(
-        _FP_SEP.join(parts), tuple(constants), tuple(spans)
-    )

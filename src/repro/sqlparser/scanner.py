@@ -1,0 +1,428 @@
+"""One-pass table-driven scanner: tokens + statement fingerprint together.
+
+Parse engine v3 replaces two separate passes over every cold statement —
+the per-character :class:`~repro.sqlparser.lexer.Lexer` inner loop and
+the fingerprint master-regex — with a single scanner built from a
+declarative token-class table.  The table is compiled into one
+alternation regex (one DFA-backed match per lexeme), and a single
+dispatch loop over its matches produces *both* products at once:
+
+* the token list the parser consumes (byte-identical to the
+  hand-written lexer, including error messages and 1-based positions),
+* the :class:`StatementFingerprint` the template cache keys on
+  (canonical token-stream key, literal vector, literal source spans).
+
+Fingerprinting therefore stops being a separate regex pass, and a
+statement the fingerprint machinery cannot certify (control characters,
+lexical errors) falls back to the full parse path without any duplicate
+scanning: the same tokens feed the parser directly.
+
+The scanner is pinned against the legacy lexer by a differential
+Hypothesis fuzz (``tests/property/test_scanner_differential.py``) that
+compares tokens, error messages/positions and fingerprints on both
+structured SQL and adversarial character soup.  The legacy per-character
+path remains available for one release behind ``REPRO_LEGACY_LEXER=1``.
+
+One deliberate subtlety: the string-literal alternative is greedy over
+``''`` escape pairs, so on an *unterminated* string with escapes (e.g.
+``'a''``) the regex backtracks to a shorter, well-formed prefix the
+hand-written lexer would reject.  That situation is detectable locally —
+the character after the match is another quote, which the lexer would
+have paired as an escape — and :func:`_string_resync` re-runs the
+lexer's find-loop from the opening quote to recover the exact extent or
+the exact error the lexer raises.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from .errors import LexerError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_#"
+)
+
+#: Common keyword spellings resolved with one dict probe instead of an
+#: upper-case + set-membership pair (mirrors the legacy lexer's table).
+_KEYWORD_CASES = {}
+for _kw in KEYWORDS:
+    for _spelling in (_kw, _kw.lower(), _kw.capitalize()):
+        _KEYWORD_CASES[_spelling] = _kw
+
+_PUNCT_KINDS = {
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMICOLON,
+}
+
+# ----------------------------------------------------------------------
+# The token-class table.  One row per lexeme class; the rows are
+# compiled, in order, into a single alternation regex.  Order matters
+# exactly as it did for the legacy master-regex: words before numbers
+# (``abc1``), numbers before DOT (``.5``), comments before operators
+# (``--``, ``/*``).  Each row is a flat group — no nested captures — so
+# ``Match.lastindex`` identifies the class as a 1-based index into the
+# table and the dispatch loop never touches group names.
+
+_SCAN_TABLE: Tuple[Tuple[str, str], ...] = (
+    ("ws", r"[ \t\r\n\f\v]+"),
+    ("lc", r"--[^\n]*"),
+    ("bc", r"/\*.*?\*/"),
+    ("word", r"[A-Za-z_\#][A-Za-z0-9_\#\$]*"),
+    ("num", r"(?:[0-9]+(?:\.(?!\.)[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?"),
+    ("str", r"'[^']*(?:''[^']*)*'"),
+    ("bracket", r"\[[^\]]*\]"),
+    ("dquote", r'"[^"]*"'),
+    ("var", r"@@?[A-Za-z_\#][A-Za-z0-9_\#\$]*"),
+    ("op", r"<>|!=|<=|>=|\|\||[=<>+\-*/%]"),
+    ("punct", r"[,.();]"),
+)
+
+_SCANNER = re.compile(
+    "|".join("(%s)" % pattern for _, pattern in _SCAN_TABLE), re.DOTALL
+)
+
+# Class indices (``Match.lastindex`` values), kept as module constants so
+# the dispatch loop compares small ints.
+(
+    _WS,
+    _LC,
+    _BC,
+    _WORD,
+    _NUM,
+    _STR,
+    _BRACKET,
+    _DQUOTE,
+    _VAR,
+    _OP,
+    _PUNCT,
+) = range(1, len(_SCAN_TABLE) + 1)
+
+
+# ----------------------------------------------------------------------
+# Statement fingerprint (moved here from ``lexer.py``; the legacy module
+# re-exports these names for compatibility).
+
+#: Placeholder / tag bytes used inside fingerprint keys.  They can never
+#: collide with statement content because the fingerprint is discarded
+#: for any input containing a non-whitespace control character.
+_FP_NUMBER = "\x03"
+_FP_STRING = "\x04"
+_FP_IDENT = "\x02"
+_FP_VARIABLE = "\x05"
+_FP_SEP = "\x1f"
+
+#: Non-whitespace control characters.  \t\n\v\f\r (0x09-0x0d) are legal
+#: whitespace; everything else below 0x20 would threaten the injectivity
+#: of the join-based key, so such statements get no fingerprint (they
+#: still tokenize — control characters are legal inside string literals
+#: and delimited identifiers).
+_FP_UNSAFE = re.compile("[\x00-\x08\x0e-\x1f]")
+
+#: Keywords that *end* an operand, so a following ``-`` is binary
+#: subtraction; after any other keyword a ``-`` starts a negative number.
+_OPERAND_END_KEYWORDS = frozenset({"NULL", "END"})
+
+
+class StatementFingerprint(NamedTuple):
+    """The raw-statement fingerprint captured by one scanner pass.
+
+    :param key: canonical token-stream key — whitespace/comments dropped,
+        keyword case folded, literals replaced by typed placeholders.
+        Identifiers and variables are kept verbatim (their case survives
+        into formatted output, so folding them would break byte-identical
+        clean logs), and delimited identifiers additionally keep their
+        opening delimiter so ``[objid]``, ``"objid"`` and ``objid`` can
+        never share a key.
+    :param constants: the literal vector, in token order, as
+        ``(kind, value)`` pairs with ``kind`` in ``{'number', 'string'}``
+        and ``value`` exactly what the parser's :class:`Literal` would
+        carry (numbers keep source text, a folded unary minus included;
+        strings are unquoted with ``''`` collapsed).
+    :param spans: the ``(start, end)`` source position of each literal
+        token, parallel to ``constants``.  A folded unary minus is *not*
+        part of its number's span — the span is the literal token alone,
+        which lets the cache's raw-template memo prove positionally that
+        a cheap regex strip extracted exactly the scanner's literals.
+    """
+
+    key: str
+    constants: Tuple[Tuple[str, str], ...]
+    spans: Tuple[Tuple[int, int], ...] = ()
+
+
+class Scan(NamedTuple):
+    """Everything one scanner pass produces.
+
+    Exactly one of ``tokens`` / ``error`` is set.  ``fingerprint`` is
+    ``None`` whenever the statement cannot be certified for the parse
+    fast path (lexical error, or control characters that would threaten
+    key injectivity); the tokens are still valid in the latter case.
+    """
+
+    tokens: Optional[List[Token]]
+    error: Optional[LexerError]
+    fingerprint: Optional[StatementFingerprint]
+
+
+def _string_resync(text: str, start: int) -> int:
+    """Re-run the lexer's string find-loop from the opening quote.
+
+    Called only when the regex string match is followed by another
+    quote — i.e. the regex backtracked where the lexer would have paired
+    an escape.  Returns the position just past the closing quote, or
+    ``-1`` if the string is unterminated.
+    """
+    length = len(text)
+    pos = start + 1
+    while True:
+        quote = text.find("'", pos)
+        if quote == -1:
+            return -1
+        if quote + 1 < length and text[quote + 1] == "'":
+            pos = quote + 2
+            continue
+        return quote + 1
+
+
+def scan(text: str) -> Scan:
+    """Scan ``text`` once, producing tokens and fingerprint together.
+
+    Never raises: lexical errors come back in ``Scan.error`` carrying
+    the exact message and 1-based position the legacy lexer raises.
+    """
+    tokens: List[Token] = []
+    parts: List[str] = []
+    constants: List[Tuple[str, str]] = []
+    spans: List[Tuple[int, int]] = []
+    append_token = tokens.append
+    append_part = parts.append
+    add_constant = constants.append
+    add_span = spans.append
+    match = _SCANNER.match
+    keyword_cases = _KEYWORD_CASES
+    punct_kinds = _PUNCT_KINDS
+    kw_kind = TokenKind.KEYWORD
+    ident_kind = TokenKind.IDENTIFIER
+    num_kind = TokenKind.NUMBER
+    str_kind = TokenKind.STRING
+    var_kind = TokenKind.VARIABLE
+    op_kind = TokenKind.OPERATOR
+
+    error: Optional[LexerError] = None
+    pos = 0
+    length = len(text)
+    line = 1
+    line_start = 0  # source index where the current line begins
+    # ``-`` in operand position is held back: if a number follows it is
+    # folded into the constant (mirroring the parser, which folds unary
+    # minus into the Literal), otherwise it is emitted as an operator.
+    pending_minus = False
+    # True when the *next* token sits in operand position, i.e. a ``-``
+    # here would be unary.  Any disagreement with the parser is caught
+    # by the cache's build-time literal check and falls back per key.
+    unary_next = True
+
+    while pos < length:
+        m = match(text, pos)
+        if m is None:
+            char = text[pos]
+            if char == "'":
+                message = "unterminated string literal"
+            elif char == "[":
+                message = "unterminated [identifier]"
+            elif char == '"':
+                message = 'unterminated "identifier"'
+            elif char == "@":
+                message = "malformed variable name"
+            else:
+                message = f"unexpected character {char!r}"
+            error = LexerError(message, line, pos - line_start + 1)
+            break
+        index = m.lastindex
+        end = m.end()
+        token_text = m.group()
+        if index == _WORD:
+            keyword = keyword_cases.get(token_text)
+            if keyword is None:
+                upper = token_text.upper()
+                keyword = upper if upper in KEYWORDS else None
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            if keyword is not None:
+                append_token(
+                    Token(kw_kind, keyword, line, pos - line_start + 1)
+                )
+                append_part(keyword)
+                unary_next = keyword not in _OPERAND_END_KEYWORDS
+            else:
+                append_token(
+                    Token(ident_kind, token_text, line, pos - line_start + 1)
+                )
+                append_part(_FP_IDENT + token_text)
+                unary_next = False
+        elif index == _WS:
+            newline = token_text.rfind("\n")
+            if newline != -1:
+                line += token_text.count("\n")
+                line_start = pos + newline + 1
+        elif index == _PUNCT:
+            append_token(
+                Token(
+                    punct_kinds[token_text],
+                    token_text,
+                    line,
+                    pos - line_start + 1,
+                )
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            append_part(token_text)
+            unary_next = token_text == "(" or token_text == ","
+        elif index == _NUM:
+            if end < length and text[end] in _IDENT_START:
+                # `1abc` — malformed literal, error at the number start.
+                error = LexerError(
+                    f"malformed numeric literal {token_text + text[end]!r}",
+                    line,
+                    pos - line_start + 1,
+                )
+                break
+            append_token(
+                Token(num_kind, token_text, line, pos - line_start + 1)
+            )
+            if pending_minus:
+                add_constant(("number", "-" + token_text))
+                pending_minus = False
+            else:
+                add_constant(("number", token_text))
+            add_span((pos, end))
+            append_part(_FP_NUMBER)
+            unary_next = False
+        elif index == _OP:
+            if token_text == "/" and end < length and text[end] == "*":
+                # A terminated comment would have matched the ``bc``
+                # alternative first, so ``/`` + ``*`` is unterminated.
+                error = LexerError(
+                    "unterminated block comment", line, pos - line_start + 1
+                )
+                break
+            append_token(
+                Token(op_kind, token_text, line, pos - line_start + 1)
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            if token_text == "-" and unary_next:
+                pending_minus = True
+            else:
+                append_part(token_text)
+                unary_next = True
+        elif index == _STR:
+            column = pos - line_start + 1
+            if end < length and text[end] == "'":
+                # Regex backtracked on an escape run; resync with the
+                # lexer's pairing (see module docstring).
+                resynced = _string_resync(text, pos)
+                if resynced == -1:
+                    error = LexerError(
+                        "unterminated string literal", line, column
+                    )
+                    break
+                end = resynced
+                token_text = text[pos:end]
+            value = token_text[1:-1].replace("''", "'")
+            append_token(Token(str_kind, value, line, column))
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            add_constant(("string", value))
+            add_span((pos, end))
+            append_part(_FP_STRING)
+            unary_next = False
+            newline = token_text.rfind("\n")
+            if newline != -1:
+                line += token_text.count("\n")
+                line_start = pos + newline + 1
+        elif index == _VAR:
+            append_token(
+                Token(var_kind, token_text[1:], line, pos - line_start + 1)
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            append_part(_FP_VARIABLE + token_text[1:])
+            unary_next = False
+        elif index == _LC:
+            pass  # line comment — cannot contain a newline
+        elif index == _BC:
+            newline = token_text.rfind("\n")
+            if newline != -1:
+                line += token_text.count("\n")
+                line_start = pos + newline + 1
+        else:  # bracket / dquote identifiers — same token as a bare word
+            append_token(
+                Token(
+                    ident_kind,
+                    token_text[1:-1],
+                    line,
+                    pos - line_start + 1,
+                )
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            # The delimiter kind is part of the key: ``[objid]``,
+            # ``"objid"`` and ``objid`` parse to the same AST today, but
+            # folding them onto one key would splice one form's text
+            # against another form's prototype.  Keeping the opening
+            # delimiter is injective — a bare word can never start with
+            # ``[`` or ``"``, so the three forms occupy disjoint keys.
+            append_part(_FP_IDENT + token_text[0] + token_text[1:-1])
+            unary_next = False
+            newline = token_text.rfind("\n")
+            if newline != -1:
+                line += token_text.count("\n")
+                line_start = pos + newline + 1
+        pos = end
+
+    if error is not None:
+        return Scan(None, error, None)
+    append_token(Token(TokenKind.EOF, "", line, pos - line_start + 1))
+    if _FP_UNSAFE.search(text):
+        return Scan(tokens, None, None)
+    if pending_minus:
+        append_part("-")
+    return Scan(
+        tokens,
+        None,
+        StatementFingerprint(
+            _FP_SEP.join(parts), tuple(constants), tuple(spans)
+        ),
+    )
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` and return its tokens (EOF-terminated)."""
+    result = scan(text)
+    if result.error is not None:
+        raise result.error
+    return result.tokens  # type: ignore[return-value]
+
+
+def fingerprint_statement(text: str) -> Optional[StatementFingerprint]:
+    """Fingerprint ``text`` in one pass, or return ``None`` to punt.
+
+    ``None`` means "take the full parse path": the input contains
+    something the fast path cannot certify (unexpected characters,
+    unterminated comments/strings, malformed numbers, non-whitespace
+    control characters).  Never raises.
+    """
+    return scan(text).fingerprint

@@ -10,7 +10,9 @@ This module is that representation on disk:
 
 ``<store>/``
   ``manifest.json``   format marker, record/chunk counts, chunk sizes
-  ``templates.bin``   zlib(JSON list of template texts), id = position
+  ``templates.bin``   zlib(JSON) template dictionary — the id-ordered
+                      template ``texts`` plus one first-seen *witness*
+                      statement per template (see below)
   ``chunk-00000.bin`` zlib(JSON dict of per-record columns)
   ``chunk-00001.bin`` …
 
@@ -29,6 +31,15 @@ A statement that itself contains the marker byte — which never occurs in
 real SQL text — is stored whole under the reserved template id ``-1``.
 The round trip is the exact inverse of the extraction, so
 ``read(write(log)) == log`` holds for *any* input, however unparsable.
+
+Since parse engine v3 ``templates.bin`` additionally carries one
+**witness** statement per template — the first record text that interned
+it.  :func:`load_template_witnesses` hands these to the parse engine's
+template-dictionary preload
+(:meth:`repro.skeleton.cache.TemplateCache.preload`), so re-cleaning a
+store the pipeline has seen before starts with a warm parse cache.
+Witnesses are re-parsed on load, never trusted, so they affect speed
+only; stores written before v3 simply yield no witnesses.
 
 Every file is written atomically (temp file + ``os.replace``) and the
 manifest is written **last**, so a directory with a manifest is always a
@@ -172,6 +183,8 @@ class ColumnarWriter:
         self.chunk_records = chunk_records
         self.path.mkdir(parents=True, exist_ok=True)
         self._templates = TemplateInterner()
+        #: first-seen statement text per template id (the witness).
+        self._witnesses: List[str] = []
         self._buffer: Dict[str, list] = {
             name: [] for name in _CHUNK_COLUMNS
         }
@@ -196,8 +209,14 @@ class ColumnarWriter:
             buffer["template"].append(VERBATIM_TEMPLATE)
             buffer["constants"].append([sql])
         else:
-            buffer["template"].append(self._templates.intern(template))
+            template_id = self._templates.intern(template)
+            buffer["template"].append(template_id)
             buffer["constants"].append(constants)
+            if template_id == len(self._witnesses):
+                # First record of a new template: its verbatim text is
+                # the template's witness (verbatim statements carry the
+                # marker byte and are skipped — they would not parse).
+                self._witnesses.append(sql)
         self._record_count += 1
         if len(buffer["seq"]) >= self.chunk_records:
             self._flush_chunk()
@@ -222,7 +241,11 @@ class ColumnarWriter:
             return
         self._flush_chunk()
         _dump_compressed(
-            self.path / "templates.bin", list(self._templates.fingerprints())
+            self.path / "templates.bin",
+            {
+                "texts": list(self._templates.fingerprints()),
+                "witnesses": self._witnesses,
+            },
         )
         manifest = {
             "format": FORMAT_NAME,
@@ -293,8 +316,32 @@ def read_manifest(path: PathLike) -> Dict[str, object]:
 
 
 def load_templates(path: PathLike) -> List[str]:
-    """The store's template dictionary, id-ordered."""
-    return _load_compressed(Path(path) / "templates.bin")  # type: ignore[return-value]
+    """The store's template dictionary, id-ordered.
+
+    Reads both layouts: the v3 ``{"texts", "witnesses"}`` dict and the
+    original plain list (stores written before witnesses existed).
+    """
+    payload = _load_compressed(Path(path) / "templates.bin")
+    if isinstance(payload, dict):
+        return payload["texts"]  # type: ignore[return-value]
+    return payload  # type: ignore[return-value]
+
+
+def load_template_witnesses(path: PathLike) -> List[str]:
+    """One first-seen witness statement text per store template.
+
+    Feed these to
+    :meth:`repro.skeleton.cache.TemplateCache.preload` to warm-start a
+    re-run over the store.  Empty for stores written before parse
+    engine v3 — the reader treats witnesses as an optional acceleration
+    layer, never a requirement.
+    """
+    payload = _load_compressed(Path(path) / "templates.bin")
+    if isinstance(payload, dict):
+        witnesses = payload.get("witnesses", [])
+        if isinstance(witnesses, list):
+            return witnesses
+    return []
 
 
 def read_chunk(

@@ -26,6 +26,7 @@ source, and is how ``repro.clean`` resolves its ``log`` argument.
 
 from __future__ import annotations
 
+import zlib
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -219,6 +220,20 @@ class ColumnarSource(LogSource):
             f"columnar:{self.path.resolve()}"
             f":{self._manifest['record_count']}:{stat.st_mtime_ns}"
         )
+
+    def template_witnesses(self) -> List[str]:
+        """The store's template witness texts (see
+        :func:`repro.store.columnar.load_template_witnesses`); empty for
+        stores written before parse engine v3."""
+        from .columnar import load_template_witnesses
+
+        try:
+            return load_template_witnesses(self.path)
+        except (OSError, ValueError, KeyError, zlib.error):
+            # A store with a damaged dictionary still *reads* (chunks
+            # carrying verbatim statements don't touch it); witnesses
+            # are an acceleration layer, so degrade to a cold start.
+            return []
 
 
 def _validated_chunk_records(chunk_records: int) -> int:

@@ -1,0 +1,96 @@
+"""Crash-safety of the template dictionary sidecar.
+
+``TemplateCache.save_dict`` promises that a kill — even SIGKILL — at any
+instant leaves the previously saved dictionary intact: the new blob is
+written to a temp file, fsynced, and published with one atomic
+``os.replace``.  The test kills a child at the worst possible moment
+(tmp written, rename not yet issued) and checks the survivor.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+from repro.log import LogRecord
+from repro.skeleton.cache import TemplateCache
+
+PRIOR_STATEMENTS = [
+    "SELECT a FROM t WHERE b = 1",
+    "SELECT name FROM employee WHERE empid = 8",
+]
+
+#: The child warms a cache with *different* templates, then dies by its
+#: own hand inside ``save_dict``, immediately before ``os.replace``.
+CHILD = r"""
+import os, signal, sys
+sys.path.insert(0, "src")
+from repro.log import LogRecord
+from repro.skeleton.cache import TemplateCache
+
+path = sys.argv[1]
+cache = TemplateCache()
+for i, sql in enumerate([
+    "SELECT x FROM u WHERE k = 9",
+    "SELECT y FROM v WHERE n = 'z'",
+]):
+    cache.build(LogRecord(seq=i, sql=sql, timestamp=float(i)))
+
+def kill_before_rename(src, dst):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+os.replace = kill_before_rename
+cache.save_dict(path)
+raise SystemExit("unreachable: the process killed itself above")
+"""
+
+
+def prior_dict(path):
+    cache = TemplateCache()
+    for i, sql in enumerate(PRIOR_STATEMENTS):
+        cache.build(LogRecord(seq=i, sql=sql, timestamp=float(i)))
+    cache.save_dict(path)
+    return sorted(cache.dict_witnesses())
+
+
+class TestSigkillDuringSave:
+    def test_prior_dict_survives_a_kill_mid_save(self, tmp_path):
+        path = tmp_path / "templates.dict"
+        expected = prior_dict(path)
+
+        child = subprocess.run(
+            [sys.executable, "-c", CHILD, str(path)],
+            cwd="/root/repo",
+            env={**os.environ, "PYTHONPATH": "src"},
+            timeout=120,
+        )
+        assert child.returncode == -signal.SIGKILL
+
+        # The rename never happened: the published dictionary is still
+        # the prior run's, bit for bit valid.
+        witnesses = TemplateCache.load_dict(path)
+        assert witnesses is not None
+        assert sorted(witnesses) == expected
+
+        # The orphaned temp file does not block the next save, and the
+        # next save publishes the new content atomically as usual.
+        cache = TemplateCache()
+        cache.build(
+            LogRecord(seq=0, sql="SELECT q FROM w WHERE r = 3", timestamp=0.0)
+        )
+        cache.save_dict(path)
+        assert TemplateCache.load_dict(path) == cache.dict_witnesses()
+
+    def test_kill_with_no_prior_dict_leaves_no_torn_file(self, tmp_path):
+        path = tmp_path / "templates.dict"
+        child = subprocess.run(
+            [sys.executable, "-c", CHILD, str(path)],
+            cwd="/root/repo",
+            env={**os.environ, "PYTHONPATH": "src"},
+            timeout=120,
+        )
+        assert child.returncode == -signal.SIGKILL
+        # No dictionary was ever published — a later run starts cold
+        # (silently), it never sees a half-written blob.
+        assert not path.exists()
+        assert TemplateCache.load_dict(path) is None

@@ -226,6 +226,40 @@ class TestRawTemplateMemo:
         member = record("SELECT a FROM t WHERE b = 2 /* top 5 */", seq=1)
         assert cache.fetch(member) == full_parse(member)
 
+    def test_scientific_notation_members_bind_scanner_free(self):
+        # ``1.e5`` — dot immediately followed by the exponent, no
+        # fraction digits — must strip as ONE literal in both the regex
+        # and the scanner, or the memo would serve a torn raw key.
+        cache = self.warmed("SELECT a FROM t WHERE b = 1.e5")
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is tuple and memo[1] == ()
+        member = record("SELECT a FROM t WHERE b = 27.e3", seq=1)
+        assert cache.fetch(member) == full_parse(member)
+
+    def test_double_unary_minus_is_unsafe(self):
+        # ``- -5``: the scanner folds the inner minus into the number's
+        # value, leaving an operator-then-negative-literal sequence the
+        # splice verifier cannot round-trip — the L2 entry is unsafe, so
+        # the raw key must be pinned to the full path as well.
+        cache = self.warmed("SELECT a FROM t WHERE b = - -5")
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is not tuple
+        # Every member misses — the pipeline then takes the full parse
+        # path, so the output stays byte-identical by construction.
+        member = record("SELECT a FROM t WHERE b = - -9", seq=1)
+        assert cache.fetch(member) is None
+
+    def test_quote_pair_inside_bracket_identifier_is_unsafe(self):
+        # The strip regex sees ``''`` inside ``[a''b]`` as an empty
+        # string literal; the scanner sees a delimited identifier and no
+        # literal at all.  Spans disagree, so the raw key is pinned to
+        # the full scanner path — members still come out byte-correct.
+        cache = self.warmed("SELECT [a''b] FROM t WHERE x = 1")
+        (memo,) = cache._by_raw.values()
+        assert type(memo) is not tuple
+        member = record("SELECT [a''b] FROM t WHERE x = 2", seq=1)
+        assert cache.fetch(member) == full_parse(member)
+
     def test_raw_memo_respects_the_lru_bound(self):
         cache = TemplateCache(2)
         for i, sql in enumerate(
@@ -239,6 +273,62 @@ class TestRawTemplateMemo:
             assert cache.fetch(rec) is None
             cache.store(rec.sql, full_parse(rec))
         assert len(cache._by_raw) == 2
+
+
+class TestRawScanAudit:
+    """Pin the ``_raw_scan``-vs-scanner audit: where the cheap regex
+    strip provably mirrors the DFA, and where it must NOT be trusted."""
+
+    ALIGNED = [
+        "SELECT a FROM t WHERE b = 1.e5",
+        "SELECT a FROM t WHERE b = 1.E+10",
+        "SELECT a FROM t WHERE b = .5e3",
+        "SELECT a FROM t WHERE b = 1.",
+        "SELECT x FROM t WHERE n = 'it''s'",
+        "SELECT x FROM t WHERE n = ''",
+        "SELECT a FROM t WHERE b BETWEEN 1. AND .2",
+    ]
+
+    DIVERGENT = [
+        # member-access digits: regex strips ``5``, scanner emits the
+        # wider ``.5`` number token after the DOT
+        "SELECT a.5 FROM t",
+        # string-lookalikes inside delimited identifiers
+        "SELECT [a''b] FROM t",
+        "SELECT \"a''b\" FROM t",
+        # literals inside comments are invisible to the scanner
+        "SELECT a FROM t WHERE b = 1 /* top 5 */",
+        "SELECT a FROM t -- 99",
+    ]
+
+    @pytest.mark.parametrize("text", ALIGNED)
+    def test_aligned_spans_and_constants(self, text):
+        from repro.skeleton.cache import _raw_scan
+
+        raw = _raw_scan(text)
+        fp = fingerprint_statement(text)
+        assert raw is not None and fp is not None
+        assert raw[1] == fp.spans
+        assert raw[2] == list(fp.constants)
+
+    @pytest.mark.parametrize("text", DIVERGENT)
+    def test_divergent_spans_block_admission(self, text):
+        from repro.skeleton.cache import _raw_scan
+
+        raw = _raw_scan(text)
+        fp = fingerprint_statement(text)
+        assert raw is not None and fp is not None
+        assert raw[1] != fp.spans
+
+    def test_scanner_punt_means_no_fingerprint(self):
+        # ``1.e`` — an exponent marker with no digits — makes the
+        # scanner refuse to fingerprint; without a fingerprint nothing
+        # is ever admitted into the raw memo for that text.
+        from repro.skeleton.cache import _raw_scan
+
+        text = "SELECT a FROM t WHERE b = 1.e"
+        assert fingerprint_statement(text) is None
+        assert _raw_scan(text) is not None  # the regex alone can't know
 
 
 STATEMENTS = [
