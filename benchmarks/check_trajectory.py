@@ -1,14 +1,16 @@
 """Consolidated benchmark-trajectory gate.
 
 Each perf PR in this repo lands with its own benchmark (E22 fast path,
-E25 zero-copy data plane, E26 parse engine v2, E27 parse engine v3) and
-each benchmark asserts its own acceptance bars when it runs.  This
-script is the belt to those braces: it re-reads the ``BENCH_*.json``
-reports the benchmarks just wrote and re-asserts every bar in one
-place, so a regression in an *older* experiment fails the build with a
-single consolidated summary instead of being spread across step logs —
-and so a report that silently stopped being written is itself a
-failure.
+E25 zero-copy data plane, E26 parse engine v2, E27 parse engine v3,
+E28 parse engine v4) and each benchmark asserts its own acceptance
+bars when it runs.  This script is the belt to those braces: it
+re-reads the ``BENCH_*.json`` reports the benchmarks just wrote and
+re-asserts every bar in one place, so a regression in an *older*
+experiment fails the build with a single consolidated summary instead
+of being spread across step logs — and so a report that silently
+stopped being written, truncated mid-write or left in a stale schema
+is itself a counted failure, never an abort that masks the rest of
+the sweep.
 
 Bars are scale-aware, mirroring the in-test logic: speed bars relax at
 smoke scale exactly as the benchmarks relax them, hardware-gated bars
@@ -137,6 +139,39 @@ def check_parse_v3(report):
     )
 
 
+@experiment("E28 parse engine v4 — BENCH_parse_v4.json")
+def check_parse_v4(report):
+    cold = report["cold_parse"]
+    full = report["scale"] >= report["full_scale"]
+    bar = 1.5 if full else 1.2
+    if cold["speedup"] < bar:
+        yield (
+            f"cold-parse speedup {cold['speedup']:.2f}x < {bar}x "
+            f"at scale {report['scale']}"
+        )
+    if cold["mismatches"]:
+        yield f"{cold['mismatches']} cold-parse output mismatches vs the v3 flow"
+    pre = report["preload"]
+    bar = 2.0 if full else 1.5
+    if pre["speedup"] < bar:
+        yield (
+            f"batched-preload speedup {pre['speedup']:.2f}x < {bar}x "
+            f"at scale {report['scale']}"
+        )
+    if pre["loaded_v4"] != pre["witnesses"]:
+        yield (
+            f"batched preload admitted {pre['loaded_v4']}/{pre['witnesses']} "
+            "witnesses"
+        )
+    if pre["loaded_v3"] != pre["loaded_v4"]:
+        yield (
+            f"batched preload admitted {pre['loaded_v4']} witnesses but the "
+            f"per-witness flow admitted {pre['loaded_v3']}"
+        )
+    if not pre["identical_hit_behavior"]:
+        yield "post-preload fetch behavior diverged from the per-witness flow"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -146,6 +181,12 @@ def main(argv=None):
     )
     options = parser.parse_args(argv)
 
+    # Every report is loaded and every check runs before the verdict:
+    # a gate that stops at the first bad report hides how many
+    # experiments actually regressed, and an unreadable or
+    # wrong-format report (a truncated write, a stale pre-rename
+    # schema) used to abort the whole gate with a traceback instead of
+    # being counted as the failure it is.
     failures = 0
     for name, check in CHECKS:
         path = HERE / name.rsplit("— ", 1)[1]
@@ -156,8 +197,18 @@ def main(argv=None):
             print(f"FAIL  {name}: report missing")
             failures += 1
             continue
-        report = json.loads(path.read_text())
-        problems = list(check(report))
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            print(f"FAIL  {name}: unreadable report ({error})")
+            failures += 1
+            continue
+        try:
+            problems = list(check(report))
+        except Exception as error:  # noqa: BLE001 - a bad report is a failure
+            print(f"FAIL  {name}: malformed report ({error!r})")
+            failures += 1
+            continue
         if problems:
             failures += 1
             print(f"FAIL  {name}")
@@ -165,6 +216,8 @@ def main(argv=None):
                 print(f"      - {problem}")
         else:
             print(f"OK    {name} (scale {report.get('scale', '?')})")
+    if failures:
+        print(f"\n{failures} of {len(CHECKS)} experiments failed the gate")
     return 1 if failures else 0
 
 

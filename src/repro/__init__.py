@@ -66,7 +66,7 @@ from .store import (
     write_columnar,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "LogRecord",

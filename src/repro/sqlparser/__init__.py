@@ -10,7 +10,7 @@ Typical use::
 
 from .errors import LexerError, ParseError, SqlError, UnsupportedStatementError
 from .lexer import StatementFingerprint, fingerprint_statement, tokenize
-from .parser import parse, parse_select
+from .parser import parse, parse_select, parse_tokens
 from .formatter import format_expression, format_sql
 from . import ast_nodes as ast
 
@@ -24,6 +24,7 @@ __all__ = [
     "tokenize",
     "parse",
     "parse_select",
+    "parse_tokens",
     "format_expression",
     "format_sql",
     "ast",

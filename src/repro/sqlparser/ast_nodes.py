@@ -1,11 +1,21 @@
 """Abstract syntax tree for the supported SQL dialect.
 
-All nodes are frozen dataclasses, so
+All nodes are slotted, hash-by-value dataclasses, so
 
 * structural equality (``==``) is equality of the syntax trees, which is
   exactly the equality the paper's skeleton comparison (Definition 5)
   needs once constants are replaced by placeholders, and
 * nodes are hashable and can key dictionaries (the template registry).
+
+Nodes are immutable *by convention*, not by ``frozen=True``: parse
+engine v4 traded the frozen guard for construction speed, because a
+frozen ``__init__`` routes every field through ``object.__setattr__``
+(~2.5× the cost of plain slot assignment) and the cold parse path mints
+tens of nodes per statement.  Nothing in the codebase mutates a node
+after construction — the cache and visitor layers already build changed
+copies via ``dataclasses.replace`` — and the ``unsafe_hash`` contract
+(never mutate a node that keys a dict) is exactly the discipline the
+shared-prototype cache demanded under ``frozen`` too.
 
 The tree is deliberately *syntactic*: ``count(*)`` is a
 :class:`FunctionCall`, names keep their original spelling, and semantic
@@ -21,18 +31,14 @@ dataclass fields so new node types participate automatically.
 from __future__ import annotations
 
 import dataclasses
-import sys as _sys
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
-if _sys.version_info >= (3, 11):
-    # __slots__ on every node class: smaller trees and faster attribute
-    # access for the traversal-heavy skeleton/feature passes.  Gated to
-    # 3.11+ because pickling frozen slotted dataclasses is only
-    # supported from 3.11 (bpo-45520).
-    _node_dataclass = dataclass(frozen=True, slots=True)
-else:  # pragma: no cover - exercised only on the 3.10 CI leg
-    _node_dataclass = dataclass(frozen=True)
+# __slots__ on every node class: smaller trees and faster attribute
+# access for the traversal-heavy skeleton/feature passes.  (The old
+# 3.10 gate is gone with ``frozen`` — non-frozen slotted dataclasses
+# pickle fine on every supported version.)
+_node_dataclass = dataclass(unsafe_hash=True, slots=True)
 
 
 @_node_dataclass

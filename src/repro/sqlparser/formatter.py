@@ -16,6 +16,7 @@ equal to the original — the property-based test suite asserts this.
 from __future__ import annotations
 
 from . import ast_nodes as ast
+from .tokens import KEYWORDS
 
 #: Precedence levels used to decide where parentheses are required when an
 #: expression is rendered inside another one.  Higher binds tighter.
@@ -47,11 +48,11 @@ def _precedence(node: ast.Expression) -> int:
 
 def _quote_identifier(name: str) -> str:
     """Bracket-quote an identifier when it cannot be written bare."""
-    bare = name.replace("_", "").replace("#", "").replace("$", "")
-    if name and not name[0].isdigit() and bare.isalnum():
-        from .tokens import KEYWORDS
-
-        if name.upper() not in KEYWORDS:
+    if name and not name[0].isdigit():
+        bare = name.replace("_", "")
+        if "#" in bare or "$" in bare:
+            bare = bare.replace("#", "").replace("$", "")
+        if bare.isalnum() and name.upper() not in KEYWORDS:
             return name
     return f"[{name}]"
 

@@ -18,6 +18,17 @@ Non-SELECT statements (INSERT/UPDATE/CREATE/…) raise
 :class:`UnsupportedStatementError`; anything malformed raises
 :class:`ParseError`.  Both are subclasses of :class:`SqlError`, so the
 pipeline's "parse statements" stage (Section 5.3) needs a single handler.
+
+Parse engine v4 made this module the cold path's second pillar (the
+scanner being the first), so its token plumbing is tuned accordingly:
+the parser tracks the *current* token in ``self._cur`` — every
+would-be ``_peek()`` call on the hot paths is a single attribute load —
+and single-keyword tests go through :meth:`_accept_kw`, which skips the
+varargs tuple the general :meth:`_accept_keyword` builds per call.  The
+construction path is pre-tokenized first: :func:`parse_tokens` consumes
+an existing EOF-terminated token list (the scanner's own output, so a
+cold statement is lexed exactly once), and :func:`parse` remains as the
+thin text shim that tokenizes and delegates.
 """
 
 from __future__ import annotations
@@ -60,7 +71,7 @@ from .ast_nodes import (
     WhenClause,
 )
 from .errors import ParseError, UnsupportedStatementError
-from .lexer import tokenize
+from .scanner import tokenize
 from .tokens import Token, TokenKind
 
 _NON_SELECT_OPENERS = frozenset(
@@ -91,35 +102,72 @@ _CLAUSE_BOUNDARY = frozenset(
     {"WHERE", "GROUP", "HAVING", "ORDER", "ON", "UNION", "INTO"}
 ) | _JOIN_OPENERS
 
+#: Comparison operators accepted by ``_parse_predicate``.
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+
+# Token kinds hoisted to module constants: one global load instead of a
+# global-plus-attribute pair on every hot-path membership test.
+_KEYWORD = TokenKind.KEYWORD
+_IDENTIFIER = TokenKind.IDENTIFIER
+_NUMBER = TokenKind.NUMBER
+_STRING = TokenKind.STRING
+_VARIABLE = TokenKind.VARIABLE
+_OPERATOR = TokenKind.OPERATOR
+_COMMA = TokenKind.COMMA
+_DOT = TokenKind.DOT
+_LPAREN = TokenKind.LPAREN
+_RPAREN = TokenKind.RPAREN
+_SEMICOLON = TokenKind.SEMICOLON
+_EOF = TokenKind.EOF
+
 
 class Parser:
-    """Single-use parser over one statement's token stream."""
+    """Single-use parser over one statement's token stream.
+
+    ``tokens`` must be EOF-terminated, exactly as produced by the
+    scanner — :class:`Parser` never re-lexes, so feeding it
+    ``Scan.tokens`` directly makes cold cache misses single-lex.
+    """
 
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self._cur = tokens[0]
 
     # ------------------------------------------------------------------
     # Token stream helpers
 
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._pos + offset, len(self._tokens) - 1)
-        return self._tokens[index]
+        index = self._pos + offset
+        tokens = self._tokens
+        return tokens[index] if index < len(tokens) else tokens[-1]
 
     def _advance(self) -> Token:
-        token = self._tokens[self._pos]
-        if token.kind is not TokenKind.EOF:
-            self._pos += 1
+        token = self._cur
+        if token.kind is not _EOF:
+            pos = self._pos + 1
+            self._pos = pos
+            self._cur = self._tokens[pos]
         return token
 
+    def _accept_kw(self, name: str) -> Optional[Token]:
+        """Accept one specific keyword — the varargs-free hot path."""
+        token = self._cur
+        if token.kind is _KEYWORD and token.value == name:
+            self._advance()
+            return token
+        return None
+
     def _accept_keyword(self, *names: str) -> Optional[Token]:
-        if self._peek().is_keyword(*names):
-            return self._advance()
+        token = self._cur
+        if token.kind is _KEYWORD and token.value in names:
+            self._advance()
+            return token
         return None
 
     def _expect_keyword(self, name: str) -> Token:
-        token = self._peek()
-        if not token.is_keyword(name):
+        token = self._cur
+        if token.kind is not _KEYWORD or token.value != name:
             raise ParseError(
                 f"expected {name}, found {token.value or 'end of input'!r}",
                 token.line,
@@ -128,13 +176,14 @@ class Parser:
         return self._advance()
 
     def _accept(self, kind: TokenKind, value: Optional[str] = None) -> Optional[Token]:
-        token = self._peek()
+        token = self._cur
         if token.kind is kind and (value is None or token.value == value):
-            return self._advance()
+            self._advance()
+            return token
         return None
 
     def _expect(self, kind: TokenKind, description: str) -> Token:
-        token = self._peek()
+        token = self._cur
         if token.kind is not kind:
             raise ParseError(
                 f"expected {description}, found {token.value or 'end of input'!r}",
@@ -144,7 +193,7 @@ class Parser:
         return self._advance()
 
     def _error(self, message: str) -> ParseError:
-        token = self._peek()
+        token = self._cur
         return ParseError(message, token.line, token.column)
 
     # ------------------------------------------------------------------
@@ -152,19 +201,19 @@ class Parser:
 
     def parse_statement(self) -> Statement:
         """Parse exactly one statement and require EOF afterwards."""
-        first = self._peek()
-        if first.kind is TokenKind.EOF:
+        first = self._cur
+        if first.kind is _EOF:
             raise ParseError("empty statement", first.line, first.column)
-        if first.kind is TokenKind.KEYWORD and first.value in _NON_SELECT_OPENERS:
+        if first.kind is _KEYWORD and first.value in _NON_SELECT_OPENERS:
             raise UnsupportedStatementError(
                 f"{first.value} statements are outside the SELECT-only dialect",
                 first.line,
                 first.column,
             )
         statement = self._parse_union()
-        self._accept(TokenKind.SEMICOLON)
-        trailing = self._peek()
-        if trailing.kind is not TokenKind.EOF:
+        self._accept(_SEMICOLON)
+        trailing = self._cur
+        if trailing.kind is not _EOF:
             raise ParseError(
                 f"unexpected trailing input {trailing.value!r}",
                 trailing.line,
@@ -174,130 +223,129 @@ class Parser:
 
     def _parse_union(self) -> Statement:
         statement: Statement = self._parse_select()
-        while self._accept_keyword("UNION"):
-            all_flag = bool(self._accept_keyword("ALL"))
+        while self._accept_kw("UNION"):
+            all_flag = self._accept_kw("ALL") is not None
             right = self._parse_select()
-            statement = Union(left=statement, right=right, all=all_flag)
+            statement = Union(statement, right, all_flag)
         return statement
 
     # ------------------------------------------------------------------
     # SELECT statement
 
     def _parse_select(self) -> SelectStatement:
-        if self._accept(TokenKind.LPAREN):
+        if self._cur.kind is _LPAREN:
+            self._advance()
             select = self._parse_select()
-            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(_RPAREN, "')'")
             return select
         self._expect_keyword("SELECT")
-        distinct = bool(self._accept_keyword("DISTINCT"))
-        if self._accept_keyword("ALL"):
+        distinct = self._accept_kw("DISTINCT") is not None
+        if self._accept_kw("ALL"):
             distinct = False
         top = self._parse_top()
         items = self._parse_select_list()
-        if self._accept_keyword("INTO"):
+        if self._accept_kw("INTO"):
             # SELECT ... INTO #temp: consume the target name; the log
             # cleaner still treats the statement as a read of its sources.
             self._parse_qualified_name()
         from_sources: Tuple[TableSource, ...] = ()
-        if self._accept_keyword("FROM"):
+        if self._accept_kw("FROM"):
             from_sources = self._parse_from_list()
         where = None
-        if self._accept_keyword("WHERE"):
+        if self._accept_kw("WHERE"):
             where = self._parse_expression()
         group_by: Tuple[Expression, ...] = ()
-        if self._accept_keyword("GROUP"):
+        if self._accept_kw("GROUP"):
             self._expect_keyword("BY")
             group_by = self._parse_expression_list()
         having = None
-        if self._accept_keyword("HAVING"):
+        if self._accept_kw("HAVING"):
             having = self._parse_expression()
         order_by: Tuple[OrderItem, ...] = ()
-        if self._accept_keyword("ORDER"):
+        if self._accept_kw("ORDER"):
             self._expect_keyword("BY")
             order_by = self._parse_order_list()
         return SelectStatement(
-            items=items,
-            from_sources=from_sources,
-            where=where,
-            group_by=group_by,
-            having=having,
-            order_by=order_by,
-            distinct=distinct,
-            top=top,
+            items,
+            from_sources,
+            where,
+            group_by,
+            having,
+            order_by,
+            distinct,
+            top,
         )
 
     def _parse_top(self) -> Optional[TopClause]:
-        if not self._accept_keyword("TOP"):
+        if not self._accept_kw("TOP"):
             return None
-        if self._accept(TokenKind.LPAREN):
+        if self._accept(_LPAREN):
             count = self._parse_expression()
-            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(_RPAREN, "')'")
         else:
-            token = self._peek()
-            if token.kind is TokenKind.NUMBER:
+            token = self._cur
+            if token.kind is _NUMBER:
                 self._advance()
                 count: Expression = Literal(token.value, "number")
-            elif token.kind is TokenKind.VARIABLE:
+            elif token.kind is _VARIABLE:
                 self._advance()
                 count = Variable(token.value)
             else:
                 raise self._error("expected row count after TOP")
-        percent = bool(self._accept_keyword("PERCENT"))
-        return TopClause(count=count, percent=percent)
+        percent = self._accept_kw("PERCENT") is not None
+        return TopClause(count, percent)
 
     def _parse_select_list(self) -> Tuple[SelectItem, ...]:
         items = [self._parse_select_item()]
-        while self._accept(TokenKind.COMMA):
+        while self._accept(_COMMA):
             items.append(self._parse_select_item())
         return tuple(items)
 
     def _parse_select_item(self) -> SelectItem:
-        token = self._peek()
+        token = self._cur
         # `alias = expr` T-SQL style aliasing.
-        if (
-            token.kind is TokenKind.IDENTIFIER
-            and self._peek(1).kind is TokenKind.OPERATOR
-            and self._peek(1).value == "="
-        ):
-            self._advance()
-            self._advance()
-            expr = self._parse_expression()
-            return SelectItem(expr=expr, alias=token.value)
+        if token.kind is _IDENTIFIER:
+            follower = self._peek(1)
+            if follower.kind is _OPERATOR and follower.value == "=":
+                self._advance()
+                self._advance()
+                expr = self._parse_expression()
+                return SelectItem(expr, token.value)
         expr = self._parse_expression()
         alias = self._parse_optional_alias()
-        return SelectItem(expr=expr, alias=alias)
+        return SelectItem(expr, alias)
 
     def _parse_optional_alias(self) -> Optional[str]:
-        if self._accept_keyword("AS"):
-            token = self._peek()
-            if token.kind in (TokenKind.IDENTIFIER, TokenKind.STRING):
+        if self._accept_kw("AS"):
+            token = self._cur
+            if token.kind is _IDENTIFIER or token.kind is _STRING:
                 self._advance()
                 return token.value
             raise self._error("expected alias name after AS")
-        token = self._peek()
-        if token.kind is TokenKind.IDENTIFIER:
+        token = self._cur
+        if token.kind is _IDENTIFIER:
             self._advance()
             return token.value
         return None
 
     def _parse_order_list(self) -> Tuple[OrderItem, ...]:
         items = [self._parse_order_item()]
-        while self._accept(TokenKind.COMMA):
+        while self._accept(_COMMA):
             items.append(self._parse_order_item())
         return tuple(items)
 
     def _parse_order_item(self) -> OrderItem:
         expr = self._parse_expression()
         descending = False
-        if self._accept_keyword("DESC"):
+        if self._accept_kw("DESC"):
             descending = True
         else:
-            self._accept_keyword("ASC")
-        return OrderItem(expr=expr, descending=descending)
+            self._accept_kw("ASC")
+        return OrderItem(expr, descending)
 
     def _parse_expression_list(self) -> Tuple[Expression, ...]:
         items = [self._parse_expression()]
-        while self._accept(TokenKind.COMMA):
+        while self._accept(_COMMA):
             items.append(self._parse_expression())
         return tuple(items)
 
@@ -306,7 +354,7 @@ class Parser:
 
     def _parse_from_list(self) -> Tuple[TableSource, ...]:
         sources = [self._parse_joined_source()]
-        while self._accept(TokenKind.COMMA):
+        while self._accept(_COMMA):
             sources.append(self._parse_joined_source())
         return tuple(sources)
 
@@ -319,25 +367,25 @@ class Parser:
             source = join
 
     def _parse_join_tail(self, left: TableSource) -> Optional[Join]:
-        token = self._peek()
-        if token.kind is not TokenKind.KEYWORD or token.value not in _JOIN_OPENERS:
+        token = self._cur
+        if token.kind is not _KEYWORD or token.value not in _JOIN_OPENERS:
             return None
         kind = "INNER"
-        if self._accept_keyword("INNER"):
+        if self._accept_kw("INNER"):
             kind = "INNER"
-        elif self._accept_keyword("LEFT"):
+        elif self._accept_kw("LEFT"):
             kind = "LEFT"
-            self._accept_keyword("OUTER")
-        elif self._accept_keyword("RIGHT"):
+            self._accept_kw("OUTER")
+        elif self._accept_kw("RIGHT"):
             kind = "RIGHT"
-            self._accept_keyword("OUTER")
-        elif self._accept_keyword("FULL"):
+            self._accept_kw("OUTER")
+        elif self._accept_kw("FULL"):
             kind = "FULL"
-            self._accept_keyword("OUTER")
-        elif self._accept_keyword("CROSS"):
-            if self._accept_keyword("APPLY"):
+            self._accept_kw("OUTER")
+        elif self._accept_kw("CROSS"):
+            if self._accept_kw("APPLY"):
                 right = self._parse_primary_source()
-                return Join(left=left, right=right, kind="CROSS APPLY")
+                return Join(left, right, "CROSS APPLY")
             kind = "CROSS"
         self._expect_keyword("JOIN")
         right = self._parse_primary_source()
@@ -345,64 +393,63 @@ class Parser:
         if kind != "CROSS":
             self._expect_keyword("ON")
             condition = self._parse_expression()
-        return Join(left=left, right=right, kind=kind, condition=condition)
+        return Join(left, right, kind, condition)
 
     def _parse_primary_source(self) -> TableSource:
-        if self._accept(TokenKind.LPAREN):
-            if self._peek().is_keyword("SELECT"):
+        if self._accept(_LPAREN):
+            if self._cur.is_keyword("SELECT"):
                 select = self._parse_select()
-                self._expect(TokenKind.RPAREN, "')'")
+                self._expect(_RPAREN, "')'")
                 alias = self._parse_source_alias()
-                return DerivedTable(select=select, alias=alias)
+                return DerivedTable(select, alias)
             source = self._parse_joined_source()
-            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(_RPAREN, "')'")
             return source
         parts = self._parse_qualified_name()
-        if self._peek().kind is TokenKind.LPAREN:
+        if self._cur.kind is _LPAREN:
             call = self._finish_function_call(parts)
             alias = self._parse_source_alias()
-            return FunctionTable(call=call, alias=alias)
+            return FunctionTable(call, alias)
         schema = ".".join(parts[:-1]) if len(parts) > 1 else None
         alias = self._parse_source_alias()
-        return TableName(name=parts[-1], schema=schema, alias=alias)
+        return TableName(parts[-1], schema, alias)
 
     def _parse_source_alias(self) -> Optional[str]:
-        if self._accept_keyword("AS"):
-            token = self._expect(TokenKind.IDENTIFIER, "alias name")
+        if self._accept_kw("AS"):
+            token = self._expect(_IDENTIFIER, "alias name")
             return token.value
-        token = self._peek()
-        if token.kind is TokenKind.IDENTIFIER:
+        token = self._cur
+        if token.kind is _IDENTIFIER:
             self._advance()
             return token.value
         return None
 
     def _parse_qualified_name(self) -> Tuple[str, ...]:
-        parts = [self._expect(TokenKind.IDENTIFIER, "name").value]
-        while self._accept(TokenKind.DOT):
-            parts.append(self._expect(TokenKind.IDENTIFIER, "name").value)
+        parts = [self._expect(_IDENTIFIER, "name").value]
+        while self._accept(_DOT):
+            parts.append(self._expect(_IDENTIFIER, "name").value)
         return tuple(parts)
 
     def _finish_function_call(self, parts: Tuple[str, ...]) -> FunctionCall:
         """Parse the argument list of a call whose name is already read."""
-        self._expect(TokenKind.LPAREN, "'('")
+        self._expect(_LPAREN, "'('")
         schema = ".".join(parts[:-1]) if len(parts) > 1 else None
         name = parts[-1]
         distinct = False
         args: List[Expression] = []
-        if not self._accept(TokenKind.RPAREN):
-            if self._accept_keyword("DISTINCT"):
+        if not self._accept(_RPAREN):
+            if self._accept_kw("DISTINCT"):
                 distinct = True
-            if self._peek().kind is TokenKind.OPERATOR and self._peek().value == "*":
+            token = self._cur
+            if token.kind is _OPERATOR and token.value == "*":
                 self._advance()
                 args.append(Star())
             else:
                 args.append(self._parse_expression())
-                while self._accept(TokenKind.COMMA):
+                while self._accept(_COMMA):
                     args.append(self._parse_expression())
-            self._expect(TokenKind.RPAREN, "')'")
-        return FunctionCall(
-            name=name, args=tuple(args), schema=schema, distinct=distinct
-        )
+            self._expect(_RPAREN, "')'")
+        return FunctionCall(name, tuple(args), schema, distinct)
 
     # ------------------------------------------------------------------
     # Expressions, precedence-climbing
@@ -412,110 +459,111 @@ class Parser:
 
     def _parse_or(self) -> Expression:
         left = self._parse_and()
-        while self._accept_keyword("OR"):
+        while self._accept_kw("OR"):
             right = self._parse_and()
-            left = Or(left=left, right=right)
+            left = Or(left, right)
         return left
 
     def _parse_and(self) -> Expression:
         left = self._parse_not()
-        while self._accept_keyword("AND"):
+        while self._accept_kw("AND"):
             right = self._parse_not()
-            left = And(left=left, right=right)
+            left = And(left, right)
         return left
 
     def _parse_not(self) -> Expression:
-        if self._accept_keyword("NOT"):
-            return Not(operand=self._parse_not())
+        if self._accept_kw("NOT"):
+            return Not(self._parse_not())
         return self._parse_predicate()
 
     def _parse_predicate(self) -> Expression:
         left = self._parse_additive()
-        token = self._peek()
+        token = self._cur
+
+        if token.kind is not _KEYWORD:
+            if token.kind is _OPERATOR and token.value in _COMPARISON_OPS:
+                self._advance()
+                op = "<>" if token.value == "!=" else token.value
+                right = self._parse_additive()
+                return Comparison(op, left, right)
+            return left
 
         negated = False
-        if token.is_keyword("NOT"):
+        if token.value == "NOT":
             follower = self._peek(1)
             if follower.is_keyword("IN", "BETWEEN", "LIKE"):
                 self._advance()
                 negated = True
-                token = self._peek()
+                token = self._cur
 
-        if token.is_keyword("IS"):
+        value = token.value
+        if value == "IS":
             self._advance()
-            is_negated = bool(self._accept_keyword("NOT"))
+            is_negated = self._accept_kw("NOT") is not None
             self._expect_keyword("NULL")
-            return IsNull(expr=left, negated=is_negated)
+            return IsNull(left, is_negated)
 
-        if token.is_keyword("IN"):
+        if value == "IN":
             self._advance()
             return self._finish_in(left, negated)
 
-        if token.is_keyword("BETWEEN"):
+        if value == "BETWEEN":
             self._advance()
             low = self._parse_additive()
             self._expect_keyword("AND")
             high = self._parse_additive()
-            return Between(expr=left, low=low, high=high, negated=negated)
+            return Between(left, low, high, negated)
 
-        if token.is_keyword("LIKE"):
+        if value == "LIKE":
             self._advance()
             pattern = self._parse_additive()
-            return Like(expr=left, pattern=pattern, negated=negated)
-
-        if token.kind is TokenKind.OPERATOR and token.value in (
-            "=",
-            "<>",
-            "!=",
-            "<",
-            "<=",
-            ">",
-            ">=",
-        ):
-            self._advance()
-            op = "<>" if token.value == "!=" else token.value
-            right = self._parse_additive()
-            return Comparison(op=op, left=left, right=right)
+            return Like(left, pattern, negated)
 
         return left
 
     def _finish_in(self, left: Expression, negated: bool) -> Expression:
-        self._expect(TokenKind.LPAREN, "'(' after IN")
-        if self._peek().is_keyword("SELECT"):
+        self._expect(_LPAREN, "'(' after IN")
+        if self._cur.is_keyword("SELECT"):
             select = self._parse_select()
-            self._expect(TokenKind.RPAREN, "')'")
-            return InSubquery(expr=left, subquery=select, negated=negated)
+            self._expect(_RPAREN, "')'")
+            return InSubquery(left, select, negated)
         items = [self._parse_expression()]
-        while self._accept(TokenKind.COMMA):
+        while self._accept(_COMMA):
             items.append(self._parse_expression())
-        self._expect(TokenKind.RPAREN, "')'")
-        return InList(expr=left, items=tuple(items), negated=negated)
+        self._expect(_RPAREN, "')'")
+        return InList(left, tuple(items), negated)
 
     def _parse_additive(self) -> Expression:
         left = self._parse_multiplicative()
         while True:
-            token = self._peek()
-            if token.kind is TokenKind.OPERATOR and token.value in ("+", "-", "||"):
+            token = self._cur
+            if token.kind is _OPERATOR and (
+                token.value == "+" or token.value == "-" or token.value == "||"
+            ):
                 self._advance()
                 right = self._parse_multiplicative()
-                left = BinaryOp(op=token.value, left=left, right=right)
+                left = BinaryOp(token.value, left, right)
             else:
                 return left
 
     def _parse_multiplicative(self) -> Expression:
         left = self._parse_unary()
         while True:
-            token = self._peek()
-            if token.kind is TokenKind.OPERATOR and token.value in ("*", "/", "%"):
+            token = self._cur
+            if token.kind is _OPERATOR and (
+                token.value == "*" or token.value == "/" or token.value == "%"
+            ):
                 self._advance()
                 right = self._parse_unary()
-                left = BinaryOp(op=token.value, left=left, right=right)
+                left = BinaryOp(token.value, left, right)
             else:
                 return left
 
     def _parse_unary(self) -> Expression:
-        token = self._peek()
-        if token.kind is TokenKind.OPERATOR and token.value in ("-", "+"):
+        token = self._cur
+        if token.kind is _OPERATOR and (
+            token.value == "-" or token.value == "+"
+        ):
             self._advance()
             operand = self._parse_unary()
             # Fold unary minus into numeric literals so `-5` skeletonises
@@ -525,121 +573,136 @@ class Parser:
                     return Literal("-" + operand.value, "number")
             if token.value == "+":
                 return operand
-            return UnaryOp(op=token.value, operand=operand)
+            return UnaryOp(token.value, operand)
         return self._parse_primary()
 
     def _parse_primary(self) -> Expression:
-        token = self._peek()
+        token = self._cur
+        kind = token.kind
 
-        if token.kind is TokenKind.NUMBER:
+        if kind is _NUMBER:
             self._advance()
             return Literal(token.value, "number")
-        if token.kind is TokenKind.STRING:
+        if kind is _IDENTIFIER:
+            return self._parse_name_expression()
+        if kind is _STRING:
             self._advance()
             return Literal(token.value, "string")
-        if token.is_keyword("NULL"):
-            self._advance()
-            return Literal("NULL", "null")
-        if token.kind is TokenKind.VARIABLE:
+        if kind is _VARIABLE:
             self._advance()
             return Variable(token.value)
 
-        if token.is_keyword("CASE"):
-            return self._parse_case()
-        if token.is_keyword("CAST"):
-            return self._parse_cast()
-        if token.is_keyword("EXISTS"):
-            self._advance()
-            self._expect(TokenKind.LPAREN, "'(' after EXISTS")
-            select = self._parse_select()
-            self._expect(TokenKind.RPAREN, "')'")
-            return Exists(subquery=select)
-
-        if token.kind is TokenKind.LPAREN:
-            self._advance()
-            if self._peek().is_keyword("SELECT"):
+        if kind is _KEYWORD:
+            value = token.value
+            if value == "NULL":
+                self._advance()
+                return Literal("NULL", "null")
+            if value == "CASE":
+                return self._parse_case()
+            if value == "CAST":
+                return self._parse_cast()
+            if value == "EXISTS":
+                self._advance()
+                self._expect(_LPAREN, "'(' after EXISTS")
                 select = self._parse_select()
-                self._expect(TokenKind.RPAREN, "')'")
-                return ScalarSubquery(select=select)
+                self._expect(_RPAREN, "')'")
+                return Exists(select)
+
+        elif kind is _LPAREN:
+            self._advance()
+            if self._cur.is_keyword("SELECT"):
+                select = self._parse_select()
+                self._expect(_RPAREN, "')'")
+                return ScalarSubquery(select)
             expr = self._parse_expression()
-            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(_RPAREN, "')'")
             return expr
 
-        if token.kind is TokenKind.OPERATOR and token.value == "*":
+        elif kind is _OPERATOR and token.value == "*":
             self._advance()
             return Star()
-
-        if token.kind is TokenKind.IDENTIFIER:
-            return self._parse_name_expression()
 
         # A handful of keywords double as bare function names (LEFT, RIGHT)
         # in real logs; we do not support that usage and report it clearly.
         raise self._error(f"unexpected token {token.value or 'end of input'!r}")
 
     def _parse_name_expression(self) -> Expression:
-        parts = [self._expect(TokenKind.IDENTIFIER, "name").value]
-        while self._peek().kind is TokenKind.DOT:
+        parts = [self._expect(_IDENTIFIER, "name").value]
+        while self._cur.kind is _DOT:
             follower = self._peek(1)
-            if follower.kind is TokenKind.OPERATOR and follower.value == "*":
+            if follower.kind is _OPERATOR and follower.value == "*":
                 # qualified star: table.* (or schema.table.*)
                 self._advance()
                 self._advance()
-                return Star(table=parts[-1])
+                return Star(parts[-1])
             self._advance()
-            parts.append(self._expect(TokenKind.IDENTIFIER, "name").value)
-        if self._peek().kind is TokenKind.LPAREN:
+            parts.append(self._expect(_IDENTIFIER, "name").value)
+        if self._cur.kind is _LPAREN:
             return self._finish_function_call(tuple(parts))
         if len(parts) == 1:
-            return ColumnRef(name=parts[0])
+            return ColumnRef(parts[0])
         if len(parts) == 2:
-            return ColumnRef(name=parts[1], table=parts[0])
+            return ColumnRef(parts[1], parts[0])
         # schema.table.column — keep the last two components, the cleaner
         # only reasons about table-qualified columns.
-        return ColumnRef(name=parts[-1], table=parts[-2])
+        return ColumnRef(parts[-1], parts[-2])
 
     def _parse_case(self) -> Expression:
         self._expect_keyword("CASE")
         operand = None
-        if not self._peek().is_keyword("WHEN"):
+        if not self._cur.is_keyword("WHEN"):
             operand = self._parse_expression()
         whens: List[WhenClause] = []
-        while self._accept_keyword("WHEN"):
+        while self._accept_kw("WHEN"):
             condition = self._parse_expression()
             self._expect_keyword("THEN")
             result = self._parse_expression()
-            whens.append(WhenClause(condition=condition, result=result))
+            whens.append(WhenClause(condition, result))
         if not whens:
             raise self._error("CASE requires at least one WHEN arm")
         else_result = None
-        if self._accept_keyword("ELSE"):
+        if self._accept_kw("ELSE"):
             else_result = self._parse_expression()
         self._expect_keyword("END")
-        return CaseExpression(
-            whens=tuple(whens), operand=operand, else_result=else_result
-        )
+        return CaseExpression(tuple(whens), operand, else_result)
 
     def _parse_cast(self) -> Expression:
         self._expect_keyword("CAST")
-        self._expect(TokenKind.LPAREN, "'(' after CAST")
+        self._expect(_LPAREN, "'(' after CAST")
         expr = self._parse_expression()
         self._expect_keyword("AS")
-        type_parts = [self._expect(TokenKind.IDENTIFIER, "type name").value]
-        if self._accept(TokenKind.LPAREN):
-            size = self._expect(TokenKind.NUMBER, "type size").value
+        type_parts = [self._expect(_IDENTIFIER, "type name").value]
+        if self._accept(_LPAREN):
+            size = self._expect(_NUMBER, "type size").value
             type_parts.append(f"({size})")
-            self._expect(TokenKind.RPAREN, "')'")
-        self._expect(TokenKind.RPAREN, "')'")
-        return Cast(expr=expr, type_name="".join(type_parts))
+            self._expect(_RPAREN, "')'")
+        self._expect(_RPAREN, "')'")
+        return Cast(expr, "".join(type_parts))
+
+
+def parse_tokens(tokens: List[Token]) -> Statement:
+    """Parse a pre-lexed, EOF-terminated token stream into an AST.
+
+    The single-lex entry point: feed it ``Scan.tokens`` and the
+    statement is never scanned a second time.
+
+    :raises UnsupportedStatementError: for non-SELECT statements.
+    :raises ParseError: on malformed SELECT syntax.
+    """
+    return Parser(tokens).parse_statement()
 
 
 def parse(sql: str) -> Statement:
     """Parse one SQL statement string into an AST.
 
+    A thin shim over :func:`parse_tokens` for callers that start from
+    text: it pays one scanner pass, exactly like the cache's cold path.
+
     :raises LexerError: on invalid characters / unterminated literals.
     :raises UnsupportedStatementError: for non-SELECT statements.
     :raises ParseError: on malformed SELECT syntax.
     """
-    return Parser(tokenize(sql)).parse_statement()
+    return parse_tokens(tokenize(sql))
 
 
 def parse_select(sql: str) -> SelectStatement:

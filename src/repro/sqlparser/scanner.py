@@ -1,36 +1,46 @@
-"""One-pass table-driven scanner: tokens + statement fingerprint together.
+"""One-pass dispatch-driven scanner: tokens + statement fingerprint together.
 
-Parse engine v3 replaces two separate passes over every cold statement —
-the per-character :class:`~repro.sqlparser.lexer.Lexer` inner loop and
-the fingerprint master-regex — with a single scanner built from a
-declarative token-class table.  The table is compiled into one
-alternation regex (one DFA-backed match per lexeme), and a single
-dispatch loop over its matches produces *both* products at once:
+Parse engine v3 collapsed the per-character lexer and the fingerprint
+master-regex into one table-driven pass whose table was compiled into a
+single alternation regex — one C-level match per lexeme, but every match
+still walked the alternation's branch list and paid backtracking on
+literal edges (the ``'a''`` escape-run resync was the visible scar).
 
-* the token list the parser consumes (byte-identical to the
-  hand-written lexer, including error messages and 1-based positions),
+Parse engine v4 removes the alternation entirely.  The inner loop is a
+**first-character dispatch**: one dict probe on the lead character
+selects the lexeme class, and each class handler finds its extent with
+plain ``str`` machinery —
+
+* ``str.find`` for strings (the escape-pairing find-loop computes the
+  exact extent natively, so the v3 ``_string_resync`` repair pass is
+  gone), bracket/double-quoted identifiers, and both comment styles,
+* a digit walk with explicit fraction/exponent steps for numbers,
+* direct character probes for operators and punctuation,
+* a single-character-class run matcher for identifier/keyword tails —
+  the one compiled pattern left, and it is a pure character-class scan
+  (a DFA step per character, no alternatives, no backtracking).
+
+The loop produces *both* products at once, exactly as v3 did:
+
+* the token list the parser consumes (byte-identical to the legacy
+  lexer, including error messages and 1-based positions),
 * the :class:`StatementFingerprint` the template cache keys on
   (canonical token-stream key, literal vector, literal source spans).
 
-Fingerprinting therefore stops being a separate regex pass, and a
-statement the fingerprint machinery cannot certify (control characters,
-lexical errors) falls back to the full parse path without any duplicate
-scanning: the same tokens feed the parser directly.
+One behavioral refinement hides here: v3 certified fingerprint safety
+with a *second* full-text regex pass (``_FP_UNSAFE.search(text)``) after
+the scan.  v4 folds that check into the only places a non-whitespace
+control character can legally appear — string/comment bodies and
+delimited identifiers; anywhere else the dispatch table already rejects
+it as ``unexpected character`` — so the redundant pass disappears while
+the certified-fingerprint set stays identical.
 
-The scanner is pinned against the legacy lexer by a differential
-Hypothesis fuzz (``tests/property/test_scanner_differential.py``) that
-compares tokens, error messages/positions and fingerprints on both
-structured SQL and adversarial character soup.  The legacy per-character
-path remains available for one release behind ``REPRO_LEGACY_LEXER=1``.
-
-One deliberate subtlety: the string-literal alternative is greedy over
-``''`` escape pairs, so on an *unterminated* string with escapes (e.g.
-``'a''``) the regex backtracks to a shorter, well-formed prefix the
-hand-written lexer would reject.  That situation is detectable locally —
-the character after the match is another quote, which the lexer would
-have paired as an escape — and :func:`_string_resync` re-runs the
-lexer's find-loop from the opening quote to recover the exact extent or
-the exact error the lexer raises.
+The scanner is pinned against three references by the differential
+Hypothesis fuzz in ``tests/property/test_scanner_differential.py``: the
+pinned per-character lexer (now a frozen test fixture), the frozen
+pre-v3 module and the frozen v3 alternation scanner, both exec'd out of
+git history, comparing tokens, error messages/positions and
+fingerprints on structured SQL and adversarial character soup.
 """
 
 from __future__ import annotations
@@ -44,6 +54,10 @@ from .tokens import KEYWORDS, Token, TokenKind
 _IDENT_START = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_#"
 )
+
+_DIGITS = frozenset("0123456789")
+
+_WHITESPACE = frozenset(" \t\r\n\f\v")
 
 #: Common keyword spellings resolved with one dict probe instead of an
 #: upper-case + set-membership pair (mirrors the legacy lexer's table).
@@ -60,53 +74,67 @@ _PUNCT_KINDS = {
     ";": TokenKind.SEMICOLON,
 }
 
+#: Identifier/keyword tail: the sole compiled pattern in the scanner.
+#: A bare character class matched at a fixed position is a straight DFA
+#: run in the regex engine — one C call returns the word's extent, which
+#: beats a Python per-character walk for everything longer than a couple
+#: of characters (SkyServer identifiers routinely run 10-20).
+_WORD_RUN = re.compile(r"[A-Za-z0-9_\#\$]*").match
+
 # ----------------------------------------------------------------------
-# The token-class table.  One row per lexeme class; the rows are
-# compiled, in order, into a single alternation regex.  Order matters
-# exactly as it did for the legacy master-regex: words before numbers
-# (``abc1``), numbers before DOT (``.5``), comments before operators
-# (``--``, ``/*``).  Each row is a flat group — no nested captures — so
-# ``Match.lastindex`` identifies the class as a 1-based index into the
-# table and the dispatch loop never touches group names.
+# First-character dispatch.  One dict probe classifies the lexeme; the
+# handler codes are ordered by workload frequency so the dispatch
+# chain's early arms cover almost every lexeme.  Characters absent from
+# the table (controls, ``$``, ``?``, non-ASCII, …) fall to ``_ERR`` and
+# produce the exact ``unexpected character`` error the lexer raised.
 
-_SCAN_TABLE: Tuple[Tuple[str, str], ...] = (
-    ("ws", r"[ \t\r\n\f\v]+"),
-    ("lc", r"--[^\n]*"),
-    ("bc", r"/\*.*?\*/"),
-    ("word", r"[A-Za-z_\#][A-Za-z0-9_\#\$]*"),
-    ("num", r"(?:[0-9]+(?:\.(?!\.)[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?"),
-    ("str", r"'[^']*(?:''[^']*)*'"),
-    ("bracket", r"\[[^\]]*\]"),
-    ("dquote", r'"[^"]*"'),
-    ("var", r"@@?[A-Za-z_\#][A-Za-z0-9_\#\$]*"),
-    ("op", r"<>|!=|<=|>=|\|\||[=<>+\-*/%]"),
-    ("punct", r"[,.();]"),
-)
-
-_SCANNER = re.compile(
-    "|".join("(%s)" % pattern for _, pattern in _SCAN_TABLE), re.DOTALL
-)
-
-# Class indices (``Match.lastindex`` values), kept as module constants so
-# the dispatch loop compares small ints.
 (
-    _WS,
-    _LC,
-    _BC,
+    _ERR,
     _WORD,
+    _WS,
+    _PUNCT,
     _NUM,
+    _OP,
+    _LT,
+    _GT,
+    _MINUS,
+    _SLASH,
+    _DOT,
     _STR,
+    _VAR,
     _BRACKET,
     _DQUOTE,
-    _VAR,
-    _OP,
-    _PUNCT,
-) = range(1, len(_SCAN_TABLE) + 1)
+    _BANG,
+    _PIPE,
+) = range(17)
+
+_DISPATCH = {}
+for _c in "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_#":
+    _DISPATCH[_c] = _WORD
+for _c in " \t\r\n\f\v":
+    _DISPATCH[_c] = _WS
+for _c in ",();":
+    _DISPATCH[_c] = _PUNCT
+for _c in "0123456789":
+    _DISPATCH[_c] = _NUM
+for _c in "=+*%":
+    _DISPATCH[_c] = _OP
+_DISPATCH["<"] = _LT
+_DISPATCH[">"] = _GT
+_DISPATCH["-"] = _MINUS
+_DISPATCH["/"] = _SLASH
+_DISPATCH["."] = _DOT
+_DISPATCH["'"] = _STR
+_DISPATCH["@"] = _VAR
+_DISPATCH["["] = _BRACKET
+_DISPATCH['"'] = _DQUOTE
+_DISPATCH["!"] = _BANG
+_DISPATCH["|"] = _PIPE
 
 
 # ----------------------------------------------------------------------
-# Statement fingerprint (moved here from ``lexer.py``; the legacy module
-# re-exports these names for compatibility).
+# Statement fingerprint (the legacy module re-exports these names for
+# compatibility).
 
 #: Placeholder / tag bytes used inside fingerprint keys.  They can never
 #: collide with statement content because the fingerprint is discarded
@@ -120,9 +148,11 @@ _FP_SEP = "\x1f"
 #: Non-whitespace control characters.  \t\n\v\f\r (0x09-0x0d) are legal
 #: whitespace; everything else below 0x20 would threaten the injectivity
 #: of the join-based key, so such statements get no fingerprint (they
-#: still tokenize — control characters are legal inside string literals
-#: and delimited identifiers).
+#: still tokenize — control characters are legal inside string literals,
+#: comments and delimited identifiers, the only lexemes whose bodies this
+#: pattern is run against; anywhere else they fail to tokenize at all).
 _FP_UNSAFE = re.compile("[\x00-\x08\x0e-\x1f]")
+_FP_UNSAFE_SEARCH = _FP_UNSAFE.search
 
 #: Keywords that *end* an operand, so a following ``-`` is binary
 #: subtraction; after any other keyword a ``-`` starts a negative number.
@@ -170,27 +200,7 @@ class Scan(NamedTuple):
     fingerprint: Optional[StatementFingerprint]
 
 
-def _string_resync(text: str, start: int) -> int:
-    """Re-run the lexer's string find-loop from the opening quote.
-
-    Called only when the regex string match is followed by another
-    quote — i.e. the regex backtracked where the lexer would have paired
-    an escape.  Returns the position just past the closing quote, or
-    ``-1`` if the string is unterminated.
-    """
-    length = len(text)
-    pos = start + 1
-    while True:
-        quote = text.find("'", pos)
-        if quote == -1:
-            return -1
-        if quote + 1 < length and text[quote + 1] == "'":
-            pos = quote + 2
-            continue
-        return quote + 1
-
-
-def scan(text: str) -> Scan:
+def scan(text: str) -> Scan:  # noqa: C901 - one deliberately flat hot loop
     """Scan ``text`` once, producing tokens and fingerprint together.
 
     Never raises: lexical errors come back in ``Scan.error`` carrying
@@ -204,9 +214,18 @@ def scan(text: str) -> Scan:
     append_part = parts.append
     add_constant = constants.append
     add_span = spans.append
-    match = _SCANNER.match
+    dispatch_get = _DISPATCH.get
     keyword_cases = _KEYWORD_CASES
+    keywords = KEYWORDS
     punct_kinds = _PUNCT_KINDS
+    word_run = _WORD_RUN
+    ident_start = _IDENT_START
+    digits = _DIGITS
+    whitespace = _WHITESPACE
+    unsafe = _FP_UNSAFE_SEARCH
+    find = text.find
+    tnew = tuple.__new__
+    token_cls = Token
     kw_kind = TokenKind.KEYWORD
     ident_kind = TokenKind.IDENTIFIER
     num_kind = TokenKind.NUMBER
@@ -219,6 +238,9 @@ def scan(text: str) -> Scan:
     length = len(text)
     line = 1
     line_start = 0  # source index where the current line begins
+    # True while the fingerprint is still certifiable: flipped off when a
+    # literal/comment body carries a non-whitespace control character.
+    fp_ok = True
     # ``-`` in operand position is held back: if a number follows it is
     # folded into the constant (mirroring the parser, which folds unary
     # minus into the Literal), otherwise it is emitted as an operator.
@@ -229,65 +251,121 @@ def scan(text: str) -> Scan:
     unary_next = True
 
     while pos < length:
-        m = match(text, pos)
-        if m is None:
-            char = text[pos]
-            if char == "'":
-                message = "unterminated string literal"
-            elif char == "[":
-                message = "unterminated [identifier]"
-            elif char == '"':
-                message = 'unterminated "identifier"'
-            elif char == "@":
-                message = "malformed variable name"
-            else:
-                message = f"unexpected character {char!r}"
-            error = LexerError(message, line, pos - line_start + 1)
-            break
-        index = m.lastindex
-        end = m.end()
-        token_text = m.group()
-        if index == _WORD:
-            keyword = keyword_cases.get(token_text)
+        char = text[pos]
+        code = dispatch_get(char, _ERR)
+
+        if code == _WORD:
+            end = word_run(text, pos + 1).end()
+            word = text[pos:end]
+            keyword = keyword_cases.get(word)
             if keyword is None:
-                upper = token_text.upper()
-                keyword = upper if upper in KEYWORDS else None
+                upper = word.upper()
+                if upper in keywords:
+                    keyword = upper
             if pending_minus:
                 append_part("-")
                 pending_minus = False
             if keyword is not None:
                 append_token(
-                    Token(kw_kind, keyword, line, pos - line_start + 1)
+                    tnew(
+                        token_cls,
+                        (kw_kind, keyword, line, pos - line_start + 1),
+                    )
                 )
                 append_part(keyword)
                 unary_next = keyword not in _OPERAND_END_KEYWORDS
             else:
                 append_token(
-                    Token(ident_kind, token_text, line, pos - line_start + 1)
+                    tnew(
+                        token_cls,
+                        (ident_kind, word, line, pos - line_start + 1),
+                    )
                 )
-                append_part(_FP_IDENT + token_text)
+                append_part(_FP_IDENT + word)
                 unary_next = False
-        elif index == _WS:
-            newline = token_text.rfind("\n")
+            pos = end
+
+        elif code == _WS:
+            end = pos + 1
+            if char == " " and (end == length or text[end] not in whitespace):
+                pos = end  # the dominant case: one space between lexemes
+                continue
+            while end < length and text[end] in whitespace:
+                end += 1
+            run = text[pos:end]
+            newline = run.rfind("\n")
             if newline != -1:
-                line += token_text.count("\n")
+                line += run.count("\n")
                 line_start = pos + newline + 1
-        elif index == _PUNCT:
+            pos = end
+
+        elif code == _PUNCT:
             append_token(
-                Token(
-                    punct_kinds[token_text],
-                    token_text,
-                    line,
-                    pos - line_start + 1,
+                tnew(
+                    token_cls,
+                    (punct_kinds[char], char, line, pos - line_start + 1),
                 )
             )
             if pending_minus:
                 append_part("-")
                 pending_minus = False
-            append_part(token_text)
-            unary_next = token_text == "(" or token_text == ","
-        elif index == _NUM:
-            if end < length and text[end] in _IDENT_START:
+            append_part(char)
+            unary_next = char == "(" or char == ","
+            pos += 1
+
+        elif code == _NUM or code == _DOT:
+            start = pos
+            if code == _DOT:
+                after = pos + 1
+                if after >= length or text[after] not in digits:
+                    # A bare ``.`` is ordinary punctuation.
+                    append_token(
+                        tnew(
+                            token_cls,
+                            (
+                                punct_kinds["."],
+                                ".",
+                                line,
+                                pos - line_start + 1,
+                            ),
+                        )
+                    )
+                    if pending_minus:
+                        append_part("-")
+                        pending_minus = False
+                    append_part(".")
+                    unary_next = False
+                    pos = after
+                    continue
+                end = after + 1
+                while end < length and text[end] in digits:
+                    end += 1
+            else:
+                end = pos + 1
+                while end < length and text[end] in digits:
+                    end += 1
+                # A fraction dot is consumed only when not followed by a
+                # second dot (``1..2`` is NUMBER DOT DOT NUMBER).
+                if (
+                    end < length
+                    and text[end] == "."
+                    and text[end + 1 : end + 2] != "."
+                ):
+                    end += 1
+                    while end < length and text[end] in digits:
+                        end += 1
+            if end < length and (text[end] == "e" or text[end] == "E"):
+                lookahead = end + 1
+                if lookahead < length and (
+                    text[lookahead] == "+" or text[lookahead] == "-"
+                ):
+                    lookahead += 1
+                if lookahead < length and text[lookahead] in digits:
+                    end = lookahead + 1
+                    while end < length and text[end] in digits:
+                        end += 1
+            token_text = text[start:end]
+            if end < length and text[end] in ident_start:
                 # `1abc` — malformed literal, error at the number start.
                 error = LexerError(
                     f"malformed numeric literal {token_text + text[end]!r}",
@@ -296,50 +374,131 @@ def scan(text: str) -> Scan:
                 )
                 break
             append_token(
-                Token(num_kind, token_text, line, pos - line_start + 1)
+                tnew(
+                    token_cls,
+                    (num_kind, token_text, line, pos - line_start + 1),
+                )
             )
             if pending_minus:
                 add_constant(("number", "-" + token_text))
                 pending_minus = False
             else:
                 add_constant(("number", token_text))
-            add_span((pos, end))
+            add_span((start, end))
             append_part(_FP_NUMBER)
             unary_next = False
-        elif index == _OP:
-            if token_text == "/" and end < length and text[end] == "*":
-                # A terminated comment would have matched the ``bc``
-                # alternative first, so ``/`` + ``*`` is unterminated.
-                error = LexerError(
-                    "unterminated block comment", line, pos - line_start + 1
-                )
-                break
+            pos = end
+
+        elif code == _OP:
             append_token(
-                Token(op_kind, token_text, line, pos - line_start + 1)
+                tnew(token_cls, (op_kind, char, line, pos - line_start + 1))
             )
             if pending_minus:
                 append_part("-")
                 pending_minus = False
-            if token_text == "-" and unary_next:
+            append_part(char)
+            unary_next = True
+            pos += 1
+
+        elif code == _LT or code == _GT:
+            after = text[pos + 1 : pos + 2]
+            if after == "=":
+                op = "<=" if code == _LT else ">="
+                end = pos + 2
+            elif code == _LT and after == ">":
+                op = "<>"
+                end = pos + 2
+            else:
+                op = char
+                end = pos + 1
+            append_token(
+                tnew(token_cls, (op_kind, op, line, pos - line_start + 1))
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            append_part(op)
+            unary_next = True
+            pos = end
+
+        elif code == _MINUS:
+            if text[pos + 1 : pos + 2] == "-":
+                # Line comment: runs to end of line, never contains the
+                # newline itself.  Control characters in the body kill
+                # the fingerprint (v3 caught them via the full-text
+                # pass), never the tokens.
+                newline = find("\n", pos + 2)
+                if newline == -1:
+                    body = text[pos:]
+                    pos = length
+                else:
+                    body = text[pos:newline]
+                    pos = newline
+                if fp_ok and unsafe(body):
+                    fp_ok = False
+                continue
+            append_token(
+                tnew(token_cls, (op_kind, "-", line, pos - line_start + 1))
+            )
+            if pending_minus:
+                append_part("-")
+            if unary_next:
                 pending_minus = True
             else:
-                append_part(token_text)
+                pending_minus = False
+                append_part("-")
                 unary_next = True
-        elif index == _STR:
+            pos += 1
+
+        elif code == _SLASH:
+            if text[pos + 1 : pos + 2] == "*":
+                close = find("*/", pos + 2)
+                if close == -1:
+                    error = LexerError(
+                        "unterminated block comment",
+                        line,
+                        pos - line_start + 1,
+                    )
+                    break
+                body = text[pos : close + 2]
+                if fp_ok and unsafe(body):
+                    fp_ok = False
+                newline = body.rfind("\n")
+                if newline != -1:
+                    line += body.count("\n")
+                    line_start = pos + newline + 1
+                pos = close + 2
+                continue
+            append_token(
+                tnew(token_cls, (op_kind, "/", line, pos - line_start + 1))
+            )
+            if pending_minus:
+                append_part("-")
+                pending_minus = False
+            append_part("/")
+            unary_next = True
+            pos += 1
+
+        elif code == _STR:
             column = pos - line_start + 1
-            if end < length and text[end] == "'":
-                # Regex backtracked on an escape run; resync with the
-                # lexer's pairing (see module docstring).
-                resynced = _string_resync(text, pos)
-                if resynced == -1:
+            search = pos + 1
+            while True:
+                quote = find("'", search)
+                if quote == -1:
                     error = LexerError(
                         "unterminated string literal", line, column
                     )
                     break
-                end = resynced
-                token_text = text[pos:end]
+                if text[quote + 1 : quote + 2] == "'":  # escaped quote
+                    search = quote + 2
+                    continue
+                break
+            if error is not None:
+                break
+            end = quote + 1
+            token_text = text[pos:end]
             value = token_text[1:-1].replace("''", "'")
-            append_token(Token(str_kind, value, line, column))
+            append_token(tnew(token_cls, (str_kind, value, line, column)))
             if pending_minus:
                 append_part("-")
                 pending_minus = False
@@ -347,35 +506,50 @@ def scan(text: str) -> Scan:
             add_span((pos, end))
             append_part(_FP_STRING)
             unary_next = False
+            if fp_ok and unsafe(token_text):
+                fp_ok = False
             newline = token_text.rfind("\n")
             if newline != -1:
                 line += token_text.count("\n")
                 line_start = pos + newline + 1
-        elif index == _VAR:
-            append_token(
-                Token(var_kind, token_text[1:], line, pos - line_start + 1)
-            )
+            pos = end
+
+        elif code == _VAR:
+            column = pos - line_start + 1
+            name_start = pos + 1
+            if text[name_start : name_start + 1] == "@":
+                name_start += 1  # @@rowcount style system variables
+            if (
+                name_start >= length
+                or text[name_start] not in ident_start
+            ):
+                error = LexerError("malformed variable name", line, column)
+                break
+            end = word_run(text, name_start + 1).end()
+            name = text[pos + 1 : end]
+            append_token(tnew(token_cls, (var_kind, name, line, column)))
             if pending_minus:
                 append_part("-")
                 pending_minus = False
-            append_part(_FP_VARIABLE + token_text[1:])
+            append_part(_FP_VARIABLE + name)
             unary_next = False
-        elif index == _LC:
-            pass  # line comment — cannot contain a newline
-        elif index == _BC:
-            newline = token_text.rfind("\n")
-            if newline != -1:
-                line += token_text.count("\n")
-                line_start = pos + newline + 1
-        else:  # bracket / dquote identifiers — same token as a bare word
-            append_token(
-                Token(
-                    ident_kind,
-                    token_text[1:-1],
+            pos = end
+
+        elif code == _BRACKET or code == _DQUOTE:
+            column = pos - line_start + 1
+            closer = "]" if code == _BRACKET else '"'
+            close = find(closer, pos + 1)
+            if close == -1:
+                error = LexerError(
+                    "unterminated [identifier]"
+                    if code == _BRACKET
+                    else 'unterminated "identifier"',
                     line,
-                    pos - line_start + 1,
+                    column,
                 )
-            )
+                break
+            name = text[pos + 1 : close]
+            append_token(tnew(token_cls, (ident_kind, name, line, column)))
             if pending_minus:
                 append_part("-")
                 pending_minus = False
@@ -385,18 +559,70 @@ def scan(text: str) -> Scan:
             # against another form's prototype.  Keeping the opening
             # delimiter is injective — a bare word can never start with
             # ``[`` or ``"``, so the three forms occupy disjoint keys.
-            append_part(_FP_IDENT + token_text[0] + token_text[1:-1])
+            append_part(_FP_IDENT + char + name)
             unary_next = False
-            newline = token_text.rfind("\n")
+            if fp_ok and unsafe(name):
+                fp_ok = False
+            newline = name.rfind("\n")
             if newline != -1:
-                line += token_text.count("\n")
-                line_start = pos + newline + 1
-        pos = end
+                line += name.count("\n")
+                line_start = pos + 1 + newline + 1
+            pos = close + 1
+
+        elif code == _BANG:
+            if text[pos + 1 : pos + 2] == "=":
+                append_token(
+                    tnew(
+                        token_cls, (op_kind, "!=", line, pos - line_start + 1)
+                    )
+                )
+                if pending_minus:
+                    append_part("-")
+                    pending_minus = False
+                append_part("!=")
+                unary_next = True
+                pos += 2
+            else:
+                error = LexerError(
+                    f"unexpected character {char!r}",
+                    line,
+                    pos - line_start + 1,
+                )
+                break
+
+        elif code == _PIPE:
+            if text[pos + 1 : pos + 2] == "|":
+                append_token(
+                    tnew(
+                        token_cls, (op_kind, "||", line, pos - line_start + 1)
+                    )
+                )
+                if pending_minus:
+                    append_part("-")
+                    pending_minus = False
+                append_part("||")
+                unary_next = True
+                pos += 2
+            else:
+                error = LexerError(
+                    f"unexpected character {char!r}",
+                    line,
+                    pos - line_start + 1,
+                )
+                break
+
+        else:  # _ERR
+            error = LexerError(
+                f"unexpected character {char!r}", line, pos - line_start + 1
+            )
+            break
 
     if error is not None:
         return Scan(None, error, None)
-    append_token(Token(TokenKind.EOF, "", line, pos - line_start + 1))
-    if _FP_UNSAFE.search(text):
+    append_token(
+        tnew(token_cls, (TokenKind.EOF, "", line, pos - line_start + 1))
+    )
+    if not fp_ok:
         return Scan(tokens, None, None)
     if pending_minus:
         append_part("-")

